@@ -1,0 +1,63 @@
+//===- bench_cluster_shapes.cpp - §6.2 cluster size statistics ------------===//
+//
+// Part of the IPRA project: a reproduction of Santhanam & Odnert,
+// "Register Allocation Across Procedure and Module Boundaries", PLDI 1990.
+//
+//===----------------------------------------------------------------------===//
+///
+/// Regenerates the §6.2 cluster-shape narrative: "For the applications
+/// considered, the average cluster size ranged between 2 to 4 nodes.
+/// The small average cluster size is, in part, responsible for the
+/// marginal performance benefit observed [for spill code motion]."
+///
+//===----------------------------------------------------------------------===//
+
+#include "BenchSupport.h"
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+using namespace ipra;
+using namespace ipra::bench;
+
+namespace {
+
+void printTable() {
+  std::printf("Cluster shapes per benchmark (the §6.2 narrative: average "
+              "size 2-4)\n");
+  std::printf("----------------------------------------------------------\n");
+  std::printf("  %-10s %10s %10s %10s\n", "Benchmark", "clusters",
+              "avg size", "max size");
+  for (const ProgramInfo &P : programList()) {
+    auto Sources = loadProgram(P.Name);
+    auto R = compileProgram(Sources, PipelineConfig::configA());
+    if (!R.Success) {
+      std::printf("  %-10s  <failed: %s>\n", P.Name.c_str(),
+                  R.ErrorText.c_str());
+      continue;
+    }
+    std::printf("  %-10s %10d %10.1f %10d\n", P.Name.c_str(),
+                R.Stats.NumClusters, R.Stats.avgClusterSize(),
+                R.Stats.MaxClusterSize);
+  }
+  std::printf("\n");
+}
+
+void BM_AnalyzerConfigA_war(benchmark::State &State) {
+  auto Sources = loadProgram("war");
+  for (auto _ : State) {
+    auto R = compileProgram(Sources, PipelineConfig::configA());
+    benchmark::DoNotOptimize(R.Success);
+  }
+}
+BENCHMARK(BM_AnalyzerConfigA_war);
+
+} // namespace
+
+int main(int argc, char **argv) {
+  printTable();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

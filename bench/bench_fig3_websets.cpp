@@ -1,0 +1,172 @@
+//===- bench_fig3_websets.cpp - Figure 3 / Table 1 / Table 2 --------------===//
+//
+// Part of the IPRA project: a reproduction of Santhanam & Odnert,
+// "Register Allocation Across Procedure and Module Boundaries", PLDI 1990.
+//
+//===----------------------------------------------------------------------===//
+///
+/// Regenerates the paper's worked example: the Figure 3 call graph, the
+/// Table 1 reference sets, and the Table 2 webs with their interference
+/// and register assignment (two callee-saves registers suffice).
+///
+//===----------------------------------------------------------------------===//
+
+#include "core/WebColor.h"
+#include "core/Webs.h"
+#include "summary/Summary.h"
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <set>
+
+using namespace ipra;
+
+namespace {
+
+/// The Figure 3 example (same fixture as the unit tests).
+std::vector<ModuleSummary> figure3() {
+  ModuleSummary S;
+  S.Module = "m";
+  auto Proc = [&S](const char *Name) {
+    ProcSummary P;
+    P.QualName = Name;
+    P.Module = "m";
+    P.CalleeRegsNeeded = 2;
+    S.Procs.push_back(std::move(P));
+  };
+  auto Call = [&S](const char *From, const char *To) {
+    for (ProcSummary &P : S.Procs)
+      if (P.QualName == From)
+        P.Calls.push_back(CallSummary{To, 1});
+  };
+  auto Ref = [&S](const char *Proc, const char *Global) {
+    for (ProcSummary &P : S.Procs)
+      if (P.QualName == Proc)
+        P.GlobalRefs.push_back(GlobalRefSummary{Global, 10, true});
+  };
+  for (const char *N : {"A", "B", "C", "D", "E", "F", "G", "H"})
+    Proc(N);
+  for (const char *G : {"g1", "g2", "g3"}) {
+    GlobalSummary GS;
+    GS.QualName = G;
+    GS.Module = "m";
+    GS.IsScalar = true;
+    S.Globals.push_back(std::move(GS));
+  }
+  Call("A", "B");
+  Call("A", "C");
+  Call("B", "D");
+  Call("B", "E");
+  Call("C", "F");
+  Call("C", "G");
+  Call("C", "H");
+  Ref("A", "g3");
+  Ref("B", "g1");
+  Ref("B", "g3");
+  Ref("C", "g2");
+  Ref("C", "g3");
+  Ref("D", "g1");
+  Ref("E", "g1");
+  Ref("E", "g2");
+  Ref("F", "g2");
+  Ref("G", "g2");
+  return {S};
+}
+
+std::string setToString(const RefSets &RS, const DynBitset &Set) {
+  std::string Out;
+  for (size_t Bit : Set.bits()) {
+    if (!Out.empty())
+      Out += " ";
+    Out += RS.globalName(Bit);
+  }
+  return Out.empty() ? std::string("(empty)") : Out;
+}
+
+void printTables() {
+  auto Summaries = figure3();
+  CallGraph CG(Summaries);
+  RefSets RS(CG);
+
+  std::printf("Figure 3: example call graph\n");
+  std::printf("----------------------------\n");
+  for (const CGNode &N : CG.nodes()) {
+    std::printf("  %s ->", N.QualName.c_str());
+    if (N.Succs.empty())
+      std::printf(" (leaf)");
+    for (int Succ : N.Succs)
+      std::printf(" %s", CG.node(Succ).QualName.c_str());
+    std::printf("\n");
+  }
+
+  std::printf("\nTable 1: L_REF / C_REF / P_REF sets\n");
+  std::printf("-----------------------------------\n");
+  std::printf("  %-10s %-12s %-12s %-12s\n", "Procedure", "L_REF", "C_REF",
+              "P_REF");
+  for (const char *Name : {"A", "B", "C", "D", "E", "F", "G", "H"}) {
+    int Node = CG.findNode(Name);
+    std::printf("  %-10s %-12s %-12s %-12s\n", Name,
+                setToString(RS, RS.lref(Node)).c_str(),
+                setToString(RS, RS.cref(Node)).c_str(),
+                setToString(RS, RS.pref(Node)).c_str());
+  }
+
+  auto Webs = buildWebs(CG, RS);
+  RegMask TwoRegs = pr32::maskOf(13) | pr32::maskOf(14);
+  colorWebsKRegisters(Webs, CG, TwoRegs);
+
+  std::printf("\nTable 2: webs, interference and coloring "
+              "(pool: r13, r14)\n");
+  std::printf("--------------------------------------------------------\n");
+  std::printf("  %-4s %-9s %-10s %-12s %-10s\n", "Web", "Variable",
+              "Nodes", "Interferes", "Register");
+  for (const Web &W : Webs) {
+    std::string Nodes;
+    for (int N : W.Nodes)
+      Nodes += CG.node(N).QualName;
+    std::string Interferes;
+    for (const Web &Other : Webs) {
+      if (Other.Id == W.Id)
+        continue;
+      bool Shares = false;
+      for (int N : W.Nodes)
+        Shares |= Other.Nodes.count(N) != 0;
+      if (Shares)
+        Interferes += std::to_string(Other.Id + 1) + " ";
+    }
+    std::printf("  %-4d %-9s %-10s %-12s %-10s\n", W.Id + 1,
+                RS.globalName(W.GlobalId).c_str(), Nodes.c_str(),
+                Interferes.empty() ? "-" : Interferes.c_str(),
+                W.AssignedReg >= 0
+                    ? pr32::regName(static_cast<unsigned>(W.AssignedReg))
+                          .c_str()
+                    : "-");
+  }
+  std::printf("\nEntry nodes: ");
+  for (const Web &W : Webs)
+    for (int E : W.EntryNodes)
+      std::printf("web%d:%s ", W.Id + 1, CG.node(E).QualName.c_str());
+  std::printf("\n\n");
+}
+
+void BM_AnalyzeFigure3(benchmark::State &State) {
+  auto Summaries = figure3();
+  for (auto _ : State) {
+    CallGraph CG(Summaries);
+    RefSets RS(CG);
+    auto Webs = buildWebs(CG, RS);
+    colorWebsKRegisters(Webs, CG, pr32::maskOf(13) | pr32::maskOf(14));
+    benchmark::DoNotOptimize(Webs);
+  }
+}
+BENCHMARK(BM_AnalyzeFigure3);
+
+} // namespace
+
+int main(int argc, char **argv) {
+  printTables();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,323 @@
+//===- mcc.cpp - A command-line MiniC compiler and runner -----------------===//
+//
+// Part of the IPRA project: a reproduction of Santhanam & Odnert,
+// "Register Allocation Across Procedure and Module Boundaries", PLDI 1990.
+//
+//===----------------------------------------------------------------------===//
+///
+/// mcc: the whole system as a usable tool.
+///
+///   mcc [options] file1.mc file2.mc ...          # fused compile + run
+///
+/// Separate compilation (the paper's workflow, each phase a real file
+/// operation; modules may be compiled in any order once the database
+/// exists):
+///
+///   mcc --phase1 foo.mc > foo.sum
+///   mcc --analyze [--partial] a.sum b.sum ... > prog.db
+///   mcc --phase2 --db prog.db foo.mc > foo.o
+///   mcc --link a.o b.o ...                       # links and runs
+///   mcc --emit-runtime > runtime.mc              # the __prints module
+///   mcc --db-diff old.db new.db                  # procs needing recompile
+///
+///   --config <base|A|B|C|D|E|F>  analyzer configuration (default: C)
+///   --stats                      print simulator counters after the run
+///   --dump-summary               print the per-module summary files
+///   --dump-db                    print the program database
+///   --disasm                     disassemble the linked executable
+///   --fuel <cycles>              simulation budget (default 500M)
+///   --split-webs                 §7.6.1 sparse-web splitting
+///   --remerge-webs               §7.6.1 web re-merging (shared entries)
+///   --caller-save-prop           §7.6.2 caller-saves pre-allocation
+///   --relax-web-avail            §7.6.2 per-node web register blocking
+///   --improved-free              §7.6.2 wider FREE sets
+///   --wall                       [Wall 86] link-time allocation instead
+///                                of the two-pass analyzer (§7.1)
+///
+/// Configurations B and F collect their profile by first running the
+/// program compiled at the baseline, exactly like running gprof before
+/// the profile-guided build (§6.1).
+///
+//===----------------------------------------------------------------------===//
+
+#include "driver/Driver.h"
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+using namespace ipra;
+
+namespace {
+
+int usage() {
+  std::fprintf(
+      stderr,
+      "usage: mcc [--config base|A|B|C|D|E|F] [--stats] [--dump-summary]\n"
+      "           [--dump-db] [--disasm] [--fuel N] file.mc...\n"
+      "       mcc --phase1 file.mc            (summary to stdout)\n"
+      "       mcc --analyze file.sum...       (database to stdout)\n"
+      "       mcc --phase2 --db prog.db file.mc  (object to stdout)\n"
+      "       mcc --link file.o...            (link and run)\n"
+      "       mcc --emit-runtime              (runtime module source)\n"
+      "       mcc --db-diff old.db new.db     (procedures to recompile)\n");
+  return 2;
+}
+
+std::string readFileOrDie(const std::string &Path) {
+  std::ifstream In(Path);
+  if (!In) {
+    std::fprintf(stderr, "mcc: cannot open %s\n", Path.c_str());
+    std::exit(2);
+  }
+  std::ostringstream Text;
+  Text << In.rdbuf();
+  return Text.str();
+}
+
+std::string baseName(const std::string &Path) {
+  size_t Slash = Path.find_last_of('/');
+  return Slash == std::string::npos ? Path : Path.substr(Slash + 1);
+}
+
+} // namespace
+
+int main(int argc, char **argv) {
+  std::string ConfigName = "C";
+  std::string Mode = "run";
+  std::string DBPath;
+  bool Stats = false, DumpSummary = false, DumpDB = false, Disasm = false;
+  bool SplitWebs = false, RemergeWebs = false, CallerSaveProp = false,
+       RelaxWebAvail = false, ImprovedFree = false, Partial = false;
+  bool WallLink = false;
+  long long Fuel = 500'000'000;
+  std::vector<SourceFile> Sources;
+  std::vector<std::string> InputPaths;
+
+  for (int I = 1; I < argc; ++I) {
+    std::string Arg = argv[I];
+    if (Arg == "--phase1" || Arg == "--analyze" || Arg == "--phase2" ||
+        Arg == "--link" || Arg == "--emit-runtime" || Arg == "--db-diff") {
+      Mode = Arg.substr(2);
+    } else if (Arg == "--db" && I + 1 < argc) {
+      DBPath = argv[++I];
+    } else if (Arg == "--config" && I + 1 < argc) {
+      ConfigName = argv[++I];
+    } else if (Arg == "--stats") {
+      Stats = true;
+    } else if (Arg == "--dump-summary") {
+      DumpSummary = true;
+    } else if (Arg == "--dump-db") {
+      DumpDB = true;
+    } else if (Arg == "--disasm") {
+      Disasm = true;
+    } else if (Arg == "--fuel" && I + 1 < argc) {
+      Fuel = std::atoll(argv[++I]);
+    } else if (Arg == "--split-webs") {
+      SplitWebs = true;
+    } else if (Arg == "--remerge-webs") {
+      RemergeWebs = true;
+    } else if (Arg == "--caller-save-prop") {
+      CallerSaveProp = true;
+    } else if (Arg == "--relax-web-avail") {
+      RelaxWebAvail = true;
+    } else if (Arg == "--improved-free") {
+      ImprovedFree = true;
+    } else if (Arg == "--partial") {
+      Partial = true;
+    } else if (Arg == "--wall") {
+      WallLink = true;
+    } else if (Arg.size() > 1 && Arg[0] == '-') {
+      return usage();
+    } else {
+      InputPaths.push_back(Arg);
+      Sources.push_back(SourceFile{baseName(Arg), readFileOrDie(Arg)});
+    }
+  }
+  if (Mode == "emit-runtime") {
+    std::fputs(runtimeModuleSource(), stdout);
+    return 0;
+  }
+  if (Sources.empty())
+    return usage();
+
+  PipelineConfig Config;
+  if (ConfigName == "base")
+    Config = PipelineConfig::baseline();
+  else if (ConfigName == "A")
+    Config = PipelineConfig::configA();
+  else if (ConfigName == "B")
+    Config = PipelineConfig::configB();
+  else if (ConfigName == "C")
+    Config = PipelineConfig::configC();
+  else if (ConfigName == "D")
+    Config = PipelineConfig::configD();
+  else if (ConfigName == "E")
+    Config = PipelineConfig::configE();
+  else if (ConfigName == "F")
+    Config = PipelineConfig::configF();
+  else
+    return usage();
+  Config.Webs.SplitSparseWebs = SplitWebs;
+  Config.Webs.RemergeWebs = RemergeWebs;
+  Config.CallerSavePropagation = CallerSaveProp;
+  Config.RelaxWebAvail = RelaxWebAvail;
+  Config.ImprovedFreeSets = ImprovedFree;
+  Config.AssumeClosedWorld = !Partial;
+
+  // ---- Separate-compilation subcommands. ----------------------------
+  if (Mode == "db-diff") {
+    // §7.1 smart recompilation: which procedures' directives changed.
+    if (Sources.size() != 2)
+      return usage();
+    ProgramDatabase Old, New;
+    std::string Error;
+    if (!ProgramDatabase::deserialize(Sources[0].Text, Old, Error) ||
+        !ProgramDatabase::deserialize(Sources[1].Text, New, Error)) {
+      std::fprintf(stderr, "mcc: %s\n", Error.c_str());
+      return 1;
+    }
+    for (const std::string &Name : ProgramDatabase::diff(Old, New))
+      std::printf("%s\n", Name.c_str());
+    return 0;
+  }
+  if (Mode == "phase1") {
+    if (Sources.size() != 1)
+      return usage();
+    auto R = runPhase1(Sources[0], Config);
+    if (!R.Success) {
+      std::fprintf(stderr, "%s\n", R.ErrorText.c_str());
+      return 1;
+    }
+    std::fputs(R.SummaryText.c_str(), stdout);
+    return 0;
+  }
+  if (Mode == "analyze") {
+    std::vector<std::string> Summaries;
+    for (const SourceFile &S : Sources)
+      Summaries.push_back(S.Text);
+    auto R = runAnalyzerPhase(Summaries, Config);
+    if (!R.Success) {
+      std::fprintf(stderr, "%s\n", R.ErrorText.c_str());
+      return 1;
+    }
+    std::fputs(R.DatabaseText.c_str(), stdout);
+    return 0;
+  }
+  if (Mode == "phase2") {
+    if (Sources.size() != 1)
+      return usage();
+    std::string DBText = DBPath.empty() ? "" : readFileOrDie(DBPath);
+    auto R = runPhase2(Sources[0], DBText, Config);
+    if (!R.Success) {
+      std::fprintf(stderr, "%s\n", R.ErrorText.c_str());
+      return 1;
+    }
+    std::fputs(R.ObjectText.c_str(), stdout);
+    return 0;
+  }
+  if (Mode == "link") {
+    std::vector<std::string> Objects;
+    for (const SourceFile &S : Sources)
+      Objects.push_back(S.Text);
+    auto Linked = linkObjectTexts(Objects);
+    if (!Linked.Success) {
+      std::fprintf(stderr, "%s\n", Linked.ErrorText.c_str());
+      return 1;
+    }
+    auto R = runExecutable(Linked.Exe, Fuel);
+    std::fputs(R.Output.c_str(), stdout);
+    if (!R.Halted) {
+      std::fprintf(stderr, "mcc: program did not halt: %s%s\n",
+                   R.Trap.c_str(), R.OutOfFuel ? "out of fuel" : "");
+      return 1;
+    }
+    if (Stats)
+      std::fprintf(stderr, "cycles: %lld\nsingleton refs: %lld\n",
+                   R.Stats.Cycles, R.Stats.SingletonRefs);
+    return R.ExitCode;
+  }
+
+  // [Wall 86] route: baseline modules, link-time allocation (§7.1).
+  if (WallLink) {
+    auto Wall = compileWallStyle(Sources);
+    if (!Wall.Success) {
+      std::fprintf(stderr, "%s\n", Wall.ErrorText.c_str());
+      return 1;
+    }
+    if (Stats) {
+      std::fprintf(stderr, "link-time promoted: %zu globals\n",
+                   Wall.LinkStats.Promoted.size());
+      for (const auto &[G, Reg] : Wall.LinkStats.Promoted)
+        std::fprintf(stderr, "  %s -> r%u\n", G.c_str(), Reg);
+    }
+    RunResult R = runExecutable(Wall.Exe, Fuel);
+    std::fputs(R.Output.c_str(), stdout);
+    if (!R.Halted) {
+      std::fprintf(stderr, "mcc: program did not halt: %s%s\n",
+                   R.Trap.c_str(), R.OutOfFuel ? "out of fuel" : "");
+      return 1;
+    }
+    if (Stats)
+      std::fprintf(stderr, "cycles:         %lld\nsingleton refs: %lld\n",
+                   R.Stats.Cycles, R.Stats.SingletonRefs);
+    return R.ExitCode;
+  }
+
+  // Profile-guided configurations bootstrap their profile from a
+  // baseline run.
+  ProfileData Profile;
+  const ProfileData *ProfilePtr = nullptr;
+  if (Config.UseProfile) {
+    auto Bootstrap = compileAndRun(Sources, PipelineConfig::baseline(),
+                                   nullptr, Fuel);
+    if (!Bootstrap.Compile.Success) {
+      std::fprintf(stderr, "%s\n", Bootstrap.Compile.ErrorText.c_str());
+      return 1;
+    }
+    Profile = Bootstrap.Run.Profile;
+    ProfilePtr = &Profile;
+  }
+
+  auto R = compileAndRun(Sources, Config, ProfilePtr, Fuel);
+  if (!R.Compile.Success) {
+    std::fprintf(stderr, "%s\n", R.Compile.ErrorText.c_str());
+    return 1;
+  }
+
+  if (DumpSummary)
+    for (const std::string &S : R.Compile.SummaryFiles)
+      std::printf("%s\n", S.c_str());
+  if (DumpDB)
+    std::printf("%s\n", R.Compile.DatabaseFile.c_str());
+  if (Disasm) {
+    for (const ExeSymbol &Sym : R.Compile.Exe.Symbols) {
+      std::printf("%s:\n", Sym.QualName.c_str());
+      for (int I = Sym.Start; I < Sym.End; ++I)
+        std::printf("  %5d: %s\n", I,
+                    R.Compile.Exe.Code[I].toString().c_str());
+    }
+  }
+
+  std::fputs(R.Run.Output.c_str(), stdout);
+  if (!R.Run.Halted) {
+    std::fprintf(stderr, "mcc: program did not halt: %s%s\n",
+                 R.Run.Trap.c_str(),
+                 R.Run.OutOfFuel ? "out of fuel" : "");
+    return 1;
+  }
+  if (Stats) {
+    std::fprintf(stderr,
+                 "cycles:         %lld\n"
+                 "instructions:   %lld\n"
+                 "memory refs:    %lld\n"
+                 "singleton refs: %lld\n"
+                 "calls:          %lld\n",
+                 R.Run.Stats.Cycles, R.Run.Stats.Instructions,
+                 R.Run.Stats.MemRefs, R.Run.Stats.SingletonRefs,
+                 R.Run.Stats.Calls);
+  }
+  return R.Run.ExitCode;
+}

@@ -1,0 +1,380 @@
+//===- CallGraph.cpp - Program call graph ----------------------------------===//
+//
+// Part of the IPRA project: a reproduction of Santhanam & Odnert,
+// "Register Allocation Across Procedure and Module Boundaries", PLDI 1990.
+//
+//===----------------------------------------------------------------------===//
+
+#include "callgraph/CallGraph.h"
+
+#include <algorithm>
+#include <cassert>
+#include <set>
+#include <sstream>
+
+using namespace ipra;
+
+namespace {
+constexpr long long CountCap = 1'000'000'000'000'000LL; // 1e15.
+constexpr long long RecursionFactor = 10;
+
+long long capAdd(long long A, long long B) {
+  return std::min(CountCap, A + B);
+}
+long long capMul(long long A, long long B) {
+  if (A == 0 || B == 0)
+    return 0;
+  if (A > CountCap / B)
+    return CountCap;
+  return A * B;
+}
+} // namespace
+
+int CallGraph::findNode(const std::string &QualName) const {
+  auto It = NameToId.find(QualName);
+  return It == NameToId.end() ? -1 : It->second;
+}
+
+void CallGraph::addEdge(int From, int To, long long Freq) {
+  CGNode &F = Nodes[From];
+  if (std::find(F.Succs.begin(), F.Succs.end(), To) == F.Succs.end()) {
+    F.Succs.push_back(To);
+    Nodes[To].Preds.push_back(From);
+  }
+  long long &W = LocalFreq[{From, To}];
+  W = capAdd(W, Freq);
+}
+
+CallGraph::CallGraph(const std::vector<ModuleSummary> &Summaries,
+                     const CallProfile &Profile) {
+  // Nodes for every summarized procedure.
+  for (const ModuleSummary &S : Summaries) {
+    for (const ProcSummary &P : S.Procs) {
+      CGNode N;
+      N.Id = static_cast<int>(Nodes.size());
+      N.QualName = P.QualName;
+      N.Module = P.Module;
+      N.CalleeRegsNeeded = P.CalleeRegsNeeded;
+      N.CallerRegsUsed = P.CallerRegsUsed;
+      N.MakesIndirectCalls = P.MakesIndirectCalls;
+      N.GlobalRefs = P.GlobalRefs;
+      N.HasSummary = true;
+      N.ExternallyVisible = P.QualName.find(':') == std::string::npos;
+      NameToId[N.QualName] = N.Id;
+      Nodes.push_back(std::move(N));
+    }
+    for (const GlobalSummary &G : S.Globals) {
+      auto [It, Inserted] = GlobalFacts.try_emplace(G.QualName, G);
+      if (!Inserted) {
+        It->second.Aliased |= G.Aliased;
+        It->second.IsScalar &= G.IsScalar;
+      }
+    }
+  }
+
+  // Placeholder nodes for called-but-undefined procedures, so the graph
+  // stays closed (see §7.2; these are treated as opaque leaves).
+  auto EnsureNode = [this](const std::string &QualName) {
+    auto It = NameToId.find(QualName);
+    if (It != NameToId.end())
+      return It->second;
+    CGNode N;
+    N.Id = static_cast<int>(Nodes.size());
+    N.QualName = QualName;
+    NameToId[QualName] = N.Id;
+    Nodes.push_back(std::move(N));
+    return N.Id;
+  };
+
+  // Direct edges and the set of address-taken procedures.
+  std::set<std::string> AddrTaken;
+  for (const ModuleSummary &S : Summaries) {
+    for (const ProcSummary &P : S.Procs) {
+      int From = NameToId.at(P.QualName);
+      for (const CallSummary &C : P.Calls)
+        addEdge(From, EnsureNode(C.QualCallee), C.Freq);
+      for (const std::string &A : P.AddressTakenProcs)
+        AddrTaken.insert(A);
+    }
+  }
+  for (const std::string &A : AddrTaken) {
+    int Id = EnsureNode(A);
+    Nodes[Id].IsAddressTaken = true;
+    // A procedure whose address escapes may be reached from anywhere.
+    Nodes[Id].ExternallyVisible = true;
+  }
+
+  // Conservative indirect edges (§7.3): every indirect caller may reach
+  // every address-taken procedure.
+  for (const ModuleSummary &S : Summaries) {
+    for (const ProcSummary &P : S.Procs) {
+      if (!P.MakesIndirectCalls)
+        continue;
+      int From = NameToId.at(P.QualName);
+      for (const std::string &A : AddrTaken)
+        addEdge(From, NameToId.at(A), std::max<long long>(
+                                          1, P.IndirectCallFreq));
+    }
+  }
+
+  // Start nodes: every node without a predecessor is treated as a start
+  // node (§4.1.2 footnote); main is always a start node.
+  int MainId = findNode("main");
+  for (const CGNode &N : Nodes)
+    if (N.Preds.empty() || N.Id == MainId)
+      Starts.push_back(N.Id);
+  if (Starts.empty() && !Nodes.empty())
+    Starts.push_back(0); // Fully cyclic graph without main.
+
+  // RPO from a virtual root through the start nodes.
+  size_t NumNodes = Nodes.size();
+  Reachable.assign(NumNodes, false);
+  RPOIndex.assign(NumNodes, -1);
+  {
+    std::vector<int> PostOrder;
+    std::vector<uint8_t> State(NumNodes, 0);
+    std::vector<size_t> NextChild(NumNodes, 0);
+    std::vector<int> Stack;
+    for (int Start : Starts) {
+      if (State[Start])
+        continue;
+      State[Start] = 1;
+      Stack.push_back(Start);
+      while (!Stack.empty()) {
+        int N = Stack.back();
+        if (NextChild[N] < Nodes[N].Succs.size()) {
+          int S = Nodes[N].Succs[NextChild[N]++];
+          if (!State[S]) {
+            State[S] = 1;
+            Stack.push_back(S);
+          }
+        } else {
+          State[N] = 2;
+          PostOrder.push_back(N);
+          Stack.pop_back();
+        }
+      }
+    }
+    RPO.assign(PostOrder.rbegin(), PostOrder.rend());
+    for (size_t I = 0; I < RPO.size(); ++I) {
+      RPOIndex[RPO[I]] = static_cast<int>(I);
+      Reachable[RPO[I]] = true;
+    }
+  }
+
+  computeSCC();
+  computeDominators();
+  computeInvocations(Profile);
+}
+
+// Iterative Tarjan SCC.
+void CallGraph::computeSCC() {
+  size_t N = Nodes.size();
+  SccIds.assign(N, -1);
+  Recursive.assign(N, false);
+  std::vector<int> Index(N, -1), Low(N, 0);
+  std::vector<bool> OnStack(N, false);
+  std::vector<int> Stack;
+  int NextIndex = 0, NextScc = 0;
+
+  struct Frame {
+    int Node;
+    size_t Child;
+  };
+  std::vector<Frame> CallStack;
+
+  for (size_t Root = 0; Root < N; ++Root) {
+    if (Index[Root] != -1)
+      continue;
+    CallStack.push_back({static_cast<int>(Root), 0});
+    Index[Root] = Low[Root] = NextIndex++;
+    Stack.push_back(static_cast<int>(Root));
+    OnStack[Root] = true;
+    while (!CallStack.empty()) {
+      Frame &F = CallStack.back();
+      int U = F.Node;
+      if (F.Child < Nodes[U].Succs.size()) {
+        int V = Nodes[U].Succs[F.Child++];
+        if (Index[V] == -1) {
+          Index[V] = Low[V] = NextIndex++;
+          Stack.push_back(V);
+          OnStack[V] = true;
+          CallStack.push_back({V, 0});
+        } else if (OnStack[V]) {
+          Low[U] = std::min(Low[U], Index[V]);
+        }
+      } else {
+        if (Low[U] == Index[U]) {
+          std::vector<int> Members;
+          while (true) {
+            int W = Stack.back();
+            Stack.pop_back();
+            OnStack[W] = false;
+            SccIds[W] = NextScc;
+            Members.push_back(W);
+            if (W == U)
+              break;
+          }
+          if (Members.size() > 1)
+            for (int M : Members)
+              Recursive[M] = true;
+          ++NextScc;
+        }
+        CallStack.pop_back();
+        if (!CallStack.empty()) {
+          int Parent = CallStack.back().Node;
+          Low[Parent] = std::min(Low[Parent], Low[U]);
+        }
+      }
+    }
+  }
+
+  // Self-loops are recursion too.
+  for (size_t U = 0; U < N; ++U)
+    for (int S : Nodes[U].Succs)
+      if (S == static_cast<int>(U))
+        Recursive[U] = true;
+}
+
+void CallGraph::computeDominators() {
+  size_t N = Nodes.size();
+  IDom.assign(N, -2); // -2 = unprocessed, -1 = virtual root.
+  for (int S : Starts)
+    IDom[S] = -1;
+
+  auto Idx = [this](int Node) {
+    return Node == -1 ? -1 : RPOIndex[Node];
+  };
+  auto Intersect = [&](int A, int B) {
+    while (A != B) {
+      while (Idx(A) > Idx(B))
+        A = IDom[A];
+      while (Idx(B) > Idx(A))
+        B = IDom[B];
+    }
+    return A;
+  };
+
+  bool Changed = true;
+  std::set<int> StartSet(Starts.begin(), Starts.end());
+  while (Changed) {
+    Changed = false;
+    for (int B : RPO) {
+      if (StartSet.count(B))
+        continue;
+      int NewIDom = -2;
+      for (int P : Nodes[B].Preds) {
+        if (!Reachable[P] || IDom[P] == -2)
+          continue;
+        NewIDom = NewIDom == -2 ? P : Intersect(P, NewIDom);
+      }
+      if (NewIDom != -2 && IDom[B] != NewIDom) {
+        IDom[B] = NewIDom;
+        Changed = true;
+      }
+    }
+  }
+}
+
+bool CallGraph::dominates(int A, int B) const {
+  if (!Reachable[A] || !Reachable[B])
+    return A == B;
+  while (B != -1 && B != -2) {
+    if (A == B)
+      return true;
+    B = IDom[B];
+  }
+  return false;
+}
+
+void CallGraph::computeInvocations(const CallProfile &Profile) {
+  size_t N = Nodes.size();
+  Invocations.assign(N, 0);
+
+  if (!Profile.empty()) {
+    for (CGNode &Node : Nodes) {
+      auto It = Profile.CallCounts.find(Node.QualName);
+      Invocations[Node.Id] = It != Profile.CallCounts.end() ? It->second : 0;
+    }
+    int MainId = findNode("main");
+    if (MainId >= 0 && Invocations[MainId] == 0)
+      Invocations[MainId] = 1;
+    for (auto &[Edge, Count] : Profile.EdgeCounts) {
+      int From = findNode(Edge.first);
+      int To = findNode(Edge.second);
+      if (From >= 0 && To >= 0)
+        EdgeCounts[{From, To}] = Count;
+    }
+    return;
+  }
+
+  // Heuristic normalization (§6.2): propagate invocation estimates from
+  // the start nodes through the SCC condensation in topological order;
+  // recursion multiplies by a fixed factor; arcs to leaves get extra
+  // weight.
+  for (int S : Starts)
+    Invocations[S] = 1;
+
+  int MaxScc = -1;
+  for (size_t U = 0; U < N; ++U)
+    MaxScc = std::max(MaxScc, SccIds[U]);
+
+  // Tarjan assigns SCC ids in reverse topological order (sinks first),
+  // so descending id order processes callers before callees.
+  std::vector<std::vector<int>> SccMembers(MaxScc + 1);
+  for (size_t U = 0; U < N; ++U)
+    SccMembers[SccIds[U]].push_back(static_cast<int>(U));
+
+  for (int Scc = MaxScc; Scc >= 0; --Scc) {
+    // Incoming invocation flow from outside the SCC.
+    for (int U : SccMembers[Scc]) {
+      long long In = Invocations[U];
+      for (int P : Nodes[U].Preds) {
+        if (SccIds[P] == Scc)
+          continue;
+        auto It = LocalFreq.find({P, U});
+        long long F = It != LocalFreq.end() ? It->second : 1;
+        In = capAdd(In, capMul(Invocations[P], F));
+      }
+      Invocations[U] = In;
+    }
+    // Recursion bonus: every member of a nontrivial SCC is assumed to
+    // run RecursionFactor times per external entry.
+    bool IsRecursiveScc =
+        SccMembers[Scc].size() > 1 ||
+        (SccMembers[Scc].size() == 1 && Recursive[SccMembers[Scc][0]]);
+    if (IsRecursiveScc) {
+      long long Entry = 0;
+      for (int U : SccMembers[Scc])
+        Entry = capAdd(Entry, Invocations[U]);
+      for (int U : SccMembers[Scc])
+        Invocations[U] = capMul(std::max(1LL, Entry), RecursionFactor);
+    }
+  }
+
+  // Edge counts: caller invocations times local frequency, with the
+  // leaf bonus.
+  for (auto &[Edge, Freq] : LocalFreq) {
+    long long Count = capMul(Invocations[Edge.first], Freq);
+    if (Nodes[Edge.second].Succs.empty())
+      Count = capMul(Count, 2);
+    EdgeCounts[Edge] = Count;
+  }
+}
+
+long long CallGraph::edgeCount(int From, int To) const {
+  auto It = EdgeCounts.find({From, To});
+  return It == EdgeCounts.end() ? 0 : It->second;
+}
+
+std::string CallGraph::toString() const {
+  std::ostringstream OS;
+  for (const CGNode &N : Nodes) {
+    OS << N.Id << " " << N.QualName << " inv=" << Invocations[N.Id]
+       << (Recursive[N.Id] ? " rec" : "") << " ->";
+    for (int S : N.Succs)
+      OS << " " << Nodes[S].QualName << "(" << edgeCount(N.Id, S) << ")";
+    OS << "\n";
+  }
+  return OS.str();
+}

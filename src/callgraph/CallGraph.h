@@ -1,0 +1,139 @@
+//===- CallGraph.h - Program call graph ------------------------*- C++ -*-===//
+//
+// Part of the IPRA project: a reproduction of Santhanam & Odnert,
+// "Register Allocation Across Procedure and Module Boundaries", PLDI 1990.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The program call graph the analyzer builds from all summary files
+/// (§4). Nodes are procedures (qualified names). Direct calls come from
+/// the summaries; every procedure that makes indirect calls gets a
+/// conservative edge to every address-taken procedure (§7.3).
+///
+/// Call-count estimation follows §6.2: the raw per-invocation heuristic
+/// frequencies are normalized over the whole graph by propagating
+/// invocation estimates from the start nodes, with extra weight on
+/// recursive arcs and arcs to leaf procedures. When profile data is
+/// supplied, measured counts replace the heuristics (§6.1 columns B/F).
+///
+/// The graph also provides SCCs (recursion detection for clusters, §4.2.2
+/// and web cycle handling, §4.1.2) and a dominator tree rooted at a
+/// virtual start (cluster property [1], §4.2.1).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef IPRA_CALLGRAPH_CALLGRAPH_H
+#define IPRA_CALLGRAPH_CALLGRAPH_H
+
+#include "summary/Summary.h"
+
+#include <map>
+#include <string>
+#include <vector>
+
+namespace ipra {
+
+/// Profile data shape shared with the simulator (kept structurally
+/// identical to sim's ProfileData to avoid a dependency cycle).
+struct CallProfile {
+  std::map<std::string, long long> CallCounts;
+  std::map<std::pair<std::string, std::string>, long long> EdgeCounts;
+  bool empty() const { return CallCounts.empty(); }
+};
+
+/// One call-graph node.
+struct CGNode {
+  int Id = -1;
+  std::string QualName;
+  std::string Module;
+  unsigned CalleeRegsNeeded = 0;
+  /// Mask of caller-saves registers the trial codegen used (§7.6.2).
+  unsigned CallerRegsUsed = 0;
+  bool MakesIndirectCalls = false;
+  bool IsAddressTaken = false;
+  /// False for placeholder nodes created for called-but-unsummarized
+  /// procedures; everything about them is assumed worst-case.
+  bool HasSummary = false;
+  /// Exported (unqualified) procedures are visible outside the analyzed
+  /// set of modules; under a partial call graph (§7.2) they may have
+  /// unknown callers. Address-taken procedures count as visible too.
+  bool ExternallyVisible = false;
+  /// Summarized global accesses (qualified names).
+  std::vector<GlobalRefSummary> GlobalRefs;
+  std::vector<int> Succs, Preds; ///< Deduplicated adjacency.
+};
+
+/// The whole-program call graph plus derived analyses.
+class CallGraph {
+public:
+  /// Builds the graph from every module's summary. \p Profile may be
+  /// empty (heuristic counts are used then).
+  CallGraph(const std::vector<ModuleSummary> &Summaries,
+            const CallProfile &Profile = {});
+
+  int size() const { return static_cast<int>(Nodes.size()); }
+  const CGNode &node(int Id) const { return Nodes[Id]; }
+  CGNode &node(int Id) { return Nodes[Id]; }
+  const std::vector<CGNode> &nodes() const { return Nodes; }
+
+  /// Node id for a qualified name, or -1.
+  int findNode(const std::string &QualName) const;
+
+  /// Estimated (or measured) number of invocations of \p Node.
+  long long invocationCount(int Node) const { return Invocations[Node]; }
+  /// Estimated (or measured) dynamic count of calls along edge.
+  long long edgeCount(int From, int To) const;
+
+  /// Global facts unioned across modules.
+  const std::map<std::string, GlobalSummary> &globals() const {
+    return GlobalFacts;
+  }
+
+  /// Start nodes: main plus every procedure without callers.
+  const std::vector<int> &startNodes() const { return Starts; }
+
+  /// SCC id per node; nodes in nontrivial SCCs (or with self loops) are
+  /// "recursive".
+  int sccId(int Node) const { return SccIds[Node]; }
+  bool isRecursive(int Node) const { return Recursive[Node]; }
+
+  /// Immediate dominator in the call graph (-1 for start nodes).
+  int idom(int Node) const { return IDom[Node]; }
+  /// Returns true if A dominates B (reflexive). Unreachable nodes are
+  /// dominated by nothing and dominate nothing (except themselves).
+  bool dominates(int A, int B) const;
+  bool isReachable(int Node) const { return Reachable[Node]; }
+
+  /// Nodes in reverse post-order from the virtual root.
+  const std::vector<int> &rpo() const { return RPO; }
+
+  /// Renders the graph for debugging.
+  std::string toString() const;
+
+private:
+  void addEdge(int From, int To, long long Freq);
+  void computeSCC();
+  void computeDominators();
+  void computeInvocations(const CallProfile &Profile);
+
+  std::vector<CGNode> Nodes;
+  std::map<std::string, int> NameToId;
+  std::map<std::string, GlobalSummary> GlobalFacts;
+  /// Per-invocation local call frequency per edge (heuristic).
+  std::map<std::pair<int, int>, long long> LocalFreq;
+  /// Estimated dynamic call count per edge.
+  std::map<std::pair<int, int>, long long> EdgeCounts;
+  std::vector<long long> Invocations;
+  std::vector<int> Starts;
+  std::vector<int> SccIds;
+  std::vector<bool> Recursive;
+  std::vector<int> IDom;
+  std::vector<bool> Reachable;
+  std::vector<int> RPO;
+  std::vector<int> RPOIndex;
+};
+
+} // namespace ipra
+
+#endif // IPRA_CALLGRAPH_CALLGRAPH_H

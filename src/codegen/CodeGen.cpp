@@ -1,0 +1,82 @@
+//===- CodeGen.cpp - Per-function second-phase code generation ------------===//
+//
+// Part of the IPRA project: a reproduction of Santhanam & Odnert,
+// "Register Allocation Across Procedure and Module Boundaries", PLDI 1990.
+//
+//===----------------------------------------------------------------------===//
+
+#include "codegen/CodeGen.h"
+
+#include "codegen/Lowering.h"
+#include "codegen/PromotedCopyProp.h"
+#include "ir/CFG.h"
+
+#include <cassert>
+
+using namespace ipra;
+
+CodeGenResult ipra::generateCode(const IRModule &M, const IRFunction &F,
+                                 const ProcDirectives &Dir,
+                                 const CallClobberResolver &Clobbers) {
+  CodeGenResult Result;
+
+  // Loop-nesting frequencies for allocation priorities.
+  CFGInfo CFG(F);
+  std::vector<long long> BlockFreq(F.Blocks.size(), 1);
+  for (const auto &B : F.Blocks)
+    if (CFG.isReachable(B->Id))
+      BlockFreq[B->Id] = CFG.blockFrequency(B->Id);
+
+  auto MF = lowerFunction(M, F, Dir);
+  propagatePromotedCopies(*MF, Dir.promotedMask());
+  Result.RA = allocateRegisters(*MF, Dir, BlockFreq, Clobbers);
+  if (!Result.RA.Success)
+    return Result;
+  Result.Frame = finalizeFrame(*MF, Dir, Result.RA);
+
+  // Flatten blocks into one code vector; Label operands become
+  // function-relative instruction indices.
+  std::vector<int> BlockStart(MF->Blocks.size(), 0);
+  int Index = 0;
+  for (const MBlock &B : MF->Blocks) {
+    BlockStart[B.Id] = Index;
+    Index += static_cast<int>(B.Instrs.size());
+  }
+
+  Result.Obj.QualName = MF->QualName;
+  Result.Obj.Code.reserve(Index);
+  for (MBlock &B : MF->Blocks) {
+    for (MInstr &I : B.Instrs) {
+      for (MOperand *Op : {&I.A, &I.B, &I.C}) {
+        if (Op->isLabel()) {
+          assert(Op->LabelId >= 0 &&
+                 Op->LabelId < static_cast<int>(BlockStart.size()) &&
+                 "branch to unknown block");
+          Op->LabelId = BlockStart[Op->LabelId];
+        }
+      }
+      Result.Obj.Code.push_back(std::move(I));
+    }
+  }
+
+  // Record the caller-saves footprint of the final code (§7.6.2 input).
+  std::vector<unsigned> Defs;
+  for (const MInstr &I : Result.Obj.Code) {
+    Defs.clear();
+    I.appendDefs(Defs);
+    for (unsigned D : Defs)
+      Result.CallerRegsWritten |= pr32::maskOf(D);
+  }
+  // Incoming argument registers always count: every caller writes them
+  // at the call site, and including them lets a future compile coalesce
+  // parameters into their arrival registers without breaking the budget
+  // contract.
+  for (unsigned P = 0; P < F.NumParams && P < pr32::NumArgRegs; ++P)
+    Result.CallerRegsWritten |= pr32::maskOf(pr32::FirstArgReg + P);
+  Result.CallerRegsWritten &= pr32::callerSavedMask() |
+                              pr32::maskOf(pr32::RP) |
+                              pr32::maskOf(pr32::RV);
+
+  Result.Success = true;
+  return Result;
+}

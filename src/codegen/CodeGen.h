@@ -1,0 +1,47 @@
+//===- CodeGen.h - Per-function second-phase code generation ---*- C++ -*-===//
+//
+// Part of the IPRA project: a reproduction of Santhanam & Odnert,
+// "Register Allocation Across Procedure and Module Boundaries", PLDI 1990.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The compiler second phase's back end for one function: instruction
+/// selection, directive-driven register allocation, frame lowering, and
+/// flattening into a relocatable ObjFunction.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef IPRA_CODEGEN_CODEGEN_H
+#define IPRA_CODEGEN_CODEGEN_H
+
+#include "codegen/Frame.h"
+#include "codegen/RegAlloc.h"
+#include "ir/IR.h"
+#include "link/Object.h"
+#include "target/Directives.h"
+
+namespace ipra {
+
+/// Result of compiling one function to machine code.
+struct CodeGenResult {
+  bool Success = false;
+  ObjFunction Obj;
+  RegAllocResult RA;
+  FrameInfo Frame;
+  /// Caller-saves registers (plus RP/RV) the emitted code writes; the
+  /// first phase records this as the procedure's caller-saves budget for
+  /// the §7.6.2 extension.
+  RegMask CallerRegsWritten = 0;
+};
+
+/// Compiles \p F of module \p M under \p Dir. Block frequencies for the
+/// allocator's priorities are derived from the function's loop nesting.
+/// \p Clobbers optionally resolves per-callee clobber masks (§7.6.2).
+CodeGenResult generateCode(const IRModule &M, const IRFunction &F,
+                           const ProcDirectives &Dir,
+                           const CallClobberResolver &Clobbers = {});
+
+} // namespace ipra
+
+#endif // IPRA_CODEGEN_CODEGEN_H

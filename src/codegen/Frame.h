@@ -1,0 +1,46 @@
+//===- Frame.h - Prologue/epilogue and frame lowering ----------*- C++ -*-===//
+//
+// Part of the IPRA project: a reproduction of Santhanam & Odnert,
+// "Register Allocation Across Procedure and Module Boundaries", PLDI 1990.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Finalizes the stack frame after register allocation and inserts
+/// prologue/epilogue code:
+///
+///  - registers from the CALLEE set that were used are saved/restored;
+///  - at a cluster root, every MSPILL register is saved/restored whether
+///    used or not (this is the spill code motion payoff, §4.2.3);
+///  - at web entry nodes, the dedicated register is saved, the promoted
+///    global is loaded at entry and stored back at exit (store omitted
+///    when no web procedure modifies it, §5), and the register restored;
+///  - the return pointer is saved when the function makes calls;
+///  - Frame operands are rewritten to SP-relative offsets.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef IPRA_CODEGEN_FRAME_H
+#define IPRA_CODEGEN_FRAME_H
+
+#include "codegen/MachineFunction.h"
+#include "codegen/RegAlloc.h"
+#include "target/Directives.h"
+
+namespace ipra {
+
+/// Statistics from frame lowering, reported per function.
+struct FrameInfo {
+  int FrameWords = 0;
+  RegMask SavedRegs = 0; ///< Callee-saves registers saved in the prologue.
+  bool SavedRP = false;
+};
+
+/// Finalizes \p MF in place. \p RA is the allocation result (for the
+/// used-CALLEE set); \p Dir supplies MSPILL and promoted-web duties.
+FrameInfo finalizeFrame(MachineFunction &MF, const ProcDirectives &Dir,
+                        const RegAllocResult &RA);
+
+} // namespace ipra
+
+#endif // IPRA_CODEGEN_FRAME_H

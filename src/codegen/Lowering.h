@@ -1,0 +1,38 @@
+//===- Lowering.h - IR to PR32 instruction selection -----------*- C++ -*-===//
+//
+// Part of the IPRA project: a reproduction of Santhanam & Odnert,
+// "Register Allocation Across Procedure and Module Boundaries", PLDI 1990.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Lowers optimized IR to PR32 machine code over virtual registers.
+/// Interprocedural promotion directives are applied here: accesses to a
+/// promoted global become register moves involving its dedicated
+/// callee-saves register (§5), and no ADDRG/LDW/STW is emitted for them.
+/// Comparisons feeding a conditional branch fuse into PR32's
+/// compare-and-branch (CB) when safe.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef IPRA_CODEGEN_LOWERING_H
+#define IPRA_CODEGEN_LOWERING_H
+
+#include "codegen/MachineFunction.h"
+#include "ir/IR.h"
+#include "target/Directives.h"
+
+#include <memory>
+
+namespace ipra {
+
+/// Lowers \p F (a function of \p M) to machine code, applying the
+/// promotion directives in \p Directives. The caller runs register
+/// allocation and frame finalization afterwards.
+std::unique_ptr<MachineFunction> lowerFunction(const IRModule &M,
+                                               const IRFunction &F,
+                                               const ProcDirectives &Dir);
+
+} // namespace ipra
+
+#endif // IPRA_CODEGEN_LOWERING_H

@@ -1,0 +1,43 @@
+//===- MachineFunction.cpp - Pre-link machine code container --------------===//
+//
+// Part of the IPRA project: a reproduction of Santhanam & Odnert,
+// "Register Allocation Across Procedure and Module Boundaries", PLDI 1990.
+//
+//===----------------------------------------------------------------------===//
+
+#include "codegen/MachineFunction.h"
+
+#include <sstream>
+
+using namespace ipra;
+
+std::vector<int> MachineFunction::successors(int Id) const {
+  // Lowering guarantees every block ends with B or BV; a conditional
+  // transfer is a CB immediately before the trailing B.
+  const MBlock &B = Blocks[Id];
+  std::vector<int> Out;
+  if (B.Instrs.empty())
+    return Out;
+  const MInstr &Last = B.Instrs.back();
+  if (Last.Op == MOp::B) {
+    Out.push_back(Last.A.LabelId);
+    if (B.Instrs.size() >= 2) {
+      const MInstr &Prev = B.Instrs[B.Instrs.size() - 2];
+      if (Prev.Op == MOp::CB && Prev.C.LabelId != Last.A.LabelId)
+        Out.push_back(Prev.C.LabelId);
+    }
+  }
+  return Out;
+}
+
+std::string MachineFunction::toString() const {
+  std::ostringstream OS;
+  OS << "mfunc " << QualName << " (frame slots: " << FrameSlotWords.size()
+     << ")\n";
+  for (const MBlock &B : Blocks) {
+    OS << ".L" << B.Id << ":\n";
+    for (const MInstr &I : B.Instrs)
+      OS << "  " << I.toString() << "\n";
+  }
+  return OS.str();
+}

@@ -1,0 +1,149 @@
+//===- PromotedCopyProp.cpp - Copy propagation for web registers ----------===//
+//
+// Part of the IPRA project: a reproduction of Santhanam & Odnert,
+// "Register Allocation Across Procedure and Module Boundaries", PLDI 1990.
+//
+//===----------------------------------------------------------------------===//
+
+#include "codegen/PromotedCopyProp.h"
+
+#include <map>
+#include <vector>
+
+using namespace ipra;
+
+unsigned ipra::propagatePromotedCopies(MachineFunction &MF,
+                                       RegMask PromotedRegs) {
+  if (!PromotedRegs)
+    return 0;
+
+  // Pass 1 (block-local): forward uses of v to Rg while the fact
+  // "v == Rg" holds. The fact dies when v or Rg is redefined - and at
+  // calls, because a callee inside the same web may store the promoted
+  // global, i.e. write Rg.
+  std::vector<unsigned> Defs, Uses;
+  for (MBlock &B : MF.Blocks) {
+    std::map<unsigned, unsigned> Alias; // vreg -> promoted phys reg.
+    for (MInstr &I : B.Instrs) {
+      // Forward uses first (the instruction reads pre-state).
+      for (auto &[V, Phys] : Alias)
+        I.replaceRegUses(V, Phys);
+
+      if (I.isCall()) {
+        Alias.clear();
+        continue;
+      }
+
+      Defs.clear();
+      I.appendDefs(Defs);
+      for (unsigned D : Defs) {
+        // A def of a vreg invalidates its alias; a def of a promoted
+        // register (a promoted store) invalidates every alias to it.
+        Alias.erase(D);
+        if (isPhysReg(D) && (PromotedRegs & pr32::maskOf(D)))
+          for (auto It = Alias.begin(); It != Alias.end();)
+            It = It->second == D ? Alias.erase(It) : std::next(It);
+      }
+
+      if (I.Op == MOp::MOV && I.A.isReg() && I.B.isReg() &&
+          isVirtReg(I.A.RegNo) && isPhysReg(I.B.RegNo) &&
+          (PromotedRegs & pr32::maskOf(I.B.RegNo)))
+        Alias[I.A.RegNo] = I.B.RegNo;
+      // A promoted store also establishes v == Rg for what follows.
+      if (I.Op == MOp::MOV && I.A.isReg() && I.B.isReg() &&
+          isPhysReg(I.A.RegNo) && isVirtReg(I.B.RegNo) &&
+          (PromotedRegs & pr32::maskOf(I.A.RegNo)))
+        Alias[I.B.RegNo] = I.A.RegNo;
+    }
+  }
+
+  // Pass 2 (block-local): fold 'MOV Rg, v' into v's defining
+  // instruction, so a promoted store lands directly in the web register
+  // (g = g + 1 compiles to ADD Rg, Rg, 1 instead of ADD v, Rg, 1;
+  // MOV Rg, v). Safe when v has exactly one def and one use (the MOV),
+  // both in this block, and nothing between them touches Rg or makes a
+  // call (an in-web callee reads and may write Rg).
+  std::map<unsigned, unsigned> DefCounts, UseCounts0;
+  for (MBlock &B : MF.Blocks)
+    for (MInstr &I : B.Instrs) {
+      Defs.clear();
+      I.appendDefs(Defs);
+      for (unsigned D : Defs)
+        if (isVirtReg(D))
+          ++DefCounts[D];
+      Uses.clear();
+      I.appendUses(Uses);
+      for (unsigned U : Uses)
+        if (isVirtReg(U))
+          ++UseCounts0[U];
+    }
+  for (MBlock &B : MF.Blocks) {
+    for (size_t MovIdx = 0; MovIdx < B.Instrs.size(); ++MovIdx) {
+      MInstr &Mov = B.Instrs[MovIdx];
+      if (Mov.Op != MOp::MOV || !Mov.A.isReg() || !Mov.B.isReg() ||
+          !isPhysReg(Mov.A.RegNo) || !isVirtReg(Mov.B.RegNo) ||
+          !(PromotedRegs & pr32::maskOf(Mov.A.RegNo)))
+        continue;
+      unsigned Rg = Mov.A.RegNo, V = Mov.B.RegNo;
+      if (DefCounts[V] != 1 || UseCounts0[V] != 1)
+        continue;
+      for (size_t J = MovIdx; J-- > 0;) {
+        MInstr &Prev = B.Instrs[J];
+        Defs.clear();
+        Prev.appendDefs(Defs);
+        bool DefinesV = false, TouchesRg = false;
+        for (unsigned D : Defs) {
+          DefinesV |= D == V;
+          TouchesRg |= D == Rg;
+        }
+        if (DefinesV) {
+          if (Prev.isCall() || Defs.size() != 1)
+            break;
+          Prev.replaceRegDefs(V, Rg);
+          // Turn the MOV into a self-copy; the sweep below drops it.
+          Mov.B.RegNo = Rg;
+          break;
+        }
+        Uses.clear();
+        Prev.appendUses(Uses);
+        for (unsigned U : Uses)
+          TouchesRg |= U == Rg;
+        if (TouchesRg || Prev.isCall())
+          break;
+      }
+    }
+  }
+
+  // Pass 3: remove MOV v, Rg whose destination is now fully dead
+  // (no remaining use of v anywhere) and self-copies left by pass 2.
+  std::map<unsigned, unsigned> UseCounts;
+  for (MBlock &B : MF.Blocks)
+    for (MInstr &I : B.Instrs) {
+      Uses.clear();
+      I.appendUses(Uses);
+      for (unsigned U : Uses)
+        if (isVirtReg(U))
+          ++UseCounts[U];
+    }
+
+  unsigned Removed = 0;
+  for (MBlock &B : MF.Blocks) {
+    std::vector<MInstr> Kept;
+    Kept.reserve(B.Instrs.size());
+    for (MInstr &I : B.Instrs) {
+      bool DeadCopy = I.Op == MOp::MOV && I.A.isReg() && I.B.isReg() &&
+                      isVirtReg(I.A.RegNo) && isPhysReg(I.B.RegNo) &&
+                      (PromotedRegs & pr32::maskOf(I.B.RegNo)) &&
+                      UseCounts.find(I.A.RegNo) == UseCounts.end();
+      bool SelfCopy = I.Op == MOp::MOV && I.A.isReg() && I.B.isReg() &&
+                      I.A.RegNo == I.B.RegNo;
+      if (DeadCopy || SelfCopy) {
+        ++Removed;
+        continue;
+      }
+      Kept.push_back(std::move(I));
+    }
+    B.Instrs = std::move(Kept);
+  }
+  return Removed;
+}

@@ -1,0 +1,35 @@
+//===- PromotedCopyProp.h - Copy propagation for web registers -*- C++ -*-===//
+//
+// Part of the IPRA project: a reproduction of Santhanam & Odnert,
+// "Register Allocation Across Procedure and Module Boundaries", PLDI 1990.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// §6.2 notes that promotion lets the second phase delete the base
+/// register setup of promoted accesses and eliminate "certain register
+/// copies involving promoted globals". This pass is that cleanup:
+/// lowering turns a load of a promoted global into MOV v, Rg (Rg the
+/// dedicated callee-saves register); here, uses of v are forwarded to Rg
+/// while Rg is not redefined, and MOVs whose destinations die become
+/// dead and are removed.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef IPRA_CODEGEN_PROMOTEDCOPYPROP_H
+#define IPRA_CODEGEN_PROMOTEDCOPYPROP_H
+
+#include "codegen/MachineFunction.h"
+#include "target/Registers.h"
+
+namespace ipra {
+
+/// Forwards copies out of the promoted registers in \p PromotedRegs and
+/// deletes the resulting dead copies. Returns the number of instructions
+/// removed.
+unsigned propagatePromotedCopies(MachineFunction &MF,
+                                 RegMask PromotedRegs);
+
+} // namespace ipra
+
+#endif // IPRA_CODEGEN_PROMOTEDCOPYPROP_H

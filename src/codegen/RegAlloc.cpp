@@ -1,0 +1,378 @@
+//===- RegAlloc.cpp - Priority-based graph-coloring allocator -------------===//
+//
+// Part of the IPRA project: a reproduction of Santhanam & Odnert,
+// "Register Allocation Across Procedure and Module Boundaries", PLDI 1990.
+//
+//===----------------------------------------------------------------------===//
+
+#include "codegen/RegAlloc.h"
+
+#include <algorithm>
+#include <cassert>
+#include <map>
+#include <set>
+#include <unordered_set>
+
+using namespace ipra;
+
+namespace {
+
+/// Per-round allocation state over one MachineFunction.
+class Allocator {
+public:
+  Allocator(MachineFunction &MF, const ProcDirectives &Dir,
+            const std::vector<long long> &BlockFreq,
+            const CallClobberResolver &Clobbers)
+      : MF(MF), Dir(Dir), BlockFreq(BlockFreq), Clobbers(Clobbers) {}
+
+  RegAllocResult run();
+
+private:
+  unsigned numVirt() const { return MF.NextVReg - VirtRegBase; }
+  unsigned virtIndex(unsigned Reg) const { return Reg - VirtRegBase; }
+  long long freqOf(int Block) const {
+    return Block < static_cast<int>(BlockFreq.size()) ? BlockFreq[Block]
+                                                      : 1;
+  }
+
+  void computeLiveness();
+  void buildInterference();
+  bool colorAll();
+  void rewriteAssigned();
+  void spillVirtReg(unsigned V);
+
+  MachineFunction &MF;
+  const ProcDirectives &Dir;
+  const std::vector<long long> &BlockFreq;
+  const CallClobberResolver &Clobbers;
+
+  /// Clobber mask of one call instruction.
+  RegMask callClobber(const MInstr &I) const {
+    if (I.Op == MOp::BL && Clobbers && I.A.isSym())
+      return Clobbers(I.A.SymName) | pr32::maskOf(pr32::RP) |
+             pr32::maskOf(pr32::RV);
+    return pr32::callClobberMask();
+  }
+
+  // Liveness: per block, set of live regs (phys and virt) at exit.
+  std::vector<std::set<unsigned>> LiveOut;
+
+  // Interference results.
+  std::vector<std::set<unsigned>> VirtAdj; ///< vreg index -> vreg indices.
+  std::vector<RegMask> ForbiddenPhys;      ///< vreg index -> phys conflicts.
+  /// Union of the clobber masks of every call the vreg is live across
+  /// (0 = crosses no call at all).
+  std::vector<RegMask> CrossClobber;
+  std::vector<long long> Weight;
+  std::vector<int> HintReg;        ///< Preferred phys reg or -1.
+  std::vector<bool> Referenced;    ///< vreg appears in the code.
+  std::unordered_set<unsigned> NoSpill; ///< Spill temps (vreg numbers).
+
+  std::vector<int> Assignment; ///< vreg index -> phys reg or -1.
+  std::vector<unsigned> ToSpill;
+
+  RegMask UsedCalleeSet = 0; ///< Regs taken from the CALLEE set.
+  RegMask UsedAnyCallee = 0; ///< Any callee-saves register used.
+  unsigned SpillCount = 0;
+};
+
+} // namespace
+
+void Allocator::computeLiveness() {
+  size_t N = MF.Blocks.size();
+  std::vector<std::set<unsigned>> LiveIn(N);
+  LiveOut.assign(N, {});
+
+  bool Changed = true;
+  while (Changed) {
+    Changed = false;
+    for (size_t BI = N; BI-- > 0;) {
+      std::set<unsigned> Out;
+      for (int S : MF.successors(static_cast<int>(BI)))
+        Out.insert(LiveIn[S].begin(), LiveIn[S].end());
+      std::set<unsigned> In = Out;
+      const MBlock &B = MF.Blocks[BI];
+      std::vector<unsigned> Defs, Uses;
+      for (auto II = B.Instrs.rbegin(); II != B.Instrs.rend(); ++II) {
+        Defs.clear();
+        Uses.clear();
+        II->appendDefs(Defs);
+        II->appendUses(Uses);
+        for (unsigned D : Defs)
+          In.erase(D);
+        for (unsigned U : Uses)
+          In.insert(U);
+      }
+      if (Out != LiveOut[BI] || In != LiveIn[BI]) {
+        LiveOut[BI] = std::move(Out);
+        LiveIn[BI] = std::move(In);
+        Changed = true;
+      }
+    }
+  }
+}
+
+void Allocator::buildInterference() {
+  unsigned NV = numVirt();
+  VirtAdj.assign(NV, {});
+  ForbiddenPhys.assign(NV, 0);
+  CrossClobber.assign(NV, 0);
+  Weight.assign(NV, 0);
+  HintReg.assign(NV, -1);
+  Referenced.assign(NV, false);
+
+  std::vector<unsigned> Defs, Uses;
+  for (const MBlock &B : MF.Blocks) {
+    std::set<unsigned> Live = LiveOut[B.Id];
+    long long Freq = freqOf(B.Id);
+    for (auto II = B.Instrs.rbegin(); II != B.Instrs.rend(); ++II) {
+      const MInstr &I = *II;
+      Defs.clear();
+      Uses.clear();
+      I.appendDefs(Defs);
+      I.appendUses(Uses);
+
+      for (unsigned R : Defs)
+        if (isVirtReg(R)) {
+          Referenced[virtIndex(R)] = true;
+          Weight[virtIndex(R)] += Freq;
+        }
+      for (unsigned R : Uses)
+        if (isVirtReg(R)) {
+          Referenced[virtIndex(R)] = true;
+          Weight[virtIndex(R)] += Freq;
+        }
+
+      // Calls: everything live after the call crosses it and must
+      // avoid what the call may clobber.
+      if (I.isCall()) {
+        RegMask Clobber = callClobber(I);
+        for (unsigned R : Live)
+          if (isVirtReg(R))
+            CrossClobber[virtIndex(R)] |= Clobber;
+      }
+
+      // Copy hints (MOV dst, src).
+      if (I.Op == MOp::MOV && I.A.isReg() && I.B.isReg()) {
+        unsigned Dst = I.A.RegNo, Src = I.B.RegNo;
+        if (isVirtReg(Dst) && isPhysReg(Src))
+          HintReg[virtIndex(Dst)] = static_cast<int>(Src);
+        if (isVirtReg(Src) && isPhysReg(Dst))
+          HintReg[virtIndex(Src)] = static_cast<int>(Dst);
+      }
+
+      // Interference: each def conflicts with everything live across the
+      // def (minus the copy source for MOV, enabling coalesced colors).
+      unsigned CopySrc = ~0u;
+      if (I.Op == MOp::MOV && I.B.isReg())
+        CopySrc = I.B.RegNo;
+      for (unsigned D : Defs) {
+        for (unsigned L : Live) {
+          if (L == D || L == CopySrc)
+            continue;
+          if (isVirtReg(D) && isVirtReg(L)) {
+            VirtAdj[virtIndex(D)].insert(virtIndex(L));
+            VirtAdj[virtIndex(L)].insert(virtIndex(D));
+          } else if (isVirtReg(D) && isPhysReg(L)) {
+            ForbiddenPhys[virtIndex(D)] |= pr32::maskOf(L);
+          } else if (isPhysReg(D) && isVirtReg(L)) {
+            ForbiddenPhys[virtIndex(L)] |= pr32::maskOf(D);
+          }
+        }
+      }
+
+      for (unsigned D : Defs)
+        Live.erase(D);
+      for (unsigned U : Uses)
+        Live.insert(U);
+    }
+  }
+}
+
+bool Allocator::colorAll() {
+  unsigned NV = numVirt();
+  Assignment.assign(NV, -1);
+  ToSpill.clear();
+
+  RegMask Reserved = Dir.promotedMask();
+  RegMask FreePool = Dir.Free & ~Reserved;
+  RegMask CalleePool = Dir.Callee & ~Reserved;
+  // The caller pool honors the published budget on true caller-saves
+  // registers (7.6.2); callee-saves scratch the CALLER augmentation
+  // added is not part of the budget contract.
+  RegMask CallerPool =
+      (Dir.Caller & ~Reserved &
+       (Dir.SelfCallerBudget | pr32::calleeSavedMask()));
+  RegMask MSpillPool = (Dir.IsClusterRoot ? Dir.MSpill : RegMask(0)) &
+                       ~Reserved;
+
+  // Color in priority (weight) order.
+  std::vector<unsigned> Order;
+  for (unsigned V = 0; V < NV; ++V)
+    if (Referenced[V])
+      Order.push_back(V);
+  std::stable_sort(Order.begin(), Order.end(), [&](unsigned A, unsigned B) {
+    return Weight[A] > Weight[B];
+  });
+
+  for (unsigned V : Order) {
+    RegMask Conflicts = ForbiddenPhys[V];
+    for (unsigned N : VirtAdj[V])
+      if (Assignment[N] >= 0)
+        Conflicts |= pr32::maskOf(static_cast<unsigned>(Assignment[N]));
+
+    // Candidate pools in preference order. A range crossing calls may
+    // additionally use true caller-saves registers that none of the
+    // crossed calls clobber (7.6.2) - the cheapest option when present.
+    std::vector<RegMask> Pools;
+    if (CrossClobber[V]) {
+      RegMask SafeCaller =
+          CallerPool & pr32::callerSavedMask() & ~CrossClobber[V];
+      Pools = {SafeCaller, FreePool, CalleePool & UsedCalleeSet,
+               CalleePool};
+    } else {
+      Pools = {CallerPool, MSpillPool, FreePool,
+               CalleePool & UsedCalleeSet, CalleePool};
+    }
+
+    int Chosen = -1;
+    // Try the copy hint first if it is permitted by some pool.
+    if (HintReg[V] >= 0) {
+      RegMask HintMask = pr32::maskOf(static_cast<unsigned>(HintReg[V]));
+      if (!(Conflicts & HintMask)) {
+        for (RegMask Pool : Pools)
+          if (Pool & HintMask) {
+            Chosen = HintReg[V];
+            break;
+          }
+      }
+    }
+    if (Chosen < 0) {
+      for (RegMask Pool : Pools) {
+        RegMask Avail = Pool & ~Conflicts;
+        if (Avail) {
+          Chosen = __builtin_ctz(Avail);
+          break;
+        }
+      }
+    }
+
+    if (Chosen < 0) {
+      assert(!NoSpill.count(VirtRegBase + V) &&
+             "spill temp failed to color");
+      ToSpill.push_back(V);
+      continue;
+    }
+
+    Assignment[V] = Chosen;
+    unsigned ChosenReg = static_cast<unsigned>(Chosen);
+    if (pr32::isCalleeSaved(ChosenReg)) {
+      UsedAnyCallee |= pr32::maskOf(ChosenReg);
+      if (CalleePool & pr32::maskOf(ChosenReg) &&
+          !(FreePool & pr32::maskOf(ChosenReg)) &&
+          !(MSpillPool & pr32::maskOf(ChosenReg)))
+        UsedCalleeSet |= pr32::maskOf(ChosenReg);
+    }
+  }
+  return ToSpill.empty();
+}
+
+void Allocator::spillVirtReg(unsigned V) {
+  unsigned Reg = VirtRegBase + V;
+  int Slot = MF.newFrameSlot(1);
+  ++SpillCount;
+
+  for (MBlock &B : MF.Blocks) {
+    std::vector<MInstr> Out;
+    Out.reserve(B.Instrs.size());
+    std::vector<unsigned> Defs, Uses;
+    for (MInstr &I : B.Instrs) {
+      Defs.clear();
+      Uses.clear();
+      I.appendDefs(Defs);
+      I.appendUses(Uses);
+      bool UsesReg = std::find(Uses.begin(), Uses.end(), Reg) != Uses.end();
+      bool DefsReg = std::find(Defs.begin(), Defs.end(), Reg) != Defs.end();
+
+      if (UsesReg) {
+        unsigned T = MF.newVReg();
+        NoSpill.insert(T);
+        MInstr Ld;
+        Ld.Op = MOp::LDW;
+        Ld.MC = MemClass::StackScalar;
+        Ld.A = MOperand::makeReg(T);
+        Ld.B = MOperand::makeReg(pr32::SP);
+        Ld.C = MOperand::makeFrame(Slot);
+        Out.push_back(std::move(Ld));
+        I.replaceRegUses(Reg, T);
+      }
+      if (DefsReg) {
+        unsigned T = MF.newVReg();
+        NoSpill.insert(T);
+        I.replaceRegDefs(Reg, T);
+        Out.push_back(std::move(I));
+        MInstr St;
+        St.Op = MOp::STW;
+        St.MC = MemClass::StackScalar;
+        St.A = MOperand::makeReg(T);
+        St.B = MOperand::makeReg(pr32::SP);
+        St.C = MOperand::makeFrame(Slot);
+        Out.push_back(std::move(St));
+        continue;
+      }
+      Out.push_back(std::move(I));
+    }
+    B.Instrs = std::move(Out);
+  }
+}
+
+void Allocator::rewriteAssigned() {
+  for (MBlock &B : MF.Blocks) {
+    std::vector<MInstr> Out;
+    Out.reserve(B.Instrs.size());
+    for (MInstr &I : B.Instrs) {
+      for (MOperand *Op : {&I.A, &I.B, &I.C}) {
+        if (Op->isReg() && isVirtReg(Op->RegNo)) {
+          int Phys = Assignment[virtIndex(Op->RegNo)];
+          assert(Phys >= 0 && "unassigned virtual register survived");
+          Op->RegNo = static_cast<unsigned>(Phys);
+        }
+      }
+      // Drop no-op moves produced by coalesced assignments.
+      if (I.Op == MOp::MOV && I.A.isReg() && I.B.isReg() &&
+          I.A.RegNo == I.B.RegNo)
+        continue;
+      Out.push_back(std::move(I));
+    }
+    B.Instrs = std::move(Out);
+  }
+}
+
+RegAllocResult Allocator::run() {
+  RegAllocResult Result;
+  for (int Round = 0; Round < 16; ++Round) {
+    computeLiveness();
+    buildInterference();
+    if (colorAll()) {
+      rewriteAssigned();
+      Result.Success = true;
+      Result.UsedCalleeToSave = UsedCalleeSet;
+      Result.CalleeRegsUsed = pr32::maskCount(UsedAnyCallee);
+      Result.SpillCount = SpillCount;
+      return Result;
+    }
+    for (unsigned V : ToSpill)
+      spillVirtReg(V);
+    UsedCalleeSet = 0;
+    UsedAnyCallee = 0;
+  }
+  return Result; // Success == false: allocation did not converge.
+}
+
+RegAllocResult ipra::allocateRegisters(
+    MachineFunction &MF, const ProcDirectives &Dir,
+    const std::vector<long long> &BlockFreq,
+    const CallClobberResolver &Clobbers) {
+  Allocator A(MF, Dir, BlockFreq, Clobbers);
+  return A.run();
+}

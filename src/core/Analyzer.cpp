@@ -1,0 +1,296 @@
+//===- Analyzer.cpp - The program analyzer ----------------------------------===//
+//
+// Part of the IPRA project: a reproduction of Santhanam & Odnert,
+// "Register Allocation Across Procedure and Module Boundaries", PLDI 1990.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/Analyzer.h"
+
+#include "support/StringUtils.h"
+
+#include <algorithm>
+#include <sstream>
+
+using namespace ipra;
+
+ProcDirectives ProgramDatabase::lookup(const std::string &QualName) const {
+  auto It = Procs.find(QualName);
+  return It == Procs.end() ? ProcDirectives() : It->second;
+}
+
+ProgramDatabase ipra::runAnalyzer(
+    const std::vector<ModuleSummary> &Summaries,
+    const AnalyzerOptions &Options, const CallProfile &Profile,
+    AnalyzerStats *Stats) {
+  CallGraph CG(Summaries, Profile);
+  RefSets RS(CG, Options.AssumeClosedWorld);
+
+  AnalyzerStats LocalStats;
+  LocalStats.EligibleGlobals = RS.numEligible();
+
+  // --- Global variable promotion (§4.1) ----------------------------------
+  std::vector<Web> Webs;
+  switch (Options.Promotion) {
+  case PromotionMode::None:
+    break;
+  case PromotionMode::Webs: {
+    WebOptions WO = Options.Webs;
+    WO.AssumeClosedWorld = Options.AssumeClosedWorld;
+    Webs = buildWebs(CG, RS, WO);
+    WebColorStats WC = colorWebsKRegisters(Webs, CG, Options.WebPool);
+    LocalStats.TotalWebs = WC.TotalWebs;
+    LocalStats.ConsideredWebs = WC.Considered;
+    LocalStats.ColoredWebs = WC.Colored;
+    for (const Web &W : Webs) {
+      if (W.IsSplit)
+        ++LocalStats.SplitWebs;
+      if (W.IsRemerged)
+        ++LocalStats.RemergedWebs;
+    }
+    break;
+  }
+  case PromotionMode::Greedy: {
+    WebOptions WO = Options.Webs;
+    WO.AssumeClosedWorld = Options.AssumeClosedWorld;
+    Webs = buildWebs(CG, RS, WO);
+    WebColorStats WC = colorWebsGreedy(Webs, CG);
+    LocalStats.TotalWebs = WC.TotalWebs;
+    LocalStats.ConsideredWebs = WC.Considered;
+    LocalStats.ColoredWebs = WC.Colored;
+    break;
+  }
+  case PromotionMode::Blanket: {
+    Webs = buildBlanketWebs(CG, RS, Options.BlanketCount,
+                            Options.WebPool);
+    LocalStats.TotalWebs = static_cast<int>(Webs.size());
+    LocalStats.ConsideredWebs = LocalStats.TotalWebs;
+    LocalStats.ColoredWebs = LocalStats.TotalWebs;
+    break;
+  }
+  }
+
+  // --- Spill code motion (§4.2) -------------------------------------------
+  std::vector<Cluster> Clusters;
+  std::vector<ProcDirectives> Sets;
+  if (Options.SpillMotion) {
+    ClusterOptions CO = Options.Clusters;
+    CO.AssumeClosedWorld = Options.AssumeClosedWorld;
+    Clusters = identifyClusters(CG, CO);
+    Sets = computeRegisterSets(CG, Clusters, Webs, Options.RegSets);
+    LocalStats.NumClusters = static_cast<int>(Clusters.size());
+    for (const Cluster &C : Clusters) {
+      int Size = static_cast<int>(C.Members.size()) + 1;
+      LocalStats.TotalClusterNodes += Size;
+      LocalStats.MaxClusterSize = std::max(LocalStats.MaxClusterSize, Size);
+    }
+  } else {
+    Sets.assign(CG.size(), ProcDirectives());
+    // Webs alone still reserve their registers below.
+  }
+
+  // --- §7.6.2 caller-saves pre-allocation (optional) -----------------------
+  // Bottom-up over the SCC condensation: a procedure's subtree clobber is
+  // its own caller-saves budget plus everything its callees may clobber.
+  std::vector<RegMask> SelfBudget(CG.size(), pr32::callerSavedMask());
+  std::vector<RegMask> SubtreeClobber(CG.size(), pr32::callClobberMask());
+  if (Options.CallerSavePropagation) {
+    for (const CGNode &Node : CG.nodes()) {
+      // Unsummarized procedures stay worst-case.
+      SelfBudget[Node.Id] = Node.HasSummary
+                                ? (Node.CallerRegsUsed &
+                                   pr32::callerSavedMask())
+                                : pr32::callerSavedMask();
+      SubtreeClobber[Node.Id] = SelfBudget[Node.Id] |
+                                pr32::maskOf(pr32::RP) |
+                                pr32::maskOf(pr32::RV);
+    }
+    // Fixpoint: cycles converge because masks only grow.
+    bool Changed = true;
+    while (Changed) {
+      Changed = false;
+      for (const CGNode &Node : CG.nodes())
+        for (int S : Node.Succs) {
+          RegMask New = SubtreeClobber[Node.Id] | SubtreeClobber[S];
+          if (New != SubtreeClobber[Node.Id]) {
+            SubtreeClobber[Node.Id] = New;
+            Changed = true;
+          }
+        }
+    }
+  }
+
+  // --- Assemble the database (§4.3) ---------------------------------------
+  ProgramDatabase DB;
+  for (const CGNode &Node : CG.nodes()) {
+    ProcDirectives Dir = Sets[Node.Id];
+    if (Options.CallerSavePropagation) {
+      Dir.SelfCallerBudget = SelfBudget[Node.Id];
+      Dir.SubtreeClobber = SubtreeClobber[Node.Id];
+    }
+    for (const Web &W : Webs) {
+      if (W.AssignedReg < 0 || !W.Nodes.count(Node.Id))
+        continue;
+      PromotedGlobal P;
+      P.QualName = RS.globalName(W.GlobalId);
+      P.Reg = static_cast<unsigned>(W.AssignedReg);
+      P.IsEntry = std::find(W.EntryNodes.begin(), W.EntryNodes.end(),
+                            Node.Id) != W.EntryNodes.end();
+      P.WebModifies = W.Modifies;
+      if (W.IsSplit) {
+        auto WrapIt = W.WrapEdges.find(Node.Id);
+        if (WrapIt != W.WrapEdges.end())
+          for (int S : WrapIt->second)
+            P.WrapCallees.push_back(CG.node(S).QualName);
+        auto IndIt = W.WrapIndirect.find(Node.Id);
+        P.WrapIndirect = IndIt != W.WrapIndirect.end() && IndIt->second;
+      }
+      Dir.Promoted.push_back(std::move(P));
+    }
+    DB.insert(Node.QualName, std::move(Dir));
+  }
+
+  if (Stats)
+    *Stats = LocalStats;
+  return DB;
+}
+
+//===----------------------------------------------------------------------===//
+// Database serialization.
+//
+//   proc <qual> free=<hex> caller=<hex> callee=<hex> mspill=<hex> root=<0|1>
+//   promote <qual> reg=<n> entry=<0|1> modifies=<0|1>
+//   end
+//===----------------------------------------------------------------------===//
+
+std::vector<std::string>
+ProgramDatabase::diff(const ProgramDatabase &Old,
+                      const ProgramDatabase &New) {
+  std::vector<std::string> Changed;
+  for (const auto &[Name, Dir] : New.procs()) {
+    auto It = Old.procs().find(Name);
+    if (It == Old.procs().end() || !(It->second == Dir))
+      Changed.push_back(Name);
+  }
+  for (const auto &[Name, Dir] : Old.procs())
+    if (!New.procs().count(Name))
+      Changed.push_back(Name);
+  std::sort(Changed.begin(), Changed.end());
+  return Changed;
+}
+
+std::string ProgramDatabase::serialize() const {
+  std::ostringstream OS;
+  char Buf[16];
+  auto Hex = [&Buf](RegMask M) {
+    std::snprintf(Buf, sizeof(Buf), "%08x", M);
+    return std::string(Buf);
+  };
+  for (const auto &[Name, Dir] : Procs) {
+    OS << "proc " << Name << " free=" << Hex(Dir.Free)
+       << " caller=" << Hex(Dir.Caller) << " callee=" << Hex(Dir.Callee)
+       << " mspill=" << Hex(Dir.MSpill) << " root=" << Dir.IsClusterRoot
+       << " budget=" << Hex(Dir.SelfCallerBudget)
+       << " clobber=" << Hex(Dir.SubtreeClobber) << "\n";
+    for (const PromotedGlobal &P : Dir.Promoted) {
+      OS << "promote " << P.QualName << " reg=" << P.Reg
+         << " entry=" << P.IsEntry << " modifies=" << P.WebModifies
+         << " wrapind=" << P.WrapIndirect << "\n";
+      for (const std::string &Callee : P.WrapCallees)
+        OS << "wrap " << Callee << "\n";
+    }
+    OS << "end\n";
+  }
+  return OS.str();
+}
+
+bool ProgramDatabase::deserialize(const std::string &Text,
+                                  ProgramDatabase &Out, std::string &Error) {
+  Out = ProgramDatabase();
+  std::string CurName;
+  ProcDirectives Cur;
+  bool InProc = false;
+  int LineNo = 0;
+
+  auto HexField = [](const std::vector<std::string> &Tok,
+                     const std::string &Key) -> RegMask {
+    for (const std::string &T : Tok)
+      if (startsWith(T, Key + "="))
+        return static_cast<RegMask>(
+            std::strtoul(T.substr(Key.size() + 1).c_str(), nullptr, 16));
+    return 0;
+  };
+  auto NumFieldOf = [](const std::vector<std::string> &Tok,
+                       const std::string &Key) -> long long {
+    for (const std::string &T : Tok)
+      if (startsWith(T, Key + "=")) {
+        long long V = 0;
+        parseInt(T.substr(Key.size() + 1), V);
+        return V;
+      }
+    return 0;
+  };
+
+  for (const std::string &RawLine : split(Text, '\n')) {
+    ++LineNo;
+    std::string Line = trim(RawLine);
+    if (Line.empty())
+      continue;
+    std::vector<std::string> Tok = split(Line, ' ');
+    if (Tok[0] == "proc") {
+      if (Tok.size() < 2) {
+        Error = "line " + std::to_string(LineNo) + ": malformed proc";
+        return false;
+      }
+      CurName = Tok[1];
+      Cur = ProcDirectives();
+      Cur.Free = HexField(Tok, "free");
+      Cur.Caller = HexField(Tok, "caller");
+      Cur.Callee = HexField(Tok, "callee");
+      Cur.MSpill = HexField(Tok, "mspill");
+      Cur.IsClusterRoot = NumFieldOf(Tok, "root");
+      // Budget/clobber fields came in with the §7.6.2 extension; old
+      // databases without them keep the permissive defaults.
+      bool HasBudget = false, HasClobber = false;
+      for (const std::string &T : Tok) {
+        HasBudget |= startsWith(T, "budget=");
+        HasClobber |= startsWith(T, "clobber=");
+      }
+      if (HasBudget)
+        Cur.SelfCallerBudget = HexField(Tok, "budget");
+      if (HasClobber)
+        Cur.SubtreeClobber = HexField(Tok, "clobber");
+      InProc = true;
+    } else if (Tok[0] == "promote") {
+      if (!InProc || Tok.size() < 2) {
+        Error = "line " + std::to_string(LineNo) + ": stray promote";
+        return false;
+      }
+      PromotedGlobal P;
+      P.QualName = Tok[1];
+      P.Reg = static_cast<unsigned>(NumFieldOf(Tok, "reg"));
+      P.IsEntry = NumFieldOf(Tok, "entry");
+      P.WebModifies = NumFieldOf(Tok, "modifies");
+      P.WrapIndirect = NumFieldOf(Tok, "wrapind");
+      Cur.Promoted.push_back(std::move(P));
+    } else if (Tok[0] == "wrap") {
+      if (!InProc || Cur.Promoted.empty() || Tok.size() < 2) {
+        Error = "line " + std::to_string(LineNo) + ": stray wrap";
+        return false;
+      }
+      Cur.Promoted.back().WrapCallees.push_back(Tok[1]);
+    } else if (Tok[0] == "end") {
+      if (!InProc) {
+        Error = "line " + std::to_string(LineNo) + ": stray end";
+        return false;
+      }
+      Out.insert(CurName, std::move(Cur));
+      InProc = false;
+    } else {
+      Error = "line " + std::to_string(LineNo) + ": unknown record '" +
+              Tok[0] + "'";
+      return false;
+    }
+  }
+  return true;
+}

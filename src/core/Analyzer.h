@@ -1,0 +1,121 @@
+//===- Analyzer.h - The program analyzer -----------------------*- C++ -*-===//
+//
+// Part of the IPRA project: a reproduction of Santhanam & Odnert,
+// "Register Allocation Across Procedure and Module Boundaries", PLDI 1990.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The program analyzer (§4): reads every module's summary file, builds
+/// the program call graph, runs global variable promotion followed by
+/// spill code motion, and emits the program database consumed by the
+/// compiler second phase. By default the analyzer runs on compile-time
+/// heuristics; dynamic profile data can be supplied instead (§6.1).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef IPRA_CORE_ANALYZER_H
+#define IPRA_CORE_ANALYZER_H
+
+#include "core/Clusters.h"
+#include "core/RegSets.h"
+#include "core/WebColor.h"
+#include "core/Webs.h"
+#include "summary/Summary.h"
+#include "target/Directives.h"
+
+#include <map>
+#include <string>
+#include <vector>
+
+namespace ipra {
+
+/// Promotion strategy for the evaluation's configurations (§6.1).
+enum class PromotionMode {
+  None,    ///< No interprocedural promotion (columns A/B).
+  Webs,    ///< K-register web coloring (columns C/F).
+  Greedy,  ///< Greedy coloring (column D).
+  Blanket, ///< Wall-style blanket promotion (column E).
+};
+
+/// Analyzer configuration.
+struct AnalyzerOptions {
+  bool SpillMotion = true;
+  PromotionMode Promotion = PromotionMode::Webs;
+  /// Registers reserved for web coloring (6 by default, §6.1).
+  RegMask WebPool = pr32::defaultWebColoringPool();
+  int BlanketCount = 6;
+  WebOptions Webs;
+  ClusterOptions Clusters;
+  RegSetOptions RegSets;
+  /// §7.6.2 extension: publish per-procedure caller-saves budgets and
+  /// per-callee subtree clobber masks so callers can keep values live in
+  /// caller-saves registers across calls that do not use them.
+  bool CallerSavePropagation = false;
+  /// §7.2: false when the analyzed modules are only part of the program
+  /// (e.g. a library): only statics are promotable, and externally
+  /// visible procedures join no web interior and no cluster.
+  bool AssumeClosedWorld = true;
+};
+
+/// The analyzer's observable statistics (the §6.2 narrative).
+struct AnalyzerStats {
+  int EligibleGlobals = 0;
+  int TotalWebs = 0;
+  int ConsideredWebs = 0;
+  int ColoredWebs = 0;
+  int SplitWebs = 0;    ///< Sub-webs produced by §7.6.1 splitting.
+  int RemergedWebs = 0; ///< Webs produced by §7.6.1 re-merging.
+  int NumClusters = 0;
+  int TotalClusterNodes = 0; ///< Members + roots over all clusters.
+  int MaxClusterSize = 0;
+
+  double avgClusterSize() const {
+    return NumClusters ? static_cast<double>(TotalClusterNodes) /
+                             NumClusters
+                       : 0.0;
+  }
+};
+
+/// The program database (§4.3): one directive record per procedure.
+class ProgramDatabase {
+public:
+  /// Directives for \p QualName; the standard convention when absent.
+  ProcDirectives lookup(const std::string &QualName) const;
+
+  void insert(const std::string &QualName, ProcDirectives Dir) {
+    Procs[QualName] = std::move(Dir);
+  }
+  const std::map<std::string, ProcDirectives> &procs() const {
+    return Procs;
+  }
+
+  /// Text serialization (one database file per program, §2).
+  std::string serialize() const;
+  static bool deserialize(const std::string &Text, ProgramDatabase &Out,
+                          std::string &Error);
+
+  /// Smart recompilation (§7.1: "source level changes need to be
+  /// tracked carefully and can be very expensive"): the procedures
+  /// whose directives differ between two databases. After a source
+  /// edit, re-running phase 1 on the changed module and the analyzer on
+  /// the summaries yields a new database; only the edited module plus
+  /// the procedures named here need a phase-2 recompile - an unchanged
+  /// database means the edit was allocation-neutral for every other
+  /// module.
+  static std::vector<std::string> diff(const ProgramDatabase &Old,
+                                       const ProgramDatabase &New);
+
+private:
+  std::map<std::string, ProcDirectives> Procs;
+};
+
+/// Runs the analyzer over all summaries. \p Profile may be empty.
+ProgramDatabase runAnalyzer(const std::vector<ModuleSummary> &Summaries,
+                            const AnalyzerOptions &Options,
+                            const CallProfile &Profile = {},
+                            AnalyzerStats *Stats = nullptr);
+
+} // namespace ipra
+
+#endif // IPRA_CORE_ANALYZER_H

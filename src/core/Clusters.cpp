@@ -1,0 +1,182 @@
+//===- Clusters.cpp - Spill-code-motion cluster identification --------------===//
+//
+// Part of the IPRA project: a reproduction of Santhanam & Odnert,
+// "Register Allocation Across Procedure and Module Boundaries", PLDI 1990.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/Clusters.h"
+
+#include <algorithm>
+#include <set>
+
+using namespace ipra;
+
+namespace {
+
+/// Incoming dynamic call count of \p Node (1 for start nodes, which are
+/// invoked once from outside the program graph).
+long long incomingCalls(const CallGraph &CG, int Node) {
+  long long In = 0;
+  for (int P : CG.node(Node).Preds)
+    In += CG.edgeCount(P, Node);
+  for (int S : CG.startNodes())
+    if (S == Node)
+      In += 1;
+  return In;
+}
+
+/// The root heuristic (§4.2.2, refined per §7.6.2): compare the calls
+/// into R with the calls R makes to immediate successors it dominates
+/// and that could become members (non-recursive, reachable).
+bool isRootCandidate(const CallGraph &CG, int R,
+                     const ClusterOptions &Options) {
+  if (!CG.isReachable(R))
+    return false;
+  long long Outgoing = 0;
+  bool AnyCandidate = false;
+  for (int S : CG.node(R).Succs) {
+    if (S == R || CG.isRecursive(S) || !CG.isReachable(S))
+      continue;
+    if (CG.idom(S) != R)
+      continue;
+    AnyCandidate = true;
+    Outgoing += CG.edgeCount(R, S);
+  }
+  if (!AnyCandidate)
+    return false;
+  long long Incoming = incomingCalls(CG, R);
+  return static_cast<double>(Outgoing) >
+         Options.RootBenefitThreshold * static_cast<double>(Incoming);
+}
+
+} // namespace
+
+std::vector<Cluster> ipra::identifyClusters(const CallGraph &CG,
+                                            const ClusterOptions &Options) {
+  // Pass 1: the root set.
+  std::vector<bool> IsRoot(CG.size(), false);
+  for (int N : CG.rpo())
+    IsRoot[N] = isRootCandidate(CG, N, Options);
+
+  // Nearest dominating root of a node (walking the idom chain,
+  // excluding the node itself).
+  auto NearestRoot = [&](int Node) {
+    int D = CG.idom(Node);
+    while (D >= 0) {
+      if (IsRoot[D])
+        return D;
+      D = CG.idom(D);
+    }
+    return -1;
+  };
+
+  // Pass 2: grow each root's cluster. Roots are processed in RPO
+  // (dominators precede dominated nodes), which realizes Figure 5's
+  // postpone-visit order: a node is added only after every predecessor
+  // is already a member.
+  std::vector<int> ClusterOf(CG.size(), -1);
+  std::vector<Cluster> Clusters;
+  for (int R : CG.rpo()) {
+    if (!IsRoot[R])
+      continue;
+    Cluster C;
+    C.Root = R;
+    std::set<int> InCluster = {R};
+
+    bool Grew = true;
+    while (Grew) {
+      Grew = false;
+      // Candidate frontier: successors of members (or the root) that
+      // are not yet members. Expansion does not continue past member
+      // nodes that root deeper clusters (their own cluster covers their
+      // subtree).
+      std::set<int> Frontier;
+      auto AddSuccs = [&](int N) {
+        for (int S : CG.node(N).Succs)
+          if (!InCluster.count(S))
+            Frontier.insert(S);
+      };
+      AddSuccs(R);
+      for (int M : C.Members)
+        if (!IsRoot[M])
+          AddSuccs(M);
+
+      for (int S : Frontier) {
+        if (!CG.isReachable(S) || S == R)
+          continue;
+        // No recursive call cycles within clusters (§4.2.2).
+        if (CG.isRecursive(S))
+          continue;
+        // Partial call graphs (§7.2): unknown callers could reach an
+        // exported procedure directly, bypassing the cluster root.
+        if (!Options.AssumeClosedWorld && CG.node(S).ExternallyVisible)
+          continue;
+        // Property [3]: nearest dominating root must be R.
+        if (ClusterOf[S] != -1 || NearestRoot(S) != R)
+          continue;
+        // Property [2]: every immediate predecessor already a member.
+        bool AllPredsIn = true;
+        for (int P : CG.node(S).Preds)
+          if (!InCluster.count(P)) {
+            AllPredsIn = false;
+            break;
+          }
+        if (!AllPredsIn)
+          continue;
+        InCluster.insert(S);
+        C.Members.push_back(S);
+        ClusterOf[S] = static_cast<int>(Clusters.size());
+        Grew = true;
+      }
+    }
+
+    if (!C.Members.empty())
+      Clusters.push_back(std::move(C));
+    else
+      IsRoot[R] = false; // Nothing joined; not a cluster after all.
+  }
+  return Clusters;
+}
+
+std::vector<std::string> ipra::checkClusterInvariants(
+    const CallGraph &CG, const std::vector<Cluster> &Clusters) {
+  std::vector<std::string> Problems;
+  std::vector<int> MemberOf(CG.size(), -1);
+
+  for (size_t CI = 0; CI < Clusters.size(); ++CI) {
+    const Cluster &C = Clusters[CI];
+    std::set<int> InCluster(C.Members.begin(), C.Members.end());
+    InCluster.insert(C.Root);
+
+    for (int M : C.Members) {
+      // [3]: unique membership.
+      if (MemberOf[M] != -1)
+        Problems.push_back("node " + CG.node(M).QualName +
+                           " belongs to two clusters");
+      MemberOf[M] = static_cast<int>(CI);
+      // [1]: the root dominates every member.
+      if (!CG.dominates(C.Root, M))
+        Problems.push_back("root " + CG.node(C.Root).QualName +
+                           " does not dominate member " +
+                           CG.node(M).QualName);
+      // [2]: members' predecessors are inside the cluster.
+      for (int P : CG.node(M).Preds)
+        if (!InCluster.count(P))
+          Problems.push_back("member " + CG.node(M).QualName +
+                             " has predecessor " + CG.node(P).QualName +
+                             " outside the cluster");
+      // No recursion among members.
+      if (CG.isRecursive(M))
+        Problems.push_back("member " + CG.node(M).QualName +
+                           " is recursive");
+    }
+    // No two members (or member+root) share a nontrivial SCC.
+    for (int A : InCluster)
+      for (int B : InCluster)
+        if (A < B && CG.sccId(A) == CG.sccId(B))
+          Problems.push_back("cluster of " + CG.node(C.Root).QualName +
+                             " contains a call cycle");
+  }
+  return Problems;
+}

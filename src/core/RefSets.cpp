@@ -1,0 +1,94 @@
+//===- RefSets.cpp - L_REF / P_REF / C_REF dataflow -------------------------===//
+//
+// Part of the IPRA project: a reproduction of Santhanam & Odnert,
+// "Register Allocation Across Procedure and Module Boundaries", PLDI 1990.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/RefSets.h"
+
+using namespace ipra;
+
+RefSets::RefSets(const CallGraph &CG, bool ClosedWorld) : CG(CG) {
+  // Eligibility (§4.1.2): fits in a register, never aliased; under a
+  // partial call graph additionally module-private (§7.2).
+  for (const auto &[Name, G] : CG.globals()) {
+    if (!G.IsScalar || G.Aliased)
+      continue;
+    if (!ClosedWorld && !G.IsStatic)
+      continue;
+    Ids[Name] = static_cast<int>(Names.size());
+    Names.push_back(Name);
+  }
+
+  size_t N = CG.size();
+  size_t E = Names.size();
+  LRef.assign(N, DynBitset(E));
+  PRef.assign(N, DynBitset(E));
+  CRef.assign(N, DynBitset(E));
+  Local.assign(N, {});
+
+  for (const CGNode &Node : CG.nodes()) {
+    for (const GlobalRefSummary &R : Node.GlobalRefs) {
+      auto It = Ids.find(R.QualName);
+      if (It == Ids.end())
+        continue;
+      LRef[Node.Id].set(It->second);
+      auto &Entry = Local[Node.Id][It->second];
+      Entry.first += R.Freq;
+      Entry.second |= R.Stores;
+    }
+  }
+
+  if (E == 0)
+    return;
+
+  // P_REF: top-down fixpoint (the paper propagates breadth-first
+  // top-down for fast convergence; we iterate to the fixpoint, visiting
+  // RPO order first and then any nodes unreachable from the starts).
+  std::vector<int> Order = CG.rpo();
+  for (int Node = 0; Node < CG.size(); ++Node)
+    if (!CG.isReachable(Node))
+      Order.push_back(Node);
+
+  bool Changed = true;
+  while (Changed) {
+    Changed = false;
+    for (int Node : Order) {
+      for (int P : CG.node(Node).Preds) {
+        DynBitset In = PRef[P];
+        In.unionWith(LRef[P]);
+        Changed |= PRef[Node].unionWith(In);
+      }
+    }
+  }
+
+  // C_REF: bottom-up fixpoint.
+  Changed = true;
+  while (Changed) {
+    Changed = false;
+    for (auto It = Order.rbegin(); It != Order.rend(); ++It) {
+      int Node = *It;
+      for (int S : CG.node(Node).Succs) {
+        DynBitset In = CRef[S];
+        In.unionWith(LRef[S]);
+        Changed |= CRef[Node].unionWith(In);
+      }
+    }
+  }
+}
+
+int RefSets::globalId(const std::string &QualName) const {
+  auto It = Ids.find(QualName);
+  return It == Ids.end() ? -1 : It->second;
+}
+
+long long RefSets::refFreq(int Node, int Id) const {
+  auto It = Local[Node].find(Id);
+  return It == Local[Node].end() ? 0 : It->second.first;
+}
+
+bool RefSets::refStores(int Node, int Id) const {
+  auto It = Local[Node].find(Id);
+  return It != Local[Node].end() && It->second.second;
+}

@@ -1,0 +1,71 @@
+//===- RefSets.h - L_REF / P_REF / C_REF dataflow ---------------*- C++ -*-===//
+//
+// Part of the IPRA project: a reproduction of Santhanam & Odnert,
+// "Register Allocation Across Procedure and Module Boundaries", PLDI 1990.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The interprocedural dataflow of §4.1.2 over the eligible globals.
+/// A global is eligible for promotion when it fits in one register and
+/// is never aliased (address-taken) in any module. For each call-graph
+/// node P and the set of eligible globals:
+///
+///   L_REF[P]  globals accessed within P;
+///   P_REF[P]  globals accessed somewhere on a call chain from a start
+///             node to P (exclusive of P);
+///   C_REF[P]  globals accessed somewhere on a call chain starting at P
+///             (exclusive of P);
+///
+/// computed with the fixpoint equations
+///   P_REF[P] = U over predecessors i of (P_REF[i] U L_REF[i])
+///   C_REF[P] = U over successors  i of (C_REF[i] U L_REF[i]).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef IPRA_CORE_REFSETS_H
+#define IPRA_CORE_REFSETS_H
+
+#include "callgraph/CallGraph.h"
+#include "support/DynBitset.h"
+
+#include <string>
+#include <vector>
+
+namespace ipra {
+
+/// Eligible-global universe plus the three reference sets per node.
+class RefSets {
+public:
+  /// With \p ClosedWorld false (a partial call graph, §7.2), only
+  /// module-private statics are eligible: an exported global might be
+  /// accessed by code outside the analyzed modules.
+  explicit RefSets(const CallGraph &CG, bool ClosedWorld = true);
+
+  int numEligible() const { return static_cast<int>(Names.size()); }
+
+  /// Id of an eligible global, or -1 when the name is not eligible.
+  int globalId(const std::string &QualName) const;
+  const std::string &globalName(int Id) const { return Names[Id]; }
+
+  const DynBitset &lref(int Node) const { return LRef[Node]; }
+  const DynBitset &pref(int Node) const { return PRef[Node]; }
+  const DynBitset &cref(int Node) const { return CRef[Node]; }
+
+  /// Loop-weighted local access frequency of global \p Id in \p Node.
+  long long refFreq(int Node, int Id) const;
+  /// True if \p Node stores global \p Id.
+  bool refStores(int Node, int Id) const;
+
+private:
+  const CallGraph &CG;
+  std::vector<std::string> Names;
+  std::map<std::string, int> Ids;
+  std::vector<DynBitset> LRef, PRef, CRef;
+  /// Per node: (global id -> (freq, stores)).
+  std::vector<std::map<int, std::pair<long long, bool>>> Local;
+};
+
+} // namespace ipra
+
+#endif // IPRA_CORE_REFSETS_H

@@ -1,0 +1,103 @@
+//===- Webs.h - Global variable webs over the call graph -------*- C++ -*-===//
+//
+// Part of the IPRA project: a reproduction of Santhanam & Odnert,
+// "Register Allocation Across Procedure and Module Boundaries", PLDI 1990.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Web identification (§4.1.1-§4.1.2, Figure 2). A web for a global
+/// variable is a minimal subgraph of the call graph such that the
+/// variable is referenced in no ancestor and no descendant of the
+/// subgraph. Candidate entry nodes have the variable in L_REF but not
+/// P_REF; webs are grown through successors with the variable in L_REF
+/// or C_REF, then enlarged until no node has both internal and external
+/// predecessors. Recursive chains whose cycle nodes all carry the
+/// variable in P_REF form webs of their own (the cycle-web special case
+/// in §4.1.2). Overlapping webs of the same variable merge.
+///
+/// Web filtering (§6.2) discards webs that are too sparse or consist of
+/// a single node with infrequent access; the statics rule (§7.4)
+/// discards webs whose entry nodes fall outside the static's module.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef IPRA_CORE_WEBS_H
+#define IPRA_CORE_WEBS_H
+
+#include "core/RefSets.h"
+
+#include <set>
+#include <string>
+#include <vector>
+
+namespace ipra {
+
+/// One web of a global variable.
+struct Web {
+  int Id = -1;
+  int GlobalId = -1;
+  std::set<int> Nodes;
+  /// Nodes with no predecessor inside the web; they load the variable at
+  /// entry and store it back at exit.
+  std::vector<int> EntryNodes;
+  bool Modifies = false; ///< Some web node stores the variable.
+  long long Priority = 0;
+  int AssignedReg = -1;          ///< Filled by coloring.
+  bool Considered = true;        ///< False when filtered out (§6.2/§7.4).
+  bool IsRemerged = false;       ///< Produced by §7.6.1 re-merging.
+  std::string DiscardReason;
+
+  // --- §7.6.1 web splitting ---------------------------------------------
+  /// True when this web was split off a sparse web: other reference
+  /// regions of the variable exist elsewhere in the graph, and the
+  /// WrapEdges below keep memory synchronized around calls toward them.
+  bool IsSplit = false;
+  /// Per web node: successors outside the web whose subtree references
+  /// the variable; calls along these edges store the register back
+  /// before (when Modifies) and reload it after.
+  std::map<int, std::set<int>> WrapEdges;
+  /// Per web node: true when the node's indirect calls can reach a
+  /// referencing procedure.
+  std::map<int, bool> WrapIndirect;
+};
+
+/// Filtering knobs (§6.2, §7.4).
+struct WebOptions {
+  /// Minimum ratio of L_REF nodes to total nodes before a web counts as
+  /// "too sparse".
+  double MinLRefRatio = 0.2;
+  /// Minimum access frequency for single-node webs.
+  long long MinSingleNodeFreq = 2;
+  /// Discard webs of statics whose entry nodes cross modules (§7.4).
+  bool DiscardCrossModuleStaticWebs = true;
+  /// §7.6.1: split webs discarded as too sparse into tight sub-webs
+  /// that bracket calls toward other reference regions with store/reload
+  /// code.
+  bool SplitSparseWebs = false;
+  /// §7.2: false when analyzing a partial call graph - webs whose
+  /// non-entry nodes are externally visible are discarded (an unknown
+  /// caller could enter the web bypassing its entries).
+  bool AssumeClosedWorld = true;
+  /// §7.6.1: re-merge independent webs of one variable when the merged
+  /// web (sharing entry nodes higher up) has a better priority than the
+  /// pair, "at the expense of extra interferences".
+  bool RemergeWebs = false;
+};
+
+/// Identifies every web, computes entry nodes, priorities (weighted
+/// reference benefit minus entry-node load/store overhead, §4.1.3) and
+/// applies the filters.
+std::vector<Web> buildWebs(const CallGraph &CG, const RefSets &RS,
+                           const WebOptions &Options = {});
+
+/// Verification helper used by tests and property suites: returns every
+/// violated web invariant (empty = valid). Checks node-disjointness per
+/// variable, entry-node predecessor rules, and P_REF/C_REF exclusion.
+std::vector<std::string> checkWebInvariants(const CallGraph &CG,
+                                            const RefSets &RS,
+                                            const std::vector<Web> &Webs);
+
+} // namespace ipra
+
+#endif // IPRA_CORE_WEBS_H

@@ -1,0 +1,496 @@
+//===- Driver.cpp - The two-pass compilation pipeline -----------------------===//
+//
+// Part of the IPRA project: a reproduction of Santhanam & Odnert,
+// "Register Allocation Across Procedure and Module Boundaries", PLDI 1990.
+//
+//===----------------------------------------------------------------------===//
+
+#include "driver/Driver.h"
+
+#include "codegen/CodeGen.h"
+#include "ir/IRGen.h"
+#include "ir/Verifier.h"
+#include "lang/Lexer.h"
+#include "lang/Parser.h"
+#include "lang/Sema.h"
+#include "link/Linker.h"
+#include "link/ObjectIO.h"
+#include "opt/Passes.h"
+
+using namespace ipra;
+
+const char *ipra::runtimeModuleSource() {
+  return "// MiniC runtime.\n"
+         "void __prints(char *s) {\n"
+         "  int i = 0;\n"
+         "  while (s[i] != 0) {\n"
+         "    printc(s[i]);\n"
+         "    i = i + 1;\n"
+         "  }\n"
+         "}\n";
+}
+
+PipelineConfig PipelineConfig::baseline() { return PipelineConfig(); }
+
+PipelineConfig PipelineConfig::configA() {
+  PipelineConfig C;
+  C.Ipra = true;
+  C.SpillMotion = true;
+  return C;
+}
+
+PipelineConfig PipelineConfig::configB() {
+  PipelineConfig C = configA();
+  C.UseProfile = true;
+  return C;
+}
+
+PipelineConfig PipelineConfig::configC() {
+  PipelineConfig C = configA();
+  C.Promotion = PromotionMode::Webs;
+  return C;
+}
+
+PipelineConfig PipelineConfig::configD() {
+  PipelineConfig C = configA();
+  C.Promotion = PromotionMode::Greedy;
+  return C;
+}
+
+PipelineConfig PipelineConfig::configE() {
+  PipelineConfig C = configA();
+  C.Promotion = PromotionMode::Blanket;
+  return C;
+}
+
+PipelineConfig PipelineConfig::configF() {
+  PipelineConfig C = configC();
+  C.UseProfile = true;
+  return C;
+}
+
+namespace {
+
+/// Parses and checks one module; returns null on error.
+std::unique_ptr<ModuleAST> frontEnd(const SourceFile &Source,
+                                    DiagnosticEngine &Diags) {
+  Lexer Lex(Source.Name, Source.Text, Diags);
+  Parser P(Source.Name, Lex.lexAll(), Diags);
+  auto AST = P.parseModule();
+  if (Diags.hasErrors())
+    return nullptr;
+  Sema S(Diags);
+  if (!S.run(*AST))
+    return nullptr;
+  return AST;
+}
+
+/// Per-function level-2 optimization, with promoted globals excluded
+/// from local promotion (§5: the dedicated register takes over).
+void optimizeForDirectives(IRModule &IR, const ProgramDatabase *DB,
+                           bool LocalGlobalPromotion) {
+  for (auto &F : IR.Functions) {
+    OptOptions Options;
+    Options.LocalGlobalPromotion = LocalGlobalPromotion;
+    if (DB) {
+      ProcDirectives Dir = DB->lookup(F->qualifiedName());
+      for (const PromotedGlobal &P : Dir.Promoted) {
+        // Directive names are qualified; the local pass sees plain
+        // module-level names.
+        std::string Plain = P.QualName;
+        size_t Colon = Plain.rfind(':');
+        if (Colon != std::string::npos)
+          Plain = Plain.substr(Colon + 1);
+        Options.SkipGlobals.insert(Plain);
+      }
+    }
+    optimizeFunction(*F, Options);
+  }
+}
+
+} // namespace
+
+CompileResult ipra::compileProgram(const std::vector<SourceFile> &Sources,
+                                   const PipelineConfig &Config,
+                                   const ProfileData *Profile) {
+  CompileResult Result;
+  DiagnosticEngine Diags;
+
+  std::vector<SourceFile> AllSources = Sources;
+  AllSources.push_back(SourceFile{"__runtime.mc", runtimeModuleSource()});
+
+  // ---- Front end (shared by both phases; the paper recompiled the
+  // source text in phase two, we re-lower from the checked AST).
+  std::vector<std::unique_ptr<ModuleAST>> ASTs;
+  for (const SourceFile &Src : AllSources) {
+    auto AST = frontEnd(Src, Diags);
+    if (!AST) {
+      Result.ErrorText = Diags.renderAll();
+      return Result;
+    }
+    ASTs.push_back(std::move(AST));
+  }
+
+  // ---- Compiler first phase: optimize, trial codegen, summary file.
+  ProgramDatabase DB;
+  bool HaveDB = false;
+  if (Config.Ipra) {
+    std::vector<ModuleSummary> Summaries;
+    for (auto &AST : ASTs) {
+      auto IR = generateIR(*AST, Diags);
+      auto Problems = verifyModule(*IR);
+      if (!Problems.empty()) {
+        Result.ErrorText = "phase 1 IR verification failed: " + Problems[0];
+        return Result;
+      }
+      optimizeForDirectives(*IR, nullptr, Config.LocalGlobalPromotion);
+
+      // Trial code generation for the register-need estimates and the
+      // caller-saves footprints (§6, §7.6.2).
+      std::map<std::string, TrialCodeGenInfo> Estimates;
+      for (auto &F : IR->Functions) {
+        CodeGenResult CG = generateCode(*IR, *F, ProcDirectives());
+        if (CG.Success)
+          Estimates[F->Name] = TrialCodeGenInfo{
+              CG.RA.CalleeRegsUsed,
+              static_cast<unsigned>(CG.CallerRegsWritten)};
+      }
+
+      ModuleSummary Summary = buildModuleSummary(*IR, Estimates);
+      // Round-trip through the textual summary-file format.
+      std::string Text = writeSummary(Summary);
+      Result.SummaryFiles.push_back(Text);
+      ModuleSummary Parsed;
+      std::string Error;
+      if (!readSummary(Text, Parsed, Error)) {
+        Result.ErrorText = "summary round-trip failed: " + Error;
+        return Result;
+      }
+      Summaries.push_back(std::move(Parsed));
+    }
+
+    // ---- Program analyzer.
+    AnalyzerOptions Options;
+    Options.SpillMotion = Config.SpillMotion;
+    Options.Promotion = Config.Promotion;
+    Options.WebPool = Config.WebPool;
+    Options.BlanketCount = Config.BlanketCount;
+    Options.Webs = Config.Webs;
+    Options.Clusters = Config.Clusters;
+    Options.RegSets.RelaxWebAvail = Config.RelaxWebAvail;
+    Options.RegSets.ImprovedFreeSets = Config.ImprovedFreeSets;
+    Options.CallerSavePropagation = Config.CallerSavePropagation;
+
+    CallProfile CP;
+    if (Config.UseProfile && Profile) {
+      CP.CallCounts = Profile->CallCounts;
+      CP.EdgeCounts = Profile->EdgeCounts;
+    }
+
+    ProgramDatabase Produced =
+        runAnalyzer(Summaries, Options, CP, &Result.Stats);
+    // Round-trip through the database file format (§2).
+    Result.DatabaseFile = Produced.serialize();
+    std::string Error;
+    if (!ProgramDatabase::deserialize(Result.DatabaseFile, DB, Error)) {
+      Result.ErrorText = "database round-trip failed: " + Error;
+      return Result;
+    }
+    HaveDB = true;
+  }
+
+  // ---- Compiler second phase: per-module compilation to objects.
+  std::vector<ObjectFile> Objects;
+  for (auto &AST : ASTs) {
+    auto IR = generateIR(*AST, Diags);
+    optimizeForDirectives(*IR, HaveDB ? &DB : nullptr,
+                          Config.LocalGlobalPromotion);
+    auto Problems = verifyModule(*IR);
+    if (!Problems.empty()) {
+      Result.ErrorText = "phase 2 IR verification failed: " + Problems[0];
+      return Result;
+    }
+
+    ObjectFile Obj;
+    Obj.Module = IR->Name;
+    for (const IRGlobal &G : IR->Globals) {
+      ObjGlobal OG;
+      OG.QualName = G.qualifiedName();
+      OG.SizeWords = G.SizeWords;
+      OG.Init = G.Init;
+      if (!G.FuncInit.empty()) {
+        // Resolve the initializer function's qualified name.
+        OG.FuncInit = G.FuncInit;
+        for (const auto &F : IR->Functions)
+          if (F->Name == G.FuncInit)
+            OG.FuncInit = F->qualifiedName();
+      }
+      Obj.Globals.push_back(std::move(OG));
+    }
+    // Per-callee clobber masks for the §7.6.2 extension; without a
+    // database (or with the extension off) every call clobbers fully.
+    CallClobberResolver Clobbers;
+    if (HaveDB && Config.CallerSavePropagation)
+      Clobbers = [&DB](const std::string &Callee) {
+        return DB.lookup(Callee).SubtreeClobber;
+      };
+
+    for (auto &F : IR->Functions) {
+      ProcDirectives Dir =
+          HaveDB ? DB.lookup(F->qualifiedName()) : ProcDirectives();
+      Dir.Caller &= ~Config.LinkerReservedRegs;
+      Dir.Callee &= ~Config.LinkerReservedRegs;
+      Dir.Free &= ~Config.LinkerReservedRegs;
+      CodeGenResult CG = generateCode(*IR, *F, Dir, Clobbers);
+      if (!CG.Success) {
+        Result.ErrorText =
+            "register allocation failed for " + F->qualifiedName();
+        return Result;
+      }
+      Obj.Functions.push_back(std::move(CG.Obj));
+    }
+    // Round-trip through the textual object-file format: the object
+    // really is a standalone artifact, like the paper's per-module
+    // object files.
+    std::string ObjText = writeObjectFile(Obj);
+    Result.ObjectFiles.push_back(ObjText);
+    ObjectFile Parsed;
+    std::string Error;
+    if (!readObjectFile(ObjText, Parsed, Error)) {
+      Result.ErrorText = "object round-trip failed: " + Error;
+      return Result;
+    }
+    Objects.push_back(std::move(Parsed));
+  }
+
+  // ---- Link.
+  LinkResult Linked = linkObjects(Objects);
+  if (!Linked.Success) {
+    Result.ErrorText = "link failed:";
+    for (const std::string &E : Linked.Errors)
+      Result.ErrorText += "\n  " + E;
+    return Result;
+  }
+  Result.Exe = std::move(Linked.Exe);
+  Result.Success = true;
+  return Result;
+}
+
+CompileAndRunResult ipra::compileAndRun(
+    const std::vector<SourceFile> &Sources, const PipelineConfig &Config,
+    const ProfileData *Profile, long long FuelCycles) {
+  CompileAndRunResult Result;
+  Result.Compile = compileProgram(Sources, Config, Profile);
+  if (Result.Compile.Success)
+    Result.Run = runExecutable(Result.Compile.Exe, FuelCycles);
+  return Result;
+}
+
+//===----------------------------------------------------------------------===//
+// Phase-granular API.
+//===----------------------------------------------------------------------===//
+
+Phase1Result ipra::runPhase1(const SourceFile &Source,
+                             const PipelineConfig &Config) {
+  Phase1Result Result;
+  DiagnosticEngine Diags;
+  auto AST = frontEnd(Source, Diags);
+  if (!AST) {
+    Result.ErrorText = Diags.renderAll();
+    return Result;
+  }
+  auto IR = generateIR(*AST, Diags);
+  auto Problems = verifyModule(*IR);
+  if (!Problems.empty()) {
+    Result.ErrorText = "IR verification failed: " + Problems[0];
+    return Result;
+  }
+  optimizeForDirectives(*IR, nullptr, Config.LocalGlobalPromotion);
+
+  std::map<std::string, TrialCodeGenInfo> Estimates;
+  for (auto &F : IR->Functions) {
+    CodeGenResult CG = generateCode(*IR, *F, ProcDirectives());
+    if (CG.Success)
+      Estimates[F->Name] = TrialCodeGenInfo{
+          CG.RA.CalleeRegsUsed,
+          static_cast<unsigned>(CG.CallerRegsWritten)};
+  }
+  Result.SummaryText = writeSummary(buildModuleSummary(*IR, Estimates));
+  Result.Success = true;
+  return Result;
+}
+
+AnalyzeResult ipra::runAnalyzerPhase(
+    const std::vector<std::string> &SummaryTexts,
+    const PipelineConfig &Config, const ProfileData *Profile) {
+  AnalyzeResult Result;
+  std::vector<ModuleSummary> Summaries;
+  for (const std::string &Text : SummaryTexts) {
+    ModuleSummary S;
+    std::string Error;
+    if (!readSummary(Text, S, Error)) {
+      Result.ErrorText = "bad summary file: " + Error;
+      return Result;
+    }
+    Summaries.push_back(std::move(S));
+  }
+
+  AnalyzerOptions Options;
+  Options.SpillMotion = Config.SpillMotion;
+  Options.Promotion = Config.Promotion;
+  Options.WebPool = Config.WebPool;
+  Options.BlanketCount = Config.BlanketCount;
+  Options.Webs = Config.Webs;
+  Options.Clusters = Config.Clusters;
+  Options.RegSets.RelaxWebAvail = Config.RelaxWebAvail;
+  Options.RegSets.ImprovedFreeSets = Config.ImprovedFreeSets;
+  Options.CallerSavePropagation = Config.CallerSavePropagation;
+  Options.AssumeClosedWorld = Config.AssumeClosedWorld;
+
+  CallProfile CP;
+  if (Config.UseProfile && Profile) {
+    CP.CallCounts = Profile->CallCounts;
+    CP.EdgeCounts = Profile->EdgeCounts;
+  }
+  Result.DatabaseText =
+      runAnalyzer(Summaries, Options, CP, &Result.Stats).serialize();
+  Result.Success = true;
+  return Result;
+}
+
+Phase2Result ipra::runPhase2(const SourceFile &Source,
+                             const std::string &DatabaseText,
+                             const PipelineConfig &Config) {
+  Phase2Result Result;
+  ProgramDatabase DB;
+  bool HaveDB = !DatabaseText.empty();
+  if (HaveDB) {
+    std::string Error;
+    if (!ProgramDatabase::deserialize(DatabaseText, DB, Error)) {
+      Result.ErrorText = "bad program database: " + Error;
+      return Result;
+    }
+  }
+
+  DiagnosticEngine Diags;
+  auto AST = frontEnd(Source, Diags);
+  if (!AST) {
+    Result.ErrorText = Diags.renderAll();
+    return Result;
+  }
+  auto IR = generateIR(*AST, Diags);
+  optimizeForDirectives(*IR, HaveDB ? &DB : nullptr,
+                        Config.LocalGlobalPromotion);
+  auto Problems = verifyModule(*IR);
+  if (!Problems.empty()) {
+    Result.ErrorText = "IR verification failed: " + Problems[0];
+    return Result;
+  }
+
+  ObjectFile Obj;
+  Obj.Module = IR->Name;
+  for (const IRGlobal &G : IR->Globals) {
+    ObjGlobal OG;
+    OG.QualName = G.qualifiedName();
+    OG.SizeWords = G.SizeWords;
+    OG.Init = G.Init;
+    if (!G.FuncInit.empty()) {
+      OG.FuncInit = G.FuncInit;
+      for (const auto &F : IR->Functions)
+        if (F->Name == G.FuncInit)
+          OG.FuncInit = F->qualifiedName();
+    }
+    Obj.Globals.push_back(std::move(OG));
+  }
+
+  CallClobberResolver Clobbers;
+  if (HaveDB && Config.CallerSavePropagation)
+    Clobbers = [&DB](const std::string &Callee) {
+      return DB.lookup(Callee).SubtreeClobber;
+    };
+
+  for (auto &F : IR->Functions) {
+    ProcDirectives Dir =
+        HaveDB ? DB.lookup(F->qualifiedName()) : ProcDirectives();
+    Dir.Caller &= ~Config.LinkerReservedRegs;
+    Dir.Callee &= ~Config.LinkerReservedRegs;
+    Dir.Free &= ~Config.LinkerReservedRegs;
+    CodeGenResult CG = generateCode(*IR, *F, Dir, Clobbers);
+    if (!CG.Success) {
+      Result.ErrorText =
+          "register allocation failed for " + F->qualifiedName();
+      return Result;
+    }
+    Obj.Functions.push_back(std::move(CG.Obj));
+  }
+  Result.ObjectText = writeObjectFile(Obj);
+  Result.Success = true;
+  return Result;
+}
+
+WallCompileResult
+ipra::compileWallStyle(const std::vector<SourceFile> &Sources,
+                       const LinkAllocOptions &Options) {
+  WallCompileResult Result;
+  PipelineConfig Base = PipelineConfig::baseline();
+  Base.LinkerReservedRegs = Options.ReserveBank;
+
+  std::vector<SourceFile> AllSources = Sources;
+  AllSources.push_back(SourceFile{"__runtime.mc", runtimeModuleSource()});
+
+  // Baseline second phase per module (an empty database text means the
+  // standard linkage convention), round-tripped through the textual
+  // object format like every other pipeline.
+  std::vector<ObjectFile> Objects;
+  for (const SourceFile &Src : AllSources) {
+    Phase2Result P2 = runPhase2(Src, "", Base);
+    if (!P2.Success) {
+      Result.ErrorText = P2.ErrorText;
+      return Result;
+    }
+    ObjectFile Obj;
+    std::string Error;
+    if (!readObjectFile(P2.ObjectText, Obj, Error)) {
+      Result.ErrorText = "bad object file: " + Error;
+      return Result;
+    }
+    Objects.push_back(std::move(Obj));
+  }
+
+  WallLinkResult Linked = linkObjectsWallStyle(std::move(Objects), Options);
+  Result.LinkStats = Linked.Stats;
+  if (!Linked.Success) {
+    Result.ErrorText = "link failed:";
+    for (const std::string &E : Linked.Errors)
+      Result.ErrorText += "\n  " + E;
+    return Result;
+  }
+  Result.Exe = std::move(Linked.Exe);
+  Result.Success = true;
+  return Result;
+}
+
+LinkTextsResult ipra::linkObjectTexts(
+    const std::vector<std::string> &Objects) {
+  LinkTextsResult Result;
+  std::vector<ObjectFile> Parsed;
+  for (const std::string &Text : Objects) {
+    ObjectFile Obj;
+    std::string Error;
+    if (!readObjectFile(Text, Obj, Error)) {
+      Result.ErrorText = "bad object file: " + Error;
+      return Result;
+    }
+    Parsed.push_back(std::move(Obj));
+  }
+  LinkResult Linked = linkObjects(Parsed);
+  if (!Linked.Success) {
+    Result.ErrorText = "link failed:";
+    for (const std::string &E : Linked.Errors)
+      Result.ErrorText += "\n  " + E;
+    return Result;
+  }
+  Result.Exe = std::move(Linked.Exe);
+  Result.Success = true;
+  return Result;
+}

@@ -1,0 +1,185 @@
+//===- Driver.h - The two-pass compilation pipeline ------------*- C++ -*-===//
+//
+// Part of the IPRA project: a reproduction of Santhanam & Odnert,
+// "Register Allocation Across Procedure and Module Boundaries", PLDI 1990.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Drives the compilation process of Figure 1:
+///
+///   1. compiler first phase on every module: parse, check, lower to IR,
+///      run level-2 optimization, trial code generation (for the
+///      callee-saves register-need estimate), emit a summary file;
+///   2. program analyzer over all summary files: call graph, global
+///      variable promotion, spill code motion, program database;
+///   3. compiler second phase on every module: recompile from source
+///      (the prototype recompiled the original text, §6), consult the
+///      database, generate object code;
+///   4. link the object files into an executable for the simulator.
+///
+/// The driver always appends the MiniC runtime module (__prints). The
+/// summary files and program database really are serialized to text and
+/// parsed back between phases, keeping the module boundary honest.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef IPRA_DRIVER_DRIVER_H
+#define IPRA_DRIVER_DRIVER_H
+
+#include "core/Analyzer.h"
+#include "link/LinkOpt.h"
+#include "link/Object.h"
+#include "sim/Simulator.h"
+
+#include <string>
+#include <vector>
+
+namespace ipra {
+
+/// One MiniC source module.
+struct SourceFile {
+  std::string Name;
+  std::string Text;
+};
+
+/// Pipeline configuration. The six analyzer configurations of Table 4
+/// are provided as named presets.
+struct PipelineConfig {
+  /// Run the program analyzer at all; false = level-2 baseline.
+  bool Ipra = false;
+  bool SpillMotion = false;
+  PromotionMode Promotion = PromotionMode::None;
+  RegMask WebPool = pr32::defaultWebColoringPool();
+  int BlanketCount = 6;
+  bool UseProfile = false; ///< Consume supplied profile data (§6.1 B/F).
+  /// Level-2 intraprocedural global promotion (on in every column).
+  bool LocalGlobalPromotion = true;
+  /// §7.6.2 extensions (off by default; ablation benches flip them).
+  bool RelaxWebAvail = false;
+  bool ImprovedFreeSets = false;
+  bool CallerSavePropagation = false;
+  /// §7.2: set false when the sources are a library fragment rather
+  /// than a whole program (only meaningful for the phase-granular API;
+  /// compileProgram always has main and the runtime).
+  bool AssumeClosedWorld = true;
+  WebOptions Webs;
+  ClusterOptions Clusters;
+  /// [Wall 86] compiler cooperation: registers the allocator must leave
+  /// untouched so the linker can assign them at link time (see
+  /// link/LinkOpt.h). Zero for every two-pass configuration.
+  RegMask LinkerReservedRegs = 0;
+
+  /// Level-2 optimization only (the Table 4/5 baseline).
+  static PipelineConfig baseline();
+  /// Column A: spill code motion only.
+  static PipelineConfig configA();
+  /// Column B: spill motion with profile information.
+  static PipelineConfig configB();
+  /// Column C: spill motion and 6-register web coloring.
+  static PipelineConfig configC();
+  /// Column D: spill motion and greedy coloring.
+  static PipelineConfig configD();
+  /// Column E: spill motion and blanket promotion.
+  static PipelineConfig configE();
+  /// Column F: spill motion and 6-register coloring with profile.
+  static PipelineConfig configF();
+};
+
+/// Output of a full pipeline run.
+struct CompileResult {
+  bool Success = false;
+  std::string ErrorText;
+  Executable Exe;
+  AnalyzerStats Stats;
+  /// Serialized artifacts, for inspection and tests.
+  std::vector<std::string> SummaryFiles;
+  std::string DatabaseFile;
+  /// One textual object file per module (including the runtime module).
+  std::vector<std::string> ObjectFiles;
+};
+
+/// Compiles \p Sources under \p Config. \p Profile feeds the analyzer
+/// when Config.UseProfile is set (collect it from a previous run).
+CompileResult compileProgram(const std::vector<SourceFile> &Sources,
+                             const PipelineConfig &Config,
+                             const ProfileData *Profile = nullptr);
+
+/// Convenience: compile then execute.
+struct CompileAndRunResult {
+  CompileResult Compile;
+  RunResult Run;
+};
+CompileAndRunResult compileAndRun(const std::vector<SourceFile> &Sources,
+                                  const PipelineConfig &Config,
+                                  const ProfileData *Profile = nullptr,
+                                  long long FuelCycles = 500'000'000);
+
+/// The MiniC runtime module source (provides __prints).
+const char *runtimeModuleSource();
+
+//===----------------------------------------------------------------------===//
+// Phase-granular API: each paper phase as a standalone step over real
+// textual artifacts, so modules can be processed independently and in
+// any order (the property §4.3 highlights). compileProgram() is the
+// same pipeline fused for convenience.
+//===----------------------------------------------------------------------===//
+
+/// Compiler first phase on one module: returns the summary file text.
+struct Phase1Result {
+  bool Success = false;
+  std::string ErrorText;
+  std::string SummaryText;
+};
+Phase1Result runPhase1(const SourceFile &Source,
+                       const PipelineConfig &Config);
+
+/// Program analyzer over all summary files: returns the database text.
+struct AnalyzeResult {
+  bool Success = false;
+  std::string ErrorText;
+  std::string DatabaseText;
+  AnalyzerStats Stats;
+};
+AnalyzeResult runAnalyzerPhase(const std::vector<std::string> &SummaryTexts,
+                               const PipelineConfig &Config,
+                               const ProfileData *Profile = nullptr);
+
+/// Compiler second phase on one module under a database: returns the
+/// object file text. An empty \p DatabaseText compiles at the baseline.
+struct Phase2Result {
+  bool Success = false;
+  std::string ErrorText;
+  std::string ObjectText;
+};
+Phase2Result runPhase2(const SourceFile &Source,
+                       const std::string &DatabaseText,
+                       const PipelineConfig &Config);
+
+/// Links textual object files into an executable.
+struct LinkTextsResult {
+  bool Success = false;
+  std::string ErrorText;
+  Executable Exe;
+};
+LinkTextsResult linkObjectTexts(const std::vector<std::string> &Objects);
+
+/// §7.1's alternative to the whole two-pass scheme: compile every module
+/// at the level-2 baseline - no summary files, no analyzer, no program
+/// database - and let the LINKER perform interprocedural register
+/// allocation by rewriting the finished objects ([Wall 86]). See
+/// link/LinkOpt.h for what the rewriter can and cannot recover compared
+/// to the paper's approach.
+struct WallCompileResult {
+  bool Success = false;
+  std::string ErrorText;
+  Executable Exe;
+  LinkAllocStats LinkStats;
+};
+WallCompileResult
+compileWallStyle(const std::vector<SourceFile> &Sources,
+                 const LinkAllocOptions &Options = LinkAllocOptions());
+
+} // namespace ipra
+
+#endif // IPRA_DRIVER_DRIVER_H

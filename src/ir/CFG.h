@@ -1,0 +1,81 @@
+//===- CFG.h - Control-flow graph analyses ---------------------*- C++ -*-===//
+//
+// Part of the IPRA project: a reproduction of Santhanam & Odnert,
+// "Register Allocation Across Procedure and Module Boundaries", PLDI 1990.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// CFG utilities over IRFunction: predecessors, reverse post-order,
+/// dominator computation, and loop-nesting depth. Loop depth drives the
+/// compiler first phase's frequency heuristics (a block at nesting depth
+/// d is weighted 10^d), which the paper's prototype used in place of
+/// profile data.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef IPRA_IR_CFG_H
+#define IPRA_IR_CFG_H
+
+#include "ir/IR.h"
+
+#include <vector>
+
+namespace ipra {
+
+/// Analysis bundle for one function's CFG. Build once; invalidated by
+/// any CFG mutation.
+class CFGInfo {
+public:
+  explicit CFGInfo(const IRFunction &F);
+
+  const std::vector<int> &predecessors(int Block) const {
+    return Preds[Block];
+  }
+  const std::vector<int> &successors(int Block) const {
+    return Succs[Block];
+  }
+
+  /// Blocks reachable from entry, in reverse post-order.
+  const std::vector<int> &rpo() const { return RPO; }
+
+  bool isReachable(int Block) const { return Reachable[Block]; }
+
+  /// Immediate dominator of \p Block (-1 for the entry block and for
+  /// unreachable blocks).
+  int idom(int Block) const { return IDom[Block]; }
+
+  /// Returns true if \p A dominates \p B (reflexive).
+  bool dominates(int A, int B) const;
+
+  /// Loop-nesting depth of \p Block (0 = not in any loop).
+  int loopDepth(int Block) const { return LoopDepth[Block]; }
+
+  /// A natural loop: the header plus every block of every back edge
+  /// targeting it (back edges with the same header merge into one loop).
+  struct Loop {
+    int Header = -1;
+    std::vector<int> Blocks; ///< Includes the header.
+  };
+  const std::vector<Loop> &loops() const { return Loops; }
+
+  /// Frequency weight used by the first-phase heuristics: 10^depth,
+  /// capped at 10^4.
+  long long blockFrequency(int Block) const;
+
+private:
+  void computeDominators(const IRFunction &F);
+  void computeLoopDepths(const IRFunction &F);
+
+  std::vector<std::vector<int>> Preds, Succs;
+  std::vector<int> RPO;
+  std::vector<int> RPOIndex; ///< Position of each block in RPO, -1 if not.
+  std::vector<bool> Reachable;
+  std::vector<int> IDom;
+  std::vector<int> LoopDepth;
+  std::vector<Loop> Loops;
+};
+
+} // namespace ipra
+
+#endif // IPRA_IR_CFG_H

@@ -1,0 +1,702 @@
+//===- IRGen.cpp - AST to IR lowering -------------------------------------===//
+//
+// Part of the IPRA project: a reproduction of Santhanam & Odnert,
+// "Register Allocation Across Procedure and Module Boundaries", PLDI 1990.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ir/IRGen.h"
+
+#include <unordered_map>
+
+using namespace ipra;
+
+namespace {
+
+/// Where a local variable lives.
+struct Binding {
+  enum class Kind : uint8_t { VReg, Slot } K = Kind::VReg;
+  unsigned VReg = 0;
+  int Slot = -1;
+};
+
+class IRGenImpl {
+public:
+  IRGenImpl(const ModuleAST &M, IRModule &Out, DiagnosticEngine &Diags)
+      : M(M), Out(Out), Diags(Diags) {}
+
+  void run();
+
+private:
+  void genGlobal(const VarDecl &G);
+  void genFunction(const FuncDecl &FD);
+
+  // --- Block plumbing -----------------------------------------------------
+  IRBlock *newBlock() { return F->newBlock(); }
+  void setBlock(IRBlock *B) { Cur = B; }
+  /// Appends \p I to the current block. No-op when the current position
+  /// is unreachable (after a terminator with no new block set).
+  void emit(IRInstr I) {
+    if (Cur)
+      Cur->Instrs.push_back(std::move(I));
+  }
+  void emitBr(IRBlock *Target) {
+    IRInstr I;
+    I.Op = IROp::Br;
+    I.Target1 = Target->Id;
+    emit(std::move(I));
+    Cur = nullptr;
+  }
+  void emitCondBr(unsigned Cond, IRBlock *TrueB, IRBlock *FalseB) {
+    IRInstr I;
+    I.Op = IROp::CondBr;
+    I.Srcs = {Cond};
+    I.Target1 = TrueB->Id;
+    I.Target2 = FalseB->Id;
+    emit(std::move(I));
+    Cur = nullptr;
+  }
+
+  unsigned emitDef(IRInstr I) {
+    unsigned Dst = F->newVReg();
+    I.HasDst = true;
+    I.Dst = Dst;
+    emit(std::move(I));
+    return Dst;
+  }
+  unsigned emitConst(int32_t Value) {
+    IRInstr I;
+    I.Op = IROp::Const;
+    I.Imm = Value;
+    return emitDef(std::move(I));
+  }
+  void emitCopyTo(unsigned Dst, unsigned Src) {
+    IRInstr I;
+    I.Op = IROp::Copy;
+    I.HasDst = true;
+    I.Dst = Dst;
+    I.Srcs = {Src};
+    emit(std::move(I));
+  }
+
+  // --- Expressions --------------------------------------------------------
+  unsigned genExpr(const Expr *E);
+  unsigned genVarRefValue(const VarRefExpr *E);
+  unsigned genUnary(const UnaryExpr *E);
+  unsigned genBinary(const BinaryExpr *E);
+  unsigned genAssign(const AssignExpr *E);
+  unsigned genIndex(const IndexExpr *E);
+  unsigned genCall(const CallExpr *E, bool WantValue);
+  /// Lowers a boolean expression directly to control flow.
+  void genBranchCond(const Expr *E, IRBlock *TrueB, IRBlock *FalseB);
+  /// Materializes a control-flow boolean into a 0/1 vreg.
+  unsigned genBoolValue(const Expr *E);
+  /// Computes the element address for pointer-based indexing.
+  unsigned genPointerElemAddr(unsigned Base, const Expr *Index);
+
+  // --- Statements ---------------------------------------------------------
+  void genStmt(const Stmt *S);
+
+  /// Resolves the storage for a local variable.
+  Binding &bindingOf(const VarDecl *V) {
+    auto It = Bindings.find(V);
+    assert(It != Bindings.end() && "unbound local");
+    return It->second;
+  }
+
+  /// Creates the module-private global for a string literal and returns
+  /// its name.
+  std::string internString(const std::string &Text);
+
+  const ModuleAST &M;
+  IRModule &Out;
+  DiagnosticEngine &Diags;
+  IRFunction *F = nullptr;
+  IRBlock *Cur = nullptr;
+  std::unordered_map<const VarDecl *, Binding> Bindings;
+  std::vector<IRBlock *> BreakTargets, ContinueTargets;
+  int StringCounter = 0;
+};
+
+} // namespace
+
+void IRGenImpl::run() {
+  Out.Name = M.Name;
+  for (const auto &G : M.Globals)
+    genGlobal(*G);
+  for (const auto &FD : M.Functions)
+    if (FD->isDefinition())
+      genFunction(*FD);
+}
+
+void IRGenImpl::genGlobal(const VarDecl &G) {
+  IRGlobal IG;
+  IG.Name = G.Name;
+  IG.Module = M.Name;
+  IG.IsStatic = G.IsStatic;
+  IG.AddressTaken = G.AddressTaken;
+  if (G.DeclType.isArray()) {
+    IG.IsArray = true;
+    IG.SizeWords = G.DeclType.ArraySize;
+  } else {
+    IG.SizeWords = 1;
+  }
+  switch (G.Init.InitKind) {
+  case GlobalInit::Kind::None:
+    break;
+  case GlobalInit::Kind::Scalar:
+    IG.Init = {G.Init.Scalar};
+    break;
+  case GlobalInit::Kind::List:
+    IG.Init = G.Init.List;
+    break;
+  case GlobalInit::Kind::String:
+    for (char C : G.Init.Str)
+      IG.Init.push_back(static_cast<int32_t>(static_cast<unsigned char>(C)));
+    IG.Init.push_back(0);
+    break;
+  case GlobalInit::Kind::FuncAddr:
+    IG.FuncInit = G.Init.FuncName;
+    break;
+  }
+  Out.Globals.push_back(std::move(IG));
+}
+
+std::string IRGenImpl::internString(const std::string &Text) {
+  IRGlobal IG;
+  IG.Name = ".str" + std::to_string(StringCounter++);
+  IG.Module = M.Name;
+  IG.IsStatic = true; // Anonymous literals are module-private.
+  IG.IsArray = true;
+  IG.SizeWords = static_cast<int>(Text.size()) + 1;
+  for (char C : Text)
+    IG.Init.push_back(static_cast<int32_t>(static_cast<unsigned char>(C)));
+  IG.Init.push_back(0);
+  Out.Globals.push_back(std::move(IG));
+  return Out.Globals.back().Name;
+}
+
+void IRGenImpl::genFunction(const FuncDecl &FD) {
+  auto Fn = std::make_unique<IRFunction>();
+  F = Fn.get();
+  F->Name = FD.Name;
+  F->Module = M.Name;
+  F->IsStatic = FD.IsStatic;
+  F->AddressTaken = FD.AddressTaken;
+  F->MakesIndirectCalls = FD.MakesIndirectCalls;
+  F->ReturnsValue = !FD.RetType.isVoid();
+  F->NumParams = static_cast<unsigned>(FD.Params.size());
+
+  Bindings.clear();
+  BreakTargets.clear();
+  ContinueTargets.clear();
+
+  setBlock(F->newBlock());
+
+  // Parameters arrive in vregs 0..NumParams-1.
+  for (unsigned I = 0; I < F->NumParams; ++I)
+    (void)F->newVReg();
+
+  for (unsigned I = 0; I < F->NumParams; ++I) {
+    VarDecl *P = FD.Params[I].get();
+    if (P->AddressTaken) {
+      int Slot = static_cast<int>(F->Slots.size());
+      F->Slots.push_back(IRSlot{P->Name, 1, false});
+      IRInstr St;
+      St.Op = IROp::StSlot;
+      St.Slot = Slot;
+      St.Srcs = {I};
+      emit(std::move(St));
+      Bindings[P] = Binding{Binding::Kind::Slot, 0, Slot};
+    } else {
+      Bindings[P] = Binding{Binding::Kind::VReg, I, -1};
+    }
+  }
+
+  genStmt(FD.Body.get());
+
+  // Implicit return when control falls off the end.
+  if (Cur) {
+    IRInstr Ret;
+    Ret.Op = IROp::Ret;
+    if (F->ReturnsValue)
+      Ret.Srcs = {emitConst(0)};
+    emit(std::move(Ret));
+    Cur = nullptr;
+  }
+
+  Out.Functions.push_back(std::move(Fn));
+  F = nullptr;
+}
+
+void IRGenImpl::genStmt(const Stmt *S) {
+  if (!S)
+    return;
+  switch (S->getKind()) {
+  case Stmt::Kind::Block:
+    for (const StmtPtr &Child : static_cast<const BlockStmt *>(S)->Body)
+      genStmt(Child.get());
+    return;
+  case Stmt::Kind::If: {
+    const auto *If = static_cast<const IfStmt *>(S);
+    IRBlock *ThenB = newBlock();
+    IRBlock *EndB = newBlock();
+    IRBlock *ElseB = If->Else ? newBlock() : EndB;
+    genBranchCond(If->Cond.get(), ThenB, ElseB);
+    setBlock(ThenB);
+    genStmt(If->Then.get());
+    if (Cur)
+      emitBr(EndB);
+    if (If->Else) {
+      setBlock(ElseB);
+      genStmt(If->Else.get());
+      if (Cur)
+        emitBr(EndB);
+    }
+    setBlock(EndB);
+    return;
+  }
+  case Stmt::Kind::While: {
+    const auto *W = static_cast<const WhileStmt *>(S);
+    IRBlock *CondB = newBlock();
+    IRBlock *BodyB = newBlock();
+    IRBlock *EndB = newBlock();
+    emitBr(CondB);
+    setBlock(CondB);
+    genBranchCond(W->Cond.get(), BodyB, EndB);
+    BreakTargets.push_back(EndB);
+    ContinueTargets.push_back(CondB);
+    setBlock(BodyB);
+    genStmt(W->Body.get());
+    if (Cur)
+      emitBr(CondB);
+    BreakTargets.pop_back();
+    ContinueTargets.pop_back();
+    setBlock(EndB);
+    return;
+  }
+  case Stmt::Kind::For: {
+    const auto *For = static_cast<const ForStmt *>(S);
+    genStmt(For->Init.get());
+    IRBlock *CondB = newBlock();
+    IRBlock *BodyB = newBlock();
+    IRBlock *StepB = newBlock();
+    IRBlock *EndB = newBlock();
+    emitBr(CondB);
+    setBlock(CondB);
+    if (For->Cond)
+      genBranchCond(For->Cond.get(), BodyB, EndB);
+    else
+      emitBr(BodyB);
+    BreakTargets.push_back(EndB);
+    ContinueTargets.push_back(StepB);
+    setBlock(BodyB);
+    genStmt(For->Body.get());
+    if (Cur)
+      emitBr(StepB);
+    setBlock(StepB);
+    if (For->Step)
+      genExpr(For->Step.get());
+    emitBr(CondB);
+    BreakTargets.pop_back();
+    ContinueTargets.pop_back();
+    setBlock(EndB);
+    return;
+  }
+  case Stmt::Kind::Return: {
+    const auto *R = static_cast<const ReturnStmt *>(S);
+    IRInstr Ret;
+    Ret.Op = IROp::Ret;
+    if (R->Value)
+      Ret.Srcs = {genExpr(R->Value.get())};
+    emit(std::move(Ret));
+    Cur = nullptr;
+    return;
+  }
+  case Stmt::Kind::Break:
+    if (!BreakTargets.empty())
+      emitBr(BreakTargets.back());
+    return;
+  case Stmt::Kind::Continue:
+    if (!ContinueTargets.empty())
+      emitBr(ContinueTargets.back());
+    return;
+  case Stmt::Kind::ExprStmt: {
+    const Expr *E = static_cast<const ExprStmt *>(S)->E.get();
+    if (E->getKind() == Expr::Kind::Call)
+      genCall(static_cast<const CallExpr *>(E), /*WantValue=*/false);
+    else
+      genExpr(E);
+    return;
+  }
+  case Stmt::Kind::Decl: {
+    const auto *D = static_cast<const DeclStmt *>(S);
+    VarDecl *V = D->Var.get();
+    if (V->DeclType.isArray()) {
+      int Slot = static_cast<int>(F->Slots.size());
+      F->Slots.push_back(IRSlot{V->Name, V->DeclType.ArraySize, true});
+      Bindings[V] = Binding{Binding::Kind::Slot, 0, Slot};
+    } else if (V->AddressTaken) {
+      int Slot = static_cast<int>(F->Slots.size());
+      F->Slots.push_back(IRSlot{V->Name, 1, false});
+      Bindings[V] = Binding{Binding::Kind::Slot, 0, Slot};
+      if (V->LocalInit) {
+        IRInstr St;
+        St.Op = IROp::StSlot;
+        St.Slot = Slot;
+        St.Srcs = {genExpr(V->LocalInit.get())};
+        emit(std::move(St));
+      }
+    } else {
+      unsigned VR = F->newVReg();
+      Bindings[V] = Binding{Binding::Kind::VReg, VR, -1};
+      if (V->LocalInit)
+        emitCopyTo(VR, genExpr(V->LocalInit.get()));
+    }
+    return;
+  }
+  case Stmt::Kind::Empty:
+    return;
+  }
+}
+
+unsigned IRGenImpl::genExpr(const Expr *E) {
+  switch (E->getKind()) {
+  case Expr::Kind::IntLit:
+    return emitConst(static_cast<const IntLitExpr *>(E)->Value);
+  case Expr::Kind::StrLit: {
+    IRInstr Addr;
+    Addr.Op = IROp::AddrG;
+    Addr.Sym = internString(static_cast<const StrLitExpr *>(E)->Value);
+    return emitDef(std::move(Addr));
+  }
+  case Expr::Kind::VarRef:
+    return genVarRefValue(static_cast<const VarRefExpr *>(E));
+  case Expr::Kind::Unary:
+    return genUnary(static_cast<const UnaryExpr *>(E));
+  case Expr::Kind::Binary:
+    return genBinary(static_cast<const BinaryExpr *>(E));
+  case Expr::Kind::Assign:
+    return genAssign(static_cast<const AssignExpr *>(E));
+  case Expr::Kind::Index:
+    return genIndex(static_cast<const IndexExpr *>(E));
+  case Expr::Kind::Call:
+    return genCall(static_cast<const CallExpr *>(E), /*WantValue=*/true);
+  }
+  return emitConst(0);
+}
+
+unsigned IRGenImpl::genVarRefValue(const VarRefExpr *E) {
+  if (E->Func) {
+    // Bare function name in a value context; only reachable when Sema
+    // accepted it (it does not), so keep codegen robust.
+    IRInstr Addr;
+    Addr.Op = IROp::AddrG;
+    Addr.Sym = E->Func->Name;
+    return emitDef(std::move(Addr));
+  }
+  VarDecl *V = E->Var;
+  assert(V && "unresolved variable reference");
+  if (V->IsGlobal) {
+    if (V->DeclType.isArray()) {
+      IRInstr Addr;
+      Addr.Op = IROp::AddrG;
+      Addr.Sym = V->Name;
+      return emitDef(std::move(Addr));
+    }
+    IRInstr Ld;
+    Ld.Op = IROp::LdG;
+    Ld.Sym = V->Name;
+    return emitDef(std::move(Ld));
+  }
+  Binding &B = bindingOf(V);
+  if (B.K == Binding::Kind::VReg)
+    return B.VReg;
+  if (V->DeclType.isArray()) {
+    IRInstr Addr;
+    Addr.Op = IROp::AddrSlot;
+    Addr.Slot = B.Slot;
+    return emitDef(std::move(Addr));
+  }
+  IRInstr Ld;
+  Ld.Op = IROp::LdSlot;
+  Ld.Slot = B.Slot;
+  return emitDef(std::move(Ld));
+}
+
+unsigned IRGenImpl::genUnary(const UnaryExpr *E) {
+  switch (E->Op) {
+  case UnOp::Neg: {
+    IRInstr I;
+    I.Op = IROp::Neg;
+    I.Srcs = {genExpr(E->Operand.get())};
+    return emitDef(std::move(I));
+  }
+  case UnOp::BitNot: {
+    IRInstr I;
+    I.Op = IROp::Not;
+    I.Srcs = {genExpr(E->Operand.get())};
+    return emitDef(std::move(I));
+  }
+  case UnOp::LogNot:
+    return genBoolValue(E);
+  case UnOp::Deref: {
+    IRInstr I;
+    I.Op = IROp::LdPtr;
+    I.Srcs = {genExpr(E->Operand.get())};
+    return emitDef(std::move(I));
+  }
+  case UnOp::AddrOf: {
+    const auto *Ref = static_cast<const VarRefExpr *>(E->Operand.get());
+    if (Ref->Func) {
+      IRInstr Addr;
+      Addr.Op = IROp::AddrG;
+      Addr.Sym = Ref->Func->Name;
+      return emitDef(std::move(Addr));
+    }
+    VarDecl *V = Ref->Var;
+    if (V->IsGlobal) {
+      IRInstr Addr;
+      Addr.Op = IROp::AddrG;
+      Addr.Sym = V->Name;
+      return emitDef(std::move(Addr));
+    }
+    Binding &B = bindingOf(V);
+    assert(B.K == Binding::Kind::Slot && "address-taken local has no slot");
+    IRInstr Addr;
+    Addr.Op = IROp::AddrSlot;
+    Addr.Slot = B.Slot;
+    return emitDef(std::move(Addr));
+  }
+  }
+  return emitConst(0);
+}
+
+unsigned IRGenImpl::genBoolValue(const Expr *E) {
+  IRBlock *TrueB = newBlock();
+  IRBlock *FalseB = newBlock();
+  IRBlock *EndB = newBlock();
+  unsigned Result = F->newVReg();
+  genBranchCond(E, TrueB, FalseB);
+  setBlock(TrueB);
+  emitCopyTo(Result, emitConst(1));
+  emitBr(EndB);
+  setBlock(FalseB);
+  emitCopyTo(Result, emitConst(0));
+  emitBr(EndB);
+  setBlock(EndB);
+  return Result;
+}
+
+unsigned IRGenImpl::genBinary(const BinaryExpr *E) {
+  if (E->Op == BinOp::LogAnd || E->Op == BinOp::LogOr)
+    return genBoolValue(E);
+
+  static const std::unordered_map<BinOp, BinKind> Map = {
+      {BinOp::Add, BinKind::Add}, {BinOp::Sub, BinKind::Sub},
+      {BinOp::Mul, BinKind::Mul}, {BinOp::Div, BinKind::Div},
+      {BinOp::Rem, BinKind::Rem}, {BinOp::And, BinKind::And},
+      {BinOp::Or, BinKind::Or},   {BinOp::Xor, BinKind::Xor},
+      {BinOp::Shl, BinKind::Shl}, {BinOp::Shr, BinKind::Shr},
+      {BinOp::Lt, BinKind::Lt},   {BinOp::Le, BinKind::Le},
+      {BinOp::Gt, BinKind::Gt},   {BinOp::Ge, BinKind::Ge},
+      {BinOp::Eq, BinKind::Eq},   {BinOp::Ne, BinKind::Ne},
+  };
+  unsigned L = genExpr(E->LHS.get());
+  unsigned R = genExpr(E->RHS.get());
+  IRInstr I;
+  I.Op = IROp::Bin;
+  I.BK = Map.at(E->Op);
+  I.Srcs = {L, R};
+  return emitDef(std::move(I));
+}
+
+unsigned IRGenImpl::genPointerElemAddr(unsigned Base, const Expr *Index) {
+  unsigned Idx = genExpr(Index);
+  IRInstr Add;
+  Add.Op = IROp::Bin;
+  Add.BK = BinKind::Add;
+  Add.Srcs = {Base, Idx};
+  return emitDef(std::move(Add));
+}
+
+unsigned IRGenImpl::genIndex(const IndexExpr *E) {
+  // Array-typed bases use the fused element access; pointer bases go
+  // through explicit address arithmetic and an indirect load.
+  const Expr *Base = E->Base.get();
+  if (Base->getKind() == Expr::Kind::VarRef) {
+    const auto *Ref = static_cast<const VarRefExpr *>(Base);
+    if (Ref->Var && Ref->Var->DeclType.isArray()) {
+      VarDecl *V = Ref->Var;
+      IRInstr Ld;
+      Ld.Op = IROp::LdElem;
+      Ld.Srcs = {genExpr(E->Index.get())};
+      if (V->IsGlobal) {
+        Ld.Sym = V->Name;
+      } else {
+        Ld.Slot = bindingOf(V).Slot;
+      }
+      return emitDef(std::move(Ld));
+    }
+  }
+  unsigned Addr = genPointerElemAddr(genExpr(Base), E->Index.get());
+  IRInstr Ld;
+  Ld.Op = IROp::LdPtr;
+  Ld.Srcs = {Addr};
+  return emitDef(std::move(Ld));
+}
+
+unsigned IRGenImpl::genAssign(const AssignExpr *E) {
+  const Expr *LHS = E->LHS.get();
+
+  // Variable target.
+  if (LHS->getKind() == Expr::Kind::VarRef) {
+    const auto *Ref = static_cast<const VarRefExpr *>(LHS);
+    VarDecl *V = Ref->Var;
+    unsigned Value = genExpr(E->RHS.get());
+    if (V->IsGlobal) {
+      IRInstr St;
+      St.Op = IROp::StG;
+      St.Sym = V->Name;
+      St.Srcs = {Value};
+      emit(std::move(St));
+      return Value;
+    }
+    Binding &B = bindingOf(V);
+    if (B.K == Binding::Kind::VReg) {
+      emitCopyTo(B.VReg, Value);
+      return B.VReg;
+    }
+    IRInstr St;
+    St.Op = IROp::StSlot;
+    St.Slot = B.Slot;
+    St.Srcs = {Value};
+    emit(std::move(St));
+    return Value;
+  }
+
+  // Element target.
+  if (LHS->getKind() == Expr::Kind::Index) {
+    const auto *Ix = static_cast<const IndexExpr *>(LHS);
+    const Expr *Base = Ix->Base.get();
+    if (Base->getKind() == Expr::Kind::VarRef) {
+      const auto *Ref = static_cast<const VarRefExpr *>(Base);
+      if (Ref->Var && Ref->Var->DeclType.isArray()) {
+        VarDecl *V = Ref->Var;
+        unsigned Idx = genExpr(Ix->Index.get());
+        unsigned Value = genExpr(E->RHS.get());
+        IRInstr St;
+        St.Op = IROp::StElem;
+        St.Srcs = {Idx, Value};
+        if (V->IsGlobal)
+          St.Sym = V->Name;
+        else
+          St.Slot = bindingOf(V).Slot;
+        emit(std::move(St));
+        return Value;
+      }
+    }
+    unsigned Addr = genPointerElemAddr(genExpr(Base), Ix->Index.get());
+    unsigned Value = genExpr(E->RHS.get());
+    IRInstr St;
+    St.Op = IROp::StPtr;
+    St.Srcs = {Addr, Value};
+    emit(std::move(St));
+    return Value;
+  }
+
+  // *ptr target.
+  if (LHS->getKind() == Expr::Kind::Unary &&
+      static_cast<const UnaryExpr *>(LHS)->Op == UnOp::Deref) {
+    unsigned Ptr =
+        genExpr(static_cast<const UnaryExpr *>(LHS)->Operand.get());
+    unsigned Value = genExpr(E->RHS.get());
+    IRInstr St;
+    St.Op = IROp::StPtr;
+    St.Srcs = {Ptr, Value};
+    emit(std::move(St));
+    return Value;
+  }
+
+  // Sema reported the bad lvalue; evaluate the RHS for its effects.
+  return genExpr(E->RHS.get());
+}
+
+unsigned IRGenImpl::genCall(const CallExpr *E, bool WantValue) {
+  // Builtins.
+  if (E->BuiltinKind == CallExpr::Builtin::Print ||
+      E->BuiltinKind == CallExpr::Builtin::PrintC) {
+    IRInstr I;
+    I.Op = E->BuiltinKind == CallExpr::Builtin::Print ? IROp::Print
+                                                      : IROp::PrintC;
+    I.Srcs = {genExpr(E->Args[0].get())};
+    emit(std::move(I));
+    return WantValue ? emitConst(0) : 0;
+  }
+  if (E->BuiltinKind == CallExpr::Builtin::Prints) {
+    IRInstr I;
+    I.Op = IROp::Call;
+    I.Sym = "__prints";
+    I.Srcs = {genExpr(E->Args[0].get())};
+    emit(std::move(I));
+    return WantValue ? emitConst(0) : 0;
+  }
+
+  IRInstr I;
+  if (E->IndirectVar) {
+    I.Op = IROp::CallInd;
+    VarRefExpr Ref(E->getLoc(), E->IndirectVar->Name);
+    Ref.Var = E->IndirectVar;
+    I.Srcs.push_back(genVarRefValue(&Ref));
+  } else {
+    I.Op = IROp::Call;
+    I.Sym = E->CalleeName;
+  }
+  for (const ExprPtr &Arg : E->Args)
+    I.Srcs.push_back(genExpr(Arg.get()));
+
+  bool HasValue =
+      E->IndirectVar || (E->DirectCallee && !E->DirectCallee->RetType.isVoid());
+  if (WantValue && HasValue) {
+    return emitDef(std::move(I));
+  }
+  emit(std::move(I));
+  return WantValue ? emitConst(0) : 0;
+}
+
+void IRGenImpl::genBranchCond(const Expr *E, IRBlock *TrueB,
+                              IRBlock *FalseB) {
+  if (E->getKind() == Expr::Kind::Binary) {
+    const auto *B = static_cast<const BinaryExpr *>(E);
+    if (B->Op == BinOp::LogAnd) {
+      IRBlock *Mid = newBlock();
+      genBranchCond(B->LHS.get(), Mid, FalseB);
+      setBlock(Mid);
+      genBranchCond(B->RHS.get(), TrueB, FalseB);
+      return;
+    }
+    if (B->Op == BinOp::LogOr) {
+      IRBlock *Mid = newBlock();
+      genBranchCond(B->LHS.get(), TrueB, Mid);
+      setBlock(Mid);
+      genBranchCond(B->RHS.get(), TrueB, FalseB);
+      return;
+    }
+  }
+  if (E->getKind() == Expr::Kind::Unary &&
+      static_cast<const UnaryExpr *>(E)->Op == UnOp::LogNot) {
+    genBranchCond(static_cast<const UnaryExpr *>(E)->Operand.get(), FalseB,
+                  TrueB);
+    return;
+  }
+  unsigned Cond = genExpr(E);
+  emitCondBr(Cond, TrueB, FalseB);
+}
+
+std::unique_ptr<IRModule> ipra::generateIR(const ModuleAST &M,
+                                           DiagnosticEngine &Diags) {
+  auto Out = std::make_unique<IRModule>();
+  IRGenImpl Impl(M, *Out, Diags);
+  Impl.run();
+  return Out;
+}

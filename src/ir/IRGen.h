@@ -1,0 +1,37 @@
+//===- IRGen.h - AST to IR lowering ----------------------------*- C++ -*-===//
+//
+// Part of the IPRA project: a reproduction of Santhanam & Odnert,
+// "Register Allocation Across Procedure and Module Boundaries", PLDI 1990.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Lowers a semantically-checked ModuleAST to the three-address IR.
+/// Scalar locals that are never address-taken live in virtual registers;
+/// address-taken scalars and arrays get stack slots. String literals
+/// become module-private char-array globals. The prints() builtin lowers
+/// to a call to the runtime function __prints (the driver links a MiniC
+/// runtime module providing it).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef IPRA_IR_IRGEN_H
+#define IPRA_IR_IRGEN_H
+
+#include "ir/IR.h"
+#include "lang/AST.h"
+#include "support/Diagnostics.h"
+
+#include <memory>
+
+namespace ipra {
+
+/// Generates IR for \p M, which must have passed Sema. Returns null only
+/// if \p M contains functions with bodies that Sema failed to resolve
+/// (callers should already have bailed on Sema errors).
+std::unique_ptr<IRModule> generateIR(const ModuleAST &M,
+                                     DiagnosticEngine &Diags);
+
+} // namespace ipra
+
+#endif // IPRA_IR_IRGEN_H

@@ -1,0 +1,374 @@
+//===- Interp.cpp - Reference IR interpreter --------------------------------===//
+//
+// Part of the IPRA project: a reproduction of Santhanam & Odnert,
+// "Register Allocation Across Procedure and Module Boundaries", PLDI 1990.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ir/Interp.h"
+
+#include <cstdint>
+#include <map>
+
+using namespace ipra;
+
+namespace {
+
+/// Function "addresses" live far above any data address so that 'func'
+/// values and pointers share the int32 value space without collision.
+constexpr int32_t FuncBase = 1 << 28;
+
+class Interpreter {
+public:
+  Interpreter(const std::vector<const IRModule *> &Modules,
+              long long MaxSteps)
+      : MaxSteps(MaxSteps) {
+    // Lay out globals (common-symbol merge by qualified name) and
+    // collect functions.
+    for (const IRModule *M : Modules) {
+      for (const IRGlobal &G : M->Globals) {
+        auto [It, Inserted] = GlobalAddr.try_emplace(G.qualifiedName(), 0);
+        if (Inserted) {
+          It->second = static_cast<int32_t>(Memory.size());
+          Memory.resize(Memory.size() + static_cast<size_t>(G.SizeWords),
+                        0);
+        }
+        for (size_t W = 0;
+             W < G.Init.size() && W < static_cast<size_t>(G.SizeWords);
+             ++W)
+          Memory[static_cast<size_t>(It->second) + W] = G.Init[W];
+        if (!G.FuncInit.empty())
+          PendingFuncInits.push_back({It->second, G.FuncInit, M});
+      }
+      for (const auto &F : M->Functions) {
+        int Id = static_cast<int>(Functions.size());
+        Functions.push_back(F.get());
+        FunctionIds[F->qualifiedName()] = Id;
+      }
+    }
+    // Patch function-address initializers now that every id exists.
+    for (const auto &[Addr, Name, M] : PendingFuncInits) {
+      int Id = resolveFunction(Name, M);
+      if (Id >= 0)
+        Memory[static_cast<size_t>(Addr)] = FuncBase + Id;
+    }
+  }
+
+  IRRunResult run() {
+    IRRunResult Result;
+    auto It = FunctionIds.find("main");
+    if (It == FunctionIds.end()) {
+      Result.Error = "no main function";
+      return Result;
+    }
+    int32_t Ret = 0;
+    if (!call(It->second, {}, Ret, Result))
+      return Result;
+    Result.Ok = true;
+    Result.ExitCode = Ret;
+    return Result;
+  }
+
+private:
+  /// Resolves \p Plain within \p M (statics first), then globally.
+  int resolveFunction(const std::string &Plain, const IRModule *M) {
+    auto It = FunctionIds.find(M->Name + ":" + Plain);
+    if (It != FunctionIds.end())
+      return It->second;
+    It = FunctionIds.find(Plain);
+    return It == FunctionIds.end() ? -1 : It->second;
+  }
+  int32_t resolveGlobalAddr(const std::string &Plain, const IRModule *M,
+                            bool &Found) {
+    auto It = GlobalAddr.find(M->Name + ":" + Plain);
+    if (It == GlobalAddr.end())
+      It = GlobalAddr.find(Plain);
+    Found = It != GlobalAddr.end();
+    return Found ? It->second : 0;
+  }
+
+  static int32_t evalBin(BinKind BK, int32_t L, int32_t R) {
+    auto UL = static_cast<uint32_t>(L);
+    auto UR = static_cast<uint32_t>(R);
+    switch (BK) {
+    case BinKind::Add:
+      return static_cast<int32_t>(UL + UR);
+    case BinKind::Sub:
+      return static_cast<int32_t>(UL - UR);
+    case BinKind::Mul:
+      return static_cast<int32_t>(UL * UR);
+    case BinKind::Div:
+      return R == 0 ? 0 : (L == INT32_MIN && R == -1 ? L : L / R);
+    case BinKind::Rem:
+      return R == 0 ? 0 : (L == INT32_MIN && R == -1 ? 0 : L % R);
+    case BinKind::And:
+      return L & R;
+    case BinKind::Or:
+      return L | R;
+    case BinKind::Xor:
+      return L ^ R;
+    case BinKind::Shl:
+      return static_cast<int32_t>(UL << (UR & 31));
+    case BinKind::Shr:
+      return L >> (UR & 31);
+    case BinKind::Lt:
+      return L < R;
+    case BinKind::Le:
+      return L <= R;
+    case BinKind::Gt:
+      return L > R;
+    case BinKind::Ge:
+      return L >= R;
+    case BinKind::Eq:
+      return L == R;
+    case BinKind::Ne:
+      return L != R;
+    }
+    return 0;
+  }
+
+  bool load(int32_t Addr, int32_t &Value, IRRunResult &Result) {
+    if (Addr < 0 || static_cast<size_t>(Addr) >= Memory.size()) {
+      Result.Error =
+          "memory load out of bounds (addr=" + std::to_string(Addr) + ")";
+      return false;
+    }
+    Value = Memory[static_cast<size_t>(Addr)];
+    return true;
+  }
+  bool store(int32_t Addr, int32_t Value, IRRunResult &Result) {
+    if (Addr < 0 || static_cast<size_t>(Addr) >= Memory.size()) {
+      Result.Error =
+          "memory store out of bounds (addr=" + std::to_string(Addr) +
+          ")";
+      return false;
+    }
+    Memory[static_cast<size_t>(Addr)] = Value;
+    return true;
+  }
+
+  /// Executes one function activation. Returns false on trap/limit.
+  bool call(int FuncId, const std::vector<int32_t> &Args, int32_t &Ret,
+            IRRunResult &Result) {
+    if (++Depth > 10000) {
+      Result.Error = "call depth limit exceeded";
+      return false;
+    }
+    const IRFunction *F = Functions[static_cast<size_t>(FuncId)];
+    const IRModule *M = ModuleOf(F);
+
+    std::vector<int32_t> Regs(F->NumVRegs, 0);
+    for (size_t A = 0; A < Args.size() && A < F->NumParams; ++A)
+      Regs[A] = Args[A];
+
+    // Frame slots live in a dedicated region appended per activation.
+    std::vector<int32_t> SlotAddr(F->Slots.size());
+    size_t FrameBase = Memory.size();
+    for (size_t S = 0; S < F->Slots.size(); ++S) {
+      SlotAddr[S] = static_cast<int32_t>(Memory.size());
+      Memory.resize(Memory.size() +
+                        static_cast<size_t>(F->Slots[S].SizeWords),
+                    0);
+    }
+
+    bool Ok = runBlocks(F, M, Regs, SlotAddr, Ret, Result);
+    Memory.resize(FrameBase); // Pop the frame.
+    --Depth;
+    return Ok;
+  }
+
+  const IRModule *ModuleOf(const IRFunction *F) {
+    return ModuleByName.at(F->Module);
+  }
+
+  bool runBlocks(const IRFunction *F, const IRModule *M,
+                 std::vector<int32_t> &Regs,
+                 const std::vector<int32_t> &SlotAddr, int32_t &Ret,
+                 IRRunResult &Result);
+
+  long long MaxSteps;
+  long long Steps = 0;
+  int Depth = 0;
+  std::vector<int32_t> Memory;
+  std::map<std::string, int32_t> GlobalAddr;
+  std::vector<const IRFunction *> Functions;
+  std::map<std::string, int> FunctionIds;
+  std::string Output;
+  struct PendingInit {
+    int32_t Addr;
+    std::string Name;
+    const IRModule *M;
+  };
+  std::vector<PendingInit> PendingFuncInits;
+
+public:
+  std::map<std::string, const IRModule *> ModuleByName;
+  std::string takeOutput() { return std::move(Output); }
+  long long steps() const { return Steps; }
+};
+
+bool Interpreter::runBlocks(const IRFunction *F, const IRModule *M,
+                            std::vector<int32_t> &Regs,
+                            const std::vector<int32_t> &SlotAddr,
+                            int32_t &Ret, IRRunResult &Result) {
+  int Block = 0;
+  while (true) {
+    const IRBlock *B = F->block(Block);
+    for (const IRInstr &I : B->Instrs) {
+      if (++Steps > MaxSteps) {
+        Result.Error = "step limit exceeded";
+        return false;
+      }
+      switch (I.Op) {
+      case IROp::Const:
+        Regs[I.Dst] = I.Imm;
+        break;
+      case IROp::Copy:
+        Regs[I.Dst] = Regs[I.Srcs[0]];
+        break;
+      case IROp::Bin:
+        Regs[I.Dst] = evalBin(I.BK, Regs[I.Srcs[0]], Regs[I.Srcs[1]]);
+        break;
+      case IROp::Neg:
+        Regs[I.Dst] = static_cast<int32_t>(
+            -static_cast<uint32_t>(Regs[I.Srcs[0]]));
+        break;
+      case IROp::Not:
+        Regs[I.Dst] = ~Regs[I.Srcs[0]];
+        break;
+      case IROp::LdG:
+      case IROp::StG:
+      case IROp::AddrG: {
+        bool IsFunc = false;
+        int FuncId = -1;
+        bool Found = false;
+        int32_t Addr = resolveGlobalAddr(I.Sym, M, Found);
+        if (!Found && I.Op == IROp::AddrG) {
+          FuncId = resolveFunction(I.Sym, M);
+          IsFunc = FuncId >= 0;
+        }
+        if (!Found && !IsFunc) {
+          Result.Error = "unresolved symbol '" + I.Sym + "'";
+          return false;
+        }
+        if (I.Op == IROp::LdG) {
+          if (!load(Addr, Regs[I.Dst], Result))
+            return false;
+        } else if (I.Op == IROp::StG) {
+          if (!store(Addr, Regs[I.Srcs[0]], Result))
+            return false;
+        } else {
+          Regs[I.Dst] = IsFunc ? FuncBase + FuncId : Addr;
+        }
+        break;
+      }
+      case IROp::LdSlot:
+        if (!load(SlotAddr[static_cast<size_t>(I.Slot)], Regs[I.Dst],
+                  Result))
+          return false;
+        break;
+      case IROp::StSlot:
+        if (!store(SlotAddr[static_cast<size_t>(I.Slot)],
+                   Regs[I.Srcs[0]], Result))
+          return false;
+        break;
+      case IROp::LdElem:
+      case IROp::StElem: {
+        int32_t Base;
+        if (!I.Sym.empty()) {
+          bool Found = false;
+          Base = resolveGlobalAddr(I.Sym, M, Found);
+          if (!Found) {
+            Result.Error = "unresolved array '" + I.Sym + "'";
+            return false;
+          }
+        } else {
+          Base = SlotAddr[static_cast<size_t>(I.Slot)];
+        }
+        int32_t Addr = static_cast<int32_t>(
+            static_cast<uint32_t>(Base) +
+            static_cast<uint32_t>(Regs[I.Srcs[0]]));
+        if (I.Op == IROp::LdElem) {
+          if (!load(Addr, Regs[I.Dst], Result))
+            return false;
+        } else if (!store(Addr, Regs[I.Srcs[1]], Result)) {
+          return false;
+        }
+        break;
+      }
+      case IROp::LdPtr:
+        if (!load(Regs[I.Srcs[0]], Regs[I.Dst], Result))
+          return false;
+        break;
+      case IROp::StPtr:
+        if (!store(Regs[I.Srcs[0]], Regs[I.Srcs[1]], Result))
+          return false;
+        break;
+      case IROp::AddrSlot:
+        Regs[I.Dst] = SlotAddr[static_cast<size_t>(I.Slot)];
+        break;
+      case IROp::Call:
+      case IROp::CallInd: {
+        int FuncId;
+        size_t FirstArg = 0;
+        if (I.Op == IROp::Call) {
+          FuncId = resolveFunction(I.Sym, M);
+          if (FuncId < 0) {
+            Result.Error = "call to undefined '" + I.Sym + "'";
+            return false;
+          }
+        } else {
+          int32_t Target = Regs[I.Srcs[0]];
+          FuncId = Target - FuncBase;
+          FirstArg = 1;
+          if (FuncId < 0 ||
+              FuncId >= static_cast<int>(Functions.size())) {
+            Result.Error = "indirect call to invalid target";
+            return false;
+          }
+        }
+        std::vector<int32_t> Args;
+        for (size_t A = FirstArg; A < I.Srcs.size(); ++A)
+          Args.push_back(Regs[I.Srcs[A]]);
+        int32_t CallRet = 0;
+        if (!call(FuncId, Args, CallRet, Result))
+          return false;
+        if (I.HasDst)
+          Regs[I.Dst] = CallRet;
+        break;
+      }
+      case IROp::Print:
+        Output += std::to_string(Regs[I.Srcs[0]]);
+        Output += '\n';
+        break;
+      case IROp::PrintC:
+        Output += static_cast<char>(Regs[I.Srcs[0]] & 0xFF);
+        break;
+      case IROp::Ret:
+        Ret = I.Srcs.empty() ? 0 : Regs[I.Srcs[0]];
+        return true;
+      case IROp::Br:
+        Block = I.Target1;
+        break;
+      case IROp::CondBr:
+        Block = Regs[I.Srcs[0]] != 0 ? I.Target1 : I.Target2;
+        break;
+      }
+      if (I.isTerminator())
+        break; // Move to the next block (Block already updated).
+    }
+  }
+}
+
+} // namespace
+
+IRRunResult ipra::interpretIR(const std::vector<const IRModule *> &Modules,
+                              long long MaxSteps) {
+  Interpreter Interp(Modules, MaxSteps);
+  for (const IRModule *M : Modules)
+    Interp.ModuleByName[M->Name] = M;
+  IRRunResult Result = Interp.run();
+  Result.Output = Interp.takeOutput();
+  Result.Steps = Interp.steps();
+  return Result;
+}

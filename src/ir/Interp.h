@@ -1,0 +1,46 @@
+//===- Interp.h - Reference IR interpreter ---------------------*- C++ -*-===//
+//
+// Part of the IPRA project: a reproduction of Santhanam & Odnert,
+// "Register Allocation Across Procedure and Module Boundaries", PLDI 1990.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A reference interpreter executing IR modules directly, with the same
+/// observable semantics as the PR32 simulator (wrapping arithmetic,
+/// division by zero yields zero, word-addressed memory). It anchors the
+/// differential testing story: unoptimized IR, optimized IR, and the
+/// generated machine code must all behave identically, which separates
+/// optimizer bugs from code-generation bugs.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef IPRA_IR_INTERP_H
+#define IPRA_IR_INTERP_H
+
+#include "ir/IR.h"
+
+#include <string>
+#include <vector>
+
+namespace ipra {
+
+/// Outcome of interpreting a program at the IR level.
+struct IRRunResult {
+  bool Ok = false;          ///< main returned normally.
+  std::string Error;        ///< Trap/limit description when !Ok.
+  std::string Output;       ///< print/printc/prints output.
+  int32_t ExitCode = 0;
+  long long Steps = 0;      ///< IR instructions executed.
+};
+
+/// Interprets the program formed by \p Modules, starting at "main".
+/// Cross-module symbols resolve like the linker's (common globals merge
+/// by qualified name; functions resolve by qualified name). Execution
+/// stops after \p MaxSteps instructions.
+IRRunResult interpretIR(const std::vector<const IRModule *> &Modules,
+                        long long MaxSteps = 100'000'000);
+
+} // namespace ipra
+
+#endif // IPRA_IR_INTERP_H

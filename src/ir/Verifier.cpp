@@ -1,0 +1,141 @@
+//===- Verifier.cpp - IR well-formedness checks ---------------------------===//
+//
+// Part of the IPRA project: a reproduction of Santhanam & Odnert,
+// "Register Allocation Across Procedure and Module Boundaries", PLDI 1990.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ir/Verifier.h"
+
+using namespace ipra;
+
+namespace {
+
+/// Expected source-operand count for each opcode; -1 means variable.
+int expectedSrcs(const IRInstr &I) {
+  switch (I.Op) {
+  case IROp::Const:
+  case IROp::LdG:
+  case IROp::LdSlot:
+  case IROp::AddrG:
+  case IROp::AddrSlot:
+    return 0;
+  case IROp::Copy:
+  case IROp::Neg:
+  case IROp::Not:
+  case IROp::StG:
+  case IROp::StSlot:
+  case IROp::LdElem:
+  case IROp::LdPtr:
+  case IROp::Print:
+  case IROp::PrintC:
+  case IROp::CondBr:
+    return 1;
+  case IROp::Bin:
+  case IROp::StElem:
+  case IROp::StPtr:
+    return 2;
+  case IROp::Br:
+    return 0;
+  case IROp::Ret:
+  case IROp::Call:
+  case IROp::CallInd:
+    return -1;
+  }
+  return -1;
+}
+
+bool expectsDst(IROp Op) {
+  switch (Op) {
+  case IROp::Const:
+  case IROp::Copy:
+  case IROp::Bin:
+  case IROp::Neg:
+  case IROp::Not:
+  case IROp::LdG:
+  case IROp::LdSlot:
+  case IROp::LdElem:
+  case IROp::LdPtr:
+  case IROp::AddrG:
+  case IROp::AddrSlot:
+    return true;
+  default:
+    return false;
+  }
+}
+
+} // namespace
+
+std::vector<std::string> ipra::verifyFunction(const IRFunction &F) {
+  std::vector<std::string> Problems;
+  auto Bad = [&](const std::string &Message) {
+    Problems.push_back(F.Name + ": " + Message);
+  };
+
+  if (F.Blocks.empty()) {
+    Bad("function has no blocks");
+    return Problems;
+  }
+
+  int NumBlocks = static_cast<int>(F.Blocks.size());
+  for (const auto &B : F.Blocks) {
+    if (B->Instrs.empty() || !B->Instrs.back().isTerminator()) {
+      Bad("bb" + std::to_string(B->Id) + " does not end in a terminator");
+      continue;
+    }
+    for (size_t Idx = 0; Idx < B->Instrs.size(); ++Idx) {
+      const IRInstr &I = B->Instrs[Idx];
+      std::string Where =
+          "bb" + std::to_string(B->Id) + "[" + std::to_string(Idx) + "] ";
+      if (I.isTerminator() && Idx + 1 != B->Instrs.size())
+        Bad(Where + "interior terminator");
+      int Expected = expectedSrcs(I);
+      if (Expected >= 0 && static_cast<int>(I.Srcs.size()) != Expected)
+        Bad(Where + "wrong operand count for " + I.toString());
+      if (I.Op == IROp::Ret && I.Srcs.size() > 1)
+        Bad(Where + "ret with more than one operand");
+      if (I.Op == IROp::CallInd && I.Srcs.empty())
+        Bad(Where + "indirect call without target operand");
+      if (expectsDst(I.Op) && !I.HasDst)
+        Bad(Where + "missing destination: " + I.toString());
+      if (!expectsDst(I.Op) && I.Op != IROp::Call && I.Op != IROp::CallInd &&
+          I.HasDst)
+        Bad(Where + "unexpected destination: " + I.toString());
+      if (I.HasDst && I.Dst >= F.NumVRegs)
+        Bad(Where + "dst vreg out of range");
+      for (unsigned S : I.Srcs)
+        if (S >= F.NumVRegs)
+          Bad(Where + "src vreg out of range");
+      if (I.Op == IROp::Br || I.Op == IROp::CondBr) {
+        if (I.Target1 < 0 || I.Target1 >= NumBlocks)
+          Bad(Where + "branch target out of range");
+        if (I.Op == IROp::CondBr &&
+            (I.Target2 < 0 || I.Target2 >= NumBlocks))
+          Bad(Where + "false branch target out of range");
+      }
+      bool UsesSlot = I.Op == IROp::LdSlot || I.Op == IROp::StSlot ||
+                      I.Op == IROp::AddrSlot ||
+                      ((I.Op == IROp::LdElem || I.Op == IROp::StElem) &&
+                       I.Sym.empty());
+      if (UsesSlot &&
+          (I.Slot < 0 || I.Slot >= static_cast<int>(F.Slots.size())))
+        Bad(Where + "slot out of range");
+      bool UsesSym = I.Op == IROp::LdG || I.Op == IROp::StG ||
+                     I.Op == IROp::AddrG || I.Op == IROp::Call ||
+                     ((I.Op == IROp::LdElem || I.Op == IROp::StElem) &&
+                      I.Slot < 0);
+      if (UsesSym && I.Sym.empty())
+        Bad(Where + "missing symbol: " + I.toString());
+    }
+  }
+  return Problems;
+}
+
+std::vector<std::string> ipra::verifyModule(const IRModule &M) {
+  std::vector<std::string> Problems;
+  for (const auto &F : M.Functions) {
+    auto P = verifyFunction(*F);
+    Problems.insert(Problems.end(), P.begin(), P.end());
+  }
+  return Problems;
+}

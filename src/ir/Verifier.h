@@ -1,0 +1,35 @@
+//===- Verifier.h - IR well-formedness checks ------------------*- C++ -*-===//
+//
+// Part of the IPRA project: a reproduction of Santhanam & Odnert,
+// "Register Allocation Across Procedure and Module Boundaries", PLDI 1990.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Structural verifier for the IR, run after IR generation and after
+/// every optimization pass in debug/test builds.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef IPRA_IR_VERIFIER_H
+#define IPRA_IR_VERIFIER_H
+
+#include "ir/IR.h"
+
+#include <string>
+#include <vector>
+
+namespace ipra {
+
+/// Checks structural invariants of \p F: every block ends in exactly one
+/// terminator (and contains no interior terminators), branch targets and
+/// slots are in range, operand counts match opcodes, and vreg numbers are
+/// below NumVRegs. Returns a list of problems; empty means valid.
+std::vector<std::string> verifyFunction(const IRFunction &F);
+
+/// Verifies every function in \p M.
+std::vector<std::string> verifyModule(const IRModule &M);
+
+} // namespace ipra
+
+#endif // IPRA_IR_VERIFIER_H

@@ -1,0 +1,278 @@
+//===- AST.cpp - MiniC AST printing ---------------------------------------===//
+//
+// Part of the IPRA project: a reproduction of Santhanam & Odnert,
+// "Register Allocation Across Procedure and Module Boundaries", PLDI 1990.
+//
+//===----------------------------------------------------------------------===//
+
+#include "lang/AST.h"
+
+#include <sstream>
+
+using namespace ipra;
+
+std::string Type::toString() const {
+  switch (Kind) {
+  case TypeKind::Void:
+    return "void";
+  case TypeKind::Int:
+    return "int";
+  case TypeKind::Char:
+    return "char";
+  case TypeKind::Func:
+    return "func";
+  case TypeKind::PtrInt:
+    return "int*";
+  case TypeKind::PtrChar:
+    return "char*";
+  case TypeKind::ArrayInt:
+    return "int[" + std::to_string(ArraySize) + "]";
+  case TypeKind::ArrayChar:
+    return "char[" + std::to_string(ArraySize) + "]";
+  }
+  return "?";
+}
+
+namespace {
+
+/// Stateless recursive printer producing a stable s-expression-ish dump.
+class Dumper {
+public:
+  explicit Dumper(std::ostringstream &OS) : OS(OS) {}
+
+  void dumpExpr(const Expr *E) {
+    if (!E) {
+      OS << "<null>";
+      return;
+    }
+    switch (E->getKind()) {
+    case Expr::Kind::IntLit:
+      OS << static_cast<const IntLitExpr *>(E)->Value;
+      return;
+    case Expr::Kind::StrLit:
+      OS << '"' << static_cast<const StrLitExpr *>(E)->Value << '"';
+      return;
+    case Expr::Kind::VarRef:
+      OS << static_cast<const VarRefExpr *>(E)->Name;
+      return;
+    case Expr::Kind::Unary: {
+      const auto *U = static_cast<const UnaryExpr *>(E);
+      OS << "(" << unOpName(U->Op) << " ";
+      dumpExpr(U->Operand.get());
+      OS << ")";
+      return;
+    }
+    case Expr::Kind::Binary: {
+      const auto *B = static_cast<const BinaryExpr *>(E);
+      OS << "(" << binOpName(B->Op) << " ";
+      dumpExpr(B->LHS.get());
+      OS << " ";
+      dumpExpr(B->RHS.get());
+      OS << ")";
+      return;
+    }
+    case Expr::Kind::Assign: {
+      const auto *A = static_cast<const AssignExpr *>(E);
+      OS << "(= ";
+      dumpExpr(A->LHS.get());
+      OS << " ";
+      dumpExpr(A->RHS.get());
+      OS << ")";
+      return;
+    }
+    case Expr::Kind::Index: {
+      const auto *I = static_cast<const IndexExpr *>(E);
+      OS << "(index ";
+      dumpExpr(I->Base.get());
+      OS << " ";
+      dumpExpr(I->Index.get());
+      OS << ")";
+      return;
+    }
+    case Expr::Kind::Call: {
+      const auto *C = static_cast<const CallExpr *>(E);
+      OS << "(call " << C->CalleeName;
+      for (const ExprPtr &Arg : C->Args) {
+        OS << " ";
+        dumpExpr(Arg.get());
+      }
+      OS << ")";
+      return;
+    }
+    }
+  }
+
+  void dumpStmt(const Stmt *S, int Depth) {
+    indent(Depth);
+    if (!S) {
+      OS << "<null>\n";
+      return;
+    }
+    switch (S->getKind()) {
+    case Stmt::Kind::Block: {
+      OS << "block\n";
+      for (const StmtPtr &Child : static_cast<const BlockStmt *>(S)->Body)
+        dumpStmt(Child.get(), Depth + 1);
+      return;
+    }
+    case Stmt::Kind::If: {
+      const auto *If = static_cast<const IfStmt *>(S);
+      OS << "if ";
+      dumpExpr(If->Cond.get());
+      OS << "\n";
+      dumpStmt(If->Then.get(), Depth + 1);
+      if (If->Else) {
+        indent(Depth);
+        OS << "else\n";
+        dumpStmt(If->Else.get(), Depth + 1);
+      }
+      return;
+    }
+    case Stmt::Kind::While: {
+      const auto *W = static_cast<const WhileStmt *>(S);
+      OS << "while ";
+      dumpExpr(W->Cond.get());
+      OS << "\n";
+      dumpStmt(W->Body.get(), Depth + 1);
+      return;
+    }
+    case Stmt::Kind::For: {
+      const auto *F = static_cast<const ForStmt *>(S);
+      OS << "for\n";
+      if (F->Init)
+        dumpStmt(F->Init.get(), Depth + 1);
+      indent(Depth + 1);
+      OS << "cond ";
+      dumpExpr(F->Cond.get());
+      OS << "\n";
+      indent(Depth + 1);
+      OS << "step ";
+      dumpExpr(F->Step.get());
+      OS << "\n";
+      dumpStmt(F->Body.get(), Depth + 1);
+      return;
+    }
+    case Stmt::Kind::Return: {
+      OS << "return ";
+      dumpExpr(static_cast<const ReturnStmt *>(S)->Value.get());
+      OS << "\n";
+      return;
+    }
+    case Stmt::Kind::Break:
+      OS << "break\n";
+      return;
+    case Stmt::Kind::Continue:
+      OS << "continue\n";
+      return;
+    case Stmt::Kind::ExprStmt:
+      OS << "expr ";
+      dumpExpr(static_cast<const ExprStmt *>(S)->E.get());
+      OS << "\n";
+      return;
+    case Stmt::Kind::Decl: {
+      const auto *D = static_cast<const DeclStmt *>(S);
+      OS << "decl " << D->Var->DeclType.toString() << " " << D->Var->Name;
+      if (D->Var->LocalInit) {
+        OS << " = ";
+        dumpExpr(D->Var->LocalInit.get());
+      }
+      OS << "\n";
+      return;
+    }
+    case Stmt::Kind::Empty:
+      OS << "empty\n";
+      return;
+    }
+  }
+
+private:
+  static const char *unOpName(UnOp Op) {
+    switch (Op) {
+    case UnOp::Neg:
+      return "neg";
+    case UnOp::BitNot:
+      return "bnot";
+    case UnOp::LogNot:
+      return "lnot";
+    case UnOp::Deref:
+      return "deref";
+    case UnOp::AddrOf:
+      return "addrof";
+    }
+    return "?";
+  }
+
+  static const char *binOpName(BinOp Op) {
+    switch (Op) {
+    case BinOp::Add:
+      return "+";
+    case BinOp::Sub:
+      return "-";
+    case BinOp::Mul:
+      return "*";
+    case BinOp::Div:
+      return "/";
+    case BinOp::Rem:
+      return "%";
+    case BinOp::And:
+      return "&";
+    case BinOp::Or:
+      return "|";
+    case BinOp::Xor:
+      return "^";
+    case BinOp::Shl:
+      return "<<";
+    case BinOp::Shr:
+      return ">>";
+    case BinOp::Lt:
+      return "<";
+    case BinOp::Le:
+      return "<=";
+    case BinOp::Gt:
+      return ">";
+    case BinOp::Ge:
+      return ">=";
+    case BinOp::Eq:
+      return "==";
+    case BinOp::Ne:
+      return "!=";
+    case BinOp::LogAnd:
+      return "&&";
+    case BinOp::LogOr:
+      return "||";
+    }
+    return "?";
+  }
+
+  void indent(int Depth) {
+    for (int I = 0; I < Depth; ++I)
+      OS << "  ";
+  }
+
+  std::ostringstream &OS;
+};
+
+} // namespace
+
+std::string ipra::dumpModule(const ModuleAST &M) {
+  std::ostringstream OS;
+  OS << "module " << M.Name << "\n";
+  Dumper D(OS);
+  for (const auto &G : M.Globals) {
+    OS << (G->IsStatic ? "static " : "") << "global "
+       << G->DeclType.toString() << " " << G->Name << "\n";
+  }
+  for (const auto &F : M.Functions) {
+    OS << (F->IsStatic ? "static " : "") << "func " << F->RetType.toString()
+       << " " << F->Name << "(";
+    for (size_t I = 0; I < F->Params.size(); ++I) {
+      if (I)
+        OS << ", ";
+      OS << F->Params[I]->DeclType.toString() << " " << F->Params[I]->Name;
+    }
+    OS << ")\n";
+    if (F->Body)
+      D.dumpStmt(F->Body.get(), 1);
+  }
+  return OS.str();
+}

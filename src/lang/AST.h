@@ -1,0 +1,427 @@
+//===- AST.h - MiniC abstract syntax tree ----------------------*- C++ -*-===//
+//
+// Part of the IPRA project: a reproduction of Santhanam & Odnert,
+// "Register Allocation Across Procedure and Module Boundaries", PLDI 1990.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// AST for MiniC, the C subset used to write the paper's benchmark
+/// programs. MiniC has int/char scalars, global and local arrays,
+/// pointers (so globals can be aliased, which makes them ineligible for
+/// promotion, per §4.1.2), function pointers (so the call graph has
+/// indirect calls, §7.3), and 'static' module-private globals and
+/// functions (§7.4).
+///
+/// The hierarchy uses LLVM-style kind tags with classof; no RTTI.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef IPRA_LANG_AST_H
+#define IPRA_LANG_AST_H
+
+#include "support/SourceLoc.h"
+
+#include <cassert>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace ipra {
+
+//===----------------------------------------------------------------------===//
+// Types
+//===----------------------------------------------------------------------===//
+
+/// MiniC type kinds. Arrays carry their element count; 'func' is an
+/// opaque pointer-to-function type (all MiniC functions share one shape
+/// as far as indirect calls are concerned: int result, int arguments).
+enum class TypeKind : uint8_t {
+  Void,
+  Int,
+  Char,
+  Func,
+  PtrInt,
+  PtrChar,
+  ArrayInt,
+  ArrayChar,
+};
+
+/// A MiniC type: kind plus array size when applicable.
+struct Type {
+  TypeKind Kind = TypeKind::Int;
+  int ArraySize = 0; ///< For arrays; 0 means size taken from initializer.
+
+  Type() = default;
+  explicit Type(TypeKind Kind, int ArraySize = 0)
+      : Kind(Kind), ArraySize(ArraySize) {}
+
+  bool isVoid() const { return Kind == TypeKind::Void; }
+  bool isScalar() const {
+    return Kind == TypeKind::Int || Kind == TypeKind::Char;
+  }
+  bool isFunc() const { return Kind == TypeKind::Func; }
+  bool isPointer() const {
+    return Kind == TypeKind::PtrInt || Kind == TypeKind::PtrChar;
+  }
+  bool isArray() const {
+    return Kind == TypeKind::ArrayInt || Kind == TypeKind::ArrayChar;
+  }
+  /// For arrays and pointers: the scalar element type.
+  Type elementType() const {
+    assert((isPointer() || isArray()) && "no element type");
+    bool IsChar =
+        Kind == TypeKind::PtrChar || Kind == TypeKind::ArrayChar;
+    return Type(IsChar ? TypeKind::Char : TypeKind::Int);
+  }
+  /// For arrays: the pointer type the array decays to.
+  Type decayed() const {
+    assert(isArray() && "only arrays decay");
+    return Type(Kind == TypeKind::ArrayChar ? TypeKind::PtrChar
+                                            : TypeKind::PtrInt);
+  }
+
+  /// Renders "int", "char[16]", "int*", etc.
+  std::string toString() const;
+
+  bool operator==(const Type &RHS) const = default;
+};
+
+//===----------------------------------------------------------------------===//
+// Expressions
+//===----------------------------------------------------------------------===//
+
+class VarDecl;
+class FuncDecl;
+
+/// Base class for MiniC expressions.
+class Expr {
+public:
+  enum class Kind : uint8_t {
+    IntLit,
+    StrLit,
+    VarRef,
+    Unary,
+    Binary,
+    Assign,
+    Index,
+    Call,
+  };
+
+  Kind getKind() const { return TheKind; }
+  SourceLoc getLoc() const { return Loc; }
+
+  /// Filled in by Sema.
+  Type ExprType;
+
+  virtual ~Expr() = default;
+
+protected:
+  Expr(Kind TheKind, SourceLoc Loc) : TheKind(TheKind), Loc(Loc) {}
+
+private:
+  Kind TheKind;
+  SourceLoc Loc;
+};
+
+using ExprPtr = std::unique_ptr<Expr>;
+
+/// Integer or character literal.
+class IntLitExpr : public Expr {
+public:
+  IntLitExpr(SourceLoc Loc, int32_t Value)
+      : Expr(Kind::IntLit, Loc), Value(Value) {}
+  int32_t Value;
+  static bool classof(const Expr *E) { return E->getKind() == Kind::IntLit; }
+};
+
+/// String literal; only valid as an argument to the prints() builtin or
+/// as a global char-array initializer (the parser folds that case into
+/// GlobalInit instead).
+class StrLitExpr : public Expr {
+public:
+  StrLitExpr(SourceLoc Loc, std::string Value)
+      : Expr(Kind::StrLit, Loc), Value(std::move(Value)) {}
+  std::string Value;
+  static bool classof(const Expr *E) { return E->getKind() == Kind::StrLit; }
+};
+
+/// Reference to a variable or (in address-of / call position) a function.
+class VarRefExpr : public Expr {
+public:
+  VarRefExpr(SourceLoc Loc, std::string Name)
+      : Expr(Kind::VarRef, Loc), Name(std::move(Name)) {}
+  std::string Name;
+  /// Resolved by Sema: exactly one of these is non-null.
+  VarDecl *Var = nullptr;
+  FuncDecl *Func = nullptr;
+  static bool classof(const Expr *E) { return E->getKind() == Kind::VarRef; }
+};
+
+/// Unary operators.
+enum class UnOp : uint8_t { Neg, BitNot, LogNot, Deref, AddrOf };
+
+class UnaryExpr : public Expr {
+public:
+  UnaryExpr(SourceLoc Loc, UnOp Op, ExprPtr Operand)
+      : Expr(Kind::Unary, Loc), Op(Op), Operand(std::move(Operand)) {}
+  UnOp Op;
+  ExprPtr Operand;
+  static bool classof(const Expr *E) { return E->getKind() == Kind::Unary; }
+};
+
+/// Binary operators (assignment is a separate node).
+enum class BinOp : uint8_t {
+  Add,
+  Sub,
+  Mul,
+  Div,
+  Rem,
+  And,
+  Or,
+  Xor,
+  Shl,
+  Shr,
+  Lt,
+  Le,
+  Gt,
+  Ge,
+  Eq,
+  Ne,
+  LogAnd,
+  LogOr,
+};
+
+class BinaryExpr : public Expr {
+public:
+  BinaryExpr(SourceLoc Loc, BinOp Op, ExprPtr LHS, ExprPtr RHS)
+      : Expr(Kind::Binary, Loc), Op(Op), LHS(std::move(LHS)),
+        RHS(std::move(RHS)) {}
+  BinOp Op;
+  ExprPtr LHS, RHS;
+  static bool classof(const Expr *E) { return E->getKind() == Kind::Binary; }
+};
+
+/// Assignment; LHS must be an lvalue (variable, *ptr, or array element).
+class AssignExpr : public Expr {
+public:
+  AssignExpr(SourceLoc Loc, ExprPtr LHS, ExprPtr RHS)
+      : Expr(Kind::Assign, Loc), LHS(std::move(LHS)), RHS(std::move(RHS)) {}
+  ExprPtr LHS, RHS;
+  static bool classof(const Expr *E) { return E->getKind() == Kind::Assign; }
+};
+
+/// Array or pointer indexing: Base[Index].
+class IndexExpr : public Expr {
+public:
+  IndexExpr(SourceLoc Loc, ExprPtr Base, ExprPtr Index)
+      : Expr(Kind::Index, Loc), Base(std::move(Base)),
+        Index(std::move(Index)) {}
+  ExprPtr Base, Index;
+  static bool classof(const Expr *E) { return E->getKind() == Kind::Index; }
+};
+
+/// A call through an identifier: direct when the name resolves to a
+/// function, indirect when it resolves to a 'func' variable. The names
+/// print/printc/prints denote builtins.
+class CallExpr : public Expr {
+public:
+  CallExpr(SourceLoc Loc, std::string CalleeName, std::vector<ExprPtr> Args)
+      : Expr(Kind::Call, Loc), CalleeName(std::move(CalleeName)),
+        Args(std::move(Args)) {}
+  std::string CalleeName;
+  std::vector<ExprPtr> Args;
+  /// Resolved by Sema.
+  FuncDecl *DirectCallee = nullptr; ///< Non-null for direct calls.
+  VarDecl *IndirectVar = nullptr;   ///< Non-null for indirect calls.
+  enum class Builtin : uint8_t { NotBuiltin, Print, PrintC, Prints };
+  Builtin BuiltinKind = Builtin::NotBuiltin;
+  static bool classof(const Expr *E) { return E->getKind() == Kind::Call; }
+};
+
+//===----------------------------------------------------------------------===//
+// Statements
+//===----------------------------------------------------------------------===//
+
+class Stmt {
+public:
+  enum class Kind : uint8_t {
+    Block,
+    If,
+    While,
+    For,
+    Return,
+    Break,
+    Continue,
+    ExprStmt,
+    Decl,
+    Empty,
+  };
+  Kind getKind() const { return TheKind; }
+  SourceLoc getLoc() const { return Loc; }
+  virtual ~Stmt() = default;
+
+protected:
+  Stmt(Kind TheKind, SourceLoc Loc) : TheKind(TheKind), Loc(Loc) {}
+
+private:
+  Kind TheKind;
+  SourceLoc Loc;
+};
+
+using StmtPtr = std::unique_ptr<Stmt>;
+
+class BlockStmt : public Stmt {
+public:
+  BlockStmt(SourceLoc Loc, std::vector<StmtPtr> Body)
+      : Stmt(Kind::Block, Loc), Body(std::move(Body)) {}
+  std::vector<StmtPtr> Body;
+  static bool classof(const Stmt *S) { return S->getKind() == Kind::Block; }
+};
+
+class IfStmt : public Stmt {
+public:
+  IfStmt(SourceLoc Loc, ExprPtr Cond, StmtPtr Then, StmtPtr Else)
+      : Stmt(Kind::If, Loc), Cond(std::move(Cond)), Then(std::move(Then)),
+        Else(std::move(Else)) {}
+  ExprPtr Cond;
+  StmtPtr Then, Else; ///< Else may be null.
+  static bool classof(const Stmt *S) { return S->getKind() == Kind::If; }
+};
+
+class WhileStmt : public Stmt {
+public:
+  WhileStmt(SourceLoc Loc, ExprPtr Cond, StmtPtr Body)
+      : Stmt(Kind::While, Loc), Cond(std::move(Cond)), Body(std::move(Body)) {}
+  ExprPtr Cond;
+  StmtPtr Body;
+  static bool classof(const Stmt *S) { return S->getKind() == Kind::While; }
+};
+
+class ForStmt : public Stmt {
+public:
+  ForStmt(SourceLoc Loc, StmtPtr Init, ExprPtr Cond, ExprPtr Step,
+          StmtPtr Body)
+      : Stmt(Kind::For, Loc), Init(std::move(Init)), Cond(std::move(Cond)),
+        Step(std::move(Step)), Body(std::move(Body)) {}
+  StmtPtr Init; ///< Declaration or expression statement; may be null.
+  ExprPtr Cond; ///< May be null (infinite loop).
+  ExprPtr Step; ///< May be null.
+  StmtPtr Body;
+  static bool classof(const Stmt *S) { return S->getKind() == Kind::For; }
+};
+
+class ReturnStmt : public Stmt {
+public:
+  ReturnStmt(SourceLoc Loc, ExprPtr Value)
+      : Stmt(Kind::Return, Loc), Value(std::move(Value)) {}
+  ExprPtr Value; ///< Null for 'return;' in a void function.
+  static bool classof(const Stmt *S) { return S->getKind() == Kind::Return; }
+};
+
+class BreakStmt : public Stmt {
+public:
+  explicit BreakStmt(SourceLoc Loc) : Stmt(Kind::Break, Loc) {}
+  static bool classof(const Stmt *S) { return S->getKind() == Kind::Break; }
+};
+
+class ContinueStmt : public Stmt {
+public:
+  explicit ContinueStmt(SourceLoc Loc) : Stmt(Kind::Continue, Loc) {}
+  static bool classof(const Stmt *S) {
+    return S->getKind() == Kind::Continue;
+  }
+};
+
+class ExprStmt : public Stmt {
+public:
+  ExprStmt(SourceLoc Loc, ExprPtr E)
+      : Stmt(Kind::ExprStmt, Loc), E(std::move(E)) {}
+  ExprPtr E;
+  static bool classof(const Stmt *S) {
+    return S->getKind() == Kind::ExprStmt;
+  }
+};
+
+class EmptyStmt : public Stmt {
+public:
+  explicit EmptyStmt(SourceLoc Loc) : Stmt(Kind::Empty, Loc) {}
+  static bool classof(const Stmt *S) { return S->getKind() == Kind::Empty; }
+};
+
+//===----------------------------------------------------------------------===//
+// Declarations
+//===----------------------------------------------------------------------===//
+
+/// Static initializer of a global variable.
+struct GlobalInit {
+  enum class Kind : uint8_t { None, Scalar, List, String, FuncAddr };
+  Kind InitKind = Kind::None;
+  int32_t Scalar = 0;
+  std::vector<int32_t> List;
+  std::string Str;
+  std::string FuncName; ///< For 'func f = &g;' initializers.
+};
+
+/// A variable: global, local, or parameter.
+class VarDecl {
+public:
+  std::string Name;
+  Type DeclType;
+  SourceLoc Loc;
+  bool IsGlobal = false;
+  bool IsStatic = false; ///< Module-private global (§7.4).
+  bool IsParam = false;
+  GlobalInit Init; ///< Globals only.
+  ExprPtr LocalInit; ///< Locals only; may be null.
+
+  // --- Sema results ---
+  bool AddressTaken = false; ///< '&v' seen; disqualifies promotion.
+  int LocalId = -1; ///< Dense per-function id for locals and params.
+};
+
+/// Statement wrapping a local VarDecl.
+class DeclStmt : public Stmt {
+public:
+  DeclStmt(SourceLoc Loc, std::unique_ptr<VarDecl> Var)
+      : Stmt(Kind::Decl, Loc), Var(std::move(Var)) {}
+  std::unique_ptr<VarDecl> Var;
+  static bool classof(const Stmt *S) { return S->getKind() == Kind::Decl; }
+};
+
+/// A function definition or forward declaration.
+class FuncDecl {
+public:
+  std::string Name;
+  Type RetType;
+  SourceLoc Loc;
+  bool IsStatic = false; ///< Module-private (§7.4).
+  std::vector<std::unique_ptr<VarDecl>> Params;
+  std::unique_ptr<BlockStmt> Body; ///< Null for a forward declaration.
+
+  // --- Sema results ---
+  bool AddressTaken = false;       ///< '&f' seen somewhere in the module.
+  bool MakesIndirectCalls = false; ///< Calls through a 'func' variable.
+  /// Every local variable and parameter, in LocalId order (params first).
+  /// Pointers into Params and into DeclStmt-owned decls in the body.
+  std::vector<VarDecl *> AllLocals;
+
+  bool isDefinition() const { return Body != nullptr; }
+};
+
+/// One MiniC translation unit (module / compilation unit).
+class ModuleAST {
+public:
+  std::string Name; ///< Module (file) name; qualifies statics.
+  std::vector<std::unique_ptr<VarDecl>> Globals;
+  std::vector<std::unique_ptr<FuncDecl>> Functions;
+};
+
+/// Renders the AST in an indented, stable textual form (used by parser
+/// tests).
+std::string dumpModule(const ModuleAST &M);
+
+} // namespace ipra
+
+#endif // IPRA_LANG_AST_H

@@ -1,0 +1,380 @@
+//===- Lexer.cpp - MiniC lexer --------------------------------------------===//
+//
+// Part of the IPRA project: a reproduction of Santhanam & Odnert,
+// "Register Allocation Across Procedure and Module Boundaries", PLDI 1990.
+//
+//===----------------------------------------------------------------------===//
+
+#include "lang/Lexer.h"
+
+#include <cctype>
+#include <unordered_map>
+
+using namespace ipra;
+
+const char *ipra::tokKindName(TokKind Kind) {
+  switch (Kind) {
+  case TokKind::Eof:
+    return "end of file";
+  case TokKind::Identifier:
+    return "identifier";
+  case TokKind::IntLiteral:
+    return "integer literal";
+  case TokKind::CharLiteral:
+    return "character literal";
+  case TokKind::StringLiteral:
+    return "string literal";
+  case TokKind::KwInt:
+    return "'int'";
+  case TokKind::KwChar:
+    return "'char'";
+  case TokKind::KwVoid:
+    return "'void'";
+  case TokKind::KwFunc:
+    return "'func'";
+  case TokKind::KwStatic:
+    return "'static'";
+  case TokKind::KwIf:
+    return "'if'";
+  case TokKind::KwElse:
+    return "'else'";
+  case TokKind::KwWhile:
+    return "'while'";
+  case TokKind::KwFor:
+    return "'for'";
+  case TokKind::KwReturn:
+    return "'return'";
+  case TokKind::KwBreak:
+    return "'break'";
+  case TokKind::KwContinue:
+    return "'continue'";
+  case TokKind::LParen:
+    return "'('";
+  case TokKind::RParen:
+    return "')'";
+  case TokKind::LBrace:
+    return "'{'";
+  case TokKind::RBrace:
+    return "'}'";
+  case TokKind::LBracket:
+    return "'['";
+  case TokKind::RBracket:
+    return "']'";
+  case TokKind::Comma:
+    return "','";
+  case TokKind::Semi:
+    return "';'";
+  case TokKind::Assign:
+    return "'='";
+  case TokKind::Plus:
+    return "'+'";
+  case TokKind::Minus:
+    return "'-'";
+  case TokKind::Star:
+    return "'*'";
+  case TokKind::Slash:
+    return "'/'";
+  case TokKind::Percent:
+    return "'%'";
+  case TokKind::Amp:
+    return "'&'";
+  case TokKind::Pipe:
+    return "'|'";
+  case TokKind::Caret:
+    return "'^'";
+  case TokKind::Tilde:
+    return "'~'";
+  case TokKind::Bang:
+    return "'!'";
+  case TokKind::Shl:
+    return "'<<'";
+  case TokKind::Shr:
+    return "'>>'";
+  case TokKind::Lt:
+    return "'<'";
+  case TokKind::Le:
+    return "'<='";
+  case TokKind::Gt:
+    return "'>'";
+  case TokKind::Ge:
+    return "'>='";
+  case TokKind::EqEq:
+    return "'=='";
+  case TokKind::NotEq:
+    return "'!='";
+  case TokKind::AmpAmp:
+    return "'&&'";
+  case TokKind::PipePipe:
+    return "'||'";
+  }
+  return "unknown token";
+}
+
+char Lexer::advance() {
+  char C = Source[Pos++];
+  if (C == '\n') {
+    ++Line;
+    Col = 1;
+  } else {
+    ++Col;
+  }
+  return C;
+}
+
+bool Lexer::match(char Expected) {
+  if (peek() != Expected)
+    return false;
+  advance();
+  return true;
+}
+
+void Lexer::skipWhitespaceAndComments() {
+  while (Pos < Source.size()) {
+    char C = peek();
+    if (std::isspace(static_cast<unsigned char>(C))) {
+      advance();
+      continue;
+    }
+    if (C == '/' && peek(1) == '/') {
+      while (Pos < Source.size() && peek() != '\n')
+        advance();
+      continue;
+    }
+    if (C == '/' && peek(1) == '*') {
+      SourceLoc Start = loc();
+      advance();
+      advance();
+      bool Closed = false;
+      while (Pos < Source.size()) {
+        if (peek() == '*' && peek(1) == '/') {
+          advance();
+          advance();
+          Closed = true;
+          break;
+        }
+        advance();
+      }
+      if (!Closed)
+        Diags.error(ModuleName, Start, "unterminated block comment");
+      continue;
+    }
+    break;
+  }
+}
+
+Token Lexer::makeToken(TokKind Kind, SourceLoc Loc) {
+  Token T;
+  T.Kind = Kind;
+  T.Loc = Loc;
+  return T;
+}
+
+Token Lexer::lexIdentifierOrKeyword() {
+  static const std::unordered_map<std::string, TokKind> Keywords = {
+      {"int", TokKind::KwInt},         {"char", TokKind::KwChar},
+      {"void", TokKind::KwVoid},       {"func", TokKind::KwFunc},
+      {"static", TokKind::KwStatic},   {"if", TokKind::KwIf},
+      {"else", TokKind::KwElse},       {"while", TokKind::KwWhile},
+      {"for", TokKind::KwFor},         {"return", TokKind::KwReturn},
+      {"break", TokKind::KwBreak},     {"continue", TokKind::KwContinue},
+  };
+  SourceLoc Start = loc();
+  std::string Text;
+  while (Pos < Source.size() &&
+         (std::isalnum(static_cast<unsigned char>(peek())) || peek() == '_'))
+    Text += advance();
+  auto It = Keywords.find(Text);
+  Token T = makeToken(It != Keywords.end() ? It->second : TokKind::Identifier,
+                      Start);
+  T.Text = std::move(Text);
+  return T;
+}
+
+Token Lexer::lexNumber() {
+  SourceLoc Start = loc();
+  long long Value = 0;
+  if (peek() == '0' && (peek(1) == 'x' || peek(1) == 'X')) {
+    advance();
+    advance();
+    bool Any = false;
+    while (std::isxdigit(static_cast<unsigned char>(peek()))) {
+      char C = advance();
+      int Digit = std::isdigit(static_cast<unsigned char>(C))
+                      ? C - '0'
+                      : std::tolower(C) - 'a' + 10;
+      Value = Value * 16 + Digit;
+      Any = true;
+    }
+    if (!Any)
+      Diags.error(ModuleName, Start, "malformed hexadecimal literal");
+  } else {
+    while (std::isdigit(static_cast<unsigned char>(peek())))
+      Value = Value * 10 + (advance() - '0');
+  }
+  Token T = makeToken(TokKind::IntLiteral, Start);
+  T.IntVal = static_cast<int32_t>(Value);
+  return T;
+}
+
+bool Lexer::lexEscapedChar(char Terminator, int &Value) {
+  if (Pos >= Source.size())
+    return false;
+  char C = advance();
+  if (C == Terminator || C == '\n')
+    return false;
+  if (C != '\\') {
+    Value = static_cast<unsigned char>(C);
+    return true;
+  }
+  if (Pos >= Source.size())
+    return false;
+  char E = advance();
+  switch (E) {
+  case 'n':
+    Value = '\n';
+    return true;
+  case 't':
+    Value = '\t';
+    return true;
+  case 'r':
+    Value = '\r';
+    return true;
+  case '0':
+    Value = 0;
+    return true;
+  case '\\':
+    Value = '\\';
+    return true;
+  case '\'':
+    Value = '\'';
+    return true;
+  case '"':
+    Value = '"';
+    return true;
+  default:
+    Diags.error(ModuleName, loc(),
+                std::string("unknown escape sequence '\\") + E + "'");
+    Value = E;
+    return true;
+  }
+}
+
+Token Lexer::lexCharLiteral() {
+  SourceLoc Start = loc();
+  advance(); // consume opening quote
+  int Value = 0;
+  if (!lexEscapedChar('\'', Value))
+    Diags.error(ModuleName, Start, "empty or unterminated character literal");
+  else if (!match('\''))
+    Diags.error(ModuleName, Start, "unterminated character literal");
+  Token T = makeToken(TokKind::CharLiteral, Start);
+  T.IntVal = Value;
+  return T;
+}
+
+Token Lexer::lexStringLiteral() {
+  SourceLoc Start = loc();
+  advance(); // consume opening quote
+  std::string Text;
+  while (true) {
+    if (Pos >= Source.size() || peek() == '\n') {
+      Diags.error(ModuleName, Start, "unterminated string literal");
+      break;
+    }
+    if (peek() == '"') {
+      advance();
+      break;
+    }
+    int Value = 0;
+    if (lexEscapedChar('"', Value))
+      Text += static_cast<char>(Value);
+    else
+      break;
+  }
+  Token T = makeToken(TokKind::StringLiteral, Start);
+  T.Text = std::move(Text);
+  return T;
+}
+
+Token Lexer::lexToken() {
+  skipWhitespaceAndComments();
+  SourceLoc Start = loc();
+  if (Pos >= Source.size())
+    return makeToken(TokKind::Eof, Start);
+
+  char C = peek();
+  if (std::isalpha(static_cast<unsigned char>(C)) || C == '_')
+    return lexIdentifierOrKeyword();
+  if (std::isdigit(static_cast<unsigned char>(C)))
+    return lexNumber();
+  if (C == '\'')
+    return lexCharLiteral();
+  if (C == '"')
+    return lexStringLiteral();
+
+  advance();
+  switch (C) {
+  case '(':
+    return makeToken(TokKind::LParen, Start);
+  case ')':
+    return makeToken(TokKind::RParen, Start);
+  case '{':
+    return makeToken(TokKind::LBrace, Start);
+  case '}':
+    return makeToken(TokKind::RBrace, Start);
+  case '[':
+    return makeToken(TokKind::LBracket, Start);
+  case ']':
+    return makeToken(TokKind::RBracket, Start);
+  case ',':
+    return makeToken(TokKind::Comma, Start);
+  case ';':
+    return makeToken(TokKind::Semi, Start);
+  case '+':
+    return makeToken(TokKind::Plus, Start);
+  case '-':
+    return makeToken(TokKind::Minus, Start);
+  case '*':
+    return makeToken(TokKind::Star, Start);
+  case '/':
+    return makeToken(TokKind::Slash, Start);
+  case '%':
+    return makeToken(TokKind::Percent, Start);
+  case '^':
+    return makeToken(TokKind::Caret, Start);
+  case '~':
+    return makeToken(TokKind::Tilde, Start);
+  case '&':
+    return makeToken(match('&') ? TokKind::AmpAmp : TokKind::Amp, Start);
+  case '|':
+    return makeToken(match('|') ? TokKind::PipePipe : TokKind::Pipe, Start);
+  case '!':
+    return makeToken(match('=') ? TokKind::NotEq : TokKind::Bang, Start);
+  case '=':
+    return makeToken(match('=') ? TokKind::EqEq : TokKind::Assign, Start);
+  case '<':
+    if (match('<'))
+      return makeToken(TokKind::Shl, Start);
+    return makeToken(match('=') ? TokKind::Le : TokKind::Lt, Start);
+  case '>':
+    if (match('>'))
+      return makeToken(TokKind::Shr, Start);
+    return makeToken(match('=') ? TokKind::Ge : TokKind::Gt, Start);
+  default:
+    Diags.error(ModuleName, Start,
+                std::string("unexpected character '") + C + "'");
+    return lexToken();
+  }
+}
+
+std::vector<Token> Lexer::lexAll() {
+  std::vector<Token> Tokens;
+  while (true) {
+    Token T = lexToken();
+    bool AtEof = T.is(TokKind::Eof);
+    Tokens.push_back(std::move(T));
+    if (AtEof)
+      break;
+  }
+  return Tokens;
+}

@@ -1,0 +1,67 @@
+//===- Lexer.h - MiniC lexer -----------------------------------*- C++ -*-===//
+//
+// Part of the IPRA project: a reproduction of Santhanam & Odnert,
+// "Register Allocation Across Procedure and Module Boundaries", PLDI 1990.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Hand-written lexer for MiniC. Supports decimal and hexadecimal integer
+/// literals, character literals with the common escapes, string literals,
+/// and both comment styles.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef IPRA_LANG_LEXER_H
+#define IPRA_LANG_LEXER_H
+
+#include "lang/Token.h"
+#include "support/Diagnostics.h"
+
+#include <string>
+#include <vector>
+
+namespace ipra {
+
+/// Lexes a MiniC source buffer into a token stream.
+class Lexer {
+public:
+  Lexer(std::string ModuleName, const std::string &Source,
+        DiagnosticEngine &Diags)
+      : ModuleName(std::move(ModuleName)), Source(Source), Diags(Diags) {}
+
+  /// Lexes the whole buffer. The returned vector always ends with an Eof
+  /// token; on error, diagnostics are reported and offending characters
+  /// skipped.
+  std::vector<Token> lexAll();
+
+private:
+  Token lexToken();
+  Token makeToken(TokKind Kind, SourceLoc Loc);
+  void skipWhitespaceAndComments();
+  Token lexIdentifierOrKeyword();
+  Token lexNumber();
+  Token lexCharLiteral();
+  Token lexStringLiteral();
+  /// Decodes one (possibly escaped) character in a literal body.
+  /// Returns false at end-of-buffer or on a bad escape.
+  bool lexEscapedChar(char Terminator, int &Value);
+
+  char peek(unsigned Ahead = 0) const {
+    return Pos + Ahead < Source.size() ? Source[Pos + Ahead] : '\0';
+  }
+  char advance();
+  bool match(char Expected);
+  SourceLoc loc() const { return SourceLoc(Line, Col); }
+
+  std::string ModuleName;
+  const std::string &Source;
+  DiagnosticEngine &Diags;
+  size_t Pos = 0;
+  int Line = 1;
+  int Col = 1;
+};
+
+} // namespace ipra
+
+#endif // IPRA_LANG_LEXER_H

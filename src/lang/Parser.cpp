@@ -1,0 +1,589 @@
+//===- Parser.cpp - MiniC recursive-descent parser ------------------------===//
+//
+// Part of the IPRA project: a reproduction of Santhanam & Odnert,
+// "Register Allocation Across Procedure and Module Boundaries", PLDI 1990.
+//
+//===----------------------------------------------------------------------===//
+
+#include "lang/Parser.h"
+
+using namespace ipra;
+
+const Token &Parser::peek(unsigned Ahead) const {
+  size_t Index = Pos + Ahead;
+  if (Index >= Tokens.size())
+    Index = Tokens.size() - 1; // The stream always ends with Eof.
+  return Tokens[Index];
+}
+
+Token Parser::consume() {
+  Token T = current();
+  if (Pos + 1 < Tokens.size())
+    ++Pos;
+  return T;
+}
+
+bool Parser::accept(TokKind Kind) {
+  if (!check(Kind))
+    return false;
+  consume();
+  return true;
+}
+
+bool Parser::expect(TokKind Kind, const char *Context) {
+  if (accept(Kind))
+    return true;
+  error(std::string("expected ") + tokKindName(Kind) + " " + Context +
+        ", found " + tokKindName(current().Kind));
+  return false;
+}
+
+void Parser::error(const std::string &Message) {
+  Diags.error(ModuleName, current().Loc, Message);
+}
+
+void Parser::skipToRecoveryPoint() {
+  while (!check(TokKind::Eof)) {
+    if (accept(TokKind::Semi))
+      return;
+    if (check(TokKind::RBrace)) {
+      consume();
+      return;
+    }
+    consume();
+  }
+}
+
+std::unique_ptr<ModuleAST> Parser::parseModule() {
+  auto M = std::make_unique<ModuleAST>();
+  M->Name = ModuleName;
+  while (!check(TokKind::Eof))
+    parseTopLevel(*M);
+  return M;
+}
+
+bool Parser::parseTypeSpec(Type &Out, bool AllowVoid) {
+  if (accept(TokKind::KwInt)) {
+    Out = Type(TypeKind::Int);
+    return true;
+  }
+  if (accept(TokKind::KwChar)) {
+    Out = Type(TypeKind::Char);
+    return true;
+  }
+  if (accept(TokKind::KwFunc)) {
+    Out = Type(TypeKind::Func);
+    return true;
+  }
+  if (check(TokKind::KwVoid)) {
+    if (!AllowVoid) {
+      error("'void' is only valid as a function return type");
+      consume();
+      return false;
+    }
+    consume();
+    Out = Type(TypeKind::Void);
+    return true;
+  }
+  error(std::string("expected type specifier, found ") +
+        tokKindName(current().Kind));
+  return false;
+}
+
+void Parser::parseTopLevel(ModuleAST &M) {
+  bool IsStatic = accept(TokKind::KwStatic);
+  Type BaseType;
+  if (!parseTypeSpec(BaseType, /*AllowVoid=*/true)) {
+    skipToRecoveryPoint();
+    return;
+  }
+  bool IsPointer = accept(TokKind::Star);
+  if (IsPointer && (BaseType.isVoid() || BaseType.isFunc())) {
+    error("pointers to 'void' or 'func' are not supported");
+    skipToRecoveryPoint();
+    return;
+  }
+
+  SourceLoc NameLoc = current().Loc;
+  if (!check(TokKind::Identifier)) {
+    error(std::string("expected identifier, found ") +
+          tokKindName(current().Kind));
+    skipToRecoveryPoint();
+    return;
+  }
+  std::string Name = consume().Text;
+
+  if (check(TokKind::LParen)) {
+    if (IsPointer) {
+      error("function returning pointer is not supported");
+      skipToRecoveryPoint();
+      return;
+    }
+    auto F = parseFunctionRest(BaseType, std::move(Name), NameLoc, IsStatic);
+    if (F)
+      M.Functions.push_back(std::move(F));
+    return;
+  }
+
+  if (BaseType.isVoid()) {
+    error("variable of type 'void'");
+    skipToRecoveryPoint();
+    return;
+  }
+  auto V = parseGlobalVarRest(BaseType, std::move(Name), NameLoc, IsStatic,
+                              IsPointer);
+  if (V)
+    M.Globals.push_back(std::move(V));
+}
+
+std::unique_ptr<VarDecl> Parser::parseGlobalVarRest(Type BaseType,
+                                                    std::string Name,
+                                                    SourceLoc Loc,
+                                                    bool IsStatic,
+                                                    bool IsPointer) {
+  auto V = std::make_unique<VarDecl>();
+  V->Name = std::move(Name);
+  V->Loc = Loc;
+  V->IsGlobal = true;
+  V->IsStatic = IsStatic;
+
+  Type DeclType = BaseType;
+  if (IsPointer)
+    DeclType = Type(BaseType.Kind == TypeKind::Char ? TypeKind::PtrChar
+                                                    : TypeKind::PtrInt);
+  if (accept(TokKind::LBracket)) {
+    if (IsPointer) {
+      error("array of pointers is not supported");
+      skipToRecoveryPoint();
+      return nullptr;
+    }
+    int Size = 0;
+    if (check(TokKind::IntLiteral))
+      Size = consume().IntVal;
+    expect(TokKind::RBracket, "after array size");
+    DeclType = Type(BaseType.Kind == TypeKind::Char ? TypeKind::ArrayChar
+                                                    : TypeKind::ArrayInt,
+                    Size);
+  }
+  V->DeclType = DeclType;
+
+  if (accept(TokKind::Assign))
+    V->Init = parseGlobalInit(V->DeclType);
+  expect(TokKind::Semi, "after global variable declaration");
+
+  // Arrays sized by their initializer.
+  if (V->DeclType.isArray() && V->DeclType.ArraySize == 0) {
+    int N = 0;
+    if (V->Init.InitKind == GlobalInit::Kind::List)
+      N = static_cast<int>(V->Init.List.size());
+    else if (V->Init.InitKind == GlobalInit::Kind::String)
+      N = static_cast<int>(V->Init.Str.size()) + 1; // NUL terminator.
+    if (N == 0) {
+      Diags.error(ModuleName, V->Loc,
+                  "array '" + V->Name + "' has no size and no initializer");
+      N = 1;
+    }
+    V->DeclType.ArraySize = N;
+  }
+  return V;
+}
+
+GlobalInit Parser::parseGlobalInit(const Type &DeclType) {
+  GlobalInit Init;
+  if (accept(TokKind::Amp)) {
+    Init.InitKind = GlobalInit::Kind::FuncAddr;
+    if (check(TokKind::Identifier))
+      Init.FuncName = consume().Text;
+    else
+      error("expected function name after '&' in initializer");
+    return Init;
+  }
+  if (check(TokKind::StringLiteral)) {
+    Init.InitKind = GlobalInit::Kind::String;
+    Init.Str = consume().Text;
+    return Init;
+  }
+  if (accept(TokKind::LBrace)) {
+    Init.InitKind = GlobalInit::Kind::List;
+    if (!check(TokKind::RBrace)) {
+      do {
+        bool Negative = accept(TokKind::Minus);
+        if (check(TokKind::IntLiteral) || check(TokKind::CharLiteral)) {
+          int32_t Value = consume().IntVal;
+          Init.List.push_back(Negative ? -Value : Value);
+        } else {
+          error("expected constant in initializer list");
+          break;
+        }
+      } while (accept(TokKind::Comma));
+    }
+    expect(TokKind::RBrace, "after initializer list");
+    return Init;
+  }
+  bool Negative = accept(TokKind::Minus);
+  if (check(TokKind::IntLiteral) || check(TokKind::CharLiteral)) {
+    Init.InitKind = GlobalInit::Kind::Scalar;
+    int32_t Value = consume().IntVal;
+    Init.Scalar = Negative ? -Value : Value;
+    return Init;
+  }
+  error("expected constant initializer");
+  (void)DeclType;
+  return Init;
+}
+
+std::unique_ptr<FuncDecl> Parser::parseFunctionRest(Type RetType,
+                                                    std::string Name,
+                                                    SourceLoc Loc,
+                                                    bool IsStatic) {
+  auto F = std::make_unique<FuncDecl>();
+  F->Name = std::move(Name);
+  F->RetType = RetType;
+  F->Loc = Loc;
+  F->IsStatic = IsStatic;
+
+  expect(TokKind::LParen, "after function name");
+  if (!check(TokKind::RParen) && !accept(TokKind::KwVoid)) {
+    do {
+      Type ParamBase;
+      if (!parseTypeSpec(ParamBase, /*AllowVoid=*/false)) {
+        skipToRecoveryPoint();
+        return nullptr;
+      }
+      bool IsPointer = accept(TokKind::Star);
+      auto P = std::make_unique<VarDecl>();
+      P->Loc = current().Loc;
+      P->IsParam = true;
+      // Parameter names are optional (prototype style).
+      if (check(TokKind::Identifier))
+        P->Name = consume().Text;
+      // 'int p[]' decays to 'int*'.
+      if (accept(TokKind::LBracket)) {
+        expect(TokKind::RBracket, "in array parameter");
+        IsPointer = true;
+      }
+      Type ParamType = ParamBase;
+      if (IsPointer)
+        ParamType = Type(ParamBase.Kind == TypeKind::Char ? TypeKind::PtrChar
+                                                          : TypeKind::PtrInt);
+      P->DeclType = ParamType;
+      F->Params.push_back(std::move(P));
+    } while (accept(TokKind::Comma));
+  }
+  expect(TokKind::RParen, "after parameter list");
+
+  if (accept(TokKind::Semi))
+    return F; // Forward declaration.
+
+  StmtPtr Body = parseBlock();
+  if (auto *B = static_cast<BlockStmt *>(Body.get());
+      B && Body->getKind() == Stmt::Kind::Block) {
+    Body.release();
+    F->Body.reset(B);
+  }
+  return F;
+}
+
+StmtPtr Parser::parseBlock() {
+  SourceLoc Loc = current().Loc;
+  expect(TokKind::LBrace, "to open block");
+  std::vector<StmtPtr> Body;
+  while (!check(TokKind::RBrace) && !check(TokKind::Eof))
+    Body.push_back(parseStmt());
+  expect(TokKind::RBrace, "to close block");
+  return std::make_unique<BlockStmt>(Loc, std::move(Body));
+}
+
+StmtPtr Parser::parseLocalDecl() {
+  SourceLoc Loc = current().Loc;
+  Type BaseType;
+  if (!parseTypeSpec(BaseType, /*AllowVoid=*/false)) {
+    skipToRecoveryPoint();
+    return std::make_unique<EmptyStmt>(Loc);
+  }
+  bool IsPointer = accept(TokKind::Star);
+  auto V = std::make_unique<VarDecl>();
+  V->Loc = current().Loc;
+  if (check(TokKind::Identifier))
+    V->Name = consume().Text;
+  else
+    error("expected variable name");
+
+  Type DeclType = BaseType;
+  if (IsPointer)
+    DeclType = Type(BaseType.Kind == TypeKind::Char ? TypeKind::PtrChar
+                                                    : TypeKind::PtrInt);
+  if (accept(TokKind::LBracket)) {
+    if (!check(TokKind::IntLiteral)) {
+      error("local array requires a constant size");
+    } else {
+      int Size = consume().IntVal;
+      DeclType = Type(BaseType.Kind == TypeKind::Char ? TypeKind::ArrayChar
+                                                      : TypeKind::ArrayInt,
+                      Size);
+    }
+    expect(TokKind::RBracket, "after array size");
+  }
+  V->DeclType = DeclType;
+
+  if (accept(TokKind::Assign))
+    V->LocalInit = parseAssignment();
+  expect(TokKind::Semi, "after variable declaration");
+  return std::make_unique<DeclStmt>(Loc, std::move(V));
+}
+
+StmtPtr Parser::parseStmt() {
+  SourceLoc Loc = current().Loc;
+
+  if (check(TokKind::LBrace))
+    return parseBlock();
+
+  if (atTypeKeyword())
+    return parseLocalDecl();
+
+  if (accept(TokKind::KwIf)) {
+    expect(TokKind::LParen, "after 'if'");
+    ExprPtr Cond = parseExpr();
+    expect(TokKind::RParen, "after if condition");
+    StmtPtr Then = parseStmt();
+    StmtPtr Else;
+    if (accept(TokKind::KwElse))
+      Else = parseStmt();
+    return std::make_unique<IfStmt>(Loc, std::move(Cond), std::move(Then),
+                                    std::move(Else));
+  }
+
+  if (accept(TokKind::KwWhile)) {
+    expect(TokKind::LParen, "after 'while'");
+    ExprPtr Cond = parseExpr();
+    expect(TokKind::RParen, "after while condition");
+    StmtPtr Body = parseStmt();
+    return std::make_unique<WhileStmt>(Loc, std::move(Cond), std::move(Body));
+  }
+
+  if (accept(TokKind::KwFor)) {
+    expect(TokKind::LParen, "after 'for'");
+    StmtPtr Init;
+    if (accept(TokKind::Semi)) {
+      // No init clause.
+    } else if (atTypeKeyword()) {
+      Init = parseLocalDecl(); // Consumes the ';'.
+    } else {
+      ExprPtr E = parseExpr();
+      Init = std::make_unique<ExprStmt>(Loc, std::move(E));
+      expect(TokKind::Semi, "after for-init");
+    }
+    ExprPtr Cond;
+    if (!check(TokKind::Semi))
+      Cond = parseExpr();
+    expect(TokKind::Semi, "after for-condition");
+    ExprPtr Step;
+    if (!check(TokKind::RParen))
+      Step = parseExpr();
+    expect(TokKind::RParen, "after for clauses");
+    StmtPtr Body = parseStmt();
+    return std::make_unique<ForStmt>(Loc, std::move(Init), std::move(Cond),
+                                     std::move(Step), std::move(Body));
+  }
+
+  if (accept(TokKind::KwReturn)) {
+    ExprPtr Value;
+    if (!check(TokKind::Semi))
+      Value = parseExpr();
+    expect(TokKind::Semi, "after return");
+    return std::make_unique<ReturnStmt>(Loc, std::move(Value));
+  }
+
+  if (accept(TokKind::KwBreak)) {
+    expect(TokKind::Semi, "after 'break'");
+    return std::make_unique<BreakStmt>(Loc);
+  }
+
+  if (accept(TokKind::KwContinue)) {
+    expect(TokKind::Semi, "after 'continue'");
+    return std::make_unique<ContinueStmt>(Loc);
+  }
+
+  if (accept(TokKind::Semi))
+    return std::make_unique<EmptyStmt>(Loc);
+
+  ExprPtr E = parseExpr();
+  expect(TokKind::Semi, "after expression statement");
+  return std::make_unique<ExprStmt>(Loc, std::move(E));
+}
+
+ExprPtr Parser::parseExpr() { return parseAssignment(); }
+
+ExprPtr Parser::parseAssignment() {
+  ExprPtr LHS = parseBinaryRHS(0, parseUnary());
+  if (check(TokKind::Assign)) {
+    SourceLoc Loc = consume().Loc;
+    ExprPtr RHS = parseAssignment(); // Right-associative.
+    return std::make_unique<AssignExpr>(Loc, std::move(LHS), std::move(RHS));
+  }
+  return LHS;
+}
+
+namespace {
+/// Binary operator precedence; higher binds tighter. Returns -1 for
+/// tokens that are not binary operators.
+int binPrecedence(TokKind Kind) {
+  switch (Kind) {
+  case TokKind::PipePipe:
+    return 1;
+  case TokKind::AmpAmp:
+    return 2;
+  case TokKind::Pipe:
+    return 3;
+  case TokKind::Caret:
+    return 4;
+  case TokKind::Amp:
+    return 5;
+  case TokKind::EqEq:
+  case TokKind::NotEq:
+    return 6;
+  case TokKind::Lt:
+  case TokKind::Le:
+  case TokKind::Gt:
+  case TokKind::Ge:
+    return 7;
+  case TokKind::Shl:
+  case TokKind::Shr:
+    return 8;
+  case TokKind::Plus:
+  case TokKind::Minus:
+    return 9;
+  case TokKind::Star:
+  case TokKind::Slash:
+  case TokKind::Percent:
+    return 10;
+  default:
+    return -1;
+  }
+}
+
+BinOp binOpForToken(TokKind Kind) {
+  switch (Kind) {
+  case TokKind::PipePipe:
+    return BinOp::LogOr;
+  case TokKind::AmpAmp:
+    return BinOp::LogAnd;
+  case TokKind::Pipe:
+    return BinOp::Or;
+  case TokKind::Caret:
+    return BinOp::Xor;
+  case TokKind::Amp:
+    return BinOp::And;
+  case TokKind::EqEq:
+    return BinOp::Eq;
+  case TokKind::NotEq:
+    return BinOp::Ne;
+  case TokKind::Lt:
+    return BinOp::Lt;
+  case TokKind::Le:
+    return BinOp::Le;
+  case TokKind::Gt:
+    return BinOp::Gt;
+  case TokKind::Ge:
+    return BinOp::Ge;
+  case TokKind::Shl:
+    return BinOp::Shl;
+  case TokKind::Shr:
+    return BinOp::Shr;
+  case TokKind::Plus:
+    return BinOp::Add;
+  case TokKind::Minus:
+    return BinOp::Sub;
+  case TokKind::Star:
+    return BinOp::Mul;
+  case TokKind::Slash:
+    return BinOp::Div;
+  case TokKind::Percent:
+    return BinOp::Rem;
+  default:
+    assert(false && "not a binary operator token");
+    return BinOp::Add;
+  }
+}
+} // namespace
+
+ExprPtr Parser::parseBinaryRHS(int MinPrec, ExprPtr LHS) {
+  while (true) {
+    int Prec = binPrecedence(current().Kind);
+    if (Prec < MinPrec || Prec == -1)
+      return LHS;
+    Token OpTok = consume();
+    ExprPtr RHS = parseUnary();
+    int NextPrec = binPrecedence(current().Kind);
+    if (NextPrec > Prec)
+      RHS = parseBinaryRHS(Prec + 1, std::move(RHS));
+    LHS = std::make_unique<BinaryExpr>(OpTok.Loc, binOpForToken(OpTok.Kind),
+                                       std::move(LHS), std::move(RHS));
+  }
+}
+
+ExprPtr Parser::parseUnary() {
+  SourceLoc Loc = current().Loc;
+  if (accept(TokKind::Minus))
+    return std::make_unique<UnaryExpr>(Loc, UnOp::Neg, parseUnary());
+  if (accept(TokKind::Tilde))
+    return std::make_unique<UnaryExpr>(Loc, UnOp::BitNot, parseUnary());
+  if (accept(TokKind::Bang))
+    return std::make_unique<UnaryExpr>(Loc, UnOp::LogNot, parseUnary());
+  if (accept(TokKind::Star))
+    return std::make_unique<UnaryExpr>(Loc, UnOp::Deref, parseUnary());
+  if (accept(TokKind::Amp))
+    return std::make_unique<UnaryExpr>(Loc, UnOp::AddrOf, parseUnary());
+  return parsePostfix();
+}
+
+ExprPtr Parser::parsePostfix() {
+  ExprPtr E = parsePrimary();
+  while (true) {
+    if (check(TokKind::LBracket)) {
+      SourceLoc Loc = consume().Loc;
+      ExprPtr Index = parseExpr();
+      expect(TokKind::RBracket, "after index expression");
+      E = std::make_unique<IndexExpr>(Loc, std::move(E), std::move(Index));
+      continue;
+    }
+    return E;
+  }
+}
+
+ExprPtr Parser::parsePrimary() {
+  SourceLoc Loc = current().Loc;
+
+  if (check(TokKind::IntLiteral) || check(TokKind::CharLiteral))
+    return std::make_unique<IntLitExpr>(Loc, consume().IntVal);
+
+  if (check(TokKind::StringLiteral))
+    return std::make_unique<StrLitExpr>(Loc, consume().Text);
+
+  if (accept(TokKind::LParen)) {
+    ExprPtr E = parseExpr();
+    expect(TokKind::RParen, "after parenthesized expression");
+    return E;
+  }
+
+  if (check(TokKind::Identifier)) {
+    std::string Name = consume().Text;
+    if (accept(TokKind::LParen)) {
+      std::vector<ExprPtr> Args;
+      if (!check(TokKind::RParen)) {
+        do {
+          Args.push_back(parseAssignment());
+        } while (accept(TokKind::Comma));
+      }
+      expect(TokKind::RParen, "after call arguments");
+      return std::make_unique<CallExpr>(Loc, std::move(Name),
+                                        std::move(Args));
+    }
+    return std::make_unique<VarRefExpr>(Loc, std::move(Name));
+  }
+
+  error(std::string("expected expression, found ") +
+        tokKindName(current().Kind));
+  consume();
+  return std::make_unique<IntLitExpr>(Loc, 0);
+}

@@ -1,0 +1,83 @@
+//===- Parser.h - MiniC recursive-descent parser ---------------*- C++ -*-===//
+//
+// Part of the IPRA project: a reproduction of Santhanam & Odnert,
+// "Register Allocation Across Procedure and Module Boundaries", PLDI 1990.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Recursive-descent parser producing a ModuleAST from a token stream.
+/// Errors are reported to the DiagnosticEngine; the parser recovers by
+/// skipping to the next ';' or '}' so that several errors can be
+/// reported per run.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef IPRA_LANG_PARSER_H
+#define IPRA_LANG_PARSER_H
+
+#include "lang/AST.h"
+#include "lang/Token.h"
+#include "support/Diagnostics.h"
+
+#include <memory>
+#include <vector>
+
+namespace ipra {
+
+/// Parses one MiniC module.
+class Parser {
+public:
+  Parser(std::string ModuleName, std::vector<Token> Tokens,
+         DiagnosticEngine &Diags)
+      : ModuleName(std::move(ModuleName)), Tokens(std::move(Tokens)),
+        Diags(Diags) {}
+
+  /// Parses the whole token stream. Returns a module even when errors
+  /// were reported (check Diags.hasErrors()).
+  std::unique_ptr<ModuleAST> parseModule();
+
+private:
+  // Token stream helpers.
+  const Token &peek(unsigned Ahead = 0) const;
+  const Token &current() const { return peek(0); }
+  Token consume();
+  bool check(TokKind Kind) const { return current().is(Kind); }
+  bool accept(TokKind Kind);
+  bool expect(TokKind Kind, const char *Context);
+  void error(const std::string &Message);
+  void skipToRecoveryPoint();
+
+  // Grammar productions.
+  void parseTopLevel(ModuleAST &M);
+  bool parseTypeSpec(Type &Out, bool AllowVoid);
+  std::unique_ptr<FuncDecl> parseFunctionRest(Type RetType, std::string Name,
+                                              SourceLoc Loc, bool IsStatic);
+  std::unique_ptr<VarDecl> parseGlobalVarRest(Type BaseType, std::string Name,
+                                              SourceLoc Loc, bool IsStatic,
+                                              bool IsPointer);
+  GlobalInit parseGlobalInit(const Type &DeclType);
+  StmtPtr parseStmt();
+  StmtPtr parseBlock();
+  StmtPtr parseLocalDecl();
+  ExprPtr parseExpr();
+  ExprPtr parseAssignment();
+  ExprPtr parseBinaryRHS(int MinPrec, ExprPtr LHS);
+  ExprPtr parseUnary();
+  ExprPtr parsePostfix();
+  ExprPtr parsePrimary();
+
+  bool atTypeKeyword() const {
+    return check(TokKind::KwInt) || check(TokKind::KwChar) ||
+           check(TokKind::KwFunc) || check(TokKind::KwVoid);
+  }
+
+  std::string ModuleName;
+  std::vector<Token> Tokens;
+  DiagnosticEngine &Diags;
+  size_t Pos = 0;
+};
+
+} // namespace ipra
+
+#endif // IPRA_LANG_PARSER_H

@@ -1,0 +1,562 @@
+//===- Sema.cpp - MiniC semantic analysis ---------------------------------===//
+//
+// Part of the IPRA project: a reproduction of Santhanam & Odnert,
+// "Register Allocation Across Procedure and Module Boundaries", PLDI 1990.
+//
+//===----------------------------------------------------------------------===//
+
+#include "lang/Sema.h"
+
+#include <unordered_map>
+
+using namespace ipra;
+
+namespace {
+
+/// Per-module analysis state.
+class SemaImpl {
+public:
+  SemaImpl(ModuleAST &M, DiagnosticEngine &Diags) : M(M), Diags(Diags) {}
+
+  bool run();
+
+private:
+  void error(SourceLoc Loc, const std::string &Message) {
+    Diags.error(M.Name, Loc, Message);
+  }
+
+  // Scope management for locals.
+  void pushScope() { Scopes.emplace_back(); }
+  void popScope() { Scopes.pop_back(); }
+  void declareLocal(VarDecl *V);
+  VarDecl *lookupLocal(const std::string &Name);
+
+  void checkFunction(FuncDecl &F);
+  void checkStmt(Stmt *S);
+  /// Returns the expression's type; also stores it into E->ExprType.
+  Type checkExpr(Expr *E);
+  Type checkVarRef(VarRefExpr *E);
+  Type checkUnary(UnaryExpr *E);
+  Type checkBinary(BinaryExpr *E);
+  Type checkAssign(AssignExpr *E);
+  Type checkIndex(IndexExpr *E);
+  Type checkCall(CallExpr *E);
+  /// True for types usable as a condition or integer operand.
+  static bool isValueType(const Type &T) {
+    return T.isScalar() || T.isPointer() || T.isFunc();
+  }
+  /// True if \p Src can be assigned/passed to \p Dst.
+  static bool assignable(const Type &Dst, const Type &Src) {
+    if (Dst.isScalar() && Src.isScalar())
+      return true; // int/char interchange freely.
+    if (Dst == Src)
+      return true;
+    return false;
+  }
+  /// Marks an lvalue expression as a valid assignment target; reports an
+  /// error and returns false otherwise.
+  bool checkLValue(Expr *E, const char *Context);
+
+  ModuleAST &M;
+  DiagnosticEngine &Diags;
+  std::unordered_map<std::string, VarDecl *> GlobalVars;
+  std::unordered_map<std::string, FuncDecl *> Functions;
+  std::vector<std::unordered_map<std::string, VarDecl *>> Scopes;
+  FuncDecl *CurFunc = nullptr;
+  int LoopDepth = 0;
+};
+
+} // namespace
+
+void SemaImpl::declareLocal(VarDecl *V) {
+  assert(!Scopes.empty() && "no active scope");
+  if (!V->Name.empty()) {
+    auto [It, Inserted] = Scopes.back().try_emplace(V->Name, V);
+    if (!Inserted) {
+      error(V->Loc, "redeclaration of '" + V->Name + "' in the same scope");
+      return;
+    }
+  } else if (!V->IsParam) {
+    error(V->Loc, "variable declaration requires a name");
+    return;
+  }
+  V->LocalId = static_cast<int>(CurFunc->AllLocals.size());
+  CurFunc->AllLocals.push_back(V);
+}
+
+VarDecl *SemaImpl::lookupLocal(const std::string &Name) {
+  for (auto It = Scopes.rbegin(); It != Scopes.rend(); ++It) {
+    auto Found = It->find(Name);
+    if (Found != It->end())
+      return Found->second;
+  }
+  return nullptr;
+}
+
+bool SemaImpl::run() {
+  // Pass 1: collect module-level names.
+  for (auto &G : M.Globals) {
+    auto [It, Inserted] = GlobalVars.try_emplace(G->Name, G.get());
+    if (!Inserted)
+      error(G->Loc, "redefinition of global '" + G->Name + "'");
+    if (Functions.count(G->Name))
+      error(G->Loc, "'" + G->Name + "' already declared as a function");
+  }
+  for (auto &F : M.Functions) {
+    auto [It, Inserted] = Functions.try_emplace(F->Name, F.get());
+    if (!Inserted) {
+      FuncDecl *Prev = It->second;
+      // A forward declaration followed by the definition is fine; keep the
+      // definition as the canonical decl.
+      if (Prev->isDefinition() && F->isDefinition()) {
+        error(F->Loc, "redefinition of function '" + F->Name + "'");
+      } else if (Prev->Params.size() != F->Params.size() ||
+                 !(Prev->RetType == F->RetType)) {
+        error(F->Loc,
+              "declaration of '" + F->Name + "' does not match prior one");
+      } else if (F->isDefinition()) {
+        It->second = F.get();
+      }
+    }
+    if (GlobalVars.count(F->Name))
+      error(F->Loc, "'" + F->Name + "' already declared as a variable");
+  }
+
+  // Pass 2: resolve func-address global initializers (may reference
+  // functions declared later in the module).
+  for (auto &G : M.Globals) {
+    if (G->Init.InitKind != GlobalInit::Kind::FuncAddr)
+      continue;
+    if (!G->DeclType.isFunc()) {
+      error(G->Loc, "'&function' initializer requires type 'func'");
+      continue;
+    }
+    auto It = Functions.find(G->Init.FuncName);
+    if (It == Functions.end()) {
+      error(G->Loc, "unknown function '" + G->Init.FuncName +
+                        "' in initializer");
+      continue;
+    }
+    It->second->AddressTaken = true;
+  }
+
+  // Pass 3: check function bodies.
+  for (auto &F : M.Functions)
+    if (F->isDefinition())
+      checkFunction(*F);
+
+  return !Diags.hasErrors();
+}
+
+void SemaImpl::checkFunction(FuncDecl &F) {
+  CurFunc = &F;
+  LoopDepth = 0;
+  pushScope();
+  for (auto &P : F.Params)
+    declareLocal(P.get());
+  // The body's BlockStmt gets its own scope via checkStmt.
+  checkStmt(F.Body.get());
+  popScope();
+  CurFunc = nullptr;
+}
+
+void SemaImpl::checkStmt(Stmt *S) {
+  if (!S)
+    return;
+  switch (S->getKind()) {
+  case Stmt::Kind::Block: {
+    pushScope();
+    for (StmtPtr &Child : static_cast<BlockStmt *>(S)->Body)
+      checkStmt(Child.get());
+    popScope();
+    return;
+  }
+  case Stmt::Kind::If: {
+    auto *If = static_cast<IfStmt *>(S);
+    Type CondType = checkExpr(If->Cond.get());
+    if (!isValueType(CondType))
+      error(If->getLoc(), "if condition must be a scalar or pointer");
+    checkStmt(If->Then.get());
+    checkStmt(If->Else.get());
+    return;
+  }
+  case Stmt::Kind::While: {
+    auto *W = static_cast<WhileStmt *>(S);
+    Type CondType = checkExpr(W->Cond.get());
+    if (!isValueType(CondType))
+      error(W->getLoc(), "while condition must be a scalar or pointer");
+    ++LoopDepth;
+    checkStmt(W->Body.get());
+    --LoopDepth;
+    return;
+  }
+  case Stmt::Kind::For: {
+    auto *F = static_cast<ForStmt *>(S);
+    pushScope(); // For-init declarations scope over the loop.
+    checkStmt(F->Init.get());
+    if (F->Cond) {
+      Type CondType = checkExpr(F->Cond.get());
+      if (!isValueType(CondType))
+        error(F->getLoc(), "for condition must be a scalar or pointer");
+    }
+    if (F->Step)
+      checkExpr(F->Step.get());
+    ++LoopDepth;
+    checkStmt(F->Body.get());
+    --LoopDepth;
+    popScope();
+    return;
+  }
+  case Stmt::Kind::Return: {
+    auto *R = static_cast<ReturnStmt *>(S);
+    if (R->Value) {
+      Type ValueType = checkExpr(R->Value.get());
+      if (CurFunc->RetType.isVoid())
+        error(R->getLoc(),
+              "void function '" + CurFunc->Name + "' returns a value");
+      else if (!assignable(CurFunc->RetType, ValueType))
+        error(R->getLoc(), "return type mismatch in '" + CurFunc->Name +
+                               "': cannot return " + ValueType.toString());
+    } else if (!CurFunc->RetType.isVoid()) {
+      error(R->getLoc(),
+            "non-void function '" + CurFunc->Name + "' returns no value");
+    }
+    return;
+  }
+  case Stmt::Kind::Break:
+  case Stmt::Kind::Continue:
+    if (LoopDepth == 0)
+      error(S->getLoc(), "break/continue outside of a loop");
+    return;
+  case Stmt::Kind::ExprStmt:
+    checkExpr(static_cast<ExprStmt *>(S)->E.get());
+    return;
+  case Stmt::Kind::Decl: {
+    auto *D = static_cast<DeclStmt *>(S);
+    VarDecl *V = D->Var.get();
+    if (V->LocalInit) {
+      Type InitType = checkExpr(V->LocalInit.get());
+      if (V->DeclType.isArray())
+        error(V->Loc, "local array '" + V->Name +
+                          "' cannot have an initializer");
+      else if (!assignable(V->DeclType, InitType))
+        error(V->Loc, "cannot initialize " + V->DeclType.toString() +
+                          " '" + V->Name + "' from " + InitType.toString());
+    }
+    declareLocal(V);
+    return;
+  }
+  case Stmt::Kind::Empty:
+    return;
+  }
+}
+
+Type SemaImpl::checkExpr(Expr *E) {
+  if (!E)
+    return Type(TypeKind::Int);
+  Type Result;
+  switch (E->getKind()) {
+  case Expr::Kind::IntLit:
+    Result = Type(TypeKind::Int);
+    break;
+  case Expr::Kind::StrLit:
+    Result = Type(TypeKind::PtrChar);
+    break;
+  case Expr::Kind::VarRef:
+    Result = checkVarRef(static_cast<VarRefExpr *>(E));
+    break;
+  case Expr::Kind::Unary:
+    Result = checkUnary(static_cast<UnaryExpr *>(E));
+    break;
+  case Expr::Kind::Binary:
+    Result = checkBinary(static_cast<BinaryExpr *>(E));
+    break;
+  case Expr::Kind::Assign:
+    Result = checkAssign(static_cast<AssignExpr *>(E));
+    break;
+  case Expr::Kind::Index:
+    Result = checkIndex(static_cast<IndexExpr *>(E));
+    break;
+  case Expr::Kind::Call:
+    Result = checkCall(static_cast<CallExpr *>(E));
+    break;
+  }
+  E->ExprType = Result;
+  return Result;
+}
+
+Type SemaImpl::checkVarRef(VarRefExpr *E) {
+  if (VarDecl *Local = lookupLocal(E->Name)) {
+    E->Var = Local;
+    return Local->DeclType;
+  }
+  auto GIt = GlobalVars.find(E->Name);
+  if (GIt != GlobalVars.end()) {
+    E->Var = GIt->second;
+    return GIt->second->DeclType;
+  }
+  auto FIt = Functions.find(E->Name);
+  if (FIt != Functions.end()) {
+    E->Func = FIt->second;
+    // Bare function names are only meaningful under '&' (checked there).
+    return Type(TypeKind::Func);
+  }
+  error(E->getLoc(), "use of undeclared identifier '" + E->Name + "'");
+  return Type(TypeKind::Int);
+}
+
+Type SemaImpl::checkUnary(UnaryExpr *E) {
+  if (E->Op == UnOp::AddrOf) {
+    // Operand must be a bare variable or function name.
+    if (E->Operand->getKind() != Expr::Kind::VarRef) {
+      error(E->getLoc(), "'&' requires a variable or function name");
+      checkExpr(E->Operand.get());
+      return Type(TypeKind::Int);
+    }
+    auto *Ref = static_cast<VarRefExpr *>(E->Operand.get());
+    Type RefType = checkExpr(Ref);
+    if (Ref->Func) {
+      Ref->Func->AddressTaken = true;
+      return Type(TypeKind::Func);
+    }
+    assert(Ref->Var && "unresolved var ref");
+    VarDecl *V = Ref->Var;
+    if (RefType.isArray()) {
+      error(E->getLoc(),
+            "'&' on array '" + V->Name + "'; arrays decay to pointers");
+      return V->DeclType.decayed();
+    }
+    if (!RefType.isScalar()) {
+      error(E->getLoc(), "'&' requires an int or char variable");
+      return Type(TypeKind::PtrInt);
+    }
+    V->AddressTaken = true; // Aliased: ineligible for promotion (§4.1.2).
+    return Type(RefType.Kind == TypeKind::Char ? TypeKind::PtrChar
+                                               : TypeKind::PtrInt);
+  }
+
+  Type OperandType = checkExpr(E->Operand.get());
+  switch (E->Op) {
+  case UnOp::Deref:
+    if (!OperandType.isPointer()) {
+      error(E->getLoc(), "'*' requires a pointer operand, got " +
+                             OperandType.toString());
+      return Type(TypeKind::Int);
+    }
+    return OperandType.elementType();
+  case UnOp::Neg:
+  case UnOp::BitNot:
+    if (!OperandType.isScalar())
+      error(E->getLoc(), "unary operator requires an integer operand");
+    return Type(TypeKind::Int);
+  case UnOp::LogNot:
+    if (!isValueType(OperandType))
+      error(E->getLoc(), "'!' requires a scalar or pointer operand");
+    return Type(TypeKind::Int);
+  case UnOp::AddrOf:
+    break; // Handled above.
+  }
+  return Type(TypeKind::Int);
+}
+
+Type SemaImpl::checkBinary(BinaryExpr *E) {
+  Type L = checkExpr(E->LHS.get());
+  Type R = checkExpr(E->RHS.get());
+
+  // Arrays decay in rvalue contexts.
+  if (L.isArray())
+    L = L.decayed();
+  if (R.isArray())
+    R = R.decayed();
+
+  switch (E->Op) {
+  case BinOp::Add:
+    if (L.isPointer() && R.isScalar())
+      return L;
+    if (L.isScalar() && R.isPointer())
+      return R;
+    break;
+  case BinOp::Sub:
+    if (L.isPointer() && R.isScalar())
+      return L;
+    if (L.isPointer() && R == L)
+      return Type(TypeKind::Int); // Pointer difference in elements.
+    break;
+  case BinOp::Eq:
+  case BinOp::Ne:
+    if ((L.isPointer() && R == L) || (L.isFunc() && R.isFunc()))
+      return Type(TypeKind::Int);
+    // Pointer vs integer-zero comparisons.
+    if ((L.isPointer() || L.isFunc()) && R.isScalar())
+      return Type(TypeKind::Int);
+    if ((R.isPointer() || R.isFunc()) && L.isScalar())
+      return Type(TypeKind::Int);
+    break;
+  case BinOp::Lt:
+  case BinOp::Le:
+  case BinOp::Gt:
+  case BinOp::Ge:
+    if (L.isPointer() && R == L)
+      return Type(TypeKind::Int);
+    break;
+  case BinOp::LogAnd:
+  case BinOp::LogOr:
+    if (isValueType(L) && isValueType(R))
+      return Type(TypeKind::Int);
+    break;
+  default:
+    break;
+  }
+
+  if (!L.isScalar() || !R.isScalar()) {
+    error(E->getLoc(), "invalid operands to binary operator: " +
+                           L.toString() + " and " + R.toString());
+  }
+  return Type(TypeKind::Int);
+}
+
+bool SemaImpl::checkLValue(Expr *E, const char *Context) {
+  switch (E->getKind()) {
+  case Expr::Kind::VarRef: {
+    auto *Ref = static_cast<VarRefExpr *>(E);
+    if (Ref->Func) {
+      error(E->getLoc(),
+            std::string("cannot assign to function in ") + Context);
+      return false;
+    }
+    if (Ref->Var && Ref->Var->DeclType.isArray()) {
+      error(E->getLoc(),
+            std::string("cannot assign to array in ") + Context);
+      return false;
+    }
+    return true;
+  }
+  case Expr::Kind::Index:
+    return true;
+  case Expr::Kind::Unary:
+    if (static_cast<UnaryExpr *>(E)->Op == UnOp::Deref)
+      return true;
+    break;
+  default:
+    break;
+  }
+  error(E->getLoc(), std::string("expression is not assignable in ") +
+                         Context);
+  return false;
+}
+
+Type SemaImpl::checkAssign(AssignExpr *E) {
+  Type L = checkExpr(E->LHS.get());
+  Type R = checkExpr(E->RHS.get());
+  if (R.isArray())
+    R = R.decayed();
+  if (!checkLValue(E->LHS.get(), "assignment"))
+    return L;
+  if (!assignable(L, R))
+    error(E->getLoc(), "cannot assign " + R.toString() + " to " +
+                           L.toString());
+  return L;
+}
+
+Type SemaImpl::checkIndex(IndexExpr *E) {
+  Type Base = checkExpr(E->Base.get());
+  Type Index = checkExpr(E->Index.get());
+  if (!Index.isScalar())
+    error(E->getLoc(), "array index must be an integer");
+  if (Base.isArray())
+    return Base.elementType();
+  if (Base.isPointer())
+    return Base.elementType();
+  error(E->getLoc(),
+        "subscripted value is not an array or pointer: " + Base.toString());
+  return Type(TypeKind::Int);
+}
+
+Type SemaImpl::checkCall(CallExpr *E) {
+  // Builtins first.
+  if (E->CalleeName == "print" || E->CalleeName == "printc" ||
+      E->CalleeName == "prints") {
+    if (E->Args.size() != 1) {
+      error(E->getLoc(), "builtin '" + E->CalleeName +
+                             "' takes exactly one argument");
+      for (ExprPtr &Arg : E->Args)
+        checkExpr(Arg.get());
+      return Type(TypeKind::Void);
+    }
+    Type ArgType = checkExpr(E->Args[0].get());
+    if (ArgType.isArray())
+      ArgType = ArgType.decayed();
+    if (E->CalleeName == "prints") {
+      E->BuiltinKind = CallExpr::Builtin::Prints;
+      if (!(ArgType == Type(TypeKind::PtrChar)))
+        error(E->getLoc(), "prints() requires a char* argument");
+    } else {
+      E->BuiltinKind = E->CalleeName == "print" ? CallExpr::Builtin::Print
+                                                : CallExpr::Builtin::PrintC;
+      if (!ArgType.isScalar())
+        error(E->getLoc(), "'" + E->CalleeName +
+                               "' requires an integer argument");
+    }
+    return Type(TypeKind::Void);
+  }
+
+  // Indirect call through a 'func' variable?
+  VarDecl *FuncVar = lookupLocal(E->CalleeName);
+  if (!FuncVar) {
+    auto GIt = GlobalVars.find(E->CalleeName);
+    if (GIt != GlobalVars.end())
+      FuncVar = GIt->second;
+  }
+  if (FuncVar) {
+    if (!FuncVar->DeclType.isFunc()) {
+      error(E->getLoc(), "called object '" + E->CalleeName +
+                             "' is not a function or 'func' variable");
+    } else {
+      E->IndirectVar = FuncVar;
+      CurFunc->MakesIndirectCalls = true;
+    }
+  } else {
+    auto FIt = Functions.find(E->CalleeName);
+    if (FIt == Functions.end()) {
+      error(E->getLoc(),
+            "call to undeclared function '" + E->CalleeName + "'");
+    } else {
+      E->DirectCallee = FIt->second;
+      if (E->Args.size() != FIt->second->Params.size())
+        error(E->getLoc(), "wrong number of arguments to '" +
+                               E->CalleeName + "': expected " +
+                               std::to_string(FIt->second->Params.size()) +
+                               ", got " + std::to_string(E->Args.size()));
+    }
+  }
+
+  constexpr size_t MaxArgs = 4; // PR32 passes up to 4 register arguments.
+  if (E->Args.size() > MaxArgs)
+    error(E->getLoc(), "calls support at most 4 arguments");
+
+  for (size_t I = 0; I < E->Args.size(); ++I) {
+    Type ArgType = checkExpr(E->Args[I].get());
+    if (ArgType.isArray())
+      ArgType = ArgType.decayed();
+    if (E->DirectCallee && I < E->DirectCallee->Params.size()) {
+      Type ParamType = E->DirectCallee->Params[I]->DeclType;
+      if (!assignable(ParamType, ArgType))
+        error(E->Args[I]->getLoc(),
+              "argument " + std::to_string(I + 1) + " to '" + E->CalleeName +
+                  "': cannot pass " + ArgType.toString() + " as " +
+                  ParamType.toString());
+    } else if (E->IndirectVar && !(ArgType.isScalar() || ArgType.isPointer())) {
+      error(E->Args[I]->getLoc(),
+            "indirect call arguments must be scalars or pointers");
+    }
+  }
+
+  if (E->DirectCallee)
+    return E->DirectCallee->RetType;
+  return Type(TypeKind::Int); // Indirect calls return int by convention.
+}
+
+bool Sema::run(ModuleAST &M) {
+  SemaImpl Impl(M, Diags);
+  return Impl.run();
+}

@@ -1,0 +1,45 @@
+//===- Sema.h - MiniC semantic analysis ------------------------*- C++ -*-===//
+//
+// Part of the IPRA project: a reproduction of Santhanam & Odnert,
+// "Register Allocation Across Procedure and Module Boundaries", PLDI 1990.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Semantic analysis for one MiniC module: name resolution, type
+/// checking, and the front-end facts the summary file needs — which
+/// variables are address-taken (aliased, hence ineligible for promotion,
+/// §4.1.2), which functions are address-taken, and which make indirect
+/// calls (§7.3).
+///
+/// Cross-module references follow the C model: a module must forward-
+/// declare any function it calls and declare (uninitialized) any shared
+/// global it uses; the linker merges them by name. 'static' globals and
+/// functions stay module-private.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef IPRA_LANG_SEMA_H
+#define IPRA_LANG_SEMA_H
+
+#include "lang/AST.h"
+#include "support/Diagnostics.h"
+
+namespace ipra {
+
+/// Analyzes one module in place. All VarRef/Call nodes get their decl
+/// pointers resolved and every Expr gets its ExprType filled in.
+class Sema {
+public:
+  explicit Sema(DiagnosticEngine &Diags) : Diags(Diags) {}
+
+  /// Returns true if the module is semantically valid.
+  bool run(ModuleAST &M);
+
+private:
+  DiagnosticEngine &Diags;
+};
+
+} // namespace ipra
+
+#endif // IPRA_LANG_SEMA_H

@@ -1,0 +1,89 @@
+//===- Token.h - MiniC token definitions -----------------------*- C++ -*-===//
+//
+// Part of the IPRA project: a reproduction of Santhanam & Odnert,
+// "Register Allocation Across Procedure and Module Boundaries", PLDI 1990.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Token kinds for MiniC, the C subset compiled by the two-pass pipeline.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef IPRA_LANG_TOKEN_H
+#define IPRA_LANG_TOKEN_H
+
+#include "support/SourceLoc.h"
+
+#include <cstdint>
+#include <string>
+
+namespace ipra {
+
+enum class TokKind : uint8_t {
+  Eof,
+  Identifier,
+  IntLiteral,
+  CharLiteral,
+  StringLiteral,
+  // Keywords.
+  KwInt,
+  KwChar,
+  KwVoid,
+  KwFunc,
+  KwStatic,
+  KwIf,
+  KwElse,
+  KwWhile,
+  KwFor,
+  KwReturn,
+  KwBreak,
+  KwContinue,
+  // Punctuation and operators.
+  LParen,
+  RParen,
+  LBrace,
+  RBrace,
+  LBracket,
+  RBracket,
+  Comma,
+  Semi,
+  Assign,
+  Plus,
+  Minus,
+  Star,
+  Slash,
+  Percent,
+  Amp,
+  Pipe,
+  Caret,
+  Tilde,
+  Bang,
+  Shl,
+  Shr,
+  Lt,
+  Le,
+  Gt,
+  Ge,
+  EqEq,
+  NotEq,
+  AmpAmp,
+  PipePipe,
+};
+
+/// One lexed token.
+struct Token {
+  TokKind Kind = TokKind::Eof;
+  SourceLoc Loc;
+  std::string Text;   ///< Identifier spelling or string-literal contents.
+  int32_t IntVal = 0; ///< Value for Int/Char literals.
+
+  bool is(TokKind K) const { return Kind == K; }
+};
+
+/// Human-readable token-kind name, used in parse diagnostics.
+const char *tokKindName(TokKind Kind);
+
+} // namespace ipra
+
+#endif // IPRA_LANG_TOKEN_H

@@ -1,0 +1,121 @@
+//===- LinkOpt.h - Link-time register allocation ([Wall 86]) ---*- C++ -*-===//
+//
+// Part of the IPRA project: a reproduction of Santhanam & Odnert,
+// "Register Allocation Across Procedure and Module Boundaries", PLDI 1990.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The §7.1 alternative to the two-pass scheme: "Most of the limitations
+/// associated with a two-pass approach can be circumvented by deferring
+/// interprocedural register allocation to link-time as described in
+/// [Wall 86]. The linker would need to perform the job of the program
+/// analyzer and implement interprocedural register allocation by
+/// re-writing each module appropriately. Module re-writing may be
+/// accompanied by certain local optimizations (e.g. peephole
+/// optimization...)."
+///
+/// This pass rewrites already-compiled object files, with no database
+/// and no recompilation:
+///
+///  1. scan every module for promotable scalar globals - one word,
+///     never address-taken (no ADDRG result escapes into arithmetic,
+///     stores, or calls), accessed only through the ADDRG/LDW/STW
+///     idiom the compiler emits;
+///  2. pick registers no function in the whole program touches (the
+///     linker cannot re-color function bodies, so a dedicated register
+///     must be globally free). Wall's compiler cooperated by reserving
+///     a register bank up front; compileWallStyle replicates that with
+///     LinkAllocOptions::ReserveBank. Without cooperation the scan
+///     typically finds nothing free - the honest cost of retrofitting
+///     link-time allocation onto a register-hungry compiler;
+///  3. rewrite each access to a register move, then run a link-time
+///     peephole: mask-based liveness deletes the address
+///     materializations the rewrite left dead;
+///  4. the startup stub loads each promoted global's initial value
+///     before calling main (values live in registers for the entire
+///     run, so no store-back exists anywhere).
+///
+/// Counts are static instruction counts - at link time there is no
+/// loop hierarchy and no profile, which is exactly the fidelity gap the
+/// paper's two-pass scheme closes over [Wall 86].
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef IPRA_LINK_LINKOPT_H
+#define IPRA_LINK_LINKOPT_H
+
+#include "link/Linker.h"
+
+#include <map>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace ipra {
+
+/// Tuning knobs for link-time allocation.
+struct LinkAllocOptions {
+  /// Promote at most this many globals (fewer if fewer registers are
+  /// globally unused).
+  int MaxGlobals = 8;
+  /// [Wall 86] compiler cooperation: the bank the compiler reserved for
+  /// the linker (compileWallStyle compiles every module with these
+  /// registers excluded from allocation). The rewriter still VERIFIES
+  /// each register is unused before dedicating it - the bank is a
+  /// request, the scan is the proof. Defaults to the same six registers
+  /// the two-pass configuration C reserves for webs, making the
+  /// comparison apples-to-apples.
+  RegMask ReserveBank = pr32::defaultWebColoringPool();
+  /// Run the link-time peephole that deletes dead address
+  /// materializations after rewriting.
+  bool Peephole = true;
+  /// Optional invocation counts per qualified procedure name, e.g.
+  /// ProfileData::CallCounts from a profiling run ([Wall 86] used
+  /// profiles too): access sites are weighted by the invocation count
+  /// of the procedure containing them instead of counting 1 each.
+  /// Non-owning; may be null.
+  const std::map<std::string, long long> *InvocationCounts = nullptr;
+};
+
+/// What link-time allocation did, for tests and reporting.
+struct LinkAllocStats {
+  /// Globals promoted, with the dedicated register of each.
+  std::vector<std::pair<std::string, unsigned>> Promoted;
+  int CandidateGlobals = 0; ///< Promotable scalars found.
+  int FreeRegisters = 0;    ///< Registers unused by every function.
+  int RewrittenLoads = 0;
+  int RewrittenStores = 0;
+  int RemovedInstrs = 0; ///< Dead ADDRGs deleted by the peephole.
+  /// A global-scalar access with an unknown base register was seen;
+  /// promotion was abandoned entirely (cannot tell which global the
+  /// access touches).
+  bool OpaqueAccessSeen = false;
+};
+
+/// Rewrites \p Objects in place, promoting the most-referenced
+/// promotable globals to globally-unused registers.
+LinkAllocStats promoteGlobalsAtLinkTime(std::vector<ObjectFile> &Objects,
+                                        const LinkAllocOptions &Options =
+                                            LinkAllocOptions());
+
+/// Links \p Objects with a startup stub that first loads each
+/// (global, register) pair in \p StubLoads from the data image.
+LinkResult
+linkObjects(const std::vector<ObjectFile> &Objects,
+            const std::vector<std::pair<std::string, unsigned>> &StubLoads);
+
+/// Convenience: link-time allocation then linking, one call.
+struct WallLinkResult {
+  bool Success = false;
+  Executable Exe;
+  LinkAllocStats Stats;
+  std::vector<std::string> Errors;
+};
+WallLinkResult linkObjectsWallStyle(std::vector<ObjectFile> Objects,
+                                    const LinkAllocOptions &Options =
+                                        LinkAllocOptions());
+
+} // namespace ipra
+
+#endif // IPRA_LINK_LINKOPT_H

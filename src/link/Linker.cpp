@@ -1,0 +1,210 @@
+//===- Linker.cpp - Static linker ------------------------------------------===//
+//
+// Part of the IPRA project: a reproduction of Santhanam & Odnert,
+// "Register Allocation Across Procedure and Module Boundaries", PLDI 1990.
+//
+//===----------------------------------------------------------------------===//
+
+#include "link/LinkOpt.h"
+#include "link/Linker.h"
+
+#include <algorithm>
+#include <map>
+
+using namespace ipra;
+
+const ExeSymbol *Executable::symbolAt(int Pc) const {
+  // Symbols are sorted by Start; binary search for the covering range.
+  int Lo = 0, Hi = static_cast<int>(Symbols.size()) - 1;
+  while (Lo <= Hi) {
+    int Mid = (Lo + Hi) / 2;
+    const ExeSymbol &S = Symbols[Mid];
+    if (Pc < S.Start)
+      Hi = Mid - 1;
+    else if (Pc >= S.End)
+      Lo = Mid + 1;
+    else
+      return &S;
+  }
+  return nullptr;
+}
+
+namespace {
+
+struct MergedGlobal {
+  int SizeWords = 0;
+  std::vector<int32_t> Init;
+  std::string FuncInit;
+  bool HasInit = false;
+  int Address = -1;
+};
+
+} // namespace
+
+LinkResult ipra::linkObjects(const std::vector<ObjectFile> &Objects) {
+  return linkObjects(Objects, {});
+}
+
+LinkResult ipra::linkObjects(
+    const std::vector<ObjectFile> &Objects,
+    const std::vector<std::pair<std::string, unsigned>> &StubLoads) {
+  LinkResult Result;
+  auto Error = [&Result](const std::string &Message) {
+    Result.Errors.push_back(Message);
+  };
+
+  // Merge globals (common-symbol model).
+  std::map<std::string, MergedGlobal> Globals;
+  for (const ObjectFile &Obj : Objects) {
+    for (const ObjGlobal &G : Obj.Globals) {
+      MergedGlobal &M = Globals[G.QualName];
+      if (M.SizeWords != 0 && M.SizeWords != G.SizeWords)
+        Error("global '" + G.QualName + "' declared with different sizes (" +
+              std::to_string(M.SizeWords) + " vs " +
+              std::to_string(G.SizeWords) + ")");
+      M.SizeWords = std::max(M.SizeWords, G.SizeWords);
+      bool GHasInit = !G.Init.empty() || !G.FuncInit.empty();
+      if (GHasInit) {
+        if (M.HasInit)
+          Error("global '" + G.QualName + "' initialized in more than one "
+                "module");
+        M.Init = G.Init;
+        M.FuncInit = G.FuncInit;
+        M.HasInit = true;
+      }
+    }
+  }
+
+  // Collect functions.
+  std::map<std::string, const ObjFunction *> Functions;
+  for (const ObjectFile &Obj : Objects) {
+    for (const ObjFunction &F : Obj.Functions) {
+      auto [It, Inserted] = Functions.try_emplace(F.QualName, &F);
+      if (!Inserted)
+        Error("function '" + F.QualName + "' defined in more than one "
+              "module");
+    }
+  }
+  if (!Functions.count("main"))
+    Error("undefined entry point 'main'");
+  if (!Result.Errors.empty())
+    return Result;
+
+  // Lay out data.
+  int DataCursor = 0;
+  for (auto &[Name, G] : Globals) {
+    G.Address = DataCursor;
+    DataCursor += G.SizeWords;
+  }
+
+  // Lay out code: startup stub then every function (main first for
+  // readability; order is otherwise immaterial).
+  Executable &Exe = Result.Exe;
+  Exe.DataWords = DataCursor;
+
+  std::map<std::string, int> FuncStart;
+  // Stub: one initial-value load per link-time-promoted global, then
+  // "BL main; HALT".
+  int StubSize = static_cast<int>(StubLoads.size()) + 2;
+  int CodeCursor = StubSize;
+  auto Place = [&](const std::string &Name, const ObjFunction *F) {
+    FuncStart[Name] = CodeCursor;
+    CodeCursor += static_cast<int>(F->Code.size());
+  };
+  Place("main", Functions.at("main"));
+  for (auto &[Name, F] : Functions)
+    if (Name != "main")
+      Place(Name, F);
+
+  // Startup stub.
+  {
+    for (const auto &[Name, Reg] : StubLoads) {
+      auto GIt = Globals.find(Name);
+      if (GIt == Globals.end()) {
+        Error("stub-load of undefined global '" + Name + "'");
+        continue;
+      }
+      MInstr Ld;
+      Ld.Op = MOp::LDW;
+      Ld.MC = MemClass::GlobalScalar;
+      Ld.A = MOperand::makeReg(Reg);
+      Ld.B = MOperand::makeReg(0); // r0 == 0: absolute addressing.
+      Ld.C = MOperand::makeImm(GIt->second.Address);
+      Exe.Code.push_back(std::move(Ld));
+    }
+    MInstr Call;
+    Call.Op = MOp::BL;
+    Call.A = MOperand::makeImm(FuncStart.at("main"));
+    Call.HasResult = true;
+    Exe.Code.push_back(std::move(Call));
+    MInstr Halt;
+    Halt.Op = MOp::HALT;
+    Exe.Code.push_back(std::move(Halt));
+  }
+
+  // Emit and patch each function.
+  auto PatchOperand = [&](MOperand &Op, int FuncBase,
+                          const std::string &InFunc) {
+    if (Op.isLabel()) {
+      Op = MOperand::makeImm(FuncBase + Op.LabelId);
+      return;
+    }
+    if (!Op.isSym())
+      return;
+    // A symbol is either a function (code address) or a global (data
+    // address).
+    auto FIt = FuncStart.find(Op.SymName);
+    if (FIt != FuncStart.end()) {
+      Op = MOperand::makeImm(FIt->second);
+      return;
+    }
+    auto GIt = Globals.find(Op.SymName);
+    if (GIt != Globals.end()) {
+      Op = MOperand::makeImm(GIt->second.Address);
+      return;
+    }
+    Error("undefined symbol '" + Op.SymName + "' referenced from '" +
+          InFunc + "'");
+  };
+
+  auto Emit = [&](const std::string &Name, const ObjFunction *F) {
+    int Base = FuncStart.at(Name);
+    for (const MInstr &Orig : F->Code) {
+      MInstr I = Orig;
+      PatchOperand(I.A, Base, Name);
+      PatchOperand(I.B, Base, Name);
+      PatchOperand(I.C, Base, Name);
+      Exe.Code.push_back(std::move(I));
+    }
+    Exe.Symbols.push_back(
+        ExeSymbol{Name, Base, Base + static_cast<int>(F->Code.size())});
+  };
+  Emit("main", Functions.at("main"));
+  for (auto &[Name, F] : Functions)
+    if (Name != "main")
+      Emit(Name, F);
+  std::sort(Exe.Symbols.begin(), Exe.Symbols.end(),
+            [](const ExeSymbol &A, const ExeSymbol &B) {
+              return A.Start < B.Start;
+            });
+
+  // Data image.
+  Exe.DataInit.assign(Exe.DataWords, 0);
+  for (auto &[Name, G] : Globals) {
+    for (size_t W = 0; W < G.Init.size() &&
+                       static_cast<int>(W) < G.SizeWords;
+         ++W)
+      Exe.DataInit[G.Address + W] = G.Init[W];
+    if (!G.FuncInit.empty()) {
+      auto FIt = FuncStart.find(G.FuncInit);
+      if (FIt == FuncStart.end())
+        Error("global '" + Name + "' initialized with unknown function '" +
+              G.FuncInit + "'");
+      else
+        Exe.DataInit[G.Address] = FIt->second;
+    }
+  }
+
+  Result.Success = Result.Errors.empty();
+  return Result;
+}

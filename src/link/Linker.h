@@ -1,0 +1,37 @@
+//===- Linker.h - Static linker --------------------------------*- C++ -*-===//
+//
+// Part of the IPRA project: a reproduction of Santhanam & Odnert,
+// "Register Allocation Across Procedure and Module Boundaries", PLDI 1990.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Binds the object files of a program's modules into an executable
+/// image: merges common globals, lays out code and data, resolves
+/// symbolic operands, and prepends a startup stub (call main, halt).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef IPRA_LINK_LINKER_H
+#define IPRA_LINK_LINKER_H
+
+#include "link/Object.h"
+
+#include <string>
+#include <vector>
+
+namespace ipra {
+
+/// Result of linking; on failure Errors explains every problem found.
+struct LinkResult {
+  bool Success = false;
+  Executable Exe;
+  std::vector<std::string> Errors;
+};
+
+/// Links \p Objects into an executable whose entry stub calls "main".
+LinkResult linkObjects(const std::vector<ObjectFile> &Objects);
+
+} // namespace ipra
+
+#endif // IPRA_LINK_LINKER_H

@@ -1,0 +1,82 @@
+//===- Object.h - Relocatable object format --------------------*- C++ -*-===//
+//
+// Part of the IPRA project: a reproduction of Santhanam & Odnert,
+// "Register Allocation Across Procedure and Module Boundaries", PLDI 1990.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The relocatable object file the compiler second phase emits per
+/// module, and the linked executable image. Code stays as structured
+/// MInstr records; "relocation" means resolving Sym operands to absolute
+/// data addresses / code indices and Label operands to absolute code
+/// indices.
+///
+/// Symbol model (C-like):
+///  - function and global names are global unless qualified
+///    ("module:name"), which statics are;
+///  - an uninitialized global is a common symbol: any number of modules
+///    may declare it, they all merge into one definition;
+///  - at most one module may initialize a given global;
+///  - exactly one module must define each called function.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef IPRA_LINK_OBJECT_H
+#define IPRA_LINK_OBJECT_H
+
+#include "target/MachineInstr.h"
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace ipra {
+
+/// One compiled function: flattened machine code with function-relative
+/// Label operands and symbolic Sym operands.
+struct ObjFunction {
+  std::string QualName;
+  std::vector<MInstr> Code;
+};
+
+/// One global datum contributed by a module.
+struct ObjGlobal {
+  std::string QualName;
+  int SizeWords = 1;
+  std::vector<int32_t> Init; ///< Empty or shorter than size = zero-fill.
+  std::string FuncInit;      ///< Non-empty: word 0 = address of function.
+};
+
+/// One module's compiled output.
+struct ObjectFile {
+  std::string Module;
+  std::vector<ObjFunction> Functions;
+  std::vector<ObjGlobal> Globals;
+};
+
+/// Symbol-table entry of the linked image, used by the simulator's
+/// profiler to attribute cycles and calls to procedures.
+struct ExeSymbol {
+  std::string QualName;
+  int Start = 0; ///< First instruction index.
+  int End = 0;   ///< One past the last instruction.
+};
+
+/// A linked executable image.
+struct Executable {
+  std::vector<MInstr> Code;       ///< Entry at index 0 (startup stub).
+  std::vector<int32_t> DataInit;  ///< Initial contents of the data segment.
+  int DataWords = 0;              ///< Data segment size.
+  int StackWords = 1 << 16;       ///< Stack region above the data segment.
+  std::vector<ExeSymbol> Symbols; ///< Sorted by Start.
+
+  int memoryWords() const { return DataWords + StackWords; }
+
+  /// Returns the symbol covering instruction \p Pc, or null.
+  const ExeSymbol *symbolAt(int Pc) const;
+};
+
+} // namespace ipra
+
+#endif // IPRA_LINK_OBJECT_H

@@ -1,0 +1,49 @@
+//===- ObjectIO.h - Object file serialization ------------------*- C++ -*-===//
+//
+// Part of the IPRA project: a reproduction of Santhanam & Odnert,
+// "Register Allocation Across Procedure and Module Boundaries", PLDI 1990.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Textual serialization of relocatable object files, so that the
+/// compiler second phase's output is a real on-disk artifact like the
+/// paper's per-module object files: the driver round-trips every object
+/// through this format before linking, and mcc can emit/consume .o text
+/// for true separate compilation.
+///
+/// Format (line oriented):
+///
+///   object <module>
+///   global <qual> size=<n> [funcinit=<qual>]
+///   init <w> <w> ...          ; appends to the last global
+///   func <qual>
+///   i <op>[.<cc>][/<mc>] <operand>* [args=<n>] [ret]
+///   end                       ; closes the function
+///
+/// Operands: rN (register), #N (immediate), @sym (symbol), LN
+/// (function-relative label). Frame operands never appear (frame
+/// lowering resolves them before emission).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef IPRA_LINK_OBJECTIO_H
+#define IPRA_LINK_OBJECTIO_H
+
+#include "link/Object.h"
+
+#include <string>
+
+namespace ipra {
+
+/// Serializes \p Obj to the textual object format.
+std::string writeObjectFile(const ObjectFile &Obj);
+
+/// Parses an object file; returns false and fills \p Error on malformed
+/// input.
+bool readObjectFile(const std::string &Text, ObjectFile &Out,
+                    std::string &Error);
+
+} // namespace ipra
+
+#endif // IPRA_LINK_OBJECTIO_H

@@ -1,0 +1,187 @@
+//===- ConstProp.cpp - Global constant and copy propagation ---------------===//
+//
+// Part of the IPRA project: a reproduction of Santhanam & Odnert,
+// "Register Allocation Across Procedure and Module Boundaries", PLDI 1990.
+//
+//===----------------------------------------------------------------------===//
+///
+/// Iterative forward dataflow over the (non-SSA) virtual registers. Each
+/// program point maps vregs to a lattice value: unknown (top), a known
+/// 32-bit constant, or a copy of another vreg. The meet at block entry is
+/// value intersection. After the fixpoint, uses are rewritten: constant
+/// operands of Copy feed Const rewrites, copy chains are collapsed, and
+/// CondBr on a known constant becomes an unconditional branch.
+///
+//===----------------------------------------------------------------------===//
+
+#include "opt/Passes.h"
+
+#include "ir/CFG.h"
+
+#include <map>
+
+using namespace ipra;
+
+namespace {
+
+struct LatticeValue {
+  enum class Kind : uint8_t { Const, CopyOf } K = Kind::Const;
+  int32_t Const = 0;
+  unsigned Src = 0;
+
+  bool operator==(const LatticeValue &RHS) const = default;
+};
+
+/// Map from vreg to known value; absence means bottom (unknown/varying).
+using State = std::map<unsigned, LatticeValue>;
+
+/// Removes facts invalidated by a (re)definition of \p Reg: the fact for
+/// Reg itself and any copy-of-Reg facts.
+void killReg(State &S, unsigned Reg) {
+  S.erase(Reg);
+  for (auto It = S.begin(); It != S.end();) {
+    if (It->second.K == LatticeValue::Kind::CopyOf && It->second.Src == Reg)
+      It = S.erase(It);
+    else
+      ++It;
+  }
+}
+
+/// Applies one instruction to the state.
+void transfer(State &S, const IRInstr &I) {
+  if (!I.HasDst)
+    return;
+  killReg(S, I.Dst);
+  if (I.Op == IROp::Const) {
+    S[I.Dst] = LatticeValue{LatticeValue::Kind::Const, I.Imm, 0};
+  } else if (I.Op == IROp::Copy && I.Srcs[0] != I.Dst) {
+    // Collapse through the source's current fact when possible.
+    auto It = S.find(I.Srcs[0]);
+    if (It != S.end())
+      S[I.Dst] = It->second;
+    else
+      S[I.Dst] = LatticeValue{LatticeValue::Kind::CopyOf, 0, I.Srcs[0]};
+  }
+}
+
+/// Meet: keep only facts present and equal in both.
+void meetInto(State &Dst, const State &Src) {
+  for (auto It = Dst.begin(); It != Dst.end();) {
+    auto Found = Src.find(It->first);
+    if (Found == Src.end() || !(Found->second == It->second))
+      It = Dst.erase(It);
+    else
+      ++It;
+  }
+}
+
+} // namespace
+
+bool ipra::propagateConstantsAndCopies(IRFunction &F) {
+  CFGInfo CFG(F);
+  size_t N = F.Blocks.size();
+  std::vector<State> In(N), Out(N);
+  std::vector<bool> Visited(N, false);
+
+  // Fixpoint over reachable blocks in RPO.
+  bool IterChanged = true;
+  int Rounds = 0;
+  while (IterChanged && Rounds++ < 50) {
+    IterChanged = false;
+    for (int B : CFG.rpo()) {
+      State NewIn;
+      bool First = true;
+      for (int P : CFG.predecessors(B)) {
+        if (!Visited[P])
+          continue; // Optimistically ignore unprocessed back edges.
+        if (First) {
+          NewIn = Out[P];
+          First = false;
+        } else {
+          meetInto(NewIn, Out[P]);
+        }
+      }
+      State NewOut = NewIn;
+      for (const IRInstr &I : F.block(B)->Instrs)
+        transfer(NewOut, I);
+      if (!Visited[B] || NewIn != In[B] || NewOut != Out[B]) {
+        In[B] = std::move(NewIn);
+        Out[B] = std::move(NewOut);
+        Visited[B] = true;
+        IterChanged = true;
+      }
+    }
+  }
+
+  // Rewrite uses.
+  bool Changed = false;
+  for (int B : CFG.rpo()) {
+    State S = In[B];
+    for (IRInstr &I : F.block(B)->Instrs) {
+      // Replace uses that are copies of other regs; turn instructions
+      // whose value is a known constant into Const.
+      for (unsigned &Use : I.Srcs) {
+        auto It = S.find(Use);
+        if (It != S.end() && It->second.K == LatticeValue::Kind::CopyOf &&
+            It->second.Src != Use) {
+          Use = It->second.Src;
+          Changed = true;
+        }
+      }
+      if (I.Op == IROp::Copy) {
+        auto It = S.find(I.Srcs[0]);
+        if (It != S.end() && It->second.K == LatticeValue::Kind::Const) {
+          IRInstr K;
+          K.Op = IROp::Const;
+          K.HasDst = true;
+          K.Dst = I.Dst;
+          K.Imm = It->second.Const;
+          I = std::move(K);
+          Changed = true;
+        }
+      } else if (I.Op == IROp::Bin || I.Op == IROp::Neg ||
+                 I.Op == IROp::Not) {
+        // Fold fully-constant operands here too (the block-local
+        // simplifier misses facts that flow across blocks).
+        bool AllConst = true;
+        std::vector<int32_t> Vals;
+        for (unsigned Use : I.Srcs) {
+          auto It = S.find(Use);
+          if (It == S.end() || It->second.K != LatticeValue::Kind::Const) {
+            AllConst = false;
+            break;
+          }
+          Vals.push_back(It->second.Const);
+        }
+        if (AllConst) {
+          int32_t V;
+          if (I.Op == IROp::Bin)
+            V = evalBinKind(I.BK, Vals[0], Vals[1]);
+          else if (I.Op == IROp::Neg)
+            V = static_cast<int32_t>(-static_cast<uint32_t>(Vals[0]));
+          else
+            V = ~Vals[0];
+          IRInstr K;
+          K.Op = IROp::Const;
+          K.HasDst = true;
+          K.Dst = I.Dst;
+          K.Imm = V;
+          I = std::move(K);
+          Changed = true;
+        }
+      } else if (I.Op == IROp::CondBr) {
+        auto It = S.find(I.Srcs[0]);
+        if (It != S.end() && It->second.K == LatticeValue::Kind::Const) {
+          int Target = It->second.Const != 0 ? I.Target1 : I.Target2;
+          IRInstr K;
+          K.Op = IROp::Br;
+          K.Target1 = Target;
+          I = std::move(K);
+          Changed = true;
+        }
+      }
+      transfer(S, I);
+    }
+  }
+  return Changed;
+}

@@ -1,0 +1,91 @@
+//===- DCE.cpp - Dead code elimination -------------------------------------===//
+//
+// Part of the IPRA project: a reproduction of Santhanam & Odnert,
+// "Register Allocation Across Procedure and Module Boundaries", PLDI 1990.
+//
+//===----------------------------------------------------------------------===//
+///
+/// Backward liveness over virtual registers; pure instructions whose
+/// destinations are dead are deleted, as are self-copies. Calls are kept
+/// (their HasDst is dropped when the result is dead).
+///
+//===----------------------------------------------------------------------===//
+
+#include "opt/Passes.h"
+
+#include "ir/CFG.h"
+
+#include <algorithm>
+#include <vector>
+
+using namespace ipra;
+
+bool ipra::eliminateDeadCode(IRFunction &F) {
+  CFGInfo CFG(F);
+  size_t N = F.Blocks.size();
+  unsigned NumRegs = F.NumVRegs;
+
+  std::vector<std::vector<bool>> LiveIn(N,
+                                        std::vector<bool>(NumRegs, false));
+  std::vector<std::vector<bool>> LiveOut(N,
+                                         std::vector<bool>(NumRegs, false));
+
+  // Iterate to fixpoint (blocks in reverse RPO for fast convergence).
+  bool IterChanged = true;
+  while (IterChanged) {
+    IterChanged = false;
+    for (auto It = CFG.rpo().rbegin(); It != CFG.rpo().rend(); ++It) {
+      int B = *It;
+      std::vector<bool> Out(NumRegs, false);
+      for (int S : CFG.successors(B))
+        for (unsigned R = 0; R < NumRegs; ++R)
+          if (LiveIn[S][R])
+            Out[R] = true;
+      std::vector<bool> In = Out;
+      const auto &Instrs = F.block(B)->Instrs;
+      for (auto II = Instrs.rbegin(); II != Instrs.rend(); ++II) {
+        if (II->HasDst)
+          In[II->Dst] = false;
+        for (unsigned Use : II->Srcs)
+          In[Use] = true;
+      }
+      if (In != LiveIn[B] || Out != LiveOut[B]) {
+        LiveIn[B] = std::move(In);
+        LiveOut[B] = std::move(Out);
+        IterChanged = true;
+      }
+    }
+  }
+
+  bool Changed = false;
+  for (int B : CFG.rpo()) {
+    auto &Instrs = F.block(B)->Instrs;
+    std::vector<bool> Live = LiveOut[B];
+    std::vector<IRInstr> Kept;
+    Kept.reserve(Instrs.size());
+    for (auto II = Instrs.rbegin(); II != Instrs.rend(); ++II) {
+      IRInstr &I = *II;
+      bool DstDead = I.HasDst && !Live[I.Dst];
+      if (DstDead && I.isPure()) {
+        Changed = true;
+        continue; // Drop entirely.
+      }
+      if (DstDead && I.isCall()) {
+        I.HasDst = false; // Keep the call, drop the dead result.
+        Changed = true;
+      }
+      if (I.Op == IROp::Copy && I.HasDst && I.Dst == I.Srcs[0]) {
+        Changed = true;
+        continue; // Self-copy.
+      }
+      if (I.HasDst)
+        Live[I.Dst] = false;
+      for (unsigned Use : I.Srcs)
+        Live[Use] = true;
+      Kept.push_back(std::move(I));
+    }
+    std::reverse(Kept.begin(), Kept.end());
+    Instrs = std::move(Kept);
+  }
+  return Changed;
+}

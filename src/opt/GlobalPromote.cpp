@@ -1,0 +1,155 @@
+//===- GlobalPromote.cpp - Intraprocedural global promotion ---------------===//
+//
+// Part of the IPRA project: a reproduction of Santhanam & Odnert,
+// "Register Allocation Across Procedure and Module Boundaries", PLDI 1990.
+//
+//===----------------------------------------------------------------------===//
+///
+/// The level-2 baseline behaviour the paper describes in §4.1: "Many
+/// optimizers are able to promote global variables to registers locally
+/// within a procedure. ... Before procedure calls and at the exit point,
+/// the optimizer must insert instructions to store the register
+/// containing the promoted global variable back to memory. Similarly, at
+/// the entry point and just after procedure returns, the optimizer must
+/// insert instructions to load the promoted global variable."
+///
+/// Kill points where the promoted register must be synchronized with
+/// memory: direct/indirect calls (store before if the function ever
+/// stores the global, reload after), StPtr (same, a pointer may alias any
+/// global), and LdPtr (store before only). Promotion is applied when the
+/// loop-weighted reference count exceeds the synchronization cost.
+///
+//===----------------------------------------------------------------------===//
+
+#include "opt/Passes.h"
+
+#include "ir/CFG.h"
+
+#include <map>
+
+using namespace ipra;
+
+namespace {
+
+struct Candidate {
+  long long RefWeight = 0;   ///< Loop-weighted loads+stores.
+  long long KillWeight = 0;  ///< Loop-weighted kill points + exits.
+  bool HasStore = false;
+};
+
+} // namespace
+
+bool ipra::promoteGlobalsLocally(IRFunction &F, const OptOptions &Options) {
+  CFGInfo CFG(F);
+
+  // Gather candidates: globals accessed via LdG/StG (always scalars; the
+  // front end never emits LdG for arrays).
+  std::map<std::string, Candidate> Candidates;
+  long long KillWeightTotal = 0;
+  for (const auto &B : F.Blocks) {
+    if (!CFG.isReachable(B->Id))
+      continue;
+    long long W = CFG.blockFrequency(B->Id);
+    for (const IRInstr &I : B->Instrs) {
+      if (I.Op == IROp::LdG) {
+        Candidates[I.Sym].RefWeight += W;
+      } else if (I.Op == IROp::StG) {
+        Candidates[I.Sym].RefWeight += W;
+        Candidates[I.Sym].HasStore = true;
+      } else if (I.isCall() || I.Op == IROp::StPtr || I.Op == IROp::LdPtr ||
+                 I.Op == IROp::Ret) {
+        KillWeightTotal += W;
+      }
+    }
+  }
+  if (Candidates.empty())
+    return false;
+
+  // Decide which globals to promote.
+  std::map<std::string, unsigned> Promoted; // Name -> home vreg.
+  for (auto &[Name, C] : Candidates) {
+    if (Options.SkipGlobals.count(Name))
+      continue;
+    C.KillWeight = KillWeightTotal;
+    // Cost: entry load (1) plus a store+load pair at each kill point.
+    long long Cost = 1 + C.KillWeight * (C.HasStore ? 2 : 1);
+    if (C.RefWeight > Cost)
+      Promoted[Name] = F.newVReg();
+  }
+  if (Promoted.empty())
+    return false;
+
+  // Rewrite every block.
+  for (auto &B : F.Blocks) {
+    std::vector<IRInstr> Out;
+    Out.reserve(B->Instrs.size());
+
+    auto EmitLoadAll = [&]() {
+      for (const auto &[Name, Home] : Promoted) {
+        IRInstr Ld;
+        Ld.Op = IROp::LdG;
+        Ld.Sym = Name;
+        Ld.HasDst = true;
+        Ld.Dst = Home;
+        Out.push_back(std::move(Ld));
+      }
+    };
+    auto EmitStoreDirty = [&]() {
+      for (const auto &[Name, Home] : Promoted) {
+        if (!Candidates[Name].HasStore)
+          continue;
+        IRInstr St;
+        St.Op = IROp::StG;
+        St.Sym = Name;
+        St.Srcs = {Home};
+        Out.push_back(std::move(St));
+      }
+    };
+
+    if (B->Id == 0)
+      EmitLoadAll(); // Entry: load every promoted global.
+
+    for (IRInstr &I : B->Instrs) {
+      auto It = I.Op == IROp::LdG || I.Op == IROp::StG
+                    ? Promoted.find(I.Sym)
+                    : Promoted.end();
+      if (I.Op == IROp::LdG && It != Promoted.end()) {
+        IRInstr Cp;
+        Cp.Op = IROp::Copy;
+        Cp.HasDst = true;
+        Cp.Dst = I.Dst;
+        Cp.Srcs = {It->second};
+        Out.push_back(std::move(Cp));
+        continue;
+      }
+      if (I.Op == IROp::StG && It != Promoted.end()) {
+        IRInstr Cp;
+        Cp.Op = IROp::Copy;
+        Cp.HasDst = true;
+        Cp.Dst = It->second;
+        Cp.Srcs = {I.Srcs[0]};
+        Out.push_back(std::move(Cp));
+        continue;
+      }
+      if (I.isCall() || I.Op == IROp::StPtr) {
+        EmitStoreDirty();
+        Out.push_back(std::move(I));
+        EmitLoadAll();
+        continue;
+      }
+      if (I.Op == IROp::LdPtr) {
+        EmitStoreDirty();
+        Out.push_back(std::move(I));
+        continue;
+      }
+      if (I.Op == IROp::Ret) {
+        EmitStoreDirty();
+        Out.push_back(std::move(I));
+        continue;
+      }
+      Out.push_back(std::move(I));
+    }
+    B->Instrs = std::move(Out);
+  }
+  return true;
+}

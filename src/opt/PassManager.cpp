@@ -1,0 +1,42 @@
+//===- PassManager.cpp - Level-2 pipeline driver ---------------------------===//
+//
+// Part of the IPRA project: a reproduction of Santhanam & Odnert,
+// "Register Allocation Across Procedure and Module Boundaries", PLDI 1990.
+//
+//===----------------------------------------------------------------------===//
+
+#include "opt/Passes.h"
+
+#include <cassert>
+
+using namespace ipra;
+
+void ipra::optimizeFunction(IRFunction &F, const OptOptions &Options) {
+  auto Round = [&F]() {
+    bool Changed = false;
+    Changed |= simplifyInstructions(F);
+    Changed |= propagateConstantsAndCopies(F);
+    Changed |= localCSE(F);
+    Changed |= eliminateDeadStores(F);
+    Changed |= hoistLoopInvariants(F);
+    Changed |= eliminateDeadCode(F);
+    Changed |= simplifyCFG(F);
+    return Changed;
+  };
+
+  for (int I = 0; I < 8; ++I)
+    if (!Round())
+      break;
+
+  if (Options.LocalGlobalPromotion && promoteGlobalsLocally(F, Options)) {
+    // Clean up the copies the promotion introduced.
+    for (int I = 0; I < 2; ++I)
+      if (!Round())
+        break;
+  }
+}
+
+void ipra::optimizeModule(IRModule &M, const OptOptions &Options) {
+  for (auto &F : M.Functions)
+    optimizeFunction(*F, Options);
+}

@@ -1,0 +1,88 @@
+//===- Passes.h - Level-2 (global) optimization passes ---------*- C++ -*-===//
+//
+// Part of the IPRA project: a reproduction of Santhanam & Odnert,
+// "Register Allocation Across Procedure and Module Boundaries", PLDI 1990.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The "level two (global) optimization" pipeline that the paper's Table 4
+/// and Table 5 use as the baseline: constant folding and algebraic
+/// simplification, intraprocedural constant/copy propagation, local
+/// common-subexpression elimination with store-to-load forwarding, dead
+/// code elimination, CFG simplification, and the intraprocedural
+/// (function-local) promotion of global variables to registers that §4.1
+/// describes as the state of the art the interprocedural scheme improves
+/// on: a locally-promoted global is stored back before calls and at the
+/// exit point and reloaded at entry and after calls.
+///
+/// Alias discipline: MiniC pointers can point to any address-taken object
+/// in any module, so every pass treats StPtr as potentially writing any
+/// global and any escaped slot, and calls as potentially reading/writing
+/// any global.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef IPRA_OPT_PASSES_H
+#define IPRA_OPT_PASSES_H
+
+#include "ir/IR.h"
+
+#include <set>
+#include <string>
+
+namespace ipra {
+
+/// Configuration for the level-2 pipeline.
+struct OptOptions {
+  /// Run the intraprocedural global-promotion pass (part of level 2).
+  bool LocalGlobalPromotion = true;
+  /// Globals (plain, module-local names) that phase 2 will promote
+  /// interprocedurally; the local pass must leave them alone.
+  std::set<std::string> SkipGlobals;
+};
+
+/// Evaluates a BinKind on 32-bit values with the simulator's semantics
+/// (wrapping arithmetic; division by zero yields 0 so that folding
+/// matches execution).
+int32_t evalBinKind(BinKind BK, int32_t L, int32_t R);
+
+/// Folds constants and applies algebraic identities (x+0, x*1, x*2^k,
+/// etc.). Returns true if anything changed.
+bool simplifyInstructions(IRFunction &F);
+
+/// Intraprocedural constant and copy propagation (iterative dataflow).
+bool propagateConstantsAndCopies(IRFunction &F);
+
+/// Block-local CSE over pure expressions, global/slot loads, and
+/// store-to-load forwarding.
+bool localCSE(IRFunction &F);
+
+/// Removes pure instructions whose results are dead, and no-op copies.
+bool eliminateDeadCode(IRFunction &F);
+
+/// Removes block-local stores overwritten before any possible observer.
+bool eliminateDeadStores(IRFunction &F);
+
+/// Hoists loop-invariant speculatable instructions into preheaders
+/// (one loop per call; the pipeline's rounds reach a fixed point).
+bool hoistLoopInvariants(IRFunction &F);
+
+/// Folds constant branches, removes unreachable blocks, merges
+/// straight-line block pairs, and threads trivial jumps.
+bool simplifyCFG(IRFunction &F);
+
+/// Level-2 intraprocedural register promotion of unaliased scalar
+/// globals (load at entry / after kill points, store at exit / before
+/// kill points). Skips names in \p Options.SkipGlobals.
+bool promoteGlobalsLocally(IRFunction &F, const OptOptions &Options);
+
+/// Runs the full level-2 pipeline to a fixed point (bounded rounds).
+void optimizeFunction(IRFunction &F, const OptOptions &Options);
+
+/// Runs optimizeFunction on every function in \p M.
+void optimizeModule(IRModule &M, const OptOptions &Options);
+
+} // namespace ipra
+
+#endif // IPRA_OPT_PASSES_H

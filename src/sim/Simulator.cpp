@@ -1,0 +1,257 @@
+//===- Simulator.cpp - PR32 interpreter and profiler -----------------------===//
+//
+// Part of the IPRA project: a reproduction of Santhanam & Odnert,
+// "Register Allocation Across Procedure and Module Boundaries", PLDI 1990.
+//
+//===----------------------------------------------------------------------===//
+
+#include "sim/Simulator.h"
+
+#include "target/Registers.h"
+
+#include <vector>
+
+using namespace ipra;
+
+namespace {
+
+class Machine {
+public:
+  Machine(const Executable &Exe, long long Fuel, const CacheConfig &Cache)
+      : Exe(Exe), Fuel(Fuel), Cache(Cache) {
+    Memory.assign(Exe.memoryWords(), 0);
+    for (size_t W = 0; W < Exe.DataInit.size(); ++W)
+      Memory[W] = Exe.DataInit[W];
+    Regs.assign(pr32::NumRegs, 0);
+    Regs[pr32::SP] = Exe.memoryWords(); // Stack grows down from the top.
+    CallerStack.push_back("__start");
+    if (Cache.Enabled) {
+      ICacheTags.assign(static_cast<size_t>(Cache.ICacheLines), -1);
+      DCacheTags.assign(static_cast<size_t>(Cache.DCacheLines), -1);
+    }
+  }
+
+  RunResult run();
+
+private:
+  int32_t readReg(unsigned R) const { return R == pr32::Zero ? 0 : Regs[R]; }
+  void writeReg(unsigned R, int32_t V) {
+    if (R != pr32::Zero)
+      Regs[R] = V;
+  }
+  int32_t operandValue(const MOperand &Op) const {
+    if (Op.isReg())
+      return readReg(Op.RegNo);
+    return Op.ImmVal;
+  }
+  bool evalCond(Cond CC, int32_t L, int32_t R) const {
+    switch (CC) {
+    case Cond::EQ:
+      return L == R;
+    case Cond::NE:
+      return L != R;
+    case Cond::LT:
+      return L < R;
+    case Cond::LE:
+      return L <= R;
+    case Cond::GT:
+      return L > R;
+    case Cond::GE:
+      return L >= R;
+    }
+    return false;
+  }
+  int32_t evalALU(MOp Op, int32_t L, int32_t R) const {
+    auto UL = static_cast<uint32_t>(L);
+    auto UR = static_cast<uint32_t>(R);
+    switch (Op) {
+    case MOp::ADD:
+      return static_cast<int32_t>(UL + UR);
+    case MOp::SUB:
+      return static_cast<int32_t>(UL - UR);
+    case MOp::MUL:
+      return static_cast<int32_t>(UL * UR);
+    case MOp::DIV:
+      return R == 0 ? 0 : (L == INT32_MIN && R == -1 ? L : L / R);
+    case MOp::REM:
+      return R == 0 ? 0 : (L == INT32_MIN && R == -1 ? 0 : L % R);
+    case MOp::AND:
+      return L & R;
+    case MOp::OR:
+      return L | R;
+    case MOp::XOR:
+      return L ^ R;
+    case MOp::SHL:
+      return static_cast<int32_t>(UL << (UR & 31));
+    case MOp::SHR:
+      return L >> (UR & 31);
+    default:
+      return 0;
+    }
+  }
+
+  void trap(RunResult &Result, const std::string &Message) {
+    Result.Trap = Message + " at pc=" + std::to_string(Pc);
+    const ExeSymbol *Sym = Exe.symbolAt(Pc);
+    if (Sym)
+      Result.Trap += " (in " + Sym->QualName + ")";
+  }
+
+  /// Direct-mapped cache probe; returns true on a miss.
+  static bool cacheProbe(std::vector<long long> &Tags, int Lines,
+                         int LineWords, long long Addr) {
+    long long Line = Addr / LineWords;
+    size_t Index = static_cast<size_t>(Line % Lines);
+    if (Tags[Index] == Line)
+      return false;
+    Tags[Index] = Line;
+    return true;
+  }
+
+  const Executable &Exe;
+  long long Fuel;
+  CacheConfig Cache;
+  std::vector<int32_t> Regs;
+  std::vector<int32_t> Memory;
+  std::vector<long long> ICacheTags, DCacheTags;
+  int Pc = 0;
+  std::vector<std::string> CallerStack;
+};
+
+RunResult Machine::run() {
+  RunResult Result;
+  RunStats &S = Result.Stats;
+
+  while (true) {
+    if (Pc < 0 || Pc >= static_cast<int>(Exe.Code.size())) {
+      trap(Result, "pc out of code segment");
+      return Result;
+    }
+    const MInstr &I = Exe.Code[Pc];
+    S.Cycles += cycleCost(I.Op);
+    ++S.Instructions;
+    if (Cache.Enabled &&
+        cacheProbe(ICacheTags, Cache.ICacheLines, Cache.LineWords, Pc)) {
+      ++S.ICacheMisses;
+      S.Cycles += Cache.MissPenalty;
+    }
+    if (S.Cycles > Fuel) {
+      Result.OutOfFuel = true;
+      return Result;
+    }
+
+    int Next = Pc + 1;
+    switch (I.Op) {
+    case MOp::LDI:
+    case MOp::ADDRG: // Post-link both carry an immediate.
+      writeReg(I.A.RegNo, I.B.ImmVal);
+      break;
+    case MOp::LDW:
+    case MOp::STW: {
+      int64_t Addr = static_cast<int64_t>(readReg(I.B.RegNo)) + I.C.ImmVal;
+      if (Addr < 0 || Addr >= static_cast<int64_t>(Memory.size())) {
+        trap(Result, "memory access out of bounds (addr=" +
+                         std::to_string(Addr) + ")");
+        return Result;
+      }
+      ++S.MemRefs;
+      if (isSingleton(I.MC))
+        ++S.SingletonRefs;
+      if (Cache.Enabled &&
+          cacheProbe(DCacheTags, Cache.DCacheLines, Cache.LineWords,
+                     Addr)) {
+        ++S.DCacheMisses;
+        S.Cycles += Cache.MissPenalty;
+      }
+      if (I.Op == MOp::LDW)
+        writeReg(I.A.RegNo, Memory[Addr]);
+      else
+        Memory[Addr] = readReg(I.A.RegNo);
+      break;
+    }
+    case MOp::MOV:
+      writeReg(I.A.RegNo, readReg(I.B.RegNo));
+      break;
+    case MOp::ADD:
+    case MOp::SUB:
+    case MOp::MUL:
+    case MOp::DIV:
+    case MOp::REM:
+    case MOp::AND:
+    case MOp::OR:
+    case MOp::XOR:
+    case MOp::SHL:
+    case MOp::SHR:
+      writeReg(I.A.RegNo,
+               evalALU(I.Op, readReg(I.B.RegNo), operandValue(I.C)));
+      break;
+    case MOp::NEG:
+      writeReg(I.A.RegNo, static_cast<int32_t>(
+                              -static_cast<uint32_t>(readReg(I.B.RegNo))));
+      break;
+    case MOp::NOT:
+      writeReg(I.A.RegNo, ~readReg(I.B.RegNo));
+      break;
+    case MOp::CMP:
+      writeReg(I.A.RegNo,
+               evalCond(I.CC, readReg(I.B.RegNo), operandValue(I.C)) ? 1
+                                                                     : 0);
+      break;
+    case MOp::CB:
+      if (evalCond(I.CC, readReg(I.A.RegNo), operandValue(I.B)))
+        Next = I.C.ImmVal;
+      break;
+    case MOp::B:
+      Next = I.A.ImmVal;
+      break;
+    case MOp::BL:
+    case MOp::BLR: {
+      int Target = I.Op == MOp::BL ? I.A.ImmVal : readReg(I.A.RegNo);
+      writeReg(pr32::RP, Pc + 1);
+      ++S.Calls;
+      const ExeSymbol *Callee = Exe.symbolAt(Target);
+      if (!Callee) {
+        trap(Result, "call to invalid target " + std::to_string(Target));
+        return Result;
+      }
+      ++Result.Profile.CallCounts[Callee->QualName];
+      ++Result.Profile.EdgeCounts[{CallerStack.back(), Callee->QualName}];
+      CallerStack.push_back(Callee->QualName);
+      if (CallerStack.size() > 100000) {
+        trap(Result, "call stack overflow");
+        return Result;
+      }
+      Next = Target;
+      break;
+    }
+    case MOp::BV:
+      // Codegen emits BV only as a return.
+      Next = readReg(I.A.RegNo);
+      if (CallerStack.size() > 1)
+        CallerStack.pop_back();
+      break;
+    case MOp::PRINT:
+      Result.Output += std::to_string(readReg(I.A.RegNo));
+      Result.Output += '\n';
+      break;
+    case MOp::PRINTC:
+      Result.Output += static_cast<char>(readReg(I.A.RegNo) & 0xFF);
+      break;
+    case MOp::HALT:
+      Result.Halted = true;
+      Result.ExitCode = readReg(pr32::RV);
+      return Result;
+    case MOp::NOP:
+      break;
+    }
+    Pc = Next;
+  }
+}
+
+} // namespace
+
+RunResult ipra::runExecutable(const Executable &Exe, long long FuelCycles,
+                              const CacheConfig &Cache) {
+  Machine M(Exe, FuelCycles, Cache);
+  return M.run();
+}

@@ -1,0 +1,293 @@
+//===- Summary.cpp - Compiler-first-phase summary records -----------------===//
+//
+// Part of the IPRA project: a reproduction of Santhanam & Odnert,
+// "Register Allocation Across Procedure and Module Boundaries", PLDI 1990.
+//
+//===----------------------------------------------------------------------===//
+
+#include "summary/Summary.h"
+
+#include "ir/CFG.h"
+#include "support/StringUtils.h"
+
+#include <map>
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+
+using namespace ipra;
+
+namespace {
+
+/// Resolves a plain symbol name to its qualified form within \p M.
+std::string qualifyIn(const IRModule &M, const std::string &Plain) {
+  for (const IRGlobal &G : M.Globals)
+    if (G.Name == Plain)
+      return G.qualifiedName();
+  for (const auto &F : M.Functions)
+    if (F->Name == Plain)
+      return F->qualifiedName();
+  return Plain;
+}
+
+} // namespace
+
+ModuleSummary ipra::buildModuleSummary(
+    const IRModule &M,
+    const std::map<std::string, TrialCodeGenInfo> &TrialInfo) {
+  ModuleSummary S;
+  S.Module = M.Name;
+
+  for (const IRGlobal &G : M.Globals) {
+    GlobalSummary GS;
+    GS.QualName = G.qualifiedName();
+    GS.Module = M.Name;
+    GS.IsStatic = G.IsStatic;
+    GS.IsScalar = G.isPromotableShape();
+    GS.Aliased = G.AddressTaken;
+    S.Globals.push_back(std::move(GS));
+  }
+
+  for (const auto &F : M.Functions) {
+    ProcSummary PS;
+    PS.QualName = F->qualifiedName();
+    PS.Module = M.Name;
+    PS.MakesIndirectCalls = F->MakesIndirectCalls;
+    auto EstIt = TrialInfo.find(F->Name);
+    if (EstIt != TrialInfo.end()) {
+      PS.CalleeRegsNeeded = EstIt->second.CalleeRegsNeeded;
+      PS.CallerRegsUsed = EstIt->second.CallerRegsUsed;
+    }
+
+    CFGInfo CFG(*F);
+    std::map<std::string, GlobalRefSummary> Refs;
+    std::map<std::string, long long> Calls;
+    std::map<std::string, bool> AddrTaken;
+
+    for (const auto &B : F->Blocks) {
+      if (!CFG.isReachable(B->Id))
+        continue;
+      long long W = CFG.blockFrequency(B->Id);
+      for (const IRInstr &I : B->Instrs) {
+        switch (I.Op) {
+        case IROp::LdG:
+        case IROp::StG: {
+          std::string Qual = qualifyIn(M, I.Sym);
+          GlobalRefSummary &R = Refs[Qual];
+          R.QualName = Qual;
+          R.Freq += W;
+          if (I.Op == IROp::StG)
+            R.Stores = true;
+          break;
+        }
+        case IROp::Call:
+          Calls[qualifyIn(M, I.Sym)] += W;
+          break;
+        case IROp::CallInd:
+          PS.IndirectCallFreq += W;
+          break;
+        case IROp::AddrG: {
+          // Address of a *function* marks it a possible indirect
+          // target. Data globals (including string literals) also come
+          // through AddrG and do not count; anything that is neither a
+          // module global nor a module function definition must be a
+          // function defined in another module (Sema only accepts '&'
+          // on declared names), so record it by its plain name.
+          bool IsDataGlobal = false;
+          for (const IRGlobal &G : M.Globals)
+            IsDataGlobal |= G.Name == I.Sym;
+          if (!IsDataGlobal)
+            AddrTaken[qualifyIn(M, I.Sym)] = true;
+          break;
+        }
+        default:
+          break;
+        }
+      }
+    }
+
+    for (auto &[Name, R] : Refs)
+      PS.GlobalRefs.push_back(R);
+    for (auto &[Name, Freq] : Calls)
+      PS.Calls.push_back(CallSummary{Name, Freq});
+    for (auto &[Name, Flag] : AddrTaken)
+      if (Flag)
+        PS.AddressTakenProcs.push_back(Name);
+
+    S.Procs.push_back(std::move(PS));
+  }
+
+  // 'func g = &f;' initializers also take addresses; attribute them to
+  // the module by appending to the first procedure record — more
+  // faithfully, record them on a synthetic module-level list. Keep it
+  // simple and sound: mark them on every proc summary's address-taken
+  // list only once via the first proc, or if the module has no procs,
+  // they cannot be called from this module anyway but another module
+  // might; encode them as a module-level pseudo record below.
+  for (const IRGlobal &G : M.Globals) {
+    if (G.FuncInit.empty())
+      continue;
+    std::string Qual = qualifyIn(M, G.FuncInit);
+    if (S.Procs.empty()) {
+      ProcSummary Pseudo;
+      Pseudo.QualName = M.Name + ":.data";
+      Pseudo.Module = M.Name;
+      Pseudo.AddressTakenProcs.push_back(Qual);
+      S.Procs.push_back(std::move(Pseudo));
+    } else {
+      auto &List = S.Procs.front().AddressTakenProcs;
+      bool Present = false;
+      for (const std::string &N : List)
+        Present |= N == Qual;
+      if (!Present)
+        List.push_back(Qual);
+    }
+  }
+  return S;
+}
+
+//===----------------------------------------------------------------------===//
+// Serialization: a line-oriented format.
+//
+//   module <name>
+//   global <qual> static=<0|1> scalar=<0|1> aliased=<0|1>
+//   proc <qual> regs=<n> indirect=<0|1> indfreq=<n>
+//   ref <qual> freq=<n> stores=<0|1>
+//   call <qual> freq=<n>
+//   addrtaken <qual>
+//   end
+//===----------------------------------------------------------------------===//
+
+std::string ipra::writeSummary(const ModuleSummary &S) {
+  std::ostringstream OS;
+  OS << "module " << S.Module << "\n";
+  for (const GlobalSummary &G : S.Globals)
+    OS << "global " << G.QualName << " static=" << G.IsStatic
+       << " scalar=" << G.IsScalar << " aliased=" << G.Aliased << "\n";
+  for (const ProcSummary &P : S.Procs) {
+    char CallerHex[16];
+    std::snprintf(CallerHex, sizeof(CallerHex), "%08x", P.CallerRegsUsed);
+    OS << "proc " << P.QualName << " regs=" << P.CalleeRegsNeeded
+       << " indirect=" << P.MakesIndirectCalls
+       << " indfreq=" << P.IndirectCallFreq
+       << " callerused=" << CallerHex << "\n";
+    for (const GlobalRefSummary &R : P.GlobalRefs)
+      OS << "ref " << R.QualName << " freq=" << R.Freq
+         << " stores=" << R.Stores << "\n";
+    for (const CallSummary &C : P.Calls)
+      OS << "call " << C.QualCallee << " freq=" << C.Freq << "\n";
+    for (const std::string &A : P.AddressTakenProcs)
+      OS << "addrtaken " << A << "\n";
+    OS << "end\n";
+  }
+  return OS.str();
+}
+
+namespace {
+
+/// Parses "key=value" returning the value text, or empty.
+std::string fieldValue(const std::string &Token, const std::string &Key) {
+  std::string Prefix = Key + "=";
+  if (startsWith(Token, Prefix))
+    return Token.substr(Prefix.size());
+  return "";
+}
+
+long long numField(const std::vector<std::string> &Tokens,
+                   const std::string &Key) {
+  for (const std::string &T : Tokens) {
+    std::string V = fieldValue(T, Key);
+    if (!V.empty() || T == Key + "=") {
+      long long N = 0;
+      parseInt(V, N);
+      return N;
+    }
+  }
+  return 0;
+}
+
+} // namespace
+
+bool ipra::readSummary(const std::string &Text, ModuleSummary &Out,
+                       std::string &Error) {
+  Out = ModuleSummary();
+  ProcSummary *Cur = nullptr;
+  int LineNo = 0;
+  for (const std::string &RawLine : split(Text, '\n')) {
+    ++LineNo;
+    std::string Line = trim(RawLine);
+    if (Line.empty())
+      continue;
+    std::vector<std::string> Tok = split(Line, ' ');
+    const std::string &Kind = Tok[0];
+    auto Require = [&](size_t N) {
+      if (Tok.size() < N) {
+        Error = "line " + std::to_string(LineNo) + ": malformed '" + Kind +
+                "' record";
+        return false;
+      }
+      return true;
+    };
+    if (Kind == "module") {
+      if (!Require(2))
+        return false;
+      Out.Module = Tok[1];
+    } else if (Kind == "global") {
+      if (!Require(5))
+        return false;
+      GlobalSummary G;
+      G.QualName = Tok[1];
+      G.Module = Out.Module;
+      G.IsStatic = numField(Tok, "static");
+      G.IsScalar = numField(Tok, "scalar");
+      G.Aliased = numField(Tok, "aliased");
+      Out.Globals.push_back(std::move(G));
+    } else if (Kind == "proc") {
+      if (!Require(2))
+        return false;
+      ProcSummary P;
+      P.QualName = Tok[1];
+      P.Module = Out.Module;
+      P.CalleeRegsNeeded = static_cast<unsigned>(numField(Tok, "regs"));
+      P.MakesIndirectCalls = numField(Tok, "indirect");
+      P.IndirectCallFreq = numField(Tok, "indfreq");
+      for (const std::string &T : Tok)
+        if (startsWith(T, "callerused="))
+          P.CallerRegsUsed = static_cast<unsigned>(std::strtoul(
+              T.substr(11).c_str(), nullptr, 16));
+      Out.Procs.push_back(std::move(P));
+      Cur = &Out.Procs.back();
+    } else if (Kind == "ref") {
+      if (!Require(2) || !Cur) {
+        Error = "line " + std::to_string(LineNo) + ": 'ref' outside proc";
+        return false;
+      }
+      GlobalRefSummary R;
+      R.QualName = Tok[1];
+      R.Freq = numField(Tok, "freq");
+      R.Stores = numField(Tok, "stores");
+      Cur->GlobalRefs.push_back(std::move(R));
+    } else if (Kind == "call") {
+      if (!Require(2) || !Cur) {
+        Error = "line " + std::to_string(LineNo) + ": 'call' outside proc";
+        return false;
+      }
+      Cur->Calls.push_back(
+          CallSummary{Tok[1], numField(Tok, "freq")});
+    } else if (Kind == "addrtaken") {
+      if (!Require(2) || !Cur) {
+        Error = "line " + std::to_string(LineNo) +
+                ": 'addrtaken' outside proc";
+        return false;
+      }
+      Cur->AddressTakenProcs.push_back(Tok[1]);
+    } else if (Kind == "end") {
+      Cur = nullptr;
+    } else {
+      Error = "line " + std::to_string(LineNo) + ": unknown record '" +
+              Kind + "'";
+      return false;
+    }
+  }
+  return true;
+}

@@ -1,0 +1,108 @@
+//===- Summary.h - Compiler-first-phase summary records --------*- C++ -*-===//
+//
+// Part of the IPRA project: a reproduction of Santhanam & Odnert,
+// "Register Allocation Across Procedure and Module Boundaries", PLDI 1990.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The per-procedure records the compiler first phase writes to a
+/// module's summary file (§3):
+///
+///  - the global variables accessed, with local access frequencies and
+///    flags (aliased references possible, stores present);
+///  - the procedures called, with local call frequencies;
+///  - procedures whose addresses are computed, and whether this
+///    procedure makes indirect calls;
+///  - an estimate of the callee-saves registers the procedure needs.
+///
+/// Frequencies are the loop-nesting heuristics the paper's prototype
+/// used (the first phase "was allowed to proceed through the normal code
+/// generation and optimization phases ... to obtain better heuristic
+/// information", §6 — our driver does the same: it summarizes the
+/// optimized IR and a trial code generation supplies the register-need
+/// estimate).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef IPRA_SUMMARY_SUMMARY_H
+#define IPRA_SUMMARY_SUMMARY_H
+
+#include "ir/IR.h"
+
+#include <map>
+#include <string>
+#include <vector>
+
+namespace ipra {
+
+/// One global variable's usage within one procedure.
+struct GlobalRefSummary {
+  std::string QualName;
+  long long Freq = 0;  ///< Loop-weighted access count.
+  bool Stores = false; ///< The procedure writes the variable.
+};
+
+/// One direct call target within one procedure.
+struct CallSummary {
+  std::string QualCallee;
+  long long Freq = 0; ///< Loop-weighted local call count.
+};
+
+/// Record for one procedure (§3).
+struct ProcSummary {
+  std::string QualName;
+  std::string Module;
+  std::vector<GlobalRefSummary> GlobalRefs;
+  std::vector<CallSummary> Calls;
+  /// Procedures whose addresses this procedure computes.
+  std::vector<std::string> AddressTakenProcs;
+  bool MakesIndirectCalls = false;
+  long long IndirectCallFreq = 0;
+  unsigned CalleeRegsNeeded = 0;
+  /// Caller-saves registers the trial code generation used (input to
+  /// the §7.6.2 caller-saves pre-allocation extension).
+  unsigned CallerRegsUsed = 0;
+};
+
+/// Module-level facts about a global the analyzer needs for promotion
+/// eligibility (§4.1.2) and the statics rule (§7.4).
+struct GlobalSummary {
+  std::string QualName;
+  std::string Module;
+  bool IsStatic = false;
+  bool IsScalar = false; ///< Single word; arrays are not promotable.
+  bool Aliased = false;  ///< Address taken somewhere in this module.
+};
+
+/// The summary file for one module.
+struct ModuleSummary {
+  std::string Module;
+  std::vector<ProcSummary> Procs;
+  std::vector<GlobalSummary> Globals;
+};
+
+/// Per-function facts the trial code generation feeds into the summary.
+struct TrialCodeGenInfo {
+  unsigned CalleeRegsNeeded = 0;
+  unsigned CallerRegsUsed = 0; ///< Mask of caller-saves registers written.
+};
+
+/// Builds the summary for \p M (already optimized). \p TrialInfo maps
+/// plain function names to the trial code generation's results; missing
+/// entries default to zero.
+ModuleSummary
+buildModuleSummary(const IRModule &M,
+                   const std::map<std::string, TrialCodeGenInfo> &TrialInfo);
+
+/// Serializes a summary to the textual summary-file format.
+std::string writeSummary(const ModuleSummary &S);
+
+/// Parses a summary file; returns false (and fills \p Error) on
+/// malformed input.
+bool readSummary(const std::string &Text, ModuleSummary &Out,
+                 std::string &Error);
+
+} // namespace ipra
+
+#endif // IPRA_SUMMARY_SUMMARY_H

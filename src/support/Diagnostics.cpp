@@ -1,0 +1,52 @@
+//===- Diagnostics.cpp - Error reporting for the front end ----------------===//
+//
+// Part of the IPRA project: a reproduction of Santhanam & Odnert,
+// "Register Allocation Across Procedure and Module Boundaries", PLDI 1990.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Diagnostics.h"
+
+#include <sstream>
+
+using namespace ipra;
+
+static const char *kindName(DiagKind Kind) {
+  switch (Kind) {
+  case DiagKind::Error:
+    return "error";
+  case DiagKind::Warning:
+    return "warning";
+  case DiagKind::Note:
+    return "note";
+  }
+  return "unknown";
+}
+
+std::string Diagnostic::render() const {
+  std::ostringstream OS;
+  if (!Module.empty())
+    OS << Module << ":";
+  if (Loc.isValid())
+    OS << Loc.Line << ":" << Loc.Col << ":";
+  if (OS.tellp() > 0)
+    OS << " ";
+  OS << kindName(Kind) << ": " << Message;
+  return OS.str();
+}
+
+void DiagnosticEngine::report(DiagKind Kind, const std::string &Module,
+                              SourceLoc Loc, const std::string &Message) {
+  Diags.push_back(Diagnostic{Kind, Module, Loc, Message});
+  if (Kind == DiagKind::Error)
+    ++NumErrors;
+}
+
+std::string DiagnosticEngine::renderAll() const {
+  std::string Out;
+  for (const Diagnostic &D : Diags) {
+    Out += D.render();
+    Out += '\n';
+  }
+  return Out;
+}

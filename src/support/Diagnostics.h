@@ -1,0 +1,77 @@
+//===- Diagnostics.h - Error reporting for the front end -------*- C++ -*-===//
+//
+// Part of the IPRA project: a reproduction of Santhanam & Odnert,
+// "Register Allocation Across Procedure and Module Boundaries", PLDI 1990.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A small diagnostic engine. The library never throws; front-end and
+/// pipeline components report problems through a DiagnosticEngine and
+/// callers test hasErrors() at phase boundaries.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef IPRA_SUPPORT_DIAGNOSTICS_H
+#define IPRA_SUPPORT_DIAGNOSTICS_H
+
+#include "support/SourceLoc.h"
+
+#include <string>
+#include <vector>
+
+namespace ipra {
+
+/// Severity of a reported diagnostic.
+enum class DiagKind { Error, Warning, Note };
+
+/// One reported problem, tagged with the module (file) it came from.
+struct Diagnostic {
+  DiagKind Kind = DiagKind::Error;
+  std::string Module;
+  SourceLoc Loc;
+  std::string Message;
+
+  /// Renders "module:line:col: error: message" (omitting unknown parts).
+  std::string render() const;
+};
+
+/// Collects diagnostics produced while processing one or more modules.
+class DiagnosticEngine {
+public:
+  void error(const std::string &Module, SourceLoc Loc,
+             const std::string &Message) {
+    report(DiagKind::Error, Module, Loc, Message);
+  }
+  void warning(const std::string &Module, SourceLoc Loc,
+               const std::string &Message) {
+    report(DiagKind::Warning, Module, Loc, Message);
+  }
+  void note(const std::string &Module, SourceLoc Loc,
+            const std::string &Message) {
+    report(DiagKind::Note, Module, Loc, Message);
+  }
+
+  void report(DiagKind Kind, const std::string &Module, SourceLoc Loc,
+              const std::string &Message);
+
+  bool hasErrors() const { return NumErrors > 0; }
+  unsigned errorCount() const { return NumErrors; }
+  const std::vector<Diagnostic> &diagnostics() const { return Diags; }
+
+  /// Renders every diagnostic, one per line.
+  std::string renderAll() const;
+
+  void clear() {
+    Diags.clear();
+    NumErrors = 0;
+  }
+
+private:
+  std::vector<Diagnostic> Diags;
+  unsigned NumErrors = 0;
+};
+
+} // namespace ipra
+
+#endif // IPRA_SUPPORT_DIAGNOSTICS_H

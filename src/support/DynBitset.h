@@ -1,0 +1,100 @@
+//===- DynBitset.h - Dynamically sized bitset ------------------*- C++ -*-===//
+//
+// Part of the IPRA project: a reproduction of Santhanam & Odnert,
+// "Register Allocation Across Procedure and Module Boundaries", PLDI 1990.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A small dynamically-sized bitset used for the analyzer's dataflow
+/// sets (L_REF/P_REF/C_REF over eligible globals, §4.1.2).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef IPRA_SUPPORT_DYNBITSET_H
+#define IPRA_SUPPORT_DYNBITSET_H
+
+#include <cassert>
+#include <cstdint>
+#include <vector>
+
+namespace ipra {
+
+/// Fixed-universe bitset; all participants of an operation must share
+/// the same universe size.
+class DynBitset {
+public:
+  DynBitset() = default;
+  explicit DynBitset(size_t Bits)
+      : NumBits(Bits), Words((Bits + 63) / 64, 0) {}
+
+  size_t size() const { return NumBits; }
+
+  void set(size_t Bit) {
+    assert(Bit < NumBits);
+    Words[Bit / 64] |= uint64_t(1) << (Bit % 64);
+  }
+  void reset(size_t Bit) {
+    assert(Bit < NumBits);
+    Words[Bit / 64] &= ~(uint64_t(1) << (Bit % 64));
+  }
+  bool test(size_t Bit) const {
+    assert(Bit < NumBits);
+    return Words[Bit / 64] >> (Bit % 64) & 1;
+  }
+
+  /// Returns true if this set changed.
+  bool unionWith(const DynBitset &RHS) {
+    assert(NumBits == RHS.NumBits);
+    bool Changed = false;
+    for (size_t W = 0; W < Words.size(); ++W) {
+      uint64_t New = Words[W] | RHS.Words[W];
+      if (New != Words[W]) {
+        Words[W] = New;
+        Changed = true;
+      }
+    }
+    return Changed;
+  }
+
+  bool intersects(const DynBitset &RHS) const {
+    assert(NumBits == RHS.NumBits);
+    for (size_t W = 0; W < Words.size(); ++W)
+      if (Words[W] & RHS.Words[W])
+        return true;
+    return false;
+  }
+
+  bool any() const {
+    for (uint64_t W : Words)
+      if (W)
+        return true;
+    return false;
+  }
+
+  size_t count() const {
+    size_t N = 0;
+    for (uint64_t W : Words)
+      N += static_cast<size_t>(__builtin_popcountll(W));
+    return N;
+  }
+
+  /// Indices of set bits, ascending.
+  std::vector<size_t> bits() const {
+    std::vector<size_t> Out;
+    for (size_t B = 0; B < NumBits; ++B)
+      if (test(B))
+        Out.push_back(B);
+    return Out;
+  }
+
+  bool operator==(const DynBitset &RHS) const = default;
+
+private:
+  size_t NumBits = 0;
+  std::vector<uint64_t> Words;
+};
+
+} // namespace ipra
+
+#endif // IPRA_SUPPORT_DYNBITSET_H

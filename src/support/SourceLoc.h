@@ -1,0 +1,35 @@
+//===- SourceLoc.h - Source position tracking -----------------*- C++ -*-===//
+//
+// Part of the IPRA project: a reproduction of Santhanam & Odnert,
+// "Register Allocation Across Procedure and Module Boundaries", PLDI 1990.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Lightweight (line, column) position used by the MiniC front end for
+/// diagnostics. Lines and columns are 1-based; a default-constructed
+/// location is "unknown".
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef IPRA_SUPPORT_SOURCELOC_H
+#define IPRA_SUPPORT_SOURCELOC_H
+
+namespace ipra {
+
+/// A position in a MiniC source file.
+struct SourceLoc {
+  int Line = 0;
+  int Col = 0;
+
+  SourceLoc() = default;
+  SourceLoc(int Line, int Col) : Line(Line), Col(Col) {}
+
+  bool isValid() const { return Line > 0; }
+
+  bool operator==(const SourceLoc &RHS) const = default;
+};
+
+} // namespace ipra
+
+#endif // IPRA_SUPPORT_SOURCELOC_H

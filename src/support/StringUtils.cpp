@@ -1,0 +1,68 @@
+//===- StringUtils.cpp - Small string helpers -----------------------------===//
+//
+// Part of the IPRA project: a reproduction of Santhanam & Odnert,
+// "Register Allocation Across Procedure and Module Boundaries", PLDI 1990.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/StringUtils.h"
+
+#include <cctype>
+#include <cstdio>
+#include <cstdlib>
+
+using namespace ipra;
+
+std::string ipra::join(const std::vector<std::string> &Parts,
+                       const std::string &Sep) {
+  std::string Out;
+  for (size_t I = 0; I < Parts.size(); ++I) {
+    if (I != 0)
+      Out += Sep;
+    Out += Parts[I];
+  }
+  return Out;
+}
+
+std::vector<std::string> ipra::split(const std::string &Text, char Sep) {
+  std::vector<std::string> Out;
+  std::string Cur;
+  for (char C : Text) {
+    if (C == Sep) {
+      Out.push_back(Cur);
+      Cur.clear();
+    } else {
+      Cur += C;
+    }
+  }
+  Out.push_back(Cur);
+  return Out;
+}
+
+std::string ipra::trim(const std::string &Text) {
+  size_t B = 0, E = Text.size();
+  while (B < E && std::isspace(static_cast<unsigned char>(Text[B])))
+    ++B;
+  while (E > B && std::isspace(static_cast<unsigned char>(Text[E - 1])))
+    --E;
+  return Text.substr(B, E - B);
+}
+
+bool ipra::startsWith(const std::string &Text, const std::string &Prefix) {
+  return Text.size() >= Prefix.size() &&
+         Text.compare(0, Prefix.size(), Prefix) == 0;
+}
+
+bool ipra::parseInt(const std::string &Text, long long &Value) {
+  if (Text.empty())
+    return false;
+  char *End = nullptr;
+  Value = std::strtoll(Text.c_str(), &End, 10);
+  return End && *End == '\0';
+}
+
+std::string ipra::formatFixed(double Value, int Decimals) {
+  char Buf[64];
+  std::snprintf(Buf, sizeof(Buf), "%.*f", Decimals, Value);
+  return Buf;
+}

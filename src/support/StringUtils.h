@@ -1,0 +1,43 @@
+//===- StringUtils.h - Small string helpers --------------------*- C++ -*-===//
+//
+// Part of the IPRA project: a reproduction of Santhanam & Odnert,
+// "Register Allocation Across Procedure and Module Boundaries", PLDI 1990.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// String helpers shared by the serializers (summary files and the program
+/// database) and by test/bench table printers.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef IPRA_SUPPORT_STRINGUTILS_H
+#define IPRA_SUPPORT_STRINGUTILS_H
+
+#include <string>
+#include <vector>
+
+namespace ipra {
+
+/// Joins \p Parts with \p Sep between consecutive elements.
+std::string join(const std::vector<std::string> &Parts,
+                 const std::string &Sep);
+
+/// Splits \p Text on \p Sep; adjacent separators yield empty fields.
+std::vector<std::string> split(const std::string &Text, char Sep);
+
+/// Strips leading and trailing ASCII whitespace.
+std::string trim(const std::string &Text);
+
+/// Returns true if \p Text begins with \p Prefix.
+bool startsWith(const std::string &Text, const std::string &Prefix);
+
+/// Parses a signed decimal integer; returns false on malformed input.
+bool parseInt(const std::string &Text, long long &Value);
+
+/// Formats \p Value with \p Decimals digits after the point (e.g. "3.4").
+std::string formatFixed(double Value, int Decimals);
+
+} // namespace ipra
+
+#endif // IPRA_SUPPORT_STRINGUTILS_H

@@ -1,0 +1,209 @@
+//===- callgraph_test.cpp - Program call graph unit tests -----------------===//
+//
+// Part of the IPRA project: a reproduction of Santhanam & Odnert,
+// "Register Allocation Across Procedure and Module Boundaries", PLDI 1990.
+//
+//===----------------------------------------------------------------------===//
+
+#include "GraphFixtures.h"
+
+#include "callgraph/CallGraph.h"
+
+#include <gtest/gtest.h>
+
+using namespace ipra;
+using ipra::test::GraphBuilder;
+
+namespace {
+
+TEST(CallGraphTest, NodesAndEdges) {
+  GraphBuilder B;
+  B.proc("main").proc("a").proc("b");
+  B.call("main", "a").call("main", "b").call("a", "b");
+  CallGraph CG(B.build());
+  ASSERT_EQ(CG.size(), 3);
+  int Main = CG.findNode("main");
+  int A = CG.findNode("a");
+  int Bn = CG.findNode("b");
+  EXPECT_EQ(CG.node(Main).Succs.size(), 2u);
+  EXPECT_EQ(CG.node(Bn).Preds.size(), 2u);
+  EXPECT_EQ(CG.node(A).Preds.size(), 1u);
+}
+
+TEST(CallGraphTest, DuplicateCallEdgesMerge) {
+  GraphBuilder B;
+  B.proc("main").proc("a");
+  B.call("main", "a", 3).call("main", "a", 4);
+  CallGraph CG(B.build());
+  EXPECT_EQ(CG.node(CG.findNode("main")).Succs.size(), 1u);
+  // Frequencies accumulate: edge count reflects 7 calls per invocation
+  // (x2 leaf bonus).
+  EXPECT_EQ(CG.edgeCount(CG.findNode("main"), CG.findNode("a")), 14);
+}
+
+TEST(CallGraphTest, PlaceholderForUndefinedCallee) {
+  GraphBuilder B;
+  B.proc("main");
+  B.call("main", "mystery");
+  CallGraph CG(B.build());
+  int M = CG.findNode("mystery");
+  ASSERT_GE(M, 0);
+  EXPECT_TRUE(CG.node(M).Succs.empty());
+  EXPECT_TRUE(CG.node(M).GlobalRefs.empty());
+}
+
+TEST(CallGraphTest, IndirectCallClosure) {
+  // Every indirect caller gets edges to every address-taken procedure
+  // (§7.3).
+  GraphBuilder B;
+  B.proc("main").proc("caller1").proc("caller2").proc("t1").proc("t2");
+  B.call("main", "caller1").call("main", "caller2");
+  B.indirectCaller("caller1").indirectCaller("caller2");
+  B.addressTaken("main", "t1");
+  B.addressTaken("main", "t2");
+  CallGraph CG(B.build());
+  for (const char *Caller : {"caller1", "caller2"}) {
+    const CGNode &N = CG.node(CG.findNode(Caller));
+    std::set<int> Succs(N.Succs.begin(), N.Succs.end());
+    EXPECT_TRUE(Succs.count(CG.findNode("t1"))) << Caller;
+    EXPECT_TRUE(Succs.count(CG.findNode("t2"))) << Caller;
+  }
+  EXPECT_TRUE(CG.node(CG.findNode("t1")).IsAddressTaken);
+}
+
+TEST(CallGraphTest, StartNodes) {
+  GraphBuilder B;
+  B.proc("main").proc("a").proc("island");
+  B.call("main", "a");
+  CallGraph CG(B.build());
+  std::set<int> Starts(CG.startNodes().begin(), CG.startNodes().end());
+  EXPECT_TRUE(Starts.count(CG.findNode("main")));
+  EXPECT_TRUE(Starts.count(CG.findNode("island"))); // No predecessors.
+  EXPECT_FALSE(Starts.count(CG.findNode("a")));
+}
+
+TEST(CallGraphTest, MainIsStartEvenWhenCalled) {
+  GraphBuilder B;
+  B.proc("main").proc("a");
+  B.call("main", "a").call("a", "main"); // a calls main back.
+  CallGraph CG(B.build());
+  std::set<int> Starts(CG.startNodes().begin(), CG.startNodes().end());
+  EXPECT_TRUE(Starts.count(CG.findNode("main")));
+}
+
+TEST(CallGraphTest, SCCAndRecursion) {
+  GraphBuilder B;
+  B.proc("main").proc("a").proc("b").proc("self").proc("leaf");
+  B.call("main", "a").call("a", "b").call("b", "a");
+  B.call("main", "self").call("self", "self");
+  B.call("main", "leaf");
+  CallGraph CG(B.build());
+  EXPECT_EQ(CG.sccId(CG.findNode("a")), CG.sccId(CG.findNode("b")));
+  EXPECT_TRUE(CG.isRecursive(CG.findNode("a")));
+  EXPECT_TRUE(CG.isRecursive(CG.findNode("b")));
+  EXPECT_TRUE(CG.isRecursive(CG.findNode("self")));
+  EXPECT_FALSE(CG.isRecursive(CG.findNode("leaf")));
+  EXPECT_FALSE(CG.isRecursive(CG.findNode("main")));
+}
+
+TEST(CallGraphTest, Dominators) {
+  GraphBuilder B;
+  B.proc("main").proc("l").proc("r").proc("join").proc("deep");
+  B.call("main", "l").call("main", "r");
+  B.call("l", "join").call("r", "join");
+  B.call("join", "deep");
+  CallGraph CG(B.build());
+  int Main = CG.findNode("main");
+  int Join = CG.findNode("join");
+  int Deep = CG.findNode("deep");
+  EXPECT_EQ(CG.idom(Join), Main);
+  EXPECT_EQ(CG.idom(Deep), Join);
+  EXPECT_TRUE(CG.dominates(Main, Deep));
+  EXPECT_TRUE(CG.dominates(Join, Deep));
+  EXPECT_FALSE(CG.dominates(CG.findNode("l"), Join));
+  EXPECT_EQ(CG.idom(Main), -1);
+}
+
+TEST(CallGraphTest, InvocationEstimatesMultiplyDownward) {
+  GraphBuilder B;
+  B.proc("main").proc("mid").proc("leafish").proc("bottom");
+  B.call("main", "mid", 10);
+  B.call("mid", "leafish", 10);
+  B.call("leafish", "bottom", 10);
+  CallGraph CG(B.build());
+  EXPECT_EQ(CG.invocationCount(CG.findNode("main")), 1);
+  EXPECT_EQ(CG.invocationCount(CG.findNode("mid")), 10);
+  EXPECT_EQ(CG.invocationCount(CG.findNode("leafish")), 100);
+  EXPECT_EQ(CG.invocationCount(CG.findNode("bottom")), 1000);
+}
+
+TEST(CallGraphTest, RecursionFactorBoostsCycles) {
+  GraphBuilder B;
+  B.proc("main").proc("rec");
+  B.call("main", "rec", 1).call("rec", "rec", 1);
+  CallGraph CG(B.build());
+  // One external entry, boosted by the recursion factor (10).
+  EXPECT_GE(CG.invocationCount(CG.findNode("rec")), 10);
+}
+
+TEST(CallGraphTest, LeafBonusDoublesEdgeCounts) {
+  GraphBuilder B;
+  B.proc("main").proc("leaf").proc("inner");
+  B.call("main", "leaf", 5);
+  B.call("main", "inner", 5).call("inner", "leaf", 1);
+  CallGraph CG(B.build());
+  // main->leaf: 1 * 5 * 2 (leaf bonus) = 10; main->inner: 5 (no bonus).
+  EXPECT_EQ(CG.edgeCount(CG.findNode("main"), CG.findNode("leaf")), 10);
+  EXPECT_EQ(CG.edgeCount(CG.findNode("main"), CG.findNode("inner")), 5);
+}
+
+TEST(CallGraphTest, ProfileOverridesHeuristics) {
+  GraphBuilder B;
+  B.proc("main").proc("a");
+  B.call("main", "a", 1000); // Heuristically hot.
+  CallProfile Profile;
+  Profile.CallCounts = {{"main", 1}, {"a", 3}};
+  Profile.EdgeCounts = {{{"main", "a"}, 3}};
+  CallGraph CG(B.build(), Profile);
+  EXPECT_EQ(CG.invocationCount(CG.findNode("a")), 3);
+  EXPECT_EQ(CG.edgeCount(CG.findNode("main"), CG.findNode("a")), 3);
+}
+
+TEST(CallGraphTest, GlobalFactsUnionAcrossModules) {
+  ModuleSummary M1, M2;
+  M1.Module = "a.mc";
+  M2.Module = "b.mc";
+  GlobalSummary G;
+  G.QualName = "shared";
+  G.IsScalar = true;
+  G.Aliased = false;
+  M1.Globals.push_back(G);
+  G.Aliased = true;
+  M2.Globals.push_back(G);
+  ProcSummary P;
+  P.QualName = "main";
+  P.Module = "a.mc";
+  M1.Procs.push_back(P);
+  CallGraph CG({M1, M2});
+  EXPECT_TRUE(CG.globals().at("shared").Aliased);
+  EXPECT_TRUE(CG.globals().at("shared").IsScalar);
+}
+
+TEST(CallGraphTest, CountsAreCapped) {
+  // A 40-deep chain of freq-1000 calls would overflow; counts cap.
+  GraphBuilder B;
+  B.proc("main");
+  std::string Prev = "main";
+  for (int I = 0; I < 40; ++I) {
+    std::string Name = "p" + std::to_string(I);
+    B.proc(Name);
+    B.call(Prev, Name, 1000);
+    Prev = Name;
+  }
+  CallGraph CG(B.build());
+  long long Last = CG.invocationCount(CG.findNode("p39"));
+  EXPECT_LE(Last, 1'000'000'000'000'000LL);
+  EXPECT_GT(Last, 0);
+}
+
+} // namespace

@@ -1,0 +1,458 @@
+//===- codegen_test.cpp - Lowering/RA/frame unit tests --------------------===//
+//
+// Part of the IPRA project: a reproduction of Santhanam & Odnert,
+// "Register Allocation Across Procedure and Module Boundaries", PLDI 1990.
+//
+//===----------------------------------------------------------------------===//
+
+#include "TestUtil.h"
+
+#include "codegen/CodeGen.h"
+#include "codegen/Lowering.h"
+#include "codegen/PromotedCopyProp.h"
+#include "opt/Passes.h"
+
+#include <gtest/gtest.h>
+
+using namespace ipra;
+using ipra::test::compileToIR;
+
+namespace {
+
+/// Aggregate-free construction of a promoted-global directive.
+PromotedGlobal promoted(const char *Name, unsigned Reg, bool IsEntry,
+                        bool Modifies) {
+  PromotedGlobal P;
+  P.QualName = Name;
+  P.Reg = Reg;
+  P.IsEntry = IsEntry;
+  P.WebModifies = Modifies;
+  return P;
+}
+
+
+struct Compiled {
+  std::unique_ptr<IRModule> M;
+  CodeGenResult CG;
+};
+
+Compiled codegen(const std::string &Source, const std::string &Func,
+                 const ProcDirectives &Dir = {}, bool Optimize = true) {
+  DiagnosticEngine Diags;
+  Compiled Out;
+  Out.M = compileToIR("test.mc", Source, Diags);
+  EXPECT_TRUE(Out.M) << Diags.renderAll();
+  if (Optimize)
+    optimizeModule(*Out.M, OptOptions());
+  IRFunction *F = Out.M->findFunction(Func);
+  EXPECT_TRUE(F);
+  Out.CG = generateCode(*Out.M, *F, Dir);
+  EXPECT_TRUE(Out.CG.Success);
+  return Out;
+}
+
+template <typename Pred>
+int countInstrs(const ObjFunction &F, Pred P) {
+  int N = 0;
+  for (const MInstr &I : F.Code)
+    if (P(I))
+      ++N;
+  return N;
+}
+
+/// Registers written anywhere in the code.
+RegMask writtenRegs(const ObjFunction &F) {
+  RegMask Mask = 0;
+  std::vector<unsigned> Defs;
+  for (const MInstr &I : F.Code) {
+    Defs.clear();
+    I.appendDefs(Defs);
+    for (unsigned D : Defs)
+      Mask |= pr32::maskOf(D);
+  }
+  return Mask;
+}
+
+TEST(LoweringTest, CompareBranchFusion) {
+  auto C = codegen("int f(int a, int b) { if (a < b) return 1;"
+                   " return 2; }\n",
+                   "f");
+  EXPECT_EQ(countInstrs(C.CG.Obj, [](const MInstr &I) {
+              return I.Op == MOp::CB && I.CC == Cond::LT;
+            }),
+            1);
+  EXPECT_EQ(countInstrs(C.CG.Obj, [](const MInstr &I) {
+              return I.Op == MOp::CMP;
+            }),
+            0);
+}
+
+TEST(LoweringTest, MaterializedCompareWhenValueNeeded) {
+  auto C = codegen("int f(int a, int b) { int c = a < b;"
+                   " return c + c; }\n",
+                   "f");
+  EXPECT_EQ(countInstrs(C.CG.Obj, [](const MInstr &I) {
+              return I.Op == MOp::CMP;
+            }),
+            1);
+}
+
+TEST(LoweringTest, GlobalAccessUsesAddrgPlusMem) {
+  auto C = codegen("int g;\nint f() { return g; }\n", "f",
+                   ProcDirectives(), /*Optimize=*/false);
+  EXPECT_EQ(countInstrs(C.CG.Obj, [](const MInstr &I) {
+              return I.Op == MOp::ADDRG;
+            }),
+            1);
+  EXPECT_EQ(countInstrs(C.CG.Obj, [](const MInstr &I) {
+              return I.Op == MOp::LDW &&
+                     I.MC == MemClass::GlobalScalar;
+            }),
+            1);
+}
+
+TEST(LoweringTest, PromotedGlobalBecomesRegisterOnly) {
+  ProcDirectives Dir;
+  Dir.Promoted.push_back(promoted("g", 13, false, true));
+  auto C = codegen("int g;\nint f(int x) { g = g + x; return g; }\n",
+                   "f", Dir);
+  // No memory traffic for g at all; r13 is read and written.
+  EXPECT_EQ(countInstrs(C.CG.Obj, [](const MInstr &I) {
+              return I.MC == MemClass::GlobalScalar;
+            }),
+            0);
+  EXPECT_TRUE(writtenRegs(C.CG.Obj) & pr32::maskOf(13));
+}
+
+TEST(LoweringTest, ArgumentsAndResults) {
+  auto C = codegen("int callee(int a, int b) { return a + b; }\n"
+                   "int f() { return callee(3, 4); }\n",
+                   "f");
+  // Arg registers loaded, call, result from r28.
+  EXPECT_EQ(countInstrs(C.CG.Obj, [](const MInstr &I) {
+              return I.Op == MOp::BL;
+            }),
+            1);
+  bool FoundCall = false;
+  for (const MInstr &I : C.CG.Obj.Code)
+    if (I.Op == MOp::BL) {
+      EXPECT_EQ(I.NumArgs, 2);
+      EXPECT_TRUE(I.HasResult);
+      FoundCall = true;
+    }
+  EXPECT_TRUE(FoundCall);
+}
+
+TEST(RegAllocTest, LeafNeedsNoCalleeSaves) {
+  auto C = codegen("int f(int a, int b) { return a * b + a - b; }\n",
+                   "f");
+  EXPECT_EQ(C.CG.RA.UsedCalleeToSave, 0u);
+  EXPECT_EQ(C.CG.RA.SpillCount, 0u);
+  EXPECT_EQ(C.CG.Frame.SavedRegs, 0u);
+  // A leaf that needs no frame gets no prologue at all.
+  EXPECT_EQ(C.CG.Frame.FrameWords, 0);
+  EXPECT_FALSE(C.CG.Frame.SavedRP);
+}
+
+TEST(RegAllocTest, ValuesAcrossCallsUseCalleeSaves) {
+  auto C = codegen("int ext(int x);\n"
+                   "int ext2(int x) { return x; }\n"
+                   "int f(int a) { int v = a * 7; ext2(a);"
+                   " return v; }\n",
+                   "f");
+  // v lives across the call: a callee-saves register is saved/used.
+  EXPECT_NE(C.CG.RA.UsedCalleeToSave, 0u);
+  EXPECT_TRUE(C.CG.Frame.SavedRP);
+}
+
+TEST(RegAllocTest, FreeRegistersAvoidSaves) {
+  ProcDirectives Dir;
+  Dir.Free = pr32::maskOf(3) | pr32::maskOf(4) | pr32::maskOf(5) |
+             pr32::maskOf(6);
+  auto C = codegen("int ext2(int x) { return x; }\n"
+                   "int f(int a) { int v = a * 7; int w = a + 9;"
+                   " ext2(a); return v + w; }\n",
+                   "f", Dir);
+  // FREE registers carry the values: nothing needs saving.
+  EXPECT_EQ(C.CG.RA.UsedCalleeToSave, 0u);
+  EXPECT_EQ(C.CG.Frame.SavedRegs, 0u);
+  // And the FREE registers really are used.
+  EXPECT_TRUE(writtenRegs(C.CG.Obj) & Dir.Free);
+}
+
+TEST(RegAllocTest, PromotedRegisterNeverAllocated) {
+  ProcDirectives Dir;
+  Dir.Promoted.push_back(promoted("zz", 13, false, true));
+  // The function never touches global zz, but r13 is reserved for it.
+  auto C = codegen(
+      "int ext2(int x) { return x; }\n"
+      "int f(int a) { int u = a * 3; int v = a * 5; int w = a * 7;"
+      " ext2(a); return u + v + w; }\n",
+      "f", Dir);
+  EXPECT_FALSE(writtenRegs(C.CG.Obj) & pr32::maskOf(13));
+}
+
+TEST(RegAllocTest, HighPressureSpills) {
+  // 20 values live across a call: more than the 16 callee-saves.
+  std::string Source = "int ext2(int x) { return x; }\n"
+                       "int f(int a) {\n";
+  for (int I = 0; I < 20; ++I)
+    Source += "  int v" + std::to_string(I) + " = a * " +
+              std::to_string(I + 2) + ";\n";
+  Source += "  ext2(a);\n  int s = 0;\n";
+  for (int I = 0; I < 20; ++I)
+    Source += "  s = s + v" + std::to_string(I) + ";\n";
+  Source += "  return s;\n}\n";
+  auto C = codegen(Source, "f");
+  EXPECT_GT(C.CG.RA.SpillCount, 0u);
+  EXPECT_GT(C.CG.Frame.FrameWords, 0);
+}
+
+TEST(FrameTest, MSpillSavedAtRootEvenIfUnused) {
+  ProcDirectives Dir;
+  Dir.MSpill = pr32::maskOf(9) | pr32::maskOf(10);
+  Dir.IsClusterRoot = true;
+  auto C = codegen("int f(int a) { return a + 1; }\n", "f", Dir);
+  // f never uses r9/r10, but as a cluster root it must save them.
+  EXPECT_EQ(C.CG.Frame.SavedRegs & (pr32::maskOf(9) | pr32::maskOf(10)),
+            pr32::maskOf(9) | pr32::maskOf(10));
+  EXPECT_GE(C.CG.Frame.FrameWords, 2);
+}
+
+TEST(FrameTest, MSpillNotSavedAtNonRoot) {
+  ProcDirectives Dir;
+  Dir.MSpill = pr32::maskOf(9);
+  Dir.IsClusterRoot = false;
+  auto C = codegen("int f(int a) { return a + 1; }\n", "f", Dir);
+  EXPECT_EQ(C.CG.Frame.SavedRegs & pr32::maskOf(9), 0u);
+}
+
+TEST(FrameTest, WebEntryLoadsAndStores) {
+  ProcDirectives Dir;
+  Dir.Promoted.push_back(
+      promoted("g", 13, /*IsEntry=*/true, /*WebModifies=*/true));
+  auto C = codegen("int g;\nint f(int x) { g = g + x; return g; }\n",
+                   "f", Dir);
+  // Entry: one global load (into r13); exit: one global store; plus the
+  // save/restore of r13 itself.
+  EXPECT_EQ(countInstrs(C.CG.Obj, [](const MInstr &I) {
+              return I.Op == MOp::LDW && I.MC == MemClass::GlobalScalar;
+            }),
+            1);
+  EXPECT_EQ(countInstrs(C.CG.Obj, [](const MInstr &I) {
+              return I.Op == MOp::STW && I.MC == MemClass::GlobalScalar;
+            }),
+            1);
+  EXPECT_TRUE(C.CG.Frame.SavedRegs & pr32::maskOf(13));
+}
+
+TEST(FrameTest, ReadOnlyWebEntrySkipsStore) {
+  ProcDirectives Dir;
+  Dir.Promoted.push_back(
+      promoted("g", 13, /*IsEntry=*/true, /*WebModifies=*/false));
+  auto C = codegen("int g;\nint f(int x) { return g + x; }\n", "f", Dir);
+  EXPECT_EQ(countInstrs(C.CG.Obj, [](const MInstr &I) {
+              return I.Op == MOp::LDW && I.MC == MemClass::GlobalScalar;
+            }),
+            1);
+  // "a store instruction need not be inserted" (§5).
+  EXPECT_EQ(countInstrs(C.CG.Obj, [](const MInstr &I) {
+              return I.Op == MOp::STW && I.MC == MemClass::GlobalScalar;
+            }),
+            0);
+}
+
+TEST(FrameTest, EpilogueAtEveryReturn) {
+  ProcDirectives Dir;
+  Dir.MSpill = pr32::maskOf(9);
+  Dir.IsClusterRoot = true;
+  auto C = codegen(
+      "int f(int a) { if (a > 0) return 1; return 2; }\n", "f", Dir);
+  // Two returns -> two restores of r9.
+  EXPECT_EQ(countInstrs(C.CG.Obj, [](const MInstr &I) {
+              return I.Op == MOp::LDW && I.A.isReg() && I.A.RegNo == 9;
+            }),
+            2);
+  EXPECT_EQ(countInstrs(C.CG.Obj, [](const MInstr &I) {
+              return I.Op == MOp::BV;
+            }),
+            2);
+}
+
+TEST(PromotedCopyPropTest, ForwardsAndRemovesDeadCopies) {
+  DiagnosticEngine Diags;
+  auto M = compileToIR("t.mc", "int g;\nint f(int x) { return g + g; }\n",
+                       Diags);
+  ASSERT_TRUE(M);
+  ProcDirectives Dir;
+  Dir.Promoted.push_back(promoted("g", 13, false, false));
+  auto MF = lowerFunction(*M, *M->findFunction("f"), Dir);
+  int MovsBefore = 0;
+  for (const MBlock &B : MF->Blocks)
+    for (const MInstr &I : B.Instrs)
+      if (I.Op == MOp::MOV && I.B.isReg() && I.B.RegNo == 13)
+        ++MovsBefore;
+  EXPECT_GE(MovsBefore, 1);
+  unsigned Removed = propagatePromotedCopies(*MF, pr32::maskOf(13));
+  EXPECT_GE(Removed, 1u);
+}
+
+TEST(PromotedCopyPropTest, CallsKillAliases) {
+  DiagnosticEngine Diags;
+  auto M = compileToIR("t.mc",
+                       "int g;\n"
+                       "void h() { g = g + 1; }\n"
+                       "int f() { int a = g; h(); return a + g; }\n",
+                       Diags);
+  ASSERT_TRUE(M);
+  ProcDirectives Dir;
+  Dir.Promoted.push_back(promoted("g", 13, false, true));
+  auto MF = lowerFunction(*M, *M->findFunction("f"), Dir);
+  propagatePromotedCopies(*MF, pr32::maskOf(13));
+  // The use of 'a' after the call must NOT read r13 directly: find the
+  // ADD computing a+g and check its operands are not both r13.
+  for (const MBlock &B : MF->Blocks)
+    for (const MInstr &I : B.Instrs)
+      if (I.Op == MOp::ADD && I.B.isReg() && I.C.isReg()) {
+        EXPECT_FALSE(I.B.RegNo == 13 && I.C.RegNo == 13);
+      }
+}
+
+TEST(PromotedCopyPropTest, StoreFoldsIntoDefiningInstruction) {
+  // g = g + x must become a single ADD r13, r13, <x> - the defining
+  // instruction retargeted to the web register, the copy gone.
+  DiagnosticEngine Diags;
+  auto M = compileToIR("t.mc", "int g;\nvoid f(int x) { g = g + x; }\n",
+                       Diags);
+  ASSERT_TRUE(M);
+  ProcDirectives Dir;
+  Dir.Promoted.push_back(promoted("g", 13, false, true));
+  auto MF = lowerFunction(*M, *M->findFunction("f"), Dir);
+  propagatePromotedCopies(*MF, pr32::maskOf(13));
+  int AddsIntoR13 = 0, MovsIntoR13 = 0;
+  for (const MBlock &B : MF->Blocks)
+    for (const MInstr &I : B.Instrs) {
+      if (I.Op == MOp::ADD && I.A.isReg() && I.A.RegNo == 13)
+        ++AddsIntoR13;
+      if (I.Op == MOp::MOV && I.A.isReg() && I.A.RegNo == 13)
+        ++MovsIntoR13;
+    }
+  EXPECT_EQ(AddsIntoR13, 1);
+  EXPECT_EQ(MovsIntoR13, 0);
+}
+
+TEST(PromotedCopyPropTest, StoreNotFoldedAcrossCall) {
+  // The value is computed before the call but stored after it. Folding
+  // would move the write of r13 before h(), which (being inside the same
+  // web) reads the promoted global - the MOV must stay.
+  DiagnosticEngine Diags;
+  auto M = compileToIR("t.mc",
+                       "int g;\nvoid h() { g = g + 1; }\n"
+                       "void f(int x) { int t = x + 1; h(); g = t; }\n",
+                       Diags);
+  ASSERT_TRUE(M);
+  ProcDirectives Dir;
+  Dir.Promoted.push_back(promoted("g", 13, false, true));
+  auto MF = lowerFunction(*M, *M->findFunction("f"), Dir);
+  propagatePromotedCopies(*MF, pr32::maskOf(13));
+  int MovsIntoR13 = 0;
+  bool SawCall = false;
+  for (const MBlock &B : MF->Blocks)
+    for (const MInstr &I : B.Instrs) {
+      SawCall |= I.isCall();
+      if (I.Op == MOp::MOV && I.A.isReg() && I.A.RegNo == 13) {
+        ++MovsIntoR13;
+        EXPECT_TRUE(SawCall) << "store hoisted above the call";
+      }
+    }
+  EXPECT_EQ(MovsIntoR13, 1);
+}
+
+TEST(PromotedCopyPropTest, StoreNotFoldedOverInterveningRead) {
+  // Between t's definition and the store, u = g + 1 reads the OLD value
+  // of the web register; retargeting t's def would corrupt it.
+  DiagnosticEngine Diags;
+  auto M = compileToIR("t.mc",
+                       "int g;\n"
+                       "int f(int x) {\n"
+                       "  int t = x * 2;\n"
+                       "  int u = g + 1;\n"
+                       "  g = t;\n"
+                       "  return u;\n"
+                       "}\n",
+                       Diags);
+  ASSERT_TRUE(M);
+  ProcDirectives Dir;
+  Dir.Promoted.push_back(promoted("g", 13, false, true));
+  auto MF = lowerFunction(*M, *M->findFunction("f"), Dir);
+  propagatePromotedCopies(*MF, pr32::maskOf(13));
+  bool FoundOldRead = false, StoreStillAfterRead = false;
+  for (const MBlock &B : MF->Blocks)
+    for (const MInstr &I : B.Instrs) {
+      std::vector<unsigned> Uses;
+      I.appendUses(Uses);
+      bool ReadsR13 = false;
+      for (unsigned U : Uses)
+        ReadsR13 |= U == 13;
+      // The u = g + 1 read happens before any write of r13.
+      if (ReadsR13 && I.Op == MOp::ADD && !StoreStillAfterRead)
+        FoundOldRead = true;
+      std::vector<unsigned> Defs;
+      I.appendDefs(Defs);
+      for (unsigned D : Defs)
+        if (D == 13) {
+          EXPECT_TRUE(FoundOldRead)
+              << "store reached r13 before the old-value read";
+          StoreStillAfterRead = true;
+        }
+    }
+  EXPECT_TRUE(StoreStillAfterRead);
+}
+
+TEST(PromotedCopyPropTest, StoreThenReloadStaysInRegister) {
+  // After g = x, the following read of g must come from r13 - no
+  // global-scalar load and no surviving copy in either direction.
+  DiagnosticEngine Diags;
+  auto M = compileToIR("t.mc",
+                       "int g;\nint f(int x) { g = x; return g + 1; }\n",
+                       Diags);
+  ASSERT_TRUE(M);
+  ProcDirectives Dir;
+  Dir.Promoted.push_back(promoted("g", 13, false, true));
+  auto MF = lowerFunction(*M, *M->findFunction("f"), Dir);
+  propagatePromotedCopies(*MF, pr32::maskOf(13));
+  for (const MBlock &B : MF->Blocks)
+    for (const MInstr &I : B.Instrs) {
+      EXPECT_FALSE(I.Op == MOp::LDW && I.MC == MemClass::GlobalScalar)
+          << I.toString();
+      EXPECT_FALSE(I.Op == MOp::MOV && I.B.isReg() && I.B.RegNo == 13)
+          << "reload copy survived: " << I.toString();
+    }
+}
+
+TEST(CodeGenTest, BranchTargetsWithinFunction) {
+  auto C = codegen("int f(int n) { int s = 0;"
+                   " for (int i = 0; i < n; i = i + 1) s = s + i;"
+                   " return s; }\n",
+                   "f");
+  int Size = static_cast<int>(C.CG.Obj.Code.size());
+  for (const MInstr &I : C.CG.Obj.Code)
+    for (const MOperand *Op : {&I.A, &I.B, &I.C})
+      if (Op->isLabel()) {
+        EXPECT_GE(Op->LabelId, 0);
+        EXPECT_LT(Op->LabelId, Size);
+      }
+}
+
+TEST(CodeGenTest, NoVirtualRegistersSurvive) {
+  auto C = codegen("int g;\n"
+                   "int f(int a, int b) { g = a; return a * b + g; }\n",
+                   "f");
+  for (const MInstr &I : C.CG.Obj.Code)
+    for (const MOperand *Op : {&I.A, &I.B, &I.C})
+      if (Op->isReg()) {
+        EXPECT_TRUE(isPhysReg(Op->RegNo)) << I.toString();
+      }
+}
+
+} // namespace

@@ -1,0 +1,103 @@
+//===- regalloc_stress_test.cpp - Allocator stress under tight pools ------===//
+//
+// Part of the IPRA project: a reproduction of Santhanam & Odnert,
+// "Register Allocation Across Procedure and Module Boundaries", PLDI 1990.
+//
+//===----------------------------------------------------------------------===//
+
+#include "TestUtil.h"
+
+#include "codegen/CodeGen.h"
+#include "link/Linker.h"
+#include "opt/Passes.h"
+#include "sim/Simulator.h"
+
+#include <gtest/gtest.h>
+
+using namespace ipra;
+using ipra::test::compileToIR;
+
+namespace {
+
+/// A function with ~N values live across a call, executed to check the
+/// result under the given directives.
+std::string pressureSource(int N) {
+  std::string Src = "int sink(int x) { return x; }\n"
+                    "int f(int a) {\n";
+  for (int I = 0; I < N; ++I)
+    Src += "  int v" + std::to_string(I) + " = a * " +
+           std::to_string(I + 2) + " + " + std::to_string(I) + ";\n";
+  Src += "  sink(a);\n  int s = 0;\n";
+  for (int I = 0; I < N; ++I)
+    Src += "  s = s + v" + std::to_string(I) + " * " +
+           std::to_string(I + 1) + ";\n";
+  Src += "  return s;\n}\n"
+         "int main() { print(f(3)); return 0; }\n";
+  return Src;
+}
+
+int32_t runWith(const std::string &Source, const ProcDirectives &DirF) {
+  DiagnosticEngine Diags;
+  auto M = compileToIR("t.mc", Source, Diags);
+  EXPECT_TRUE(M) << Diags.renderAll();
+  optimizeModule(*M, OptOptions());
+
+  ObjectFile Obj;
+  Obj.Module = "t.mc";
+  for (const IRGlobal &G : M->Globals)
+    Obj.Globals.push_back(
+        ObjGlobal{G.qualifiedName(), G.SizeWords, G.Init, G.FuncInit});
+  for (auto &F : M->Functions) {
+    ProcDirectives Dir = F->Name == "f" ? DirF : ProcDirectives();
+    CodeGenResult CG = generateCode(*M, *F, Dir);
+    EXPECT_TRUE(CG.Success) << F->Name;
+    if (!CG.Success)
+      return INT32_MIN;
+    Obj.Functions.push_back(std::move(CG.Obj));
+  }
+  auto Linked = linkObjects({Obj});
+  EXPECT_TRUE(Linked.Success);
+  auto R = runExecutable(Linked.Exe, 10'000'000);
+  EXPECT_TRUE(R.Halted) << R.Trap;
+  // Parse the printed value.
+  return static_cast<int32_t>(std::atoll(R.Output.c_str()));
+}
+
+class PressureTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(PressureTest, NarrowCalleePoolStillCorrect) {
+  // A cluster root whose CALLEE set was narrowed to two registers: the
+  // allocator must spill its way to a correct program regardless of
+  // pressure.
+  std::string Src = pressureSource(GetParam());
+  int32_t Expected = runWith(Src, ProcDirectives());
+
+  ProcDirectives Narrow;
+  Narrow.Callee = pr32::maskOf(3) | pr32::maskOf(4);
+  Narrow.IsClusterRoot = true;
+  Narrow.MSpill = pr32::maskOf(5);
+  EXPECT_EQ(runWith(Src, Narrow), Expected);
+
+  // Promoted registers shrink the pool further.
+  ProcDirectives Reserved = Narrow;
+  for (unsigned R = 13; R <= 18; ++R) {
+    PromotedGlobal P;
+    P.QualName = "phantom" + std::to_string(R);
+    P.Reg = R;
+    P.IsEntry = false;
+    P.WebModifies = false;
+    Reserved.Promoted.push_back(std::move(P));
+  }
+  EXPECT_EQ(runWith(Src, Reserved), Expected);
+
+  // A tight caller-saves budget on top (§7.6.2).
+  ProcDirectives Budgeted = Narrow;
+  Budgeted.SelfCallerBudget =
+      pr32::maskOf(19) | pr32::maskOf(23) | pr32::maskOf(28);
+  EXPECT_EQ(runWith(Src, Budgeted), Expected);
+}
+
+INSTANTIATE_TEST_SUITE_P(Pressure, PressureTest,
+                         ::testing::Values(4, 12, 20, 28));
+
+} // namespace

@@ -1,0 +1,114 @@
+//===- GraphFixtures.h - Call-graph builders for analyzer tests -*- C++ -*-===//
+//
+// Part of the IPRA project: a reproduction of Santhanam & Odnert,
+// "Register Allocation Across Procedure and Module Boundaries", PLDI 1990.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A tiny fluent builder that assembles ModuleSummary fixtures for the
+/// analyzer tests, including the paper's Figure 3 example graph.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef IPRA_TESTS_GRAPHFIXTURES_H
+#define IPRA_TESTS_GRAPHFIXTURES_H
+
+#include "summary/Summary.h"
+
+#include <string>
+#include <vector>
+
+namespace ipra::test {
+
+/// Builds a one-module summary set describing an arbitrary call graph.
+class GraphBuilder {
+public:
+  explicit GraphBuilder(std::string Module = "m") {
+    Summary.Module = std::move(Module);
+  }
+
+  GraphBuilder &proc(const std::string &Name, unsigned RegsNeeded = 2) {
+    ProcSummary P;
+    P.QualName = Name;
+    P.Module = Summary.Module;
+    P.CalleeRegsNeeded = RegsNeeded;
+    Summary.Procs.push_back(std::move(P));
+    return *this;
+  }
+
+  GraphBuilder &call(const std::string &From, const std::string &To,
+                     long long Freq = 1) {
+    find(From).Calls.push_back(CallSummary{To, Freq});
+    return *this;
+  }
+
+  GraphBuilder &ref(const std::string &Proc, const std::string &Global,
+                    long long Freq = 10, bool Stores = false) {
+    find(Proc).GlobalRefs.push_back(GlobalRefSummary{Global, Freq, Stores});
+    return *this;
+  }
+
+  GraphBuilder &global(const std::string &Name, bool Scalar = true,
+                       bool Aliased = false, bool IsStatic = false) {
+    GlobalSummary G;
+    G.QualName = Name;
+    G.Module = Summary.Module;
+    G.IsScalar = Scalar;
+    G.Aliased = Aliased;
+    G.IsStatic = IsStatic;
+    Summary.Globals.push_back(std::move(G));
+    return *this;
+  }
+
+  GraphBuilder &indirectCaller(const std::string &Proc,
+                               long long Freq = 1) {
+    find(Proc).MakesIndirectCalls = true;
+    find(Proc).IndirectCallFreq = Freq;
+    return *this;
+  }
+
+  GraphBuilder &addressTaken(const std::string &Holder,
+                             const std::string &Target) {
+    find(Holder).AddressTakenProcs.push_back(Target);
+    return *this;
+  }
+
+  std::vector<ModuleSummary> build() const { return {Summary}; }
+
+private:
+  ProcSummary &find(const std::string &Name) {
+    for (ProcSummary &P : Summary.Procs)
+      if (P.QualName == Name)
+        return P;
+    proc(Name);
+    return Summary.Procs.back();
+  }
+
+  ModuleSummary Summary;
+};
+
+/// The call graph of the paper's Figure 3: nodes A..H, globals g1..g3.
+///   A -> B, C;  B -> D, E;  C -> F, G, H
+///   L_REF: A{g3} B{g1,g3} C{g2,g3} D{g1} E{g1,g2} F{g2} G{g2} H{}
+inline std::vector<ModuleSummary> figure3Graph() {
+  GraphBuilder B;
+  for (const char *N : {"A", "B", "C", "D", "E", "F", "G", "H"})
+    B.proc(N);
+  B.global("g1").global("g2").global("g3");
+  B.call("A", "B").call("A", "C");
+  B.call("B", "D").call("B", "E");
+  B.call("C", "F").call("C", "G").call("C", "H");
+  B.ref("A", "g3");
+  B.ref("B", "g1").ref("B", "g3");
+  B.ref("C", "g2").ref("C", "g3");
+  B.ref("D", "g1");
+  B.ref("E", "g1").ref("E", "g2");
+  B.ref("F", "g2");
+  B.ref("G", "g2");
+  return B.build();
+}
+
+} // namespace ipra::test
+
+#endif // IPRA_TESTS_GRAPHFIXTURES_H

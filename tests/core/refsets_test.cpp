@@ -1,0 +1,174 @@
+//===- refsets_test.cpp - L/P/C_REF dataflow tests (Table 1) --------------===//
+//
+// Part of the IPRA project: a reproduction of Santhanam & Odnert,
+// "Register Allocation Across Procedure and Module Boundaries", PLDI 1990.
+//
+//===----------------------------------------------------------------------===//
+
+#include "GraphFixtures.h"
+
+#include "core/RefSets.h"
+
+#include <gtest/gtest.h>
+
+using namespace ipra;
+using ipra::test::GraphBuilder;
+using ipra::test::figure3Graph;
+
+namespace {
+
+/// Formats a ref set as a sorted list of global names ("g1 g2").
+std::string setNames(const RefSets &RS, const DynBitset &Set) {
+  std::string Out;
+  for (size_t Bit : Set.bits()) {
+    if (!Out.empty())
+      Out += " ";
+    Out += RS.globalName(Bit);
+  }
+  return Out;
+}
+
+TEST(RefSetsTest, Table1ExactReproduction) {
+  CallGraph CG(figure3Graph());
+  RefSets RS(CG);
+  ASSERT_EQ(RS.numEligible(), 3);
+
+  struct Row {
+    const char *Proc, *LRef, *CRef, *PRef;
+  };
+  // Table 1 of the paper, verbatim.
+  const Row Table1[] = {
+      {"A", "g3", "g1 g2 g3", ""},
+      {"B", "g1 g3", "g1 g2", "g3"},
+      {"C", "g2 g3", "g2", "g3"},
+      {"D", "g1", "", "g1 g3"},
+      {"E", "g1 g2", "", "g1 g3"},
+      {"F", "g2", "", "g2 g3"},
+      {"G", "g2", "", "g2 g3"},
+      {"H", "", "", "g2 g3"},
+  };
+  for (const Row &R : Table1) {
+    int Node = CG.findNode(R.Proc);
+    ASSERT_GE(Node, 0) << R.Proc;
+    EXPECT_EQ(setNames(RS, RS.lref(Node)), R.LRef) << "L_REF " << R.Proc;
+    EXPECT_EQ(setNames(RS, RS.cref(Node)), R.CRef) << "C_REF " << R.Proc;
+    EXPECT_EQ(setNames(RS, RS.pref(Node)), R.PRef) << "P_REF " << R.Proc;
+  }
+}
+
+TEST(RefSetsTest, AliasedGlobalIneligible) {
+  GraphBuilder B;
+  B.proc("f").global("ok").global("bad", true, /*Aliased=*/true);
+  B.ref("f", "ok").ref("f", "bad");
+  CallGraph CG(B.build());
+  RefSets RS(CG);
+  EXPECT_EQ(RS.numEligible(), 1);
+  EXPECT_GE(RS.globalId("ok"), 0);
+  EXPECT_EQ(RS.globalId("bad"), -1);
+}
+
+TEST(RefSetsTest, NonScalarGlobalIneligible) {
+  GraphBuilder B;
+  B.proc("f").global("arr", /*Scalar=*/false);
+  B.ref("f", "arr");
+  CallGraph CG(B.build());
+  RefSets RS(CG);
+  EXPECT_EQ(RS.numEligible(), 0);
+}
+
+TEST(RefSetsTest, AliasedInOneModuleIneligibleEverywhere) {
+  // Two modules both declare g; one aliases it. The union must mark it
+  // ineligible.
+  ModuleSummary M1, M2;
+  M1.Module = "a.mc";
+  M2.Module = "b.mc";
+  GlobalSummary G;
+  G.QualName = "g";
+  G.IsScalar = true;
+  G.Aliased = false;
+  M1.Globals.push_back(G);
+  G.Aliased = true;
+  M2.Globals.push_back(G);
+  ProcSummary P;
+  P.QualName = "main";
+  P.Module = "a.mc";
+  M1.Procs.push_back(P);
+  CallGraph CG({M1, M2});
+  RefSets RS(CG);
+  EXPECT_EQ(RS.numEligible(), 0);
+}
+
+TEST(RefSetsTest, PRefFlowsThroughCycles) {
+  GraphBuilder B;
+  B.proc("main").proc("a").proc("b");
+  B.global("g");
+  B.ref("main", "g");
+  B.call("main", "a").call("a", "b").call("b", "a");
+  CallGraph CG(B.build());
+  RefSets RS(CG);
+  int GId = RS.globalId("g");
+  EXPECT_TRUE(RS.pref(CG.findNode("a")).test(GId));
+  EXPECT_TRUE(RS.pref(CG.findNode("b")).test(GId));
+  EXPECT_FALSE(RS.cref(CG.findNode("main")).test(GId));
+}
+
+TEST(RefSetsTest, CRefFlowsThroughCycles) {
+  GraphBuilder B;
+  B.proc("main").proc("a").proc("b").proc("leaf");
+  B.global("g");
+  B.ref("leaf", "g");
+  B.call("main", "a").call("a", "b").call("b", "a").call("b", "leaf");
+  CallGraph CG(B.build());
+  RefSets RS(CG);
+  int GId = RS.globalId("g");
+  EXPECT_TRUE(RS.cref(CG.findNode("main")).test(GId));
+  EXPECT_TRUE(RS.cref(CG.findNode("a")).test(GId));
+  EXPECT_TRUE(RS.cref(CG.findNode("b")).test(GId));
+  EXPECT_FALSE(RS.cref(CG.findNode("leaf")).test(GId));
+}
+
+TEST(RefSetsTest, SelfRecursionPRef) {
+  // A self-recursive procedure referencing g sees g in its own P_REF
+  // (it is its own ancestor).
+  GraphBuilder B;
+  B.proc("main").proc("r");
+  B.global("g");
+  B.ref("r", "g");
+  B.call("main", "r").call("r", "r");
+  CallGraph CG(B.build());
+  RefSets RS(CG);
+  int GId = RS.globalId("g");
+  EXPECT_TRUE(RS.pref(CG.findNode("r")).test(GId));
+  EXPECT_TRUE(RS.cref(CG.findNode("r")).test(GId));
+}
+
+TEST(RefSetsTest, FreqAndStoresRecorded) {
+  GraphBuilder B;
+  B.proc("f").global("g");
+  B.ref("f", "g", 42, /*Stores=*/true);
+  CallGraph CG(B.build());
+  RefSets RS(CG);
+  int Node = CG.findNode("f");
+  int GId = RS.globalId("g");
+  EXPECT_EQ(RS.refFreq(Node, GId), 42);
+  EXPECT_TRUE(RS.refStores(Node, GId));
+  EXPECT_FALSE(RS.refStores(Node, RS.globalId("g")) &&
+               RS.refFreq(Node, GId) == 0);
+}
+
+TEST(RefSetsTest, IndirectCallEdgesPropagateSets) {
+  // g referenced only in an address-taken callee reaches the indirect
+  // caller's C_REF through the conservative edge (§7.3).
+  GraphBuilder B;
+  B.proc("main").proc("target");
+  B.global("g");
+  B.ref("target", "g");
+  B.indirectCaller("main");
+  B.addressTaken("main", "target");
+  CallGraph CG(B.build());
+  RefSets RS(CG);
+  int GId = RS.globalId("g");
+  EXPECT_TRUE(RS.cref(CG.findNode("main")).test(GId));
+}
+
+} // namespace

@@ -1,0 +1,654 @@
+//===- pipeline_test.cpp - End-to-end two-pass pipeline tests -------------===//
+//
+// Part of the IPRA project: a reproduction of Santhanam & Odnert,
+// "Register Allocation Across Procedure and Module Boundaries", PLDI 1990.
+//
+//===----------------------------------------------------------------------===//
+
+#include "driver/Driver.h"
+#include "summary/Summary.h"
+
+#include <gtest/gtest.h>
+
+using namespace ipra;
+
+namespace {
+
+RunResult runOk(const std::vector<SourceFile> &Sources,
+                const PipelineConfig &Config,
+                const ProfileData *Profile = nullptr) {
+  auto R = compileAndRun(Sources, Config, Profile);
+  EXPECT_TRUE(R.Compile.Success) << R.Compile.ErrorText;
+  EXPECT_TRUE(R.Run.Halted) << "trap: " << R.Run.Trap
+                            << (R.Run.OutOfFuel ? " (out of fuel)" : "");
+  return R.Run;
+}
+
+TEST(PipelineTest, HelloBaseline) {
+  RunResult R = runOk({{"main.mc", "int main() { print(42); return 0; }\n"}},
+                      PipelineConfig::baseline());
+  EXPECT_EQ(R.Output, "42\n");
+  EXPECT_EQ(R.ExitCode, 0);
+}
+
+TEST(PipelineTest, ExitCodePropagates) {
+  RunResult R = runOk({{"main.mc", "int main() { return 7; }\n"}},
+                      PipelineConfig::baseline());
+  EXPECT_EQ(R.ExitCode, 7);
+}
+
+TEST(PipelineTest, ArithmeticAndControlFlow) {
+  const char *Src =
+      "int fib(int n) { if (n < 2) return n;"
+      " return fib(n - 1) + fib(n - 2); }\n"
+      "int main() { print(fib(10)); return 0; }\n";
+  RunResult R = runOk({{"main.mc", Src}}, PipelineConfig::baseline());
+  EXPECT_EQ(R.Output, "55\n");
+}
+
+TEST(PipelineTest, GlobalsAndLoops) {
+  const char *Src =
+      "int total;\n"
+      "void add(int x) { total = total + x; }\n"
+      "int main() {\n"
+      "  for (int i = 1; i <= 100; i = i + 1) add(i);\n"
+      "  print(total);\n"
+      "  return 0;\n"
+      "}\n";
+  RunResult R = runOk({{"main.mc", Src}}, PipelineConfig::baseline());
+  EXPECT_EQ(R.Output, "5050\n");
+}
+
+TEST(PipelineTest, ArraysAndStrings) {
+  const char *Src =
+      "int a[5];\n"
+      "int main() {\n"
+      "  for (int i = 0; i < 5; i = i + 1) a[i] = i * i;\n"
+      "  int s = 0;\n"
+      "  for (int i = 0; i < 5; i = i + 1) s = s + a[i];\n"
+      "  prints(\"sum=\");\n"
+      "  print(s);\n"
+      "  return 0;\n"
+      "}\n";
+  RunResult R = runOk({{"main.mc", Src}}, PipelineConfig::baseline());
+  EXPECT_EQ(R.Output, "sum=30\n");
+}
+
+TEST(PipelineTest, PointersAndAliasing) {
+  const char *Src =
+      "int g = 5;\n"
+      "void bump(int *p) { *p = *p + 1; }\n"
+      "int main() { bump(&g); bump(&g); print(g); return 0; }\n";
+  RunResult R = runOk({{"main.mc", Src}}, PipelineConfig::baseline());
+  EXPECT_EQ(R.Output, "7\n");
+}
+
+TEST(PipelineTest, IndirectCalls) {
+  const char *Src =
+      "func op;\n"
+      "int add1(int x) { return x + 1; }\n"
+      "int dbl(int x) { return x * 2; }\n"
+      "int main() {\n"
+      "  op = &add1;\n"
+      "  print(op(10));\n"
+      "  op = &dbl;\n"
+      "  print(op(10));\n"
+      "  return 0;\n"
+      "}\n";
+  RunResult R = runOk({{"main.mc", Src}}, PipelineConfig::baseline());
+  EXPECT_EQ(R.Output, "11\n20\n");
+}
+
+TEST(PipelineTest, MultiModuleProgram) {
+  const char *Lib =
+      "int counter;\n"
+      "int bump() { counter = counter + 1; return counter; }\n";
+  const char *Main =
+      "int counter;\n" // Common-symbol declaration.
+      "int bump();\n"
+      "int main() {\n"
+      "  bump(); bump(); bump();\n"
+      "  print(counter);\n"
+      "  return 0;\n"
+      "}\n";
+  RunResult R = runOk({{"lib.mc", Lib}, {"main.mc", Main}},
+                      PipelineConfig::baseline());
+  EXPECT_EQ(R.Output, "3\n");
+}
+
+TEST(PipelineTest, StaticsAreModulePrivate) {
+  const char *M1 =
+      "static int s = 1;\n"
+      "int getS1() { return s; }\n";
+  const char *M2 =
+      "static int s = 2;\n"
+      "int getS2() { return s; }\n";
+  const char *Main =
+      "int getS1(); int getS2();\n"
+      "int main() { print(getS1()); print(getS2()); return 0; }\n";
+  RunResult R = runOk({{"m1.mc", M1}, {"m2.mc", M2}, {"main.mc", Main}},
+                      PipelineConfig::baseline());
+  EXPECT_EQ(R.Output, "1\n2\n");
+}
+
+TEST(PipelineTest, GlobalInitializers) {
+  const char *Src =
+      "int x = 10;\n"
+      "int arr[] = {1, 2, 3, 4};\n"
+      "char msg[] = \"ok\";\n"
+      "int main() {\n"
+      "  print(x + arr[0] + arr[3]);\n"
+      "  prints(msg);\n"
+      "  return 0;\n"
+      "}\n";
+  RunResult R = runOk({{"main.mc", Src}}, PipelineConfig::baseline());
+  EXPECT_EQ(R.Output, "15\nok");
+}
+
+// One source, compiled at every configuration, must behave identically.
+class ConfigEquivalenceTest
+    : public ::testing::TestWithParam<const char *> {};
+
+const char *TheProgram =
+    "int depth = 0;\n"
+    "int hits = 0;\n"
+    "int table[64];\n"
+    "static int mix(int v) { return v * 31 + 7; }\n"
+    "int lookup(int k) {\n"
+    "  int i = k % 64; if (i < 0) i = i + 64;\n"
+    "  hits = hits + 1;\n"
+    "  return table[i];\n"
+    "}\n"
+    "void store(int k, int v) {\n"
+    "  int i = k % 64; if (i < 0) i = i + 64;\n"
+    "  table[i] = v;\n"
+    "}\n"
+    "int work(int n) {\n"
+    "  depth = depth + 1;\n"
+    "  int acc = 0;\n"
+    "  for (int i = 0; i < n; i = i + 1) {\n"
+    "    store(i, mix(i));\n"
+    "    acc = acc + lookup(i);\n"
+    "  }\n"
+    "  depth = depth - 1;\n"
+    "  return acc;\n"
+    "}\n"
+    "int main() {\n"
+    "  int r = 0;\n"
+    "  for (int round = 0; round < 5; round = round + 1)\n"
+    "    r = r + work(50);\n"
+    "  print(r);\n"
+    "  print(hits);\n"
+    "  print(depth);\n"
+    "  return 0;\n"
+    "}\n";
+
+TEST(ConfigEquivalence, AllConfigsProduceSameOutput) {
+  std::vector<SourceFile> Sources = {{"prog.mc", TheProgram}};
+  RunResult Base = runOk(Sources, PipelineConfig::baseline());
+  ASSERT_FALSE(Base.Output.empty());
+
+  // Profile for columns B and F comes from the baseline run.
+  ProfileData Profile = Base.Profile;
+
+  struct NamedConfig {
+    const char *Name;
+    PipelineConfig Config;
+  };
+  std::vector<NamedConfig> Configs = {
+      {"A", PipelineConfig::configA()}, {"B", PipelineConfig::configB()},
+      {"C", PipelineConfig::configC()}, {"D", PipelineConfig::configD()},
+      {"E", PipelineConfig::configE()}, {"F", PipelineConfig::configF()},
+  };
+  for (const NamedConfig &NC : Configs) {
+    RunResult R = runOk(Sources, NC.Config, &Profile);
+    EXPECT_EQ(R.Output, Base.Output) << "config " << NC.Name;
+    EXPECT_EQ(R.ExitCode, Base.ExitCode) << "config " << NC.Name;
+  }
+}
+
+TEST(PipelineTest, IpraConfigCImprovesGlobalHeavyProgram) {
+  // A call-intensive program with hot globals: column C should cut
+  // singleton memory references relative to the baseline.
+  const char *Src =
+      "int a; int b; int c;\n"
+      "void leaf() { a = a + 1; b = b + a; c = c + b; }\n"
+      "void mid() { leaf(); leaf(); }\n"
+      "int main() {\n"
+      "  for (int i = 0; i < 200; i = i + 1) mid();\n"
+      "  print(a); print(b); print(c);\n"
+      "  return 0;\n"
+      "}\n";
+  std::vector<SourceFile> Sources = {{"prog.mc", Src}};
+  RunResult Base = runOk(Sources, PipelineConfig::baseline());
+  RunResult WithC = runOk(Sources, PipelineConfig::configC());
+  EXPECT_EQ(WithC.Output, Base.Output);
+  EXPECT_LT(WithC.Stats.SingletonRefs, Base.Stats.SingletonRefs);
+  EXPECT_LE(WithC.Stats.Cycles, Base.Stats.Cycles);
+}
+
+TEST(PipelineTest, CompileErrorsAreReported) {
+  auto R = compileProgram({{"bad.mc", "int main() { return x; }\n"}},
+                          PipelineConfig::baseline());
+  EXPECT_FALSE(R.Success);
+  EXPECT_NE(R.ErrorText.find("undeclared"), std::string::npos);
+}
+
+TEST(PipelineTest, LinkErrorUndefinedFunction) {
+  auto R = compileProgram(
+      {{"main.mc", "int missing(int);\n"
+                   "int main() { return missing(1); }\n"}},
+      PipelineConfig::baseline());
+  EXPECT_FALSE(R.Success);
+  EXPECT_NE(R.ErrorText.find("missing"), std::string::npos);
+}
+
+TEST(PipelineTest, SummaryAndDatabaseArtifactsProduced) {
+  auto R = compileProgram({{"main.mc", "int g;\n"
+                                       "int main() { g = 1; return g; }\n"}},
+                          PipelineConfig::configC());
+  ASSERT_TRUE(R.Success) << R.ErrorText;
+  EXPECT_EQ(R.SummaryFiles.size(), 2u); // main.mc + runtime.
+  EXPECT_NE(R.DatabaseFile.find("proc main"), std::string::npos);
+}
+
+TEST(PipelineTest, DeepRecursionRunsCorrectly) {
+  const char *Src =
+      "int even(int n);\n"
+      "int odd(int n) { if (n == 0) return 0; return even(n - 1); }\n"
+      "int even(int n) { if (n == 0) return 1; return odd(n - 1); }\n"
+      "int main() { print(even(100)); print(odd(77)); return 0; }\n";
+  for (auto Config :
+       {PipelineConfig::baseline(), PipelineConfig::configA(),
+        PipelineConfig::configC()}) {
+    RunResult R = runOk({{"main.mc", Src}}, Config);
+    EXPECT_EQ(R.Output, "1\n1\n");
+  }
+}
+
+TEST(PipelineTest, CallerSavePropagationKeepsValuesInCallerSaves) {
+  // 'tick' uses almost no caller-saves registers; with the 7.6.2
+  // caller-saves propagation, 'loop' can keep its live values in
+  // caller-saves registers across the calls instead of saving
+  // callee-saves registers - the save/restore traffic drops.
+  const char *Src =
+      "int acc;\n"
+      "int tick(int x) { return x + 1; }\n"
+      "int loop(int n) {\n"
+      "  int a = n * 3; int b = n * 5; int c = n * 7;\n"
+      "  for (int i = 0; i < n; i = i + 1) {\n"
+      "    a = a + tick(b); b = b + tick(c); c = c + tick(a);\n"
+      "  }\n"
+      "  return a + b + c;\n"
+      "}\n"
+      "int main() {\n"
+      "  for (int r = 0; r < 50; r = r + 1)\n"
+      "    acc = (acc + loop(20)) % 1000000;\n"
+      "  print(acc);\n"
+      "  return 0;\n"
+      "}\n";
+  std::vector<SourceFile> Sources = {{"prog.mc", Src}};
+  PipelineConfig Plain = PipelineConfig::configA();
+  PipelineConfig CSP = PipelineConfig::configA();
+  CSP.CallerSavePropagation = true;
+
+  RunResult Without = runOk(Sources, Plain);
+  RunResult With = runOk(Sources, CSP);
+  EXPECT_EQ(With.Output, Without.Output);
+  // Fewer save/restore singleton references, never more cycles than a
+  // small tolerance (the feature only removes work).
+  EXPECT_LT(With.Stats.SingletonRefs, Without.Stats.SingletonRefs);
+  EXPECT_LE(With.Stats.Cycles, Without.Stats.Cycles);
+}
+
+TEST(PipelineTest, WebSplittingPromotesSparseWebRegions) {
+  // Two hot two-procedure regions reference g at the ends of a long cold
+  // call chain. The unsplit web spans the chain, is discarded as sparse,
+  // and plain config C leaves g in memory (the level-2 local promotion
+  // must sync around every helper call). With 7.6.1 splitting, each
+  // region keeps g in its dedicated register ACROSS its internal calls;
+  // only the rare descent through the chain is wrapped.
+  std::string Src = "int g;\n";
+  Src += "int bhelp(int i) { g = g + i; return g; }\n";
+  Src += "int bottom(int n) { int s = 0; g = g + 1;"
+         " for (int i = 0; i < n; i = i + 1) s = s + bhelp(i);"
+         " return s; }\n";
+  std::string Prev = "bottom";
+  for (int I = 0; I < 18; ++I) {
+    std::string Name = "mid" + std::to_string(I);
+    Src += "int " + Name + "(int n) { return " + Prev + "(n) + 1; }\n";
+    Prev = Name;
+  }
+  Src += "int thelp(int i) { g = g + i; return g; }\n";
+  Src += "int main() {\n"
+         "  int r = 0;\n"
+         "  for (int i = 0; i < 80; i = i + 1) {\n"
+         "    g = g + 1;\n"
+         "    r = r + thelp(i);\n"
+         "  }\n"
+         "  r = r + " + Prev + "(30);\n"
+         "  for (int i = 0; i < 80; i = i + 1) {\n"
+         "    g = g + 1;\n"
+         "    r = r + thelp(i);\n"
+         "  }\n"
+         "  print(r);\n"
+         "  print(g);\n"
+         "  return 0;\n"
+         "}\n";
+  std::vector<SourceFile> Sources = {{"prog.mc", Src}};
+
+  PipelineConfig Plain = PipelineConfig::configC();
+  PipelineConfig Split = PipelineConfig::configC();
+  Split.Webs.SplitSparseWebs = true;
+
+  auto PlainR = compileAndRun(Sources, Plain);
+  auto SplitR = compileAndRun(Sources, Split);
+  ASSERT_TRUE(PlainR.Compile.Success) << PlainR.Compile.ErrorText;
+  ASSERT_TRUE(SplitR.Compile.Success) << SplitR.Compile.ErrorText;
+  ASSERT_TRUE(PlainR.Run.Halted) << PlainR.Run.Trap;
+  ASSERT_TRUE(SplitR.Run.Halted) << SplitR.Run.Trap;
+  EXPECT_EQ(SplitR.Run.Output, PlainR.Run.Output);
+
+  EXPECT_EQ(PlainR.Compile.Stats.SplitWebs, 0);
+  EXPECT_GE(SplitR.Compile.Stats.SplitWebs, 2);
+  EXPECT_LT(SplitR.Run.Stats.SingletonRefs,
+            PlainR.Run.Stats.SingletonRefs);
+  EXPECT_LT(SplitR.Run.Stats.Cycles, PlainR.Run.Stats.Cycles);
+}
+
+TEST(PipelineTest, WebRemergingSharesOneEntryAtTheDominator) {
+  // main never touches g, so plain analysis builds two independent webs
+  // rooted at a and b: each of the 120 calls pays the web-entry
+  // load/store. Re-merging (§7.6.1) joins them into one web whose entry
+  // is main, executed once per run.
+  const char *Src =
+      "int g;\n"
+      "int a(int n) {\n"
+      "  int s = 0;\n"
+      "  for (int i = 0; i < n; i = i + 1) { g = g + i; s = s + g; }\n"
+      "  return s;\n"
+      "}\n"
+      "int b(int n) {\n"
+      "  int s = 0;\n"
+      "  for (int i = 0; i < n; i = i + 1) { g = g + 3; s = s - g; }\n"
+      "  return s;\n"
+      "}\n"
+      "int main() {\n"
+      "  int r = 0;\n"
+      "  for (int i = 0; i < 60; i = i + 1) r = r + a(10) + b(10);\n"
+      "  print(r);\n"
+      "  return 0;\n"
+      "}\n";
+  std::vector<SourceFile> Sources = {{"prog.mc", Src}};
+
+  PipelineConfig Plain = PipelineConfig::configC();
+  PipelineConfig Remerge = PipelineConfig::configC();
+  Remerge.Webs.RemergeWebs = true;
+
+  auto PlainR = compileAndRun(Sources, Plain);
+  auto MergedR = compileAndRun(Sources, Remerge);
+  ASSERT_TRUE(PlainR.Compile.Success) << PlainR.Compile.ErrorText;
+  ASSERT_TRUE(MergedR.Compile.Success) << MergedR.Compile.ErrorText;
+  ASSERT_TRUE(PlainR.Run.Halted) << PlainR.Run.Trap;
+  ASSERT_TRUE(MergedR.Run.Halted) << MergedR.Run.Trap;
+  EXPECT_EQ(MergedR.Run.Output, PlainR.Run.Output);
+
+  EXPECT_EQ(PlainR.Compile.Stats.RemergedWebs, 0);
+  EXPECT_EQ(MergedR.Compile.Stats.RemergedWebs, 1);
+  // The per-call entry traffic on g disappears.
+  EXPECT_LT(MergedR.Run.Stats.SingletonRefs,
+            PlainR.Run.Stats.SingletonRefs);
+  EXPECT_LT(MergedR.Run.Stats.Cycles, PlainR.Run.Stats.Cycles);
+}
+
+TEST(PipelineTest, DatabaseDiffDrivesSmartRecompilation) {
+  // §7.1: "source level changes need to be tracked carefully and can be
+  // very expensive." The database diff bounds the damage: an
+  // allocation-neutral edit leaves the database identical (recompile
+  // only the edited module); an edit that changes interprocedural
+  // allocation names exactly the procedures whose directives moved.
+  const char *Util =
+      "int g;\n"
+      "int step(int x) { return x + 1; }\n"
+      "void touch(int n) {\n"
+      "  for (int i = 0; i < n; i = i + 1) g = g + step(i);\n"
+      "}\n";
+  const char *Main =
+      "int g;\n"
+      "void touch(int n);\n"
+      "int main() {\n"
+      "  for (int r = 0; r < 30; r = r + 1) touch(20);\n"
+      "  print(g);\n"
+      "  return 0;\n"
+      "}\n";
+  PipelineConfig Config = PipelineConfig::configC();
+
+  auto analyze = [&](const char *UtilSrc) {
+    auto S1 = runPhase1({"util.mc", UtilSrc}, Config);
+    auto S2 = runPhase1({"main.mc", Main}, Config);
+    EXPECT_TRUE(S1.Success && S2.Success);
+    auto A = runAnalyzerPhase({S1.SummaryText, S2.SummaryText}, Config);
+    EXPECT_TRUE(A.Success) << A.ErrorText;
+    ProgramDatabase DB;
+    std::string Error;
+    EXPECT_TRUE(ProgramDatabase::deserialize(A.DatabaseText, DB, Error))
+        << Error;
+    return DB;
+  };
+
+  ProgramDatabase Before = analyze(Util);
+
+  // Allocation-neutral edit: a different constant, same shape.
+  const char *NeutralEdit =
+      "int g;\n"
+      "int step(int x) { return x + 2; }\n"
+      "void touch(int n) {\n"
+      "  for (int i = 0; i < n; i = i + 1) g = g + step(i);\n"
+      "}\n";
+  ProgramDatabase Neutral = analyze(NeutralEdit);
+  EXPECT_TRUE(ProgramDatabase::diff(Before, Neutral).empty());
+
+  // Allocation-relevant edit: touch() no longer references g at all, so
+  // the web over g collapses; main (the entry holding the promoted
+  // load/store) must be recompiled too.
+  const char *WebKillingEdit =
+      "int g;\n"
+      "int step(int x) { return x + 1; }\n"
+      "void touch(int n) {\n"
+      "  int local = 0;\n"
+      "  for (int i = 0; i < n; i = i + 1) local = local + step(i);\n"
+      "}\n";
+  ProgramDatabase After = analyze(WebKillingEdit);
+  auto Changed = ProgramDatabase::diff(Before, After);
+  EXPECT_FALSE(Changed.empty());
+  bool TouchesOtherModule = false;
+  for (const std::string &Name : Changed)
+    TouchesOtherModule |= Name == "main";
+  EXPECT_TRUE(TouchesOtherModule)
+      << "edit in util.mc changed main's directives but diff missed it";
+}
+
+TEST(PipelineTest, CrossModuleStaticWebNotPromoted) {
+  // b.mc's static s is used in a hot region whose web entry would land
+  // in a.mc: §7.4 says the analyzer discards such webs. The program must
+  // still run correctly and the database must not promote the static at
+  // the foreign entry.
+  const char *ModA =
+      "int bwork(int n);\n"
+      "int drive(int n) {\n"  // Would-be entry node in a.mc.
+      "  int r = 0;\n"
+      "  for (int i = 0; i < n; i = i + 1) r = r + bwork(i);\n"
+      "  return r;\n"
+      "}\n"
+      "int main() { print(drive(50)); return 0; }\n";
+  const char *ModB =
+      "static int s;\n"
+      "int bwork(int n) { s = s + n; return s; }\n";
+  std::vector<SourceFile> Sources = {{"a.mc", ModA}, {"b.mc", ModB}};
+
+  auto Base = runOk(Sources, PipelineConfig::baseline());
+  auto R = compileAndRun(Sources, PipelineConfig::configC());
+  ASSERT_TRUE(R.Compile.Success) << R.Compile.ErrorText;
+  ASSERT_TRUE(R.Run.Halted) << R.Run.Trap;
+  EXPECT_EQ(R.Run.Output, Base.Output);
+
+  // No directive in a.mc's procedures may promote b.mc:s.
+  ProgramDatabase DB;
+  std::string Error;
+  ASSERT_TRUE(
+      ProgramDatabase::deserialize(R.Compile.DatabaseFile, DB, Error));
+  for (const char *Proc : {"main", "drive"})
+    for (const PromotedGlobal &P : DB.lookup(Proc).Promoted)
+      EXPECT_NE(P.QualName, "b.mc:s") << Proc;
+}
+
+TEST(PipelineTest, RuntimePrintsParticipatesInAnalysis) {
+  // __prints comes from the injected runtime module and shows up in the
+  // summaries and the database like any other procedure.
+  auto R = compileProgram(
+      {{"m.mc", "int main() { prints(\"hi\"); return 0; }\n"}},
+      PipelineConfig::configC());
+  ASSERT_TRUE(R.Success) << R.ErrorText;
+  bool Found = false;
+  for (const std::string &S : R.SummaryFiles)
+    Found |= S.find("proc __prints") != std::string::npos;
+  EXPECT_TRUE(Found);
+  EXPECT_NE(R.DatabaseFile.find("proc __prints"), std::string::npos);
+}
+
+TEST(PipelineTest, ApproximateSummariesStaySound) {
+  // §7.1 sketches the R^n environment: "The module editor used to
+  // create source files could generate APPROXIMATE summary
+  // information." Degrade every summary's callee-saves estimate to zero
+  // (the editor cannot run trial code generation) and re-run the
+  // analyzer + second phase: the directives may be worse, but the
+  // program must behave identically - set semantics are enforced by the
+  // allocator, not by trusting the estimates.
+  std::vector<SourceFile> Sources = {
+      {"work.mc",
+       "int acc; int calls;\n"
+       "int work(int n) {\n"
+       "  calls = calls + 1;\n"
+       "  int a = n * 3; int b = a + n; int c = b * a; int d = c - b;\n"
+       "  acc = acc + d;\n"
+       "  return d;\n"
+       "}\n"},
+      {"main.mc",
+       "int work(int n);\n"
+       "int acc; int calls;\n"
+       "int main() {\n"
+       "  int r = 0;\n"
+       "  for (int i = 0; i < 40; i = i + 1) r = r + work(i);\n"
+       "  print(r); print(acc); print(calls);\n"
+       "  return 0;\n"
+       "}\n"}};
+  PipelineConfig Config = PipelineConfig::configC();
+
+  auto Exact = compileAndRun(Sources, Config);
+  ASSERT_TRUE(Exact.Compile.Success) << Exact.Compile.ErrorText;
+  ASSERT_TRUE(Exact.Run.Halted);
+
+  std::vector<SourceFile> All = Sources;
+  All.push_back(SourceFile{"__runtime.mc", runtimeModuleSource()});
+  std::vector<std::string> Degraded;
+  for (const SourceFile &Src : All) {
+    auto P1 = runPhase1(Src, Config);
+    ASSERT_TRUE(P1.Success) << P1.ErrorText;
+    ModuleSummary S;
+    std::string Error;
+    ASSERT_TRUE(readSummary(P1.SummaryText, S, Error)) << Error;
+    for (ProcSummary &P : S.Procs) {
+      P.CalleeRegsNeeded = 0; // The "approximate" editor estimate.
+      P.CallerRegsUsed = 0;
+    }
+    Degraded.push_back(writeSummary(S));
+  }
+  auto Analyzed = runAnalyzerPhase(Degraded, Config);
+  ASSERT_TRUE(Analyzed.Success) << Analyzed.ErrorText;
+
+  std::vector<std::string> Objects;
+  for (const SourceFile &Src : All) {
+    auto P2 = runPhase2(Src, Analyzed.DatabaseText, Config);
+    ASSERT_TRUE(P2.Success) << Src.Name << ": " << P2.ErrorText;
+    Objects.push_back(P2.ObjectText);
+  }
+  auto Linked = linkObjectTexts(Objects);
+  ASSERT_TRUE(Linked.Success) << Linked.ErrorText;
+  RunResult R = runExecutable(Linked.Exe, 500'000'000);
+  ASSERT_TRUE(R.Halted) << R.Trap;
+  EXPECT_EQ(R.Output, Exact.Run.Output);
+  EXPECT_EQ(R.ExitCode, Exact.Run.ExitCode);
+}
+
+TEST(PipelineTest, SeparateCompilationMatchesMonolithic) {
+  // The paper's headline property: with the database precomputed,
+  // modules compile independently and IN ANY ORDER. Run the phases by
+  // hand - phase 1 per module, analyzer, phase 2 per module in REVERSE
+  // order - link the textual objects, and compare against the fused
+  // pipeline.
+  std::vector<SourceFile> Sources = {
+      {"lib.mc", "int counter;\n"
+                 "int bump(int x) { counter = counter + x;"
+                 " return counter; }\n"},
+      {"util.mc", "int counter;\n"
+                  "int bump(int x);\n"
+                  "int twice(int x) { return bump(x) + bump(x); }\n"},
+      {"main.mc", "int counter;\n"
+                  "int twice(int x);\n"
+                  "int main() {\n"
+                  "  int r = 0;\n"
+                  "  for (int i = 0; i < 30; i = i + 1) r = r + twice(i);\n"
+                  "  print(r);\n"
+                  "  print(counter);\n"
+                  "  return 0;\n"
+                  "}\n"}};
+  PipelineConfig Config = PipelineConfig::configC();
+
+  // Fused pipeline (adds the runtime module itself).
+  auto Fused = compileAndRun(Sources, Config);
+  ASSERT_TRUE(Fused.Compile.Success) << Fused.Compile.ErrorText;
+
+  // Hand-run phases, runtime module included explicitly.
+  std::vector<SourceFile> All = Sources;
+  All.push_back(SourceFile{"__runtime.mc", runtimeModuleSource()});
+
+  std::vector<std::string> Summaries;
+  for (const SourceFile &Src : All) {
+    auto P1 = runPhase1(Src, Config);
+    ASSERT_TRUE(P1.Success) << Src.Name << ": " << P1.ErrorText;
+    Summaries.push_back(P1.SummaryText);
+  }
+  auto Analyzed = runAnalyzerPhase(Summaries, Config);
+  ASSERT_TRUE(Analyzed.Success) << Analyzed.ErrorText;
+
+  std::vector<std::string> Objects;
+  for (auto It = All.rbegin(); It != All.rend(); ++It) { // Reverse!
+    auto P2 = runPhase2(*It, Analyzed.DatabaseText, Config);
+    ASSERT_TRUE(P2.Success) << It->Name << ": " << P2.ErrorText;
+    Objects.push_back(P2.ObjectText);
+  }
+  auto Linked = linkObjectTexts(Objects);
+  ASSERT_TRUE(Linked.Success) << Linked.ErrorText;
+
+  auto R = runExecutable(Linked.Exe);
+  ASSERT_TRUE(R.Halted) << R.Trap;
+  EXPECT_EQ(R.Output, Fused.Run.Output);
+  EXPECT_EQ(R.ExitCode, Fused.Run.ExitCode);
+  // Same code quality too: identical cycle counts.
+  EXPECT_EQ(R.Stats.Cycles, Fused.Run.Stats.Cycles);
+  EXPECT_EQ(R.Stats.SingletonRefs, Fused.Run.Stats.SingletonRefs);
+}
+
+TEST(PipelineTest, ProfileCollectionMatchesCallStructure) {
+  const char *Src =
+      "void cb() { }\n"
+      "void mid() { cb(); cb(); }\n"
+      "int main() { mid(); mid(); mid(); return 0; }\n";
+  RunResult R = runOk({{"main.mc", Src}}, PipelineConfig::baseline());
+  EXPECT_EQ(R.Profile.CallCounts.at("mid"), 3);
+  EXPECT_EQ(R.Profile.CallCounts.at("cb"), 6);
+  EXPECT_EQ((R.Profile.EdgeCounts.at({"mid", "cb"})), 6);
+  EXPECT_EQ((R.Profile.EdgeCounts.at({"main", "mid"})), 3);
+}
+
+} // namespace

@@ -1,0 +1,129 @@
+//===- verifier_test.cpp - IR verifier unit tests -------------------------===//
+//
+// Part of the IPRA project: a reproduction of Santhanam & Odnert,
+// "Register Allocation Across Procedure and Module Boundaries", PLDI 1990.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ir/Verifier.h"
+
+#include <gtest/gtest.h>
+
+using namespace ipra;
+
+namespace {
+
+std::unique_ptr<IRFunction> makeEmptyFunc() {
+  auto F = std::make_unique<IRFunction>();
+  F->Name = "t";
+  F->newBlock();
+  return F;
+}
+
+IRInstr retInstr() {
+  IRInstr I;
+  I.Op = IROp::Ret;
+  return I;
+}
+
+TEST(VerifierTest, MissingTerminator) {
+  auto F = makeEmptyFunc();
+  auto Problems = verifyFunction(*F);
+  ASSERT_FALSE(Problems.empty());
+  EXPECT_NE(Problems[0].find("terminator"), std::string::npos);
+}
+
+TEST(VerifierTest, ValidMinimalFunction) {
+  auto F = makeEmptyFunc();
+  F->entry()->Instrs.push_back(retInstr());
+  EXPECT_TRUE(verifyFunction(*F).empty());
+}
+
+TEST(VerifierTest, InteriorTerminator) {
+  auto F = makeEmptyFunc();
+  F->entry()->Instrs.push_back(retInstr());
+  F->entry()->Instrs.push_back(retInstr());
+  auto Problems = verifyFunction(*F);
+  ASSERT_FALSE(Problems.empty());
+  EXPECT_NE(Problems[0].find("interior"), std::string::npos);
+}
+
+TEST(VerifierTest, BranchTargetOutOfRange) {
+  auto F = makeEmptyFunc();
+  IRInstr Br;
+  Br.Op = IROp::Br;
+  Br.Target1 = 7;
+  F->entry()->Instrs.push_back(std::move(Br));
+  auto Problems = verifyFunction(*F);
+  ASSERT_FALSE(Problems.empty());
+  EXPECT_NE(Problems[0].find("target out of range"), std::string::npos);
+}
+
+TEST(VerifierTest, VRegOutOfRange) {
+  auto F = makeEmptyFunc();
+  IRInstr I;
+  I.Op = IROp::Print;
+  I.Srcs = {5}; // NumVRegs == 0.
+  F->entry()->Instrs.push_back(std::move(I));
+  F->entry()->Instrs.push_back(retInstr());
+  auto Problems = verifyFunction(*F);
+  ASSERT_FALSE(Problems.empty());
+  EXPECT_NE(Problems[0].find("vreg out of range"), std::string::npos);
+}
+
+TEST(VerifierTest, SlotOutOfRange) {
+  auto F = makeEmptyFunc();
+  IRInstr I;
+  I.Op = IROp::LdSlot;
+  I.HasDst = true;
+  I.Dst = F->newVReg();
+  I.Slot = 2; // No slots declared.
+  F->entry()->Instrs.push_back(std::move(I));
+  F->entry()->Instrs.push_back(retInstr());
+  auto Problems = verifyFunction(*F);
+  ASSERT_FALSE(Problems.empty());
+  EXPECT_NE(Problems[0].find("slot out of range"), std::string::npos);
+}
+
+TEST(VerifierTest, MissingDst) {
+  auto F = makeEmptyFunc();
+  IRInstr I;
+  I.Op = IROp::Const;
+  I.Imm = 3; // HasDst not set.
+  F->entry()->Instrs.push_back(std::move(I));
+  F->entry()->Instrs.push_back(retInstr());
+  auto Problems = verifyFunction(*F);
+  ASSERT_FALSE(Problems.empty());
+  EXPECT_NE(Problems[0].find("missing destination"), std::string::npos);
+}
+
+TEST(VerifierTest, WrongOperandCount) {
+  auto F = makeEmptyFunc();
+  F->NumVRegs = 3;
+  IRInstr I;
+  I.Op = IROp::Bin;
+  I.BK = BinKind::Add;
+  I.HasDst = true;
+  I.Dst = 0;
+  I.Srcs = {1}; // Bin needs two.
+  F->entry()->Instrs.push_back(std::move(I));
+  F->entry()->Instrs.push_back(retInstr());
+  auto Problems = verifyFunction(*F);
+  ASSERT_FALSE(Problems.empty());
+  EXPECT_NE(Problems[0].find("operand count"), std::string::npos);
+}
+
+TEST(VerifierTest, MissingSymbol) {
+  auto F = makeEmptyFunc();
+  IRInstr I;
+  I.Op = IROp::LdG;
+  I.HasDst = true;
+  I.Dst = F->newVReg();
+  F->entry()->Instrs.push_back(std::move(I));
+  F->entry()->Instrs.push_back(retInstr());
+  auto Problems = verifyFunction(*F);
+  ASSERT_FALSE(Problems.empty());
+  EXPECT_NE(Problems[0].find("missing symbol"), std::string::npos);
+}
+
+} // namespace

@@ -1,0 +1,146 @@
+//===- lexer_test.cpp - MiniC lexer unit tests ----------------------------===//
+//
+// Part of the IPRA project: a reproduction of Santhanam & Odnert,
+// "Register Allocation Across Procedure and Module Boundaries", PLDI 1990.
+//
+//===----------------------------------------------------------------------===//
+
+#include "lang/Lexer.h"
+
+#include <gtest/gtest.h>
+
+using namespace ipra;
+
+namespace {
+
+std::vector<Token> lex(const std::string &Source, DiagnosticEngine &Diags) {
+  Lexer L("test.mc", Source, Diags);
+  return L.lexAll();
+}
+
+std::vector<Token> lexOk(const std::string &Source) {
+  DiagnosticEngine Diags;
+  auto Tokens = lex(Source, Diags);
+  EXPECT_FALSE(Diags.hasErrors()) << Diags.renderAll();
+  return Tokens;
+}
+
+std::vector<TokKind> kinds(const std::vector<Token> &Tokens) {
+  std::vector<TokKind> Out;
+  for (const Token &T : Tokens)
+    Out.push_back(T.Kind);
+  return Out;
+}
+
+TEST(LexerTest, EmptyInputYieldsEof) {
+  auto Tokens = lexOk("");
+  ASSERT_EQ(Tokens.size(), 1u);
+  EXPECT_EQ(Tokens[0].Kind, TokKind::Eof);
+}
+
+TEST(LexerTest, Keywords) {
+  auto Tokens = lexOk("int char void func static if else while for return "
+                      "break continue");
+  std::vector<TokKind> Expected = {
+      TokKind::KwInt,    TokKind::KwChar,  TokKind::KwVoid,
+      TokKind::KwFunc,   TokKind::KwStatic, TokKind::KwIf,
+      TokKind::KwElse,   TokKind::KwWhile, TokKind::KwFor,
+      TokKind::KwReturn, TokKind::KwBreak, TokKind::KwContinue,
+      TokKind::Eof};
+  EXPECT_EQ(kinds(Tokens), Expected);
+}
+
+TEST(LexerTest, IdentifiersAndKeywordPrefixes) {
+  auto Tokens = lexOk("integer if0 _x x_1");
+  ASSERT_EQ(Tokens.size(), 5u);
+  for (int I = 0; I < 4; ++I)
+    EXPECT_EQ(Tokens[I].Kind, TokKind::Identifier);
+  EXPECT_EQ(Tokens[0].Text, "integer");
+  EXPECT_EQ(Tokens[1].Text, "if0");
+  EXPECT_EQ(Tokens[2].Text, "_x");
+  EXPECT_EQ(Tokens[3].Text, "x_1");
+}
+
+TEST(LexerTest, DecimalAndHexLiterals) {
+  auto Tokens = lexOk("0 42 123456 0x10 0xff 0XAB");
+  ASSERT_EQ(Tokens.size(), 7u);
+  EXPECT_EQ(Tokens[0].IntVal, 0);
+  EXPECT_EQ(Tokens[1].IntVal, 42);
+  EXPECT_EQ(Tokens[2].IntVal, 123456);
+  EXPECT_EQ(Tokens[3].IntVal, 16);
+  EXPECT_EQ(Tokens[4].IntVal, 255);
+  EXPECT_EQ(Tokens[5].IntVal, 0xAB);
+}
+
+TEST(LexerTest, CharLiterals) {
+  auto Tokens = lexOk("'a' '\\n' '\\0' '\\'' '\\\\'");
+  ASSERT_EQ(Tokens.size(), 6u);
+  EXPECT_EQ(Tokens[0].IntVal, 'a');
+  EXPECT_EQ(Tokens[1].IntVal, '\n');
+  EXPECT_EQ(Tokens[2].IntVal, 0);
+  EXPECT_EQ(Tokens[3].IntVal, '\'');
+  EXPECT_EQ(Tokens[4].IntVal, '\\');
+}
+
+TEST(LexerTest, StringLiterals) {
+  auto Tokens = lexOk("\"hello\" \"a\\nb\" \"\"");
+  ASSERT_EQ(Tokens.size(), 4u);
+  EXPECT_EQ(Tokens[0].Kind, TokKind::StringLiteral);
+  EXPECT_EQ(Tokens[0].Text, "hello");
+  EXPECT_EQ(Tokens[1].Text, "a\nb");
+  EXPECT_EQ(Tokens[2].Text, "");
+}
+
+TEST(LexerTest, OperatorsMaximalMunch) {
+  auto Tokens = lexOk("<< >> <= >= == != && || < > = ! & |");
+  std::vector<TokKind> Expected = {
+      TokKind::Shl,    TokKind::Shr,      TokKind::Le,   TokKind::Ge,
+      TokKind::EqEq,   TokKind::NotEq,    TokKind::AmpAmp,
+      TokKind::PipePipe, TokKind::Lt,     TokKind::Gt,   TokKind::Assign,
+      TokKind::Bang,   TokKind::Amp,      TokKind::Pipe, TokKind::Eof};
+  EXPECT_EQ(kinds(Tokens), Expected);
+}
+
+TEST(LexerTest, CommentsAreSkipped) {
+  auto Tokens = lexOk("a // line comment\nb /* block\ncomment */ c");
+  ASSERT_EQ(Tokens.size(), 4u);
+  EXPECT_EQ(Tokens[0].Text, "a");
+  EXPECT_EQ(Tokens[1].Text, "b");
+  EXPECT_EQ(Tokens[2].Text, "c");
+}
+
+TEST(LexerTest, LineAndColumnTracking) {
+  auto Tokens = lexOk("a\n  b\nccc d");
+  EXPECT_EQ(Tokens[0].Loc.Line, 1);
+  EXPECT_EQ(Tokens[0].Loc.Col, 1);
+  EXPECT_EQ(Tokens[1].Loc.Line, 2);
+  EXPECT_EQ(Tokens[1].Loc.Col, 3);
+  EXPECT_EQ(Tokens[2].Loc.Line, 3);
+  EXPECT_EQ(Tokens[2].Loc.Col, 1);
+  EXPECT_EQ(Tokens[3].Loc.Line, 3);
+  EXPECT_EQ(Tokens[3].Loc.Col, 5);
+}
+
+TEST(LexerTest, UnterminatedBlockCommentIsError) {
+  DiagnosticEngine Diags;
+  lex("a /* never closed", Diags);
+  EXPECT_TRUE(Diags.hasErrors());
+}
+
+TEST(LexerTest, UnterminatedStringIsError) {
+  DiagnosticEngine Diags;
+  lex("\"abc", Diags);
+  EXPECT_TRUE(Diags.hasErrors());
+}
+
+TEST(LexerTest, UnknownCharacterIsErrorButRecovers) {
+  DiagnosticEngine Diags;
+  auto Tokens = lex("a $ b", Diags);
+  EXPECT_TRUE(Diags.hasErrors());
+  // 'a' and 'b' still lexed.
+  ASSERT_EQ(Tokens.size(), 3u);
+  EXPECT_EQ(Tokens[0].Text, "a");
+  EXPECT_EQ(Tokens[1].Text, "b");
+}
+
+} // namespace

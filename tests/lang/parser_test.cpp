@@ -1,0 +1,163 @@
+//===- parser_test.cpp - MiniC parser unit tests --------------------------===//
+//
+// Part of the IPRA project: a reproduction of Santhanam & Odnert,
+// "Register Allocation Across Procedure and Module Boundaries", PLDI 1990.
+//
+//===----------------------------------------------------------------------===//
+
+#include "TestUtil.h"
+
+#include <gtest/gtest.h>
+
+using namespace ipra;
+using ipra::test::parseModule;
+
+namespace {
+
+std::unique_ptr<ModuleAST> parseOk(const std::string &Source) {
+  DiagnosticEngine Diags;
+  auto M = parseModule("test.mc", Source, Diags);
+  EXPECT_FALSE(Diags.hasErrors()) << Diags.renderAll();
+  return M;
+}
+
+TEST(ParserTest, GlobalScalarDeclarations) {
+  auto M = parseOk("int g;\nchar c;\nint init = 5;\nint neg = -3;\n");
+  ASSERT_EQ(M->Globals.size(), 4u);
+  EXPECT_EQ(M->Globals[0]->Name, "g");
+  EXPECT_EQ(M->Globals[0]->DeclType, Type(TypeKind::Int));
+  EXPECT_EQ(M->Globals[1]->DeclType, Type(TypeKind::Char));
+  EXPECT_EQ(M->Globals[2]->Init.InitKind, GlobalInit::Kind::Scalar);
+  EXPECT_EQ(M->Globals[2]->Init.Scalar, 5);
+  EXPECT_EQ(M->Globals[3]->Init.Scalar, -3);
+}
+
+TEST(ParserTest, GlobalArrays) {
+  auto M = parseOk("int a[10];\nint b[] = {1, 2, 3};\n"
+                   "char s[] = \"hi\";\nchar t[4];\n");
+  ASSERT_EQ(M->Globals.size(), 4u);
+  EXPECT_EQ(M->Globals[0]->DeclType, Type(TypeKind::ArrayInt, 10));
+  EXPECT_EQ(M->Globals[1]->DeclType, Type(TypeKind::ArrayInt, 3));
+  EXPECT_EQ(M->Globals[1]->Init.List, (std::vector<int32_t>{1, 2, 3}));
+  // "hi" plus NUL.
+  EXPECT_EQ(M->Globals[2]->DeclType, Type(TypeKind::ArrayChar, 3));
+  EXPECT_EQ(M->Globals[3]->DeclType, Type(TypeKind::ArrayChar, 4));
+}
+
+TEST(ParserTest, StaticAndFuncGlobals) {
+  auto M = parseOk("static int priv;\nfunc handler = &worker;\n"
+                   "int worker(int x) { return x; }\n");
+  ASSERT_EQ(M->Globals.size(), 2u);
+  EXPECT_TRUE(M->Globals[0]->IsStatic);
+  EXPECT_EQ(M->Globals[1]->DeclType, Type(TypeKind::Func));
+  EXPECT_EQ(M->Globals[1]->Init.InitKind, GlobalInit::Kind::FuncAddr);
+  EXPECT_EQ(M->Globals[1]->Init.FuncName, "worker");
+}
+
+TEST(ParserTest, FunctionShapes) {
+  auto M = parseOk("void none() { }\n"
+                   "int one(int a) { return a; }\n"
+                   "static int two(int a, char b) { return a + b; }\n"
+                   "int fwd(int x);\n"
+                   "int ptr(int *p, char *q, int arr[]) { return p[0]; }\n");
+  ASSERT_EQ(M->Functions.size(), 5u);
+  EXPECT_EQ(M->Functions[0]->Params.size(), 0u);
+  EXPECT_TRUE(M->Functions[0]->RetType.isVoid());
+  EXPECT_EQ(M->Functions[1]->Params.size(), 1u);
+  EXPECT_TRUE(M->Functions[2]->IsStatic);
+  EXPECT_FALSE(M->Functions[3]->isDefinition());
+  EXPECT_TRUE(M->Functions[4]->isDefinition());
+  EXPECT_EQ(M->Functions[4]->Params[0]->DeclType, Type(TypeKind::PtrInt));
+  EXPECT_EQ(M->Functions[4]->Params[1]->DeclType, Type(TypeKind::PtrChar));
+  // 'int arr[]' decays to int*.
+  EXPECT_EQ(M->Functions[4]->Params[2]->DeclType, Type(TypeKind::PtrInt));
+}
+
+TEST(ParserTest, PrecedenceInDump) {
+  auto M = parseOk("int f() { return 1 + 2 * 3 - 4 / 2; }\n");
+  std::string Dump = dumpModule(*M);
+  // (1 + (2*3)) - (4/2)
+  EXPECT_NE(Dump.find("(- (+ 1 (* 2 3)) (/ 4 2))"), std::string::npos)
+      << Dump;
+}
+
+TEST(ParserTest, ComparisonAndLogicalPrecedence) {
+  auto M = parseOk("int f(int a, int b) { return a < b + 1 && b == 2 || a; }\n");
+  std::string Dump = dumpModule(*M);
+  EXPECT_NE(Dump.find("(|| (&& (< a (+ b 1)) (== b 2)) a)"),
+            std::string::npos)
+      << Dump;
+}
+
+TEST(ParserTest, AssignmentIsRightAssociative) {
+  auto M = parseOk("int f(int a, int b) { a = b = 3; return a; }\n");
+  std::string Dump = dumpModule(*M);
+  EXPECT_NE(Dump.find("(= a (= b 3))"), std::string::npos) << Dump;
+}
+
+TEST(ParserTest, UnaryOperators) {
+  auto M = parseOk("int g;\n"
+                   "int f(int *p) { return -*p + ~1 + !0 + *&g; }\n");
+  std::string Dump = dumpModule(*M);
+  EXPECT_NE(Dump.find("(neg (deref p))"), std::string::npos) << Dump;
+  EXPECT_NE(Dump.find("(deref (addrof g))"), std::string::npos) << Dump;
+}
+
+TEST(ParserTest, ControlFlowStatements) {
+  auto M = parseOk(
+      "int f(int n) {\n"
+      "  int s = 0;\n"
+      "  for (int i = 0; i < n; i = i + 1) {\n"
+      "    if (i % 2 == 0) continue; else s = s + i;\n"
+      "    while (s > 100) { s = s - 10; break; }\n"
+      "  }\n"
+      "  return s;\n"
+      "}\n");
+  std::string Dump = dumpModule(*M);
+  EXPECT_NE(Dump.find("for"), std::string::npos);
+  EXPECT_NE(Dump.find("while"), std::string::npos);
+  EXPECT_NE(Dump.find("break"), std::string::npos);
+  EXPECT_NE(Dump.find("continue"), std::string::npos);
+}
+
+TEST(ParserTest, CallsAndIndexing) {
+  auto M = parseOk("int a[4];\n"
+                   "int g(int x) { return x; }\n"
+                   "int f() { return g(a[1]) + a[g(2)]; }\n");
+  std::string Dump = dumpModule(*M);
+  EXPECT_NE(Dump.find("(call g (index a 1))"), std::string::npos) << Dump;
+  EXPECT_NE(Dump.find("(index a (call g 2))"), std::string::npos) << Dump;
+}
+
+TEST(ParserTest, DanglingElseBindsToInnerIf) {
+  auto M = parseOk("int f(int a) { if (a) if (a > 1) return 1; else return 2;"
+                   " return 0; }\n");
+  std::string Dump = dumpModule(*M);
+  // The else must attach to the inner if: exactly one "else" at depth of
+  // the inner if.
+  EXPECT_NE(Dump.find("else"), std::string::npos);
+}
+
+TEST(ParserTest, ErrorRecoveryReportsMultipleErrors) {
+  DiagnosticEngine Diags;
+  parseModule("test.mc",
+              "int f() { return 1 +; }\n"
+              "int g() { @@@ }\n"
+              "int ok() { return 1; }\n",
+              Diags);
+  EXPECT_GE(Diags.errorCount(), 2u);
+}
+
+TEST(ParserTest, MissingSemicolonIsError) {
+  DiagnosticEngine Diags;
+  parseModule("test.mc", "int f() { int a = 1 return a; }\n", Diags);
+  EXPECT_TRUE(Diags.hasErrors());
+}
+
+TEST(ParserTest, ForWithEmptyClauses) {
+  auto M = parseOk("int f() { for (;;) { break; } return 0; }\n");
+  std::string Dump = dumpModule(*M);
+  EXPECT_NE(Dump.find("cond <null>"), std::string::npos) << Dump;
+}
+
+} // namespace

@@ -1,0 +1,179 @@
+//===- sema_test.cpp - MiniC semantic analysis unit tests -----------------===//
+//
+// Part of the IPRA project: a reproduction of Santhanam & Odnert,
+// "Register Allocation Across Procedure and Module Boundaries", PLDI 1990.
+//
+//===----------------------------------------------------------------------===//
+
+#include "TestUtil.h"
+
+#include <gtest/gtest.h>
+
+using namespace ipra;
+using ipra::test::analyzeModule;
+
+namespace {
+
+std::unique_ptr<ModuleAST> checkOk(const std::string &Source) {
+  DiagnosticEngine Diags;
+  auto M = analyzeModule("test.mc", Source, Diags);
+  EXPECT_FALSE(Diags.hasErrors()) << Diags.renderAll();
+  return M;
+}
+
+void checkFails(const std::string &Source, const std::string &Fragment) {
+  DiagnosticEngine Diags;
+  analyzeModule("test.mc", Source, Diags);
+  ASSERT_TRUE(Diags.hasErrors()) << "expected error containing: " << Fragment;
+  EXPECT_NE(Diags.renderAll().find(Fragment), std::string::npos)
+      << Diags.renderAll();
+}
+
+TEST(SemaTest, ValidProgramPasses) {
+  checkOk("int g = 1;\n"
+          "int add(int a, int b) { return a + b; }\n"
+          "int main() { g = add(g, 2); print(g); return 0; }\n");
+}
+
+TEST(SemaTest, UndeclaredVariable) {
+  checkFails("int f() { return nope; }\n", "undeclared identifier 'nope'");
+}
+
+TEST(SemaTest, UndeclaredFunction) {
+  checkFails("int f() { return g(); }\n", "undeclared function 'g'");
+}
+
+TEST(SemaTest, ForwardDeclarationAllowsCall) {
+  checkOk("int later(int x);\n"
+          "int f() { return later(1); }\n"
+          "int later(int x) { return x + 1; }\n");
+}
+
+TEST(SemaTest, WrongArgumentCount) {
+  checkFails("int g(int a, int b) { return a; }\n"
+             "int f() { return g(1); }\n",
+             "wrong number of arguments");
+}
+
+TEST(SemaTest, RedefinitionOfGlobal) {
+  checkFails("int g;\nint g;\n", "redefinition of global 'g'");
+}
+
+TEST(SemaTest, RedefinitionOfFunction) {
+  checkFails("int f() { return 0; }\nint f() { return 1; }\n",
+             "redefinition of function 'f'");
+}
+
+TEST(SemaTest, RedeclarationInSameScope) {
+  checkFails("int f() { int a; int a; return 0; }\n", "redeclaration");
+}
+
+TEST(SemaTest, ShadowingInNestedScopeIsAllowed) {
+  checkOk("int f() { int a = 1; { int a = 2; print(a); } return a; }\n");
+}
+
+TEST(SemaTest, AddressTakenMarksVariableAliased) {
+  auto M = checkOk("int g;\nint h;\n"
+                   "int f() { int *p; p = &g; return *p + h; }\n");
+  EXPECT_TRUE(M->Globals[0]->AddressTaken);
+  EXPECT_FALSE(M->Globals[1]->AddressTaken);
+}
+
+TEST(SemaTest, AddressOfFunctionMarksFunction) {
+  auto M = checkOk("int w(int x) { return x; }\n"
+                   "int f() { func p; p = &w; return p(1); }\n");
+  EXPECT_TRUE(M->Functions[0]->AddressTaken);
+  EXPECT_TRUE(M->Functions[1]->MakesIndirectCalls);
+  EXPECT_FALSE(M->Functions[1]->AddressTaken);
+}
+
+TEST(SemaTest, FuncInitializerMarksTarget) {
+  auto M = checkOk("func handler = &cb;\n"
+                   "int cb(int x) { return x; }\n");
+  EXPECT_TRUE(M->Functions[0]->AddressTaken);
+}
+
+TEST(SemaTest, IndirectCallThroughGlobalFuncVar) {
+  auto M = checkOk("func cb;\n"
+                   "int f() { return cb(1, 2); }\n");
+  EXPECT_TRUE(M->Functions[0]->MakesIndirectCalls);
+}
+
+TEST(SemaTest, CallingNonFunctionFails) {
+  checkFails("int v;\nint f() { return v(); }\n", "not a function");
+}
+
+TEST(SemaTest, VoidFunctionValueUseFails) {
+  checkFails("void v() { }\nint f() { return v() + 1; }\n",
+             "invalid operands");
+}
+
+TEST(SemaTest, ReturnTypeChecks) {
+  checkFails("void v() { return 3; }\n", "returns a value");
+  checkFails("int f() { return; }\n", "returns no value");
+}
+
+TEST(SemaTest, PointerTypeRules) {
+  checkOk("int f(int *p, int n) { return p[n] + *(p + 1); }\n");
+  checkFails("int f(int p) { return *p; }\n", "requires a pointer");
+  checkFails("int f(char *p, int *q) { return p == q; }\n",
+             "invalid operands");
+}
+
+TEST(SemaTest, ArraysAreNotAssignable) {
+  checkFails("int a[3];\nint f() { a = 1; return 0; }\n",
+             "cannot assign to array");
+}
+
+TEST(SemaTest, ArrayDecaysWhenPassed) {
+  checkOk("int a[3];\n"
+          "int sum(int *p, int n) { return p[0] + n; }\n"
+          "int f() { return sum(a, 3); }\n");
+}
+
+TEST(SemaTest, AddressOfArrayFails) {
+  checkFails("int a[3];\nint f() { int *p; p = &a; return 0; }\n",
+             "arrays decay");
+}
+
+TEST(SemaTest, BreakOutsideLoopFails) {
+  checkFails("int f() { break; return 0; }\n", "outside of a loop");
+}
+
+TEST(SemaTest, BuiltinArity) {
+  checkFails("int f() { print(1, 2); return 0; }\n", "exactly one argument");
+  checkOk("int f() { prints(\"ok\"); printc('x'); print(1); return 0; }\n");
+}
+
+TEST(SemaTest, PrintsRequiresCharPointer) {
+  checkFails("int f(int *p) { prints(p); return 0; }\n",
+             "requires a char*");
+}
+
+TEST(SemaTest, LocalIdsAssignedDensely) {
+  auto M = checkOk("int f(int a, int b) { int c; int d; return a; }\n");
+  FuncDecl *F = M->Functions[0].get();
+  ASSERT_EQ(F->AllLocals.size(), 4u);
+  for (size_t I = 0; I < F->AllLocals.size(); ++I)
+    EXPECT_EQ(F->AllLocals[I]->LocalId, static_cast<int>(I));
+}
+
+TEST(SemaTest, StaticGlobalUsableInModule) {
+  checkOk("static int s = 5;\n"
+          "int f() { s = s + 1; return s; }\n");
+}
+
+TEST(SemaTest, FuncVarComparison) {
+  checkOk("func a;\nfunc b;\n"
+          "int f() { if (a == b) return 1; if (a != 0) return 2;"
+          " return 0; }\n");
+}
+
+TEST(SemaTest, MoreThanFourArgsRejected) {
+  checkFails("int g(int a, int b, int c, int d) { return a; }\n"
+             "int f() { return g(1, 2, 3, 4) + h(1, 2, 3, 4, 5); }\n"
+             "int h(int a, int b, int c, int d, int e) { return a; }\n",
+             "at most 4 arguments");
+}
+
+} // namespace

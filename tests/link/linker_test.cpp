@@ -1,0 +1,212 @@
+//===- linker_test.cpp - Static linker unit tests -------------------------===//
+//
+// Part of the IPRA project: a reproduction of Santhanam & Odnert,
+// "Register Allocation Across Procedure and Module Boundaries", PLDI 1990.
+//
+//===----------------------------------------------------------------------===//
+
+#include "link/Linker.h"
+
+#include <gtest/gtest.h>
+
+using namespace ipra;
+
+namespace {
+
+/// A function that just returns (bv r2).
+ObjFunction makeReturnFunc(const std::string &Name) {
+  ObjFunction F;
+  F.QualName = Name;
+  MInstr Ret;
+  Ret.Op = MOp::BV;
+  Ret.A = MOperand::makeReg(pr32::RP);
+  F.Code.push_back(std::move(Ret));
+  return F;
+}
+
+MInstr makeAddrg(const std::string &Sym) {
+  MInstr I;
+  I.Op = MOp::ADDRG;
+  I.A = MOperand::makeReg(19);
+  I.B = MOperand::makeSym(Sym);
+  return I;
+}
+
+TEST(LinkerTest, MinimalProgramLinks) {
+  ObjectFile Obj;
+  Obj.Module = "m";
+  Obj.Functions.push_back(makeReturnFunc("main"));
+  auto R = linkObjects({Obj});
+  ASSERT_TRUE(R.Success) << (R.Errors.empty() ? "" : R.Errors[0]);
+  // Stub (BL main; HALT) + main's one instruction.
+  ASSERT_EQ(R.Exe.Code.size(), 3u);
+  EXPECT_EQ(R.Exe.Code[0].Op, MOp::BL);
+  EXPECT_EQ(R.Exe.Code[0].A.ImmVal, 2); // main starts after the stub.
+  EXPECT_EQ(R.Exe.Code[1].Op, MOp::HALT);
+}
+
+TEST(LinkerTest, MissingMainFails) {
+  ObjectFile Obj;
+  Obj.Module = "m";
+  Obj.Functions.push_back(makeReturnFunc("notmain"));
+  auto R = linkObjects({Obj});
+  EXPECT_FALSE(R.Success);
+  ASSERT_FALSE(R.Errors.empty());
+  EXPECT_NE(R.Errors[0].find("main"), std::string::npos);
+}
+
+TEST(LinkerTest, DuplicateFunctionFails) {
+  ObjectFile A, B;
+  A.Module = "a";
+  B.Module = "b";
+  A.Functions.push_back(makeReturnFunc("main"));
+  A.Functions.push_back(makeReturnFunc("dup"));
+  B.Functions.push_back(makeReturnFunc("dup"));
+  auto R = linkObjects({A, B});
+  EXPECT_FALSE(R.Success);
+  EXPECT_NE(R.Errors[0].find("dup"), std::string::npos);
+}
+
+TEST(LinkerTest, CommonSymbolsMerge) {
+  // Both modules declare g; one initializes it.
+  ObjectFile A, B;
+  A.Module = "a";
+  B.Module = "b";
+  A.Functions.push_back(makeReturnFunc("main"));
+  ObjGlobal GA;
+  GA.QualName = "g";
+  GA.SizeWords = 1;
+  A.Globals.push_back(GA);
+  ObjGlobal GB;
+  GB.QualName = "g";
+  GB.SizeWords = 1;
+  GB.Init = {42};
+  B.Globals.push_back(GB);
+  auto R = linkObjects({A, B});
+  ASSERT_TRUE(R.Success) << (R.Errors.empty() ? "" : R.Errors[0]);
+  EXPECT_EQ(R.Exe.DataWords, 1);
+  EXPECT_EQ(R.Exe.DataInit[0], 42);
+}
+
+TEST(LinkerTest, DoubleInitializationFails) {
+  ObjectFile A, B;
+  A.Module = "a";
+  B.Module = "b";
+  A.Functions.push_back(makeReturnFunc("main"));
+  ObjGlobal GA;
+  GA.QualName = "g";
+  GA.Init = {1};
+  A.Globals.push_back(GA);
+  ObjGlobal GB;
+  GB.QualName = "g";
+  GB.Init = {2};
+  B.Globals.push_back(GB);
+  auto R = linkObjects({A, B});
+  EXPECT_FALSE(R.Success);
+  EXPECT_NE(R.Errors[0].find("more than one"), std::string::npos);
+}
+
+TEST(LinkerTest, SizeMismatchFails) {
+  ObjectFile A, B;
+  A.Module = "a";
+  B.Module = "b";
+  A.Functions.push_back(makeReturnFunc("main"));
+  ObjGlobal GA;
+  GA.QualName = "g";
+  GA.SizeWords = 4;
+  A.Globals.push_back(GA);
+  ObjGlobal GB;
+  GB.QualName = "g";
+  GB.SizeWords = 8;
+  B.Globals.push_back(GB);
+  auto R = linkObjects({A, B});
+  EXPECT_FALSE(R.Success);
+  EXPECT_NE(R.Errors[0].find("different sizes"), std::string::npos);
+}
+
+TEST(LinkerTest, UndefinedSymbolFails) {
+  ObjectFile Obj;
+  Obj.Module = "m";
+  ObjFunction Main = makeReturnFunc("main");
+  Main.Code.insert(Main.Code.begin(), makeAddrg("ghost"));
+  Obj.Functions.push_back(std::move(Main));
+  auto R = linkObjects({Obj});
+  EXPECT_FALSE(R.Success);
+  EXPECT_NE(R.Errors[0].find("ghost"), std::string::npos);
+  EXPECT_NE(R.Errors[0].find("main"), std::string::npos);
+}
+
+TEST(LinkerTest, SymbolResolutionCodeVsData) {
+  ObjectFile Obj;
+  Obj.Module = "m";
+  ObjGlobal G;
+  G.QualName = "g";
+  G.SizeWords = 2;
+  Obj.Globals.push_back(G);
+  ObjFunction Helper = makeReturnFunc("helper");
+  ObjFunction Main = makeReturnFunc("main");
+  Main.Code.insert(Main.Code.begin(), makeAddrg("g"));
+  Main.Code.insert(Main.Code.begin(), makeAddrg("helper"));
+  Obj.Functions.push_back(std::move(Main));
+  Obj.Functions.push_back(std::move(Helper));
+  auto R = linkObjects({Obj});
+  ASSERT_TRUE(R.Success) << (R.Errors.empty() ? "" : R.Errors[0]);
+  // main at 2: [addrg helper][addrg g][bv]. helper's code index is 5.
+  EXPECT_EQ(R.Exe.Code[2].B.ImmVal, 5); // Code address of helper.
+  EXPECT_EQ(R.Exe.Code[3].B.ImmVal, 0); // Data address of g.
+}
+
+TEST(LinkerTest, LabelsRelocatedToAbsolute) {
+  ObjectFile Obj;
+  Obj.Module = "m";
+  ObjFunction Main;
+  Main.QualName = "main";
+  MInstr Br;
+  Br.Op = MOp::B;
+  Br.A = MOperand::makeLabel(1); // Function-relative index 1.
+  Main.Code.push_back(std::move(Br));
+  MInstr Ret;
+  Ret.Op = MOp::BV;
+  Ret.A = MOperand::makeReg(pr32::RP);
+  Main.Code.push_back(std::move(Ret));
+  Obj.Functions.push_back(std::move(Main));
+  auto R = linkObjects({Obj});
+  ASSERT_TRUE(R.Success);
+  // main is at base 2; the branch targets absolute index 3.
+  EXPECT_EQ(R.Exe.Code[2].A.Kind, MOperand::Imm);
+  EXPECT_EQ(R.Exe.Code[2].A.ImmVal, 3);
+}
+
+TEST(LinkerTest, FuncInitPatchedWithCodeAddress) {
+  ObjectFile Obj;
+  Obj.Module = "m";
+  Obj.Functions.push_back(makeReturnFunc("main"));
+  Obj.Functions.push_back(makeReturnFunc("target"));
+  ObjGlobal G;
+  G.QualName = "handler";
+  G.FuncInit = "target";
+  Obj.Globals.push_back(G);
+  auto R = linkObjects({Obj});
+  ASSERT_TRUE(R.Success);
+  const ExeSymbol *T = nullptr;
+  for (const ExeSymbol &S : R.Exe.Symbols)
+    if (S.QualName == "target")
+      T = &S;
+  ASSERT_TRUE(T);
+  EXPECT_EQ(R.Exe.DataInit[0], T->Start);
+}
+
+TEST(LinkerTest, SymbolTableCoversAllCode) {
+  ObjectFile Obj;
+  Obj.Module = "m";
+  Obj.Functions.push_back(makeReturnFunc("main"));
+  Obj.Functions.push_back(makeReturnFunc("aux"));
+  auto R = linkObjects({Obj});
+  ASSERT_TRUE(R.Success);
+  EXPECT_EQ(R.Exe.symbolAt(0), nullptr); // The stub has no symbol.
+  for (int Pc = 2; Pc < static_cast<int>(R.Exe.Code.size()); ++Pc)
+    EXPECT_NE(R.Exe.symbolAt(Pc), nullptr) << Pc;
+  EXPECT_EQ(R.Exe.symbolAt(2)->QualName, "main");
+}
+
+} // namespace

@@ -1,0 +1,89 @@
+//===- programs_test.cpp - Benchmark program validation -------------------===//
+//
+// Part of the IPRA project: a reproduction of Santhanam & Odnert,
+// "Register Allocation Across Procedure and Module Boundaries", PLDI 1990.
+//
+//===----------------------------------------------------------------------===//
+///
+/// Compiles and runs every Table 3 benchmark program at the baseline and
+/// at configuration C, checking that both halt, produce identical
+/// output, and that configuration C never does worse on singleton
+/// memory references.
+///
+//===----------------------------------------------------------------------===//
+
+#include "BenchSupport.h"
+
+#include <gtest/gtest.h>
+
+using namespace ipra;
+using namespace ipra::bench;
+
+namespace {
+
+class ProgramTest : public ::testing::TestWithParam<const char *> {};
+
+TEST_P(ProgramTest, BaselineRuns) {
+  auto Sources = loadProgram(GetParam());
+  auto R = compileAndRun(Sources, PipelineConfig::baseline());
+  ASSERT_TRUE(R.Compile.Success) << R.Compile.ErrorText;
+  ASSERT_TRUE(R.Run.Halted)
+      << R.Run.Trap << (R.Run.OutOfFuel ? " (out of fuel)" : "");
+  EXPECT_FALSE(R.Run.Output.empty());
+  EXPECT_EQ(R.Run.ExitCode, 0);
+  // Keep the simulation budget sane: under 100M cycles per program.
+  EXPECT_LT(R.Run.Stats.Cycles, 100'000'000);
+  EXPECT_GT(R.Run.Stats.Cycles, 1'000);
+}
+
+TEST_P(ProgramTest, ConfigCMatchesBaselineOutput) {
+  auto Sources = loadProgram(GetParam());
+  auto Base = compileAndRun(Sources, PipelineConfig::baseline());
+  ASSERT_TRUE(Base.Compile.Success) << Base.Compile.ErrorText;
+  ASSERT_TRUE(Base.Run.Halted) << Base.Run.Trap;
+
+  auto WithC = compileAndRun(Sources, PipelineConfig::configC());
+  ASSERT_TRUE(WithC.Compile.Success) << WithC.Compile.ErrorText;
+  ASSERT_TRUE(WithC.Run.Halted) << WithC.Run.Trap;
+
+  EXPECT_EQ(WithC.Run.Output, Base.Run.Output);
+  EXPECT_EQ(WithC.Run.ExitCode, Base.Run.ExitCode);
+  // Promotion must not add singleton references.
+  EXPECT_LE(WithC.Run.Stats.SingletonRefs, Base.Run.Stats.SingletonRefs);
+}
+
+TEST_P(ProgramTest, AllRemainingConfigsMatch) {
+  auto Sources = loadProgram(GetParam());
+  auto Base = compileAndRun(Sources, PipelineConfig::baseline());
+  ASSERT_TRUE(Base.Run.Halted) << Base.Run.Trap;
+  ProfileData Profile = Base.Run.Profile;
+
+  struct Named {
+    const char *Name;
+    PipelineConfig Config;
+  };
+  const Named Configs[] = {
+      {"A", PipelineConfig::configA()},
+      {"B", PipelineConfig::configB()},
+      {"D", PipelineConfig::configD()},
+      {"E", PipelineConfig::configE()},
+      {"F", PipelineConfig::configF()},
+  };
+  for (const Named &N : Configs) {
+    auto R = compileAndRun(Sources, N.Config, &Profile);
+    ASSERT_TRUE(R.Compile.Success)
+        << N.Name << ": " << R.Compile.ErrorText;
+    ASSERT_TRUE(R.Run.Halted) << N.Name << ": " << R.Run.Trap;
+    EXPECT_EQ(R.Run.Output, Base.Run.Output) << "config " << N.Name;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllPrograms, ProgramTest,
+                         ::testing::Values("dhry", "fgrep", "othello",
+                                           "war", "crtool", "protoc",
+                                           "paopt"),
+                         [](const auto &Info) {
+                           return std::string(Info.param);
+                         });
+
+} // namespace

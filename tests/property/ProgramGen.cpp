@@ -1,0 +1,253 @@
+//===- ProgramGen.cpp - Random MiniC program generator --------------------===//
+//
+// Part of the IPRA project: a reproduction of Santhanam & Odnert,
+// "Register Allocation Across Procedure and Module Boundaries", PLDI 1990.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ProgramGen.h"
+
+#include <random>
+#include <sstream>
+
+using namespace ipra;
+
+namespace {
+
+class Generator {
+public:
+  explicit Generator(unsigned Seed) : Rng(Seed) {}
+
+  std::vector<SourceFile> run();
+
+private:
+  int rand(int N) { return static_cast<int>(Rng() % unsigned(N)); }
+  bool chance(int Percent) { return rand(100) < Percent; }
+
+  std::string globalName(int I) { return "g" + std::to_string(I); }
+  std::string funcName(int I) { return "f" + std::to_string(I); }
+
+  /// An expression over the in-scope names; depth-bounded.
+  std::string genExpr(int FuncIndex, int Depth);
+  /// A statement at the given indentation.
+  void genStmt(std::ostringstream &OS, int FuncIndex, int Indent,
+               int Depth);
+  std::string genFunction(int FuncIndex);
+
+  std::mt19937 Rng;
+  int NumGlobals = 0;
+  int NumFuncs = 0;
+  int NumArrays = 0;
+  bool UseFuncPtr = false;
+  /// Locals in scope while generating the current function body.
+  std::vector<std::string> Locals;
+  /// Subset of Locals that statements may assign to (loop counters are
+  /// readable but never assigned, keeping every loop terminating).
+  std::vector<std::string> Assignable;
+  int LoopCounter = 0;
+};
+
+std::string Generator::genExpr(int FuncIndex, int Depth) {
+  // Leaves.
+  if (Depth <= 0 || chance(35)) {
+    switch (rand(4)) {
+    case 0:
+      return std::to_string(rand(100));
+    case 1:
+      if (NumGlobals > 0)
+        return globalName(rand(NumGlobals));
+      return std::to_string(rand(100));
+    case 2:
+      if (!Locals.empty())
+        return Locals[rand(static_cast<int>(Locals.size()))];
+      return std::to_string(rand(100));
+    default:
+      if (NumArrays > 0)
+        return "arr" + std::to_string(rand(NumArrays)) + "[" +
+               std::to_string(rand(8)) + "]";
+      return std::to_string(rand(100));
+    }
+  }
+  // Calls: mostly forward (acyclic breadth); sometimes backward or
+  // recursive, and sometimes through the function-pointer global. Every
+  // non-forward call passes "a - 1" as the first argument and every
+  // function opens with an "if (a <= 0)" guard, so call depth strictly
+  // decreases and the program always terminates.
+  if (chance(25) && NumFuncs > 1) {
+    int Kind = rand(10);
+    if (UseFuncPtr && Kind == 0)
+      return "fp(a - 2, " + genExpr(FuncIndex, Depth - 1) + ")";
+    if (Kind <= 2) {
+      int Callee = rand(NumFuncs); // Any target, including self.
+      return funcName(Callee) + "(a - 2, " +
+             genExpr(FuncIndex, Depth - 1) + ")";
+    }
+    if (FuncIndex + 1 < NumFuncs) {
+      // Forward calls also pass the decremented budget: "a" strictly
+      // decreases along EVERY call edge, so the whole call tree is
+      // finite regardless of the graph's shape.
+      int Callee = FuncIndex + 1 + rand(NumFuncs - FuncIndex - 1);
+      return funcName(Callee) + "(a - 2, " +
+             genExpr(FuncIndex, Depth - 1) + ")";
+    }
+  }
+  static const char *Ops[] = {"+", "-", "*", "/", "%",
+                              "&", "|", "^", "<<", ">>"};
+  std::string Op = Ops[rand(10)];
+  std::string RHS = genExpr(FuncIndex, Depth - 1);
+  // Shift amounts and divisors are masked through a small constant to
+  // keep behaviour well-defined and interesting.
+  if (Op == "<<" || Op == ">>")
+    RHS = "(" + RHS + " & 7)";
+  return "(" + genExpr(FuncIndex, Depth - 1) + " " + Op + " " + RHS + ")";
+}
+
+void Generator::genStmt(std::ostringstream &OS, int FuncIndex, int Indent,
+                        int Depth) {
+  std::string Pad(static_cast<size_t>(Indent) * 2, ' ');
+  int Kind = rand(10);
+  if (Kind < 4) {
+    // Assignment to a global, local, or array element.
+    int Target = rand(3);
+    if (Target == 0 && NumGlobals > 0) {
+      OS << Pad << globalName(rand(NumGlobals)) << " = "
+         << genExpr(FuncIndex, 2) << ";\n";
+      return;
+    }
+    if (Target == 1 && !Assignable.empty()) {
+      OS << Pad << Assignable[rand(static_cast<int>(Assignable.size()))]
+         << " = " << genExpr(FuncIndex, 2) << ";\n";
+      return;
+    }
+    if (NumArrays > 0) {
+      OS << Pad << "arr" << rand(NumArrays) << "[" << rand(8)
+         << "] = " << genExpr(FuncIndex, 2) << ";\n";
+      return;
+    }
+    OS << Pad << ";\n";
+    return;
+  }
+  if (Kind < 6 && Depth > 0) {
+    // Names declared inside the branches go out of scope at the brace.
+    size_t Scope = Locals.size();
+    size_t AScope = Assignable.size();
+    OS << Pad << "if (" << genExpr(FuncIndex, 1) << " > "
+       << genExpr(FuncIndex, 1) << ") {\n";
+    genStmt(OS, FuncIndex, Indent + 1, Depth - 1);
+    Locals.resize(Scope);
+    Assignable.resize(AScope);
+    if (chance(50)) {
+      OS << Pad << "} else {\n";
+      genStmt(OS, FuncIndex, Indent + 1, Depth - 1);
+      Locals.resize(Scope);
+      Assignable.resize(AScope);
+    }
+    OS << Pad << "}\n";
+    return;
+  }
+  if (Kind < 8 && Depth > 0) {
+    // Bounded loop over a dedicated counter; the counter and anything
+    // declared in the body vanish at the closing brace.
+    size_t Scope = Locals.size();
+    size_t AScope = Assignable.size();
+    std::string Counter = "i" + std::to_string(LoopCounter++);
+    int Bound = 2 + rand(6);
+    OS << Pad << "for (int " << Counter << " = 0; " << Counter << " < "
+       << Bound << "; " << Counter << " = " << Counter << " + 1) {\n";
+    Locals.push_back(Counter);
+    genStmt(OS, FuncIndex, Indent + 1, Depth - 1);
+    Locals.resize(Scope);
+    Assignable.resize(AScope);
+    OS << Pad << "}\n";
+    return;
+  }
+  // Declaration of a fresh local (monotonic counter: sibling scopes
+  // must not reuse a name already taken in the enclosing block).
+  std::string Name = "t" + std::to_string(LoopCounter++) + "_" +
+                     std::to_string(FuncIndex);
+  OS << Pad << "int " << Name << " = " << genExpr(FuncIndex, 2) << ";\n";
+  Locals.push_back(Name);
+  Assignable.push_back(Name);
+}
+
+std::string Generator::genFunction(int FuncIndex) {
+  std::ostringstream OS;
+  Locals = {"a", "b"};
+  Assignable = {"b"}; // 'a' is the termination budget: never reassigned.
+  OS << "int " << funcName(FuncIndex) << "(int a, int b) {\n";
+  OS << "  if (a <= 0) return b + " << rand(50) << ";\n";
+  int Stmts = 2 + rand(5);
+  for (int S = 0; S < Stmts; ++S)
+    genStmt(OS, FuncIndex, 1, 2);
+  OS << "  return " << genExpr(FuncIndex, 2) << ";\n";
+  OS << "}\n\n";
+  return OS.str();
+}
+
+std::vector<SourceFile> Generator::run() {
+  NumGlobals = 2 + rand(8);
+  NumFuncs = 3 + rand(8);
+  NumArrays = rand(3);
+  UseFuncPtr = chance(40);
+  int NumModules = 1 + rand(3);
+
+  // Function bodies, then distribute over modules.
+  std::vector<std::string> Functions;
+  for (int F = 0; F < NumFuncs; ++F)
+    Functions.push_back(genFunction(F));
+
+  // main: calls into the functions and prints all state. Budgets stay
+  // small so guarded recursion unwinds quickly.
+  std::ostringstream Main;
+  Main << "int main() {\n";
+  Main << "  int r = 0;\n";
+  if (UseFuncPtr)
+    Main << "  fp = &" << funcName(rand(NumFuncs)) << ";\n";
+  int Calls = 2 + rand(4);
+  for (int C = 0; C < Calls; ++C)
+    Main << "  r = r + " << funcName(rand(NumFuncs)) << "(" << rand(9)
+         << ", " << rand(50) << ");\n";
+  if (UseFuncPtr) {
+    Main << "  fp = &" << funcName(rand(NumFuncs)) << ";\n";
+    Main << "  r = r + fp(" << rand(9) << ", " << rand(50) << ");\n";
+  }
+  Main << "  print(r);\n";
+  for (int G = 0; G < NumGlobals; ++G)
+    Main << "  print(" << globalName(G) << ");\n";
+  for (int A = 0; A < NumArrays; ++A)
+    Main << "  print(arr" << A << "[" << rand(8) << "]);\n";
+  Main << "  return 0;\n}\n";
+
+  // Shared declarations every module needs.
+  std::ostringstream Decls;
+  for (int G = 0; G < NumGlobals; ++G)
+    Decls << "int " << globalName(G) << ";\n";
+  for (int A = 0; A < NumArrays; ++A)
+    Decls << "int arr" << A << "[8];\n";
+  for (int F = 0; F < NumFuncs; ++F)
+    Decls << "int " << funcName(F) << "(int a, int b);\n";
+  if (UseFuncPtr)
+    Decls << "func fp;\n";
+  Decls << "\n";
+
+  std::vector<std::ostringstream> Modules(
+      static_cast<size_t>(NumModules));
+  for (auto &M : Modules)
+    M << Decls.str();
+  for (int F = 0; F < NumFuncs; ++F)
+    Modules[static_cast<size_t>(rand(NumModules))] << Functions[F];
+  Modules[0] << Main.str();
+
+  std::vector<SourceFile> Sources;
+  for (int M = 0; M < NumModules; ++M)
+    Sources.push_back(SourceFile{"gen" + std::to_string(M) + ".mc",
+                                 Modules[static_cast<size_t>(M)].str()});
+  return Sources;
+}
+
+} // namespace
+
+std::vector<SourceFile> ipra::test::generateRandomProgram(unsigned Seed) {
+  Generator G(Seed);
+  return G.run();
+}

@@ -1,0 +1,47 @@
+//===- TestUtil.cpp - Shared helpers for the test suite -------------------===//
+//
+// Part of the IPRA project: a reproduction of Santhanam & Odnert,
+// "Register Allocation Across Procedure and Module Boundaries", PLDI 1990.
+//
+//===----------------------------------------------------------------------===//
+
+#include "TestUtil.h"
+
+#include "ir/IRGen.h"
+#include "ir/Verifier.h"
+#include "lang/Lexer.h"
+#include "lang/Parser.h"
+#include "lang/Sema.h"
+
+using namespace ipra;
+
+std::unique_ptr<ModuleAST>
+ipra::test::parseModule(const std::string &Name, const std::string &Source,
+                        DiagnosticEngine &Diags) {
+  Lexer Lex(Name, Source, Diags);
+  Parser P(Name, Lex.lexAll(), Diags);
+  return P.parseModule();
+}
+
+std::unique_ptr<ModuleAST>
+ipra::test::analyzeModule(const std::string &Name, const std::string &Source,
+                          DiagnosticEngine &Diags) {
+  auto M = parseModule(Name, Source, Diags);
+  if (Diags.hasErrors())
+    return M;
+  Sema S(Diags);
+  S.run(*M);
+  return M;
+}
+
+std::unique_ptr<IRModule>
+ipra::test::compileToIR(const std::string &Name, const std::string &Source,
+                        DiagnosticEngine &Diags) {
+  auto M = analyzeModule(Name, Source, Diags);
+  if (Diags.hasErrors())
+    return nullptr;
+  auto IR = generateIR(*M, Diags);
+  if (Diags.hasErrors())
+    return nullptr;
+  return IR;
+}

@@ -1,0 +1,45 @@
+//===- TestUtil.h - Shared helpers for the test suite ---------*- C++ -*-===//
+//
+// Part of the IPRA project: a reproduction of Santhanam & Odnert,
+// "Register Allocation Across Procedure and Module Boundaries", PLDI 1990.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Front-end helpers used across the test suite: parse a source string,
+/// run Sema, and lower to IR, failing the test on diagnostics.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef IPRA_TESTS_TESTUTIL_H
+#define IPRA_TESTS_TESTUTIL_H
+
+#include "ir/IR.h"
+#include "lang/AST.h"
+#include "support/Diagnostics.h"
+
+#include <memory>
+#include <string>
+
+namespace ipra::test {
+
+/// Lexes and parses \p Source as module \p Name. Reports diagnostics into
+/// \p Diags.
+std::unique_ptr<ModuleAST> parseModule(const std::string &Name,
+                                       const std::string &Source,
+                                       DiagnosticEngine &Diags);
+
+/// Parses and type-checks \p Source.
+std::unique_ptr<ModuleAST> analyzeModule(const std::string &Name,
+                                         const std::string &Source,
+                                         DiagnosticEngine &Diags);
+
+/// Parses, checks, and lowers \p Source to IR. Returns null and leaves
+/// errors in \p Diags on failure.
+std::unique_ptr<IRModule> compileToIR(const std::string &Name,
+                                      const std::string &Source,
+                                      DiagnosticEngine &Diags);
+
+} // namespace ipra::test
+
+#endif // IPRA_TESTS_TESTUTIL_H
