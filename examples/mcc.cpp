@@ -21,7 +21,11 @@
 ///   mcc --db-diff old.db new.db                  # procs needing recompile
 ///
 ///   --config <base|A|B|C|D|E|F>  analyzer configuration (default: C)
-///   --stats                      print simulator counters after the run
+///   --stats                      print pipeline timing and simulator
+///                                counters after the run
+///   --threads <N> | -j <N>       worker threads for the module-parallel
+///                                pipeline stages (default: IPRA_THREADS
+///                                or the hardware thread count)
 ///   --dump-summary               print the per-module summary files
 ///   --dump-db                    print the program database
 ///   --disasm                     disassemble the linked executable
@@ -56,7 +60,8 @@ int usage() {
   std::fprintf(
       stderr,
       "usage: mcc [--config base|A|B|C|D|E|F] [--stats] [--dump-summary]\n"
-      "           [--dump-db] [--disasm] [--fuel N] file.mc...\n"
+      "           [--dump-db] [--disasm] [--fuel N] [--threads N]\n"
+      "           file.mc...\n"
       "       mcc --phase1 file.mc            (summary to stdout)\n"
       "       mcc --analyze file.sum...       (database to stdout)\n"
       "       mcc --phase2 --db prog.db file.mc  (object to stdout)\n"
@@ -93,6 +98,7 @@ int main(int argc, char **argv) {
        RelaxWebAvail = false, ImprovedFree = false, Partial = false;
   bool WallLink = false;
   long long Fuel = 500'000'000;
+  int NumThreads = 0;
   std::vector<SourceFile> Sources;
   std::vector<std::string> InputPaths;
 
@@ -115,6 +121,8 @@ int main(int argc, char **argv) {
       Disasm = true;
     } else if (Arg == "--fuel" && I + 1 < argc) {
       Fuel = std::atoll(argv[++I]);
+    } else if ((Arg == "--threads" || Arg == "-j") && I + 1 < argc) {
+      NumThreads = std::atoi(argv[++I]);
     } else if (Arg == "--split-webs") {
       SplitWebs = true;
     } else if (Arg == "--remerge-webs") {
@@ -166,6 +174,7 @@ int main(int argc, char **argv) {
   Config.RelaxWebAvail = RelaxWebAvail;
   Config.ImprovedFreeSets = ImprovedFree;
   Config.AssumeClosedWorld = !Partial;
+  Config.NumThreads = NumThreads;
 
   // ---- Separate-compilation subcommands. ----------------------------
   if (Mode == "db-diff") {
@@ -309,6 +318,7 @@ int main(int argc, char **argv) {
     return 1;
   }
   if (Stats) {
+    std::fputs(R.Compile.Pipeline.toString().c_str(), stderr);
     std::fprintf(stderr,
                  "cycles:         %lld\n"
                  "instructions:   %lld\n"

@@ -16,6 +16,9 @@
 #include "link/Linker.h"
 #include "link/ObjectIO.h"
 #include "opt/Passes.h"
+#include "support/ThreadPool.h"
+
+#include <optional>
 
 using namespace ipra;
 
@@ -108,68 +111,157 @@ void optimizeForDirectives(IRModule &IR, const ProgramDatabase *DB,
   }
 }
 
-} // namespace
+/// One function's position in the flattened cross-module work list
+/// both phases use for parallel code generation.
+struct FuncJob {
+  size_t Module = 0;
+  size_t Func = 0;
+};
 
-CompileResult ipra::compileProgram(const std::vector<SourceFile> &Sources,
-                                   const PipelineConfig &Config,
-                                   const ProfileData *Profile) {
+/// Flattens every function of every module into one work list, so
+/// small programs with few modules still fill all workers during code
+/// generation (generateCode takes the module and function const).
+std::vector<FuncJob>
+flattenFunctions(const std::vector<std::unique_ptr<IRModule>> &IRs) {
+  std::vector<FuncJob> Jobs;
+  for (size_t M = 0; M < IRs.size(); ++M)
+    for (size_t F = 0; F < IRs[M]->Functions.size(); ++F)
+      Jobs.push_back(FuncJob{M, F});
+  return Jobs;
+}
+
+/// The first non-empty per-module error, in module order, so the
+/// reported error does not depend on worker scheduling.
+const std::string *firstError(const std::vector<std::string> &Errors) {
+  for (const std::string &E : Errors)
+    if (!E.empty())
+      return &E;
+  return nullptr;
+}
+
+CompileResult compileProgramImpl(const std::vector<SourceFile> &Sources,
+                                 const PipelineConfig &Config,
+                                 const ProfileData *Profile) {
   CompileResult Result;
-  DiagnosticEngine Diags;
+  PipelineStats &PS = Result.Pipeline;
+  const unsigned Threads = resolveThreadCount(Config.NumThreads);
+  ThreadPool Pool(Threads);
+  PS.ThreadsUsed = Threads;
 
   std::vector<SourceFile> AllSources = Sources;
   AllSources.push_back(SourceFile{"__runtime.mc", runtimeModuleSource()});
+  const size_t NumModules = AllSources.size();
+  PS.Modules.resize(NumModules);
+  for (size_t I = 0; I < NumModules; ++I)
+    PS.Modules[I].Name = AllSources[I].Name;
 
   // ---- Front end (shared by both phases; the paper recompiled the
-  // source text in phase two, we re-lower from the checked AST).
-  std::vector<std::unique_ptr<ModuleAST>> ASTs;
-  for (const SourceFile &Src : AllSources) {
-    auto AST = frontEnd(Src, Diags);
-    if (!AST) {
-      Result.ErrorText = Diags.renderAll();
+  // source text in phase two, we re-lower from the checked AST). Each
+  // module gets its own diagnostic engine; merging in module order
+  // keeps the rendered text independent of worker scheduling.
+  std::vector<std::unique_ptr<ModuleAST>> ASTs(NumModules);
+  std::vector<DiagnosticEngine> ModuleDiags(NumModules);
+  {
+    ScopedTimerMs Timer(PS.FrontEndMs);
+    parallelForEach(Pool, NumModules, [&](size_t I) {
+      ScopedTimerMs ModuleTimer(PS.Modules[I].FrontEndMs);
+      ASTs[I] = frontEnd(AllSources[I], ModuleDiags[I]);
+    });
+  }
+  for (size_t I = 0; I < NumModules; ++I) {
+    if (!ASTs[I]) {
+      DiagnosticEngine Merged;
+      for (const DiagnosticEngine &D : ModuleDiags)
+        Merged.append(D);
+      Result.ErrorText = Merged.renderAll();
       return Result;
     }
-    ASTs.push_back(std::move(AST));
   }
 
   // ---- Compiler first phase: optimize, trial codegen, summary file.
   ProgramDatabase DB;
   bool HaveDB = false;
   if (Config.Ipra) {
-    std::vector<ModuleSummary> Summaries;
-    for (auto &AST : ASTs) {
-      auto IR = generateIR(*AST, Diags);
-      auto Problems = verifyModule(*IR);
-      if (!Problems.empty()) {
-        Result.ErrorText = "phase 1 IR verification failed: " + Problems[0];
+    std::vector<ModuleSummary> Summaries(NumModules);
+    {
+      ScopedTimerMs Timer(PS.Phase1Ms);
+      std::vector<std::unique_ptr<IRModule>> IRs(NumModules);
+      std::vector<std::string> Errors(NumModules);
+      parallelForEach(Pool, NumModules, [&](size_t I) {
+        ScopedTimerMs ModuleTimer(PS.Modules[I].Phase1Ms);
+        DiagnosticEngine Diags;
+        auto IR = generateIR(*ASTs[I], Diags);
+        auto Problems = verifyModule(*IR);
+        if (!Problems.empty()) {
+          Errors[I] = "phase 1 IR verification failed: " + Problems[0];
+          return;
+        }
+        optimizeForDirectives(*IR, nullptr, Config.LocalGlobalPromotion);
+        IRs[I] = std::move(IR);
+      });
+      if (const std::string *E = firstError(Errors)) {
+        Result.ErrorText = *E;
         return Result;
       }
-      optimizeForDirectives(*IR, nullptr, Config.LocalGlobalPromotion);
 
       // Trial code generation for the register-need estimates and the
-      // caller-saves footprints (§6, §7.6.2).
-      std::map<std::string, TrialCodeGenInfo> Estimates;
-      for (auto &F : IR->Functions) {
-        CodeGenResult CG = generateCode(*IR, *F, ProcDirectives());
+      // caller-saves footprints (§6, §7.6.2), parallel across every
+      // function of every module.
+      std::vector<FuncJob> Jobs = flattenFunctions(IRs);
+      std::vector<std::vector<std::optional<TrialCodeGenInfo>>> Trial(
+          NumModules);
+      for (size_t M = 0; M < NumModules; ++M)
+        Trial[M].resize(IRs[M]->Functions.size());
+      std::vector<double> JobMs(Jobs.size(), 0);
+      parallelForEach(Pool, Jobs.size(), [&](size_t J) {
+        ScopedTimerMs JobTimer(JobMs[J]);
+        const IRModule &IR = *IRs[Jobs[J].Module];
+        CodeGenResult CG = generateCode(
+            IR, *IR.Functions[Jobs[J].Func], ProcDirectives());
         if (CG.Success)
-          Estimates[F->Name] = TrialCodeGenInfo{
+          Trial[Jobs[J].Module][Jobs[J].Func] = TrialCodeGenInfo{
               CG.RA.CalleeRegsUsed,
               static_cast<unsigned>(CG.CallerRegsWritten)};
-      }
+      });
+      for (size_t J = 0; J < Jobs.size(); ++J)
+        PS.Modules[Jobs[J].Module].Phase1Ms += JobMs[J];
 
-      ModuleSummary Summary = buildModuleSummary(*IR, Estimates);
-      // Round-trip through the textual summary-file format.
-      std::string Text = writeSummary(Summary);
-      Result.SummaryFiles.push_back(Text);
-      ModuleSummary Parsed;
-      std::string Error;
-      if (!readSummary(Text, Parsed, Error)) {
-        Result.ErrorText = "summary round-trip failed: " + Error;
+      // Summary emission, round-tripped through the textual
+      // summary-file format.
+      std::vector<std::string> SummaryTexts(NumModules);
+      parallelForEach(Pool, NumModules, [&](size_t I) {
+        ScopedTimerMs ModuleTimer(PS.Modules[I].Phase1Ms);
+        std::map<std::string, TrialCodeGenInfo> Estimates;
+        for (size_t F = 0; F < Trial[I].size(); ++F)
+          if (Trial[I][F])
+            Estimates[IRs[I]->Functions[F]->Name] = *Trial[I][F];
+        ModuleSummary Summary = buildModuleSummary(*IRs[I], Estimates);
+        std::string Text = writeSummary(Summary);
+        ModuleSummary Parsed;
+        std::string Error;
+        if (!readSummary(Text, Parsed, Error)) {
+          Errors[I] = "summary round-trip failed: " + Error;
+          return;
+        }
+        SummaryTexts[I] = std::move(Text);
+        Summaries[I] = std::move(Parsed);
+      });
+      for (size_t I = 0; I < NumModules; ++I) {
+        PS.Modules[I].Functions =
+            static_cast<unsigned>(IRs[I]->Functions.size());
+        PS.Modules[I].SummaryBytes = SummaryTexts[I].size();
+        PS.SummaryBytes += SummaryTexts[I].size();
+      }
+      Result.SummaryFiles = std::move(SummaryTexts);
+      if (const std::string *E = firstError(Errors)) {
+        Result.ErrorText = *E;
         return Result;
       }
-      Summaries.push_back(std::move(Parsed));
     }
 
-    // ---- Program analyzer.
+    // ---- Program analyzer: the one whole-program step, always
+    // single-threaded (it is the paper's sequential bottleneck).
+    ScopedTimerMs Timer(PS.AnalyzerMs);
     AnalyzerOptions Options;
     Options.SpillMotion = Config.SpillMotion;
     Options.Promotion = Config.Promotion;
@@ -191,6 +283,7 @@ CompileResult ipra::compileProgram(const std::vector<SourceFile> &Sources,
         runAnalyzer(Summaries, Options, CP, &Result.Stats);
     // Round-trip through the database file format (§2).
     Result.DatabaseFile = Produced.serialize();
+    PS.DatabaseBytes = Result.DatabaseFile.size();
     std::string Error;
     if (!ProgramDatabase::deserialize(Result.DatabaseFile, DB, Error)) {
       Result.ErrorText = "database round-trip failed: " + Error;
@@ -200,70 +293,120 @@ CompileResult ipra::compileProgram(const std::vector<SourceFile> &Sources,
   }
 
   // ---- Compiler second phase: per-module compilation to objects.
-  std::vector<ObjectFile> Objects;
-  for (auto &AST : ASTs) {
-    auto IR = generateIR(*AST, Diags);
-    optimizeForDirectives(*IR, HaveDB ? &DB : nullptr,
-                          Config.LocalGlobalPromotion);
-    auto Problems = verifyModule(*IR);
-    if (!Problems.empty()) {
-      Result.ErrorText = "phase 2 IR verification failed: " + Problems[0];
+  std::vector<ObjectFile> Objects(NumModules);
+  {
+    ScopedTimerMs Timer(PS.Phase2Ms);
+    std::vector<std::unique_ptr<IRModule>> IRs(NumModules);
+    std::vector<std::string> Errors(NumModules);
+    parallelForEach(Pool, NumModules, [&](size_t I) {
+      ScopedTimerMs ModuleTimer(PS.Modules[I].Phase2Ms);
+      DiagnosticEngine Diags;
+      auto IR = generateIR(*ASTs[I], Diags);
+      optimizeForDirectives(*IR, HaveDB ? &DB : nullptr,
+                            Config.LocalGlobalPromotion);
+      auto Problems = verifyModule(*IR);
+      if (!Problems.empty()) {
+        Errors[I] = "phase 2 IR verification failed: " + Problems[0];
+        return;
+      }
+      IRs[I] = std::move(IR);
+    });
+    if (const std::string *E = firstError(Errors)) {
+      Result.ErrorText = *E;
       return Result;
     }
 
-    ObjectFile Obj;
-    Obj.Module = IR->Name;
-    for (const IRGlobal &G : IR->Globals) {
-      ObjGlobal OG;
-      OG.QualName = G.qualifiedName();
-      OG.SizeWords = G.SizeWords;
-      OG.Init = G.Init;
-      if (!G.FuncInit.empty()) {
-        // Resolve the initializer function's qualified name.
-        OG.FuncInit = G.FuncInit;
-        for (const auto &F : IR->Functions)
-          if (F->Name == G.FuncInit)
-            OG.FuncInit = F->qualifiedName();
-      }
-      Obj.Globals.push_back(std::move(OG));
-    }
     // Per-callee clobber masks for the §7.6.2 extension; without a
     // database (or with the extension off) every call clobbers fully.
+    // The resolver only reads the database, so workers share it.
     CallClobberResolver Clobbers;
     if (HaveDB && Config.CallerSavePropagation)
       Clobbers = [&DB](const std::string &Callee) {
         return DB.lookup(Callee).SubtreeClobber;
       };
 
-    for (auto &F : IR->Functions) {
+    // Code generation, parallel across every function of every module;
+    // each function writes into its (module, function) slot so object
+    // files come out byte-identical at any thread count.
+    std::vector<FuncJob> Jobs = flattenFunctions(IRs);
+    std::vector<std::vector<ObjFunction>> Funcs(NumModules);
+    for (size_t M = 0; M < NumModules; ++M)
+      Funcs[M].resize(IRs[M]->Functions.size());
+    std::vector<std::string> JobErrors(Jobs.size());
+    std::vector<double> JobMs(Jobs.size(), 0);
+    parallelForEach(Pool, Jobs.size(), [&](size_t J) {
+      ScopedTimerMs JobTimer(JobMs[J]);
+      const IRModule &IR = *IRs[Jobs[J].Module];
+      const auto &F = *IR.Functions[Jobs[J].Func];
       ProcDirectives Dir =
-          HaveDB ? DB.lookup(F->qualifiedName()) : ProcDirectives();
+          HaveDB ? DB.lookup(F.qualifiedName()) : ProcDirectives();
       Dir.Caller &= ~Config.LinkerReservedRegs;
       Dir.Callee &= ~Config.LinkerReservedRegs;
       Dir.Free &= ~Config.LinkerReservedRegs;
-      CodeGenResult CG = generateCode(*IR, *F, Dir, Clobbers);
+      CodeGenResult CG = generateCode(IR, F, Dir, Clobbers);
       if (!CG.Success) {
-        Result.ErrorText =
-            "register allocation failed for " + F->qualifiedName();
-        return Result;
+        JobErrors[J] =
+            "register allocation failed for " + F.qualifiedName();
+        return;
       }
-      Obj.Functions.push_back(std::move(CG.Obj));
-    }
-    // Round-trip through the textual object-file format: the object
-    // really is a standalone artifact, like the paper's per-module
-    // object files.
-    std::string ObjText = writeObjectFile(Obj);
-    Result.ObjectFiles.push_back(ObjText);
-    ObjectFile Parsed;
-    std::string Error;
-    if (!readObjectFile(ObjText, Parsed, Error)) {
-      Result.ErrorText = "object round-trip failed: " + Error;
+      Funcs[Jobs[J].Module][Jobs[J].Func] = std::move(CG.Obj);
+    });
+    for (size_t J = 0; J < Jobs.size(); ++J)
+      PS.Modules[Jobs[J].Module].Phase2Ms += JobMs[J];
+    if (const std::string *E = firstError(JobErrors)) {
+      Result.ErrorText = *E;
       return Result;
     }
-    Objects.push_back(std::move(Parsed));
+
+    // Object assembly, round-tripped through the textual object-file
+    // format: the object really is a standalone artifact, like the
+    // paper's per-module object files.
+    std::vector<std::string> ObjTexts(NumModules);
+    parallelForEach(Pool, NumModules, [&](size_t I) {
+      ScopedTimerMs ModuleTimer(PS.Modules[I].Phase2Ms);
+      ObjectFile Obj;
+      Obj.Module = IRs[I]->Name;
+      for (const IRGlobal &G : IRs[I]->Globals) {
+        ObjGlobal OG;
+        OG.QualName = G.qualifiedName();
+        OG.SizeWords = G.SizeWords;
+        OG.Init = G.Init;
+        if (!G.FuncInit.empty()) {
+          // Resolve the initializer function's qualified name.
+          OG.FuncInit = G.FuncInit;
+          for (const auto &F : IRs[I]->Functions)
+            if (F->Name == G.FuncInit)
+              OG.FuncInit = F->qualifiedName();
+        }
+        Obj.Globals.push_back(std::move(OG));
+      }
+      for (ObjFunction &F : Funcs[I])
+        Obj.Functions.push_back(std::move(F));
+      std::string ObjText = writeObjectFile(Obj);
+      ObjectFile Parsed;
+      std::string Error;
+      if (!readObjectFile(ObjText, Parsed, Error)) {
+        Errors[I] = "object round-trip failed: " + Error;
+        return;
+      }
+      ObjTexts[I] = std::move(ObjText);
+      Objects[I] = std::move(Parsed);
+    });
+    for (size_t I = 0; I < NumModules; ++I) {
+      PS.Modules[I].Functions =
+          static_cast<unsigned>(Funcs[I].size());
+      PS.Modules[I].ObjectBytes = ObjTexts[I].size();
+      PS.ObjectBytes += ObjTexts[I].size();
+    }
+    Result.ObjectFiles = std::move(ObjTexts);
+    if (const std::string *E = firstError(Errors)) {
+      Result.ErrorText = *E;
+      return Result;
+    }
   }
 
   // ---- Link.
+  ScopedTimerMs Timer(PS.LinkMs);
   LinkResult Linked = linkObjects(Objects);
   if (!Linked.Success) {
     Result.ErrorText = "link failed:";
@@ -273,6 +416,21 @@ CompileResult ipra::compileProgram(const std::vector<SourceFile> &Sources,
   }
   Result.Exe = std::move(Linked.Exe);
   Result.Success = true;
+  return Result;
+}
+
+} // namespace
+
+CompileResult ipra::compileProgram(const std::vector<SourceFile> &Sources,
+                                   const PipelineConfig &Config,
+                                   const ProfileData *Profile) {
+  double TotalMs = 0;
+  CompileResult Result;
+  {
+    ScopedTimerMs Timer(TotalMs);
+    Result = compileProgramImpl(Sources, Config, Profile);
+  }
+  Result.Pipeline.TotalMs = TotalMs;
   return Result;
 }
 

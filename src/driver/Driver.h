@@ -28,6 +28,7 @@
 #define IPRA_DRIVER_DRIVER_H
 
 #include "core/Analyzer.h"
+#include "driver/PipelineStats.h"
 #include "link/LinkOpt.h"
 #include "link/Object.h"
 #include "sim/Simulator.h"
@@ -69,6 +70,12 @@ struct PipelineConfig {
   /// untouched so the linker can assign them at link time (see
   /// link/LinkOpt.h). Zero for every two-pass configuration.
   RegMask LinkerReservedRegs = 0;
+  /// Worker threads for the module-parallel pipeline stages (both
+  /// compiler phases; the analyzer is always single-threaded). 0 means
+  /// take the IPRA_THREADS environment variable, falling back to the
+  /// hardware thread count; 1 compiles serially on the calling thread.
+  /// Artifacts are byte-identical at every thread count.
+  int NumThreads = 0;
 
   /// Level-2 optimization only (the Table 4/5 baseline).
   static PipelineConfig baseline();
@@ -92,6 +99,8 @@ struct CompileResult {
   std::string ErrorText;
   Executable Exe;
   AnalyzerStats Stats;
+  /// Wall-clock and artifact-size instrumentation for this run.
+  PipelineStats Pipeline;
   /// Serialized artifacts, for inspection and tests.
   std::vector<std::string> SummaryFiles;
   std::string DatabaseFile;

@@ -1,0 +1,31 @@
+//===- PipelineStats.cpp - Pipeline timing instrumentation ----------------===//
+//
+// Part of the IPRA project: a reproduction of Santhanam & Odnert,
+// "Register Allocation Across Procedure and Module Boundaries", PLDI 1990.
+//
+//===----------------------------------------------------------------------===//
+
+#include "driver/PipelineStats.h"
+
+#include <iomanip>
+#include <sstream>
+
+using namespace ipra;
+
+std::string PipelineStats::toString() const {
+  std::ostringstream OS;
+  OS << std::fixed << std::setprecision(2);
+  OS << "pipeline: threads=" << ThreadsUsed << " total=" << TotalMs
+     << "ms\n";
+  OS << "  frontend=" << FrontEndMs << "ms phase1=" << Phase1Ms
+     << "ms analyzer=" << AnalyzerMs << "ms phase2=" << Phase2Ms
+     << "ms link=" << LinkMs << "ms\n";
+  OS << "  summaries=" << SummaryBytes << "B database=" << DatabaseBytes
+     << "B objects=" << ObjectBytes << "B\n";
+  for (const ModulePipelineStats &M : Modules)
+    OS << "  module " << M.Name << ": funcs=" << M.Functions
+       << " frontend=" << M.FrontEndMs << "ms phase1=" << M.Phase1Ms
+       << "ms phase2=" << M.Phase2Ms << "ms summary=" << M.SummaryBytes
+       << "B object=" << M.ObjectBytes << "B\n";
+  return OS.str();
+}

@@ -1,0 +1,76 @@
+//===- PipelineStats.h - Pipeline timing instrumentation -------*- C++ -*-===//
+//
+// Part of the IPRA project: a reproduction of Santhanam & Odnert,
+// "Register Allocation Across Procedure and Module Boundaries", PLDI 1990.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Wall-clock and artifact-size instrumentation for one pipeline run:
+/// per-phase and per-module timings, serialized artifact byte counts,
+/// and the thread count the driver ran with. Collected by
+/// compileProgram() and printable via toString() (the mcc --stats
+/// path).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef IPRA_DRIVER_PIPELINESTATS_H
+#define IPRA_DRIVER_PIPELINESTATS_H
+
+#include <chrono>
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace ipra {
+
+/// Timing and artifact sizes for one module through both phases.
+struct ModulePipelineStats {
+  std::string Name;
+  double FrontEndMs = 0; ///< Lex + parse + sema.
+  double Phase1Ms = 0;   ///< IR, optimize, trial codegen, summary.
+  double Phase2Ms = 0;   ///< IR, optimize, codegen, object emission.
+  size_t SummaryBytes = 0;
+  size_t ObjectBytes = 0;
+  unsigned Functions = 0;
+};
+
+/// Instrumentation for one compileProgram() run.
+struct PipelineStats {
+  unsigned ThreadsUsed = 1;
+  double FrontEndMs = 0;
+  double Phase1Ms = 0;   ///< Zero when the analyzer is off.
+  double AnalyzerMs = 0; ///< Always single-threaded.
+  double Phase2Ms = 0;
+  double LinkMs = 0;
+  double TotalMs = 0;
+  size_t SummaryBytes = 0;  ///< All summary files.
+  size_t DatabaseBytes = 0; ///< Serialized program database.
+  size_t ObjectBytes = 0;   ///< All textual object files.
+  std::vector<ModulePipelineStats> Modules;
+
+  /// Multi-line human-readable report.
+  std::string toString() const;
+};
+
+/// Measures wall-clock milliseconds into \p Target on destruction.
+class ScopedTimerMs {
+public:
+  explicit ScopedTimerMs(double &Target)
+      : Target(Target), Start(std::chrono::steady_clock::now()) {}
+  ~ScopedTimerMs() {
+    auto End = std::chrono::steady_clock::now();
+    Target +=
+        std::chrono::duration<double, std::milli>(End - Start).count();
+  }
+  ScopedTimerMs(const ScopedTimerMs &) = delete;
+  ScopedTimerMs &operator=(const ScopedTimerMs &) = delete;
+
+private:
+  double &Target;
+  std::chrono::steady_clock::time_point Start;
+};
+
+} // namespace ipra
+
+#endif // IPRA_DRIVER_PIPELINESTATS_H

@@ -37,12 +37,23 @@ std::string Diagnostic::render() const {
 
 void DiagnosticEngine::report(DiagKind Kind, const std::string &Module,
                               SourceLoc Loc, const std::string &Message) {
+  std::lock_guard<std::mutex> Lock(Mutex);
   Diags.push_back(Diagnostic{Kind, Module, Loc, Message});
   if (Kind == DiagKind::Error)
     ++NumErrors;
 }
 
+void DiagnosticEngine::append(const DiagnosticEngine &Other) {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  for (const Diagnostic &D : Other.Diags) {
+    Diags.push_back(D);
+    if (D.Kind == DiagKind::Error)
+      ++NumErrors;
+  }
+}
+
 std::string DiagnosticEngine::renderAll() const {
+  std::lock_guard<std::mutex> Lock(Mutex);
   std::string Out;
   for (const Diagnostic &D : Diags) {
     Out += D.render();

@@ -17,6 +17,7 @@
 
 #include "support/SourceLoc.h"
 
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -52,22 +53,40 @@ public:
     report(DiagKind::Note, Module, Loc, Message);
   }
 
+  /// Thread-safe: concurrent reports interleave without corruption
+  /// (though their relative order is unspecified — the parallel driver
+  /// keeps one engine per module and merges in module order instead).
   void report(DiagKind Kind, const std::string &Module, SourceLoc Loc,
               const std::string &Message);
 
-  bool hasErrors() const { return NumErrors > 0; }
-  unsigned errorCount() const { return NumErrors; }
+  bool hasErrors() const {
+    std::lock_guard<std::mutex> Lock(Mutex);
+    return NumErrors > 0;
+  }
+  unsigned errorCount() const {
+    std::lock_guard<std::mutex> Lock(Mutex);
+    return NumErrors;
+  }
+
+  /// Not safe against concurrent report() calls; use only after the
+  /// producing phase has finished.
   const std::vector<Diagnostic> &diagnostics() const { return Diags; }
+
+  /// Appends every diagnostic of \p Other, preserving order. Used by
+  /// the parallel driver to merge per-module engines deterministically.
+  void append(const DiagnosticEngine &Other);
 
   /// Renders every diagnostic, one per line.
   std::string renderAll() const;
 
   void clear() {
+    std::lock_guard<std::mutex> Lock(Mutex);
     Diags.clear();
     NumErrors = 0;
   }
 
 private:
+  mutable std::mutex Mutex;
   std::vector<Diagnostic> Diags;
   unsigned NumErrors = 0;
 };

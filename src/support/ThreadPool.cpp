@@ -1,0 +1,130 @@
+//===- ThreadPool.cpp - Work-queue thread pool ----------------------------===//
+//
+// Part of the IPRA project: a reproduction of Santhanam & Odnert,
+// "Register Allocation Across Procedure and Module Boundaries", PLDI 1990.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/ThreadPool.h"
+
+#include "support/StringUtils.h"
+
+#include <algorithm>
+#include <cstdlib>
+
+using namespace ipra;
+
+ThreadPool::ThreadPool(unsigned Threads) {
+  if (Threads < 2)
+    return; // Serial pool: submit() runs jobs inline.
+  Workers.reserve(Threads);
+  for (unsigned T = 0; T < Threads; ++T)
+    Workers.emplace_back([this] { workerLoop(); });
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> Lock(Mutex);
+    Stopping = true;
+  }
+  WorkReady.notify_all();
+  for (std::thread &Worker : Workers)
+    Worker.join();
+}
+
+void ThreadPool::runJob(const std::function<void()> &Job) {
+  try {
+    Job();
+  } catch (...) {
+    std::lock_guard<std::mutex> Lock(Mutex);
+    if (!FirstError)
+      FirstError = std::current_exception();
+  }
+}
+
+void ThreadPool::submit(std::function<void()> Job) {
+  if (Workers.empty()) {
+    runJob(Job);
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> Lock(Mutex);
+    Queue.push_back(std::move(Job));
+    ++Outstanding;
+  }
+  WorkReady.notify_one();
+}
+
+void ThreadPool::wait() {
+  std::unique_lock<std::mutex> Lock(Mutex);
+  AllDone.wait(Lock, [this] { return Outstanding == 0; });
+  if (FirstError) {
+    std::exception_ptr Error = FirstError;
+    FirstError = nullptr;
+    Lock.unlock();
+    std::rethrow_exception(Error);
+  }
+}
+
+void ThreadPool::workerLoop() {
+  for (;;) {
+    std::function<void()> Job;
+    {
+      std::unique_lock<std::mutex> Lock(Mutex);
+      WorkReady.wait(Lock, [this] { return Stopping || !Queue.empty(); });
+      if (Queue.empty())
+        return; // Stopping and drained.
+      Job = std::move(Queue.front());
+      Queue.pop_front();
+    }
+    runJob(Job);
+    {
+      std::lock_guard<std::mutex> Lock(Mutex);
+      if (--Outstanding == 0)
+        AllDone.notify_all();
+    }
+  }
+}
+
+unsigned ipra::resolveThreadCount(int Requested) {
+  if (Requested > 0)
+    return static_cast<unsigned>(Requested);
+  if (const char *Env = std::getenv("IPRA_THREADS")) {
+    long long Value = 0;
+    if (parseInt(Env, Value) && Value > 0)
+      return static_cast<unsigned>(Value);
+  }
+  unsigned Hardware = std::thread::hardware_concurrency();
+  return Hardware > 0 ? Hardware : 1;
+}
+
+void ipra::parallelForEach(ThreadPool &Pool, size_t Count,
+                           const std::function<void(size_t)> &Fn) {
+  if (Pool.workerCount() == 0 || Count <= 1) {
+    for (size_t I = 0; I < Count; ++I)
+      Fn(I);
+    return;
+  }
+  // One queue entry per worker, not per item: workers race on a shared
+  // index counter until the range is exhausted.
+  auto NextIndex = std::make_shared<std::atomic<size_t>>(0);
+  size_t NumWorkers = std::min<size_t>(Pool.workerCount(), Count);
+  for (size_t W = 0; W < NumWorkers; ++W)
+    Pool.submit([NextIndex, &Fn, Count] {
+      for (size_t I = NextIndex->fetch_add(1); I < Count;
+           I = NextIndex->fetch_add(1))
+        Fn(I);
+    });
+  Pool.wait();
+}
+
+void ipra::parallelForEach(size_t Count, unsigned Threads,
+                           const std::function<void(size_t)> &Fn) {
+  if (Threads <= 1 || Count <= 1) {
+    for (size_t I = 0; I < Count; ++I)
+      Fn(I);
+    return;
+  }
+  ThreadPool Pool(static_cast<unsigned>(std::min<size_t>(Threads, Count)));
+  parallelForEach(Pool, Count, Fn);
+}

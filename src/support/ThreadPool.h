@@ -1,0 +1,101 @@
+//===- ThreadPool.h - Work-queue thread pool -------------------*- C++ -*-===//
+//
+// Part of the IPRA project: a reproduction of Santhanam & Odnert,
+// "Register Allocation Across Procedure and Module Boundaries", PLDI 1990.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A small work-queue thread pool for the module-parallel parts of the
+/// pipeline (the paper's Figure 1 structure: both compiler phases are
+/// independent per module; only the program analyzer needs the whole
+/// program). Callers are responsible for determinism: workers must
+/// write into pre-sized slots indexed by work-item position, never
+/// append to shared containers.
+///
+/// Thread-count policy: an explicit request wins; otherwise the
+/// IPRA_THREADS environment variable; otherwise the hardware thread
+/// count. A resolved count of 1 means serial execution on the calling
+/// thread (no workers are spawned).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef IPRA_SUPPORT_THREADPOOL_H
+#define IPRA_SUPPORT_THREADPOOL_H
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace ipra {
+
+/// A fixed set of worker threads draining a shared job queue.
+///
+/// With fewer than two threads the pool spawns no workers and submit()
+/// runs the job inline, so serial and parallel execution share one code
+/// path. The first exception a job throws (in either mode) is captured
+/// and rethrown from wait().
+class ThreadPool {
+public:
+  explicit ThreadPool(unsigned Threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool &) = delete;
+  ThreadPool &operator=(const ThreadPool &) = delete;
+
+  /// Enqueues one job. Inline-executes it when the pool is serial.
+  void submit(std::function<void()> Job);
+
+  /// Blocks until every submitted job has finished, then rethrows the
+  /// first captured job exception, if any. The pool remains usable.
+  void wait();
+
+  /// Number of worker threads (0 when the pool runs jobs inline).
+  unsigned workerCount() const {
+    return static_cast<unsigned>(Workers.size());
+  }
+
+private:
+  void workerLoop();
+  void runJob(const std::function<void()> &Job);
+
+  std::vector<std::thread> Workers;
+  std::deque<std::function<void()>> Queue;
+  std::mutex Mutex;
+  std::condition_variable WorkReady; ///< Signals queued work / shutdown.
+  std::condition_variable AllDone;   ///< Signals Outstanding reached 0.
+  size_t Outstanding = 0;            ///< Jobs queued or running.
+  bool Stopping = false;
+  std::exception_ptr FirstError;
+};
+
+/// Resolves the effective thread count: \p Requested if positive, else
+/// the IPRA_THREADS environment variable if set to a positive integer,
+/// else std::thread::hardware_concurrency() (at least 1).
+unsigned resolveThreadCount(int Requested);
+
+/// Runs Fn(0..Count-1) on \p Pool's workers and returns when all calls
+/// have finished. Workers pull indices from a shared atomic counter, so
+/// only workerCount() queue entries are created per batch. With a
+/// serial pool this is a plain loop on the calling thread (exceptions
+/// propagate directly); otherwise the first exception any call throws
+/// is rethrown after the remaining calls drain. Iteration order is
+/// unspecified in parallel mode — the callee must write results into
+/// per-index slots.
+void parallelForEach(ThreadPool &Pool, size_t Count,
+                     const std::function<void(size_t)> &Fn);
+
+/// Convenience overload creating a throwaway pool of \p Threads.
+/// Callers with more than one batch should build one ThreadPool and use
+/// the overload above to amortize thread creation.
+void parallelForEach(size_t Count, unsigned Threads,
+                     const std::function<void(size_t)> &Fn);
+
+} // namespace ipra
+
+#endif // IPRA_SUPPORT_THREADPOOL_H

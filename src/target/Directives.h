@@ -1,0 +1,75 @@
+//===- Directives.h - Per-procedure analyzer directives --------*- C++ -*-===//
+//
+// Part of the IPRA project: a reproduction of Santhanam & Odnert,
+// "Register Allocation Across Procedure and Module Boundaries", PLDI 1990.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The analyzer's output per procedure: the register-set directives of
+/// the paper's Section 4 (FREE/CALLER/CALLEE/MSPILL) plus global
+/// variable promotion assignments. Phase 2 consults these when
+/// recompiling each module; defaults are the standard convention so a
+/// procedure absent from the database compiles exactly as phase 1 did.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef IPRA_TARGET_DIRECTIVES_H
+#define IPRA_TARGET_DIRECTIVES_H
+
+#include "target/Registers.h"
+
+#include <string>
+#include <vector>
+
+namespace ipra {
+
+/// One global variable promoted to a register over a web of procedures.
+struct PromotedGlobal {
+  std::string QualName;  ///< Qualified global name, "module.var".
+  unsigned Reg = 0;      ///< The register it lives in inside the web.
+  bool IsEntry = false;  ///< This procedure is a web entry (loads it).
+  bool WebModifies = false; ///< Some procedure in the web stores it.
+  bool WrapIndirect = false; ///< Spill/reload around indirect calls.
+  std::vector<std::string> WrapCallees; ///< Out-of-web direct callees
+                                        ///< needing spill/reload wraps.
+
+  bool operator==(const PromotedGlobal &O) const = default;
+};
+
+/// Register-set directives for one procedure. The defaults are the
+/// permissive standard convention; the analyzer tightens them.
+struct ProcDirectives {
+  /// Callee-saves registers this procedure may use without save/restore
+  /// (the paper's FREE set).
+  RegMask Free = 0;
+  /// Registers to treat as caller-saves at this procedure's call sites.
+  RegMask Caller = pr32::callerSavedMask();
+  /// Registers to treat as callee-saves in this procedure's body.
+  RegMask Callee = pr32::calleeSavedMask();
+  /// Callee-saves registers whose saves migrate to this procedure on
+  /// behalf of its cluster (the paper's spill code motion).
+  RegMask MSpill = 0;
+  /// True when this procedure roots a cluster.
+  bool IsClusterRoot = false;
+  /// Caller-saves registers this procedure's own body may scratch.
+  RegMask SelfCallerBudget = pr32::callerSavedMask();
+  /// Every register the procedure's call subtree may clobber.
+  RegMask SubtreeClobber = pr32::callClobberMask();
+  /// Globals promoted to registers in webs containing this procedure.
+  std::vector<PromotedGlobal> Promoted;
+
+  /// Mask of the registers holding promoted globals here.
+  RegMask promotedMask() const {
+    RegMask Mask = 0;
+    for (const PromotedGlobal &P : Promoted)
+      Mask |= pr32::maskOf(P.Reg);
+    return Mask;
+  }
+
+  bool operator==(const ProcDirectives &O) const = default;
+};
+
+} // namespace ipra
+
+#endif // IPRA_TARGET_DIRECTIVES_H

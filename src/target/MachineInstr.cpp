@@ -1,0 +1,251 @@
+//===- MachineInstr.cpp - PR32 instruction utilities ----------------------===//
+//
+// Part of the IPRA project: a reproduction of Santhanam & Odnert,
+// "Register Allocation Across Procedure and Module Boundaries", PLDI 1990.
+//
+//===----------------------------------------------------------------------===//
+
+#include "target/MachineInstr.h"
+
+#include <sstream>
+
+using namespace ipra;
+
+const char *ipra::mopName(MOp Op) {
+  switch (Op) {
+  case MOp::LDI:
+    return "ldi";
+  case MOp::ADDRG:
+    return "addrg";
+  case MOp::LDW:
+    return "ldw";
+  case MOp::STW:
+    return "stw";
+  case MOp::MOV:
+    return "mov";
+  case MOp::ADD:
+    return "add";
+  case MOp::SUB:
+    return "sub";
+  case MOp::MUL:
+    return "mul";
+  case MOp::DIV:
+    return "div";
+  case MOp::REM:
+    return "rem";
+  case MOp::AND:
+    return "and";
+  case MOp::OR:
+    return "or";
+  case MOp::XOR:
+    return "xor";
+  case MOp::SHL:
+    return "shl";
+  case MOp::SHR:
+    return "shr";
+  case MOp::NEG:
+    return "neg";
+  case MOp::NOT:
+    return "not";
+  case MOp::CMP:
+    return "cmp";
+  case MOp::CB:
+    return "cb";
+  case MOp::B:
+    return "b";
+  case MOp::BL:
+    return "bl";
+  case MOp::BLR:
+    return "blr";
+  case MOp::BV:
+    return "bv";
+  case MOp::PRINT:
+    return "print";
+  case MOp::PRINTC:
+    return "printc";
+  case MOp::HALT:
+    return "halt";
+  case MOp::NOP:
+    return "nop";
+  }
+  return "nop";
+}
+
+const char *ipra::condName(Cond CC) {
+  switch (CC) {
+  case Cond::EQ:
+    return "eq";
+  case Cond::NE:
+    return "ne";
+  case Cond::LT:
+    return "lt";
+  case Cond::LE:
+    return "le";
+  case Cond::GT:
+    return "gt";
+  case Cond::GE:
+    return "ge";
+  }
+  return "eq";
+}
+
+unsigned ipra::cycleCost(MOp Op) {
+  switch (Op) {
+  case MOp::MUL:
+    return 4;
+  case MOp::DIV:
+  case MOp::REM:
+    return 16;
+  default:
+    return 1;
+  }
+}
+
+namespace {
+
+/// Does operand A name a register this instruction writes?
+bool definesA(MOp Op) {
+  switch (Op) {
+  case MOp::LDI:
+  case MOp::ADDRG:
+  case MOp::LDW:
+  case MOp::MOV:
+  case MOp::ADD:
+  case MOp::SUB:
+  case MOp::MUL:
+  case MOp::DIV:
+  case MOp::REM:
+  case MOp::AND:
+  case MOp::OR:
+  case MOp::XOR:
+  case MOp::SHL:
+  case MOp::SHR:
+  case MOp::NEG:
+  case MOp::NOT:
+  case MOp::CMP:
+    return true;
+  default:
+    return false;
+  }
+}
+
+/// Does operand A name a register this instruction reads? (For B and
+/// BL, A is a label/symbol, never a register read.)
+bool readsA(MOp Op) {
+  switch (Op) {
+  case MOp::STW:
+  case MOp::CB:
+  case MOp::BLR:
+  case MOp::BV:
+  case MOp::PRINT:
+  case MOp::PRINTC:
+    return true;
+  default:
+    return false;
+  }
+}
+
+void appendIfReg(const MOperand &Op, std::vector<unsigned> &Out) {
+  if (Op.isReg())
+    Out.push_back(Op.RegNo);
+}
+
+} // namespace
+
+void MInstr::appendUses(std::vector<unsigned> &Out) const {
+  if (readsA(Op))
+    appendIfReg(A, Out);
+  if (Op == MOp::HALT) {
+    Out.push_back(pr32::RV); // Exit status.
+    return;
+  }
+  if (Op == MOp::B)
+    return; // A is a label.
+  appendIfReg(B, Out);
+  appendIfReg(C, Out);
+  if (isCall())
+    for (unsigned Arg = 0; Arg < NumArgs; ++Arg)
+      Out.push_back(pr32::FirstArgReg + Arg);
+}
+
+void MInstr::appendDefs(std::vector<unsigned> &Out) const {
+  if (definesA(Op))
+    appendIfReg(A, Out);
+  if (isCall()) {
+    Out.push_back(pr32::RP);
+    if (HasResult)
+      Out.push_back(pr32::RV);
+  }
+}
+
+void MInstr::replaceRegUses(unsigned From, unsigned To) {
+  auto Replace = [&](MOperand &Op) {
+    if (Op.isReg() && Op.RegNo == From)
+      Op.RegNo = To;
+  };
+  if (readsA(Op))
+    Replace(A);
+  if (Op != MOp::B) {
+    Replace(B);
+    Replace(C);
+  }
+}
+
+void MInstr::replaceRegDefs(unsigned From, unsigned To) {
+  if (definesA(Op) && A.isReg() && A.RegNo == From)
+    A.RegNo = To;
+}
+
+namespace {
+
+std::string operandString(const MOperand &Op) {
+  switch (Op.Kind) {
+  case MOperand::None:
+    return "";
+  case MOperand::Reg:
+    return pr32::regName(Op.RegNo);
+  case MOperand::Imm:
+    return std::to_string(Op.ImmVal);
+  case MOperand::Sym:
+    return "@" + Op.SymName;
+  case MOperand::Label:
+    return ".L" + std::to_string(Op.LabelId);
+  case MOperand::Frame:
+    return "fi" + std::to_string(Op.FrameIdx);
+  }
+  return "";
+}
+
+} // namespace
+
+std::string MInstr::toString() const {
+  std::ostringstream OS;
+  OS << mopName(Op);
+  if (Op == MOp::CMP || Op == MOp::CB)
+    OS << "." << condName(CC);
+
+  if (Op == MOp::LDW || Op == MOp::STW) {
+    // ldw r5, [r30+2]
+    OS << " " << operandString(A) << ", [" << operandString(B);
+    if (C.isImm())
+      OS << (C.ImmVal >= 0 ? "+" : "") << C.ImmVal;
+    else if (C.Kind != MOperand::None)
+      OS << "+" << operandString(C);
+    OS << "]";
+    return OS.str();
+  }
+
+  bool First = true;
+  for (const MOperand *Operand : {&A, &B, &C}) {
+    if (Operand->Kind == MOperand::None)
+      continue;
+    OS << (First ? " " : ", ") << operandString(*Operand);
+    First = false;
+  }
+  if (isCall()) {
+    OS << " args=" << unsigned(NumArgs);
+    if (HasResult)
+      OS << " ret";
+  }
+  return OS.str();
+}

@@ -1,0 +1,41 @@
+//===- Registers.cpp - PR32 register utilities ----------------------------===//
+//
+// Part of the IPRA project: a reproduction of Santhanam & Odnert,
+// "Register Allocation Across Procedure and Module Boundaries", PLDI 1990.
+//
+//===----------------------------------------------------------------------===//
+
+#include "target/Registers.h"
+
+using namespace ipra;
+
+unsigned pr32::maskCount(RegMask Mask) {
+  unsigned Count = 0;
+  for (; Mask; Mask &= Mask - 1)
+    ++Count;
+  return Count;
+}
+
+std::vector<unsigned> pr32::maskRegs(RegMask Mask) {
+  std::vector<unsigned> Regs;
+  for (unsigned R = 0; R < NumRegs; ++R)
+    if (Mask & maskOf(R))
+      Regs.push_back(R);
+  return Regs;
+}
+
+std::string pr32::regName(unsigned Reg) {
+  return "r" + std::to_string(Reg);
+}
+
+std::string pr32::maskToString(RegMask Mask) {
+  std::string Text = "{";
+  bool First = true;
+  for (unsigned R : maskRegs(Mask)) {
+    if (!First)
+      Text += ",";
+    First = false;
+    Text += regName(R);
+  }
+  return Text + "}";
+}

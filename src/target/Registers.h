@@ -1,0 +1,113 @@
+//===- Registers.h - PR32 register file and calling convention -*- C++ -*-===//
+//
+// Part of the IPRA project: a reproduction of Santhanam & Odnert,
+// "Register Allocation Across Procedure and Module Boundaries", PLDI 1990.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The PR32 synthetic target: a 32-register load/store machine in the
+/// spirit of PA-RISC as described in the paper. Register conventions:
+///
+///   r0          hardwired zero
+///   r1          assembler temporary (address formation)
+///   r2          return pointer (RP)
+///   r3  - r18   callee-saves (16 registers; the paper's "entry" bank)
+///   r19 - r22   caller-saves scratch
+///   r23 - r26   argument registers (4)
+///   r27         caller-saves scratch
+///   r28         return value (RV)
+///   r29, r31    reserved for the linker / future use
+///   r30         stack pointer (SP)
+///
+/// Register sets are RegMask values, one bit per register.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef IPRA_TARGET_REGISTERS_H
+#define IPRA_TARGET_REGISTERS_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace ipra {
+
+/// A set of PR32 physical registers, one bit per register number.
+using RegMask = uint32_t;
+
+namespace pr32 {
+
+constexpr unsigned NumRegs = 32;
+
+constexpr unsigned Zero = 0; ///< Hardwired zero.
+constexpr unsigned AT = 1;   ///< Assembler temporary.
+constexpr unsigned RP = 2;   ///< Return pointer, written by BL/BLR.
+constexpr unsigned FirstCalleeSaved = 3;
+constexpr unsigned LastCalleeSaved = 18;
+constexpr unsigned NumCalleeSaved = 16;
+constexpr unsigned FirstCallerSaved = 19;
+constexpr unsigned LastCallerSaved = 27;
+constexpr unsigned FirstArgReg = 23;
+constexpr unsigned NumArgRegs = 4;
+constexpr unsigned RV = 28; ///< Return value.
+constexpr unsigned SP = 30; ///< Stack pointer.
+
+constexpr RegMask maskOf(unsigned Reg) { return RegMask(1) << Reg; }
+
+/// Mask of the inclusive register range [First, Last].
+constexpr RegMask rangeMask(unsigned First, unsigned Last) {
+  return (Last >= 31 ? ~RegMask(0) : (maskOf(Last + 1) - 1)) &
+         ~(maskOf(First) - 1);
+}
+
+constexpr RegMask calleeSavedMask() {
+  return rangeMask(FirstCalleeSaved, LastCalleeSaved);
+}
+
+constexpr RegMask callerSavedMask() {
+  return rangeMask(FirstCallerSaved, LastCallerSaved);
+}
+
+constexpr RegMask argRegMask() {
+  return rangeMask(FirstArgReg, FirstArgReg + NumArgRegs - 1);
+}
+
+/// Everything a standard-convention call may overwrite: the
+/// caller-saves bank plus the link register and the return value.
+constexpr RegMask callClobberMask() {
+  return callerSavedMask() | maskOf(RP) | maskOf(RV);
+}
+
+constexpr bool isCalleeSaved(unsigned Reg) {
+  return Reg >= FirstCalleeSaved && Reg <= LastCalleeSaved;
+}
+
+/// Registers the allocator may hand out: the two convention banks.
+/// Zero/AT/RP/SP/RV and the reserved registers are excluded.
+constexpr bool isAllocatable(unsigned Reg) {
+  return Reg < NumRegs &&
+         ((calleeSavedMask() | callerSavedMask()) & maskOf(Reg)) != 0;
+}
+
+/// The default pool handed to interprocedural web coloring: the top
+/// six callee-saves registers, r13..r18. Keeping the pool small leaves
+/// the bottom of the entry bank for intraprocedural allocation.
+constexpr RegMask defaultWebColoringPool() { return rangeMask(13, 18); }
+
+/// Number of registers in a mask.
+unsigned maskCount(RegMask Mask);
+
+/// Register numbers in a mask, ascending.
+std::vector<unsigned> maskRegs(RegMask Mask);
+
+/// Printable name, e.g. "r13".
+std::string regName(unsigned Reg);
+
+/// Printable set, e.g. "{r3,r10}" (ascending, no spaces).
+std::string maskToString(RegMask Mask);
+
+} // namespace pr32
+} // namespace ipra
+
+#endif // IPRA_TARGET_REGISTERS_H

@@ -651,4 +651,102 @@ TEST(PipelineTest, ProfileCollectionMatchesCallStructure) {
   EXPECT_EQ((R.Profile.EdgeCounts.at({"main", "mid"})), 3);
 }
 
+//===--------------------------------------------------------------------===//
+// Parallel pipeline: determinism across thread counts and the
+// PipelineStats instrumentation.
+//===--------------------------------------------------------------------===//
+
+std::vector<SourceFile> multiModuleSources() {
+  return {
+      {"math.mc", "int gcounter;\n"
+                  "int square(int x) { return x * x; }\n"
+                  "int cube(int x) { gcounter = gcounter + 1;"
+                  " return x * square(x); }\n"},
+      {"accum.mc", "int gcounter;\n"
+                   "int square(int);\n"
+                   "int total;\n"
+                   "void add(int x) { total = total + square(x); }\n"
+                   "int get() { return total + gcounter; }\n"},
+      {"main.mc", "int cube(int);\n"
+                  "void add(int);\n"
+                  "int get();\n"
+                  "int main() {\n"
+                  "  for (int i = 1; i <= 8; i = i + 1) add(cube(i));\n"
+                  "  print(get());\n"
+                  "  return 0;\n"
+                  "}\n"},
+  };
+}
+
+TEST(ParallelPipelineTest, ArtifactsAreByteIdenticalAcrossThreadCounts) {
+  for (PipelineConfig Config :
+       {PipelineConfig::baseline(), PipelineConfig::configC()}) {
+    Config.NumThreads = 1;
+    auto Serial = compileProgram(multiModuleSources(), Config);
+    ASSERT_TRUE(Serial.Success) << Serial.ErrorText;
+    Config.NumThreads = 8;
+    auto Parallel = compileProgram(multiModuleSources(), Config);
+    ASSERT_TRUE(Parallel.Success) << Parallel.ErrorText;
+
+    EXPECT_EQ(Serial.SummaryFiles, Parallel.SummaryFiles);
+    EXPECT_EQ(Serial.DatabaseFile, Parallel.DatabaseFile);
+    EXPECT_EQ(Serial.ObjectFiles, Parallel.ObjectFiles);
+
+    RunResult SerialRun = runExecutable(Serial.Exe);
+    RunResult ParallelRun = runExecutable(Parallel.Exe);
+    EXPECT_EQ(SerialRun.Output, ParallelRun.Output);
+    EXPECT_EQ(SerialRun.Stats.Cycles, ParallelRun.Stats.Cycles);
+  }
+}
+
+TEST(ParallelPipelineTest, ErrorsAreDeterministicAcrossThreadCounts) {
+  std::vector<SourceFile> Bad = {
+      {"a.mc", "int f() { return oops; }\n"},
+      {"b.mc", "int g() { return worse; }\n"},
+      {"main.mc", "int main() { return 0; }\n"},
+  };
+  PipelineConfig Config = PipelineConfig::baseline();
+  Config.NumThreads = 1;
+  auto Serial = compileProgram(Bad, Config);
+  Config.NumThreads = 8;
+  auto Parallel = compileProgram(Bad, Config);
+  EXPECT_FALSE(Serial.Success);
+  EXPECT_FALSE(Parallel.Success);
+  EXPECT_EQ(Serial.ErrorText, Parallel.ErrorText);
+  EXPECT_NE(Serial.ErrorText.find("oops"), std::string::npos);
+  EXPECT_NE(Serial.ErrorText.find("worse"), std::string::npos);
+}
+
+TEST(ParallelPipelineTest, PipelineStatsArePopulated) {
+  PipelineConfig Config = PipelineConfig::configC();
+  Config.NumThreads = 2;
+  auto R = compileProgram(multiModuleSources(), Config);
+  ASSERT_TRUE(R.Success) << R.ErrorText;
+
+  const PipelineStats &PS = R.Pipeline;
+  EXPECT_EQ(PS.ThreadsUsed, 2u);
+  ASSERT_EQ(PS.Modules.size(), 4u); // 3 sources + runtime.
+  EXPECT_EQ(PS.Modules[0].Name, "math.mc");
+  EXPECT_EQ(PS.Modules[3].Name, "__runtime.mc");
+  EXPECT_GT(PS.TotalMs, 0.0);
+  EXPECT_GE(PS.TotalMs,
+            PS.FrontEndMs); // Phase timers nest inside the total.
+  EXPECT_GT(PS.Modules[2].Functions, 0u);
+
+  size_t SummaryBytes = 0;
+  for (const std::string &S : R.SummaryFiles)
+    SummaryBytes += S.size();
+  EXPECT_EQ(PS.SummaryBytes, SummaryBytes);
+  EXPECT_EQ(PS.DatabaseBytes, R.DatabaseFile.size());
+  size_t ObjectBytes = 0;
+  for (const std::string &O : R.ObjectFiles)
+    ObjectBytes += O.size();
+  EXPECT_EQ(PS.ObjectBytes, ObjectBytes);
+
+  std::string Report = PS.toString();
+  EXPECT_NE(Report.find("threads=2"), std::string::npos);
+  EXPECT_NE(Report.find("module main.mc"), std::string::npos);
+  EXPECT_NE(Report.find("database="), std::string::npos);
+}
+
 } // namespace

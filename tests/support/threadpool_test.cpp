@@ -1,0 +1,121 @@
+//===- threadpool_test.cpp - Work-queue thread pool tests -----------------===//
+//
+// Part of the IPRA project: a reproduction of Santhanam & Odnert,
+// "Register Allocation Across Procedure and Module Boundaries", PLDI 1990.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/ThreadPool.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <numeric>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+using namespace ipra;
+
+namespace {
+
+TEST(ThreadPoolTest, RunsEverySubmittedTask) {
+  ThreadPool Pool(4);
+  EXPECT_EQ(Pool.workerCount(), 4u);
+  std::atomic<int> Count{0};
+  for (int I = 0; I < 100; ++I)
+    Pool.submit([&Count] { ++Count; });
+  Pool.wait();
+  EXPECT_EQ(Count.load(), 100);
+
+  // The pool stays usable after wait().
+  for (int I = 0; I < 10; ++I)
+    Pool.submit([&Count] { ++Count; });
+  Pool.wait();
+  EXPECT_EQ(Count.load(), 110);
+}
+
+TEST(ThreadPoolTest, SerialPoolRunsInline) {
+  ThreadPool Pool(1);
+  EXPECT_EQ(Pool.workerCount(), 0u);
+  std::thread::id Caller = std::this_thread::get_id();
+  bool Ran = false;
+  Pool.submit([&] {
+    Ran = true;
+    EXPECT_EQ(std::this_thread::get_id(), Caller);
+  });
+  EXPECT_TRUE(Ran); // Inline: done before wait().
+  Pool.wait();
+}
+
+TEST(ThreadPoolTest, WaitRethrowsFirstException) {
+  ThreadPool Pool(2);
+  std::atomic<int> Count{0};
+  for (int I = 0; I < 20; ++I)
+    Pool.submit([&Count, I] {
+      if (I == 7)
+        throw std::runtime_error("job 7 failed");
+      ++Count;
+    });
+  EXPECT_THROW(Pool.wait(), std::runtime_error);
+  // Remaining jobs still drained; the pool stays usable.
+  EXPECT_EQ(Count.load(), 19);
+  Pool.submit([&Count] { ++Count; });
+  Pool.wait();
+  EXPECT_EQ(Count.load(), 20);
+}
+
+TEST(ThreadPoolTest, SerialPoolCapturesExceptionsToo) {
+  ThreadPool Pool(1);
+  Pool.submit([] { throw std::runtime_error("inline failure"); });
+  EXPECT_THROW(Pool.wait(), std::runtime_error);
+}
+
+TEST(ParallelForEachTest, CoversEveryIndexOnce) {
+  const size_t Count = 1000;
+  std::vector<std::atomic<int>> Hits(Count);
+  parallelForEach(Count, 8, [&](size_t I) { ++Hits[I]; });
+  for (size_t I = 0; I < Count; ++I)
+    EXPECT_EQ(Hits[I].load(), 1) << "index " << I;
+}
+
+TEST(ParallelForEachTest, SerialFallbackRunsInOrderOnCallingThread) {
+  std::thread::id Caller = std::this_thread::get_id();
+  std::vector<size_t> Order;
+  parallelForEach(10, 1, [&](size_t I) {
+    EXPECT_EQ(std::this_thread::get_id(), Caller);
+    Order.push_back(I);
+  });
+  std::vector<size_t> Expected(10);
+  std::iota(Expected.begin(), Expected.end(), 0);
+  EXPECT_EQ(Order, Expected);
+}
+
+TEST(ParallelForEachTest, PropagatesExceptions) {
+  EXPECT_THROW(parallelForEach(50, 4,
+                               [](size_t I) {
+                                 if (I == 17)
+                                   throw std::runtime_error("bad item");
+                               }),
+               std::runtime_error);
+  // Serial mode propagates directly as well.
+  EXPECT_THROW(parallelForEach(5, 1,
+                               [](size_t I) {
+                                 if (I == 3)
+                                   throw std::runtime_error("bad item");
+                               }),
+               std::runtime_error);
+}
+
+TEST(ResolveThreadCountTest, ExplicitRequestWins) {
+  setenv("IPRA_THREADS", "3", 1);
+  EXPECT_EQ(resolveThreadCount(5), 5u);
+  EXPECT_EQ(resolveThreadCount(0), 3u);
+  setenv("IPRA_THREADS", "garbage", 1);
+  EXPECT_GE(resolveThreadCount(0), 1u);
+  unsetenv("IPRA_THREADS");
+  EXPECT_GE(resolveThreadCount(0), 1u);
+}
+
+} // namespace
