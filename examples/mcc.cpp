@@ -26,6 +26,11 @@
 ///   --threads <N> | -j <N>       worker threads for the module-parallel
 ///                                pipeline stages (default: IPRA_THREADS
 ///                                or the hardware thread count)
+///   --cache-dir <dir>            persistent artifact cache: summaries,
+///                                databases, and objects are reused
+///                                across invocations when their source,
+///                                configuration, and database slice are
+///                                unchanged (--stats shows hit counts)
 ///   --dump-summary               print the per-module summary files
 ///   --dump-db                    print the program database
 ///   --disasm                     disassemble the linked executable
@@ -61,7 +66,7 @@ int usage() {
       stderr,
       "usage: mcc [--config base|A|B|C|D|E|F] [--stats] [--dump-summary]\n"
       "           [--dump-db] [--disasm] [--fuel N] [--threads N]\n"
-      "           file.mc...\n"
+      "           [--cache-dir DIR] file.mc...\n"
       "       mcc --phase1 file.mc            (summary to stdout)\n"
       "       mcc --analyze file.sum...       (database to stdout)\n"
       "       mcc --phase2 --db prog.db file.mc  (object to stdout)\n"
@@ -99,6 +104,7 @@ int main(int argc, char **argv) {
   bool WallLink = false;
   long long Fuel = 500'000'000;
   int NumThreads = 0;
+  std::string CacheDir;
   std::vector<SourceFile> Sources;
   std::vector<std::string> InputPaths;
 
@@ -123,6 +129,8 @@ int main(int argc, char **argv) {
       Fuel = std::atoll(argv[++I]);
     } else if ((Arg == "--threads" || Arg == "-j") && I + 1 < argc) {
       NumThreads = std::atoi(argv[++I]);
+    } else if (Arg == "--cache-dir" && I + 1 < argc) {
+      CacheDir = argv[++I];
     } else if (Arg == "--split-webs") {
       SplitWebs = true;
     } else if (Arg == "--remerge-webs") {
@@ -175,6 +183,7 @@ int main(int argc, char **argv) {
   Config.ImprovedFreeSets = ImprovedFree;
   Config.AssumeClosedWorld = !Partial;
   Config.NumThreads = NumThreads;
+  Config.CacheDir = CacheDir;
 
   // ---- Separate-compilation subcommands. ----------------------------
   if (Mode == "db-diff") {

@@ -10,9 +10,35 @@
 #include "support/StringUtils.h"
 
 #include <algorithm>
+#include <set>
 #include <sstream>
 
 using namespace ipra;
+
+AnalyzerOptions AnalyzerOptions::columnA() {
+  AnalyzerOptions O;
+  O.SpillMotion = true;
+  O.Promotion = PromotionMode::None;
+  return O;
+}
+
+AnalyzerOptions AnalyzerOptions::columnC() {
+  AnalyzerOptions O = columnA();
+  O.Promotion = PromotionMode::Webs;
+  return O;
+}
+
+AnalyzerOptions AnalyzerOptions::columnD() {
+  AnalyzerOptions O = columnA();
+  O.Promotion = PromotionMode::Greedy;
+  return O;
+}
+
+AnalyzerOptions AnalyzerOptions::columnE() {
+  AnalyzerOptions O = columnA();
+  O.Promotion = PromotionMode::Blanket;
+  return O;
+}
 
 ProcDirectives ProgramDatabase::lookup(const std::string &QualName) const {
   auto It = Procs.find(QualName);
@@ -158,6 +184,7 @@ ProgramDatabase ipra::runAnalyzer(
 //===----------------------------------------------------------------------===//
 // Database serialization.
 //
+//   ipra-db-format <version> config=<fingerprint|->
 //   proc <qual> free=<hex> caller=<hex> callee=<hex> mspill=<hex> root=<0|1>
 //   promote <qual> reg=<n> entry=<0|1> modifies=<0|1>
 //   end
@@ -179,27 +206,63 @@ ProgramDatabase::diff(const ProgramDatabase &Old,
   return Changed;
 }
 
-std::string ProgramDatabase::serialize() const {
-  std::ostringstream OS;
+namespace {
+
+/// One proc's directive record in the database text format. Shared by
+/// serialize() and sliceFor() so slice hashes track the file format.
+void writeProcRecord(std::ostream &OS, const std::string &Name,
+                     const ProcDirectives &Dir) {
   char Buf[16];
   auto Hex = [&Buf](RegMask M) {
     std::snprintf(Buf, sizeof(Buf), "%08x", M);
     return std::string(Buf);
   };
-  for (const auto &[Name, Dir] : Procs) {
-    OS << "proc " << Name << " free=" << Hex(Dir.Free)
-       << " caller=" << Hex(Dir.Caller) << " callee=" << Hex(Dir.Callee)
-       << " mspill=" << Hex(Dir.MSpill) << " root=" << Dir.IsClusterRoot
-       << " budget=" << Hex(Dir.SelfCallerBudget)
-       << " clobber=" << Hex(Dir.SubtreeClobber) << "\n";
-    for (const PromotedGlobal &P : Dir.Promoted) {
-      OS << "promote " << P.QualName << " reg=" << P.Reg
-         << " entry=" << P.IsEntry << " modifies=" << P.WebModifies
-         << " wrapind=" << P.WrapIndirect << "\n";
-      for (const std::string &Callee : P.WrapCallees)
-        OS << "wrap " << Callee << "\n";
+  OS << "proc " << Name << " free=" << Hex(Dir.Free)
+     << " caller=" << Hex(Dir.Caller) << " callee=" << Hex(Dir.Callee)
+     << " mspill=" << Hex(Dir.MSpill) << " root=" << Dir.IsClusterRoot
+     << " budget=" << Hex(Dir.SelfCallerBudget)
+     << " clobber=" << Hex(Dir.SubtreeClobber) << "\n";
+  for (const PromotedGlobal &P : Dir.Promoted) {
+    OS << "promote " << P.QualName << " reg=" << P.Reg
+       << " entry=" << P.IsEntry << " modifies=" << P.WebModifies
+       << " wrapind=" << P.WrapIndirect << "\n";
+    for (const std::string &Callee : P.WrapCallees)
+      OS << "wrap " << Callee << "\n";
+  }
+  OS << "end\n";
+}
+
+} // namespace
+
+std::string ProgramDatabase::serialize() const {
+  std::ostringstream OS;
+  OS << "ipra-db-format " << DatabaseFormatVersion << " config="
+     << (ConfigFingerprint.empty() ? "-" : ConfigFingerprint) << "\n";
+  for (const auto &[Name, Dir] : Procs)
+    writeProcRecord(OS, Name, Dir);
+  return OS.str();
+}
+
+std::string ProgramDatabase::sliceFor(const ModuleSummary &Summary,
+                                      bool IncludeCalleeClobbers) const {
+  std::ostringstream OS;
+  // The module's own procedures, in module order. A procedure missing
+  // from the database serializes as the standard convention, so a proc
+  // appearing in or vanishing from the database changes the slice.
+  for (const ProcSummary &P : Summary.Procs)
+    writeProcRecord(OS, P.QualName, lookup(P.QualName));
+  // With §7.6.2 caller-saves propagation, codegen also reads the
+  // subtree clobber mask of every direct callee.
+  if (IncludeCalleeClobbers) {
+    std::set<std::string> Callees;
+    for (const ProcSummary &P : Summary.Procs)
+      for (const CallSummary &C : P.Calls)
+        Callees.insert(C.QualCallee);
+    char Buf[16];
+    for (const std::string &C : Callees) {
+      std::snprintf(Buf, sizeof(Buf), "%08x", lookup(C).SubtreeClobber);
+      OS << "clobber " << C << " " << Buf << "\n";
     }
-    OS << "end\n";
   }
   return OS.str();
 }
@@ -237,7 +300,28 @@ bool ProgramDatabase::deserialize(const std::string &Text,
     if (Line.empty())
       continue;
     std::vector<std::string> Tok = split(Line, ' ');
-    if (Tok[0] == "proc") {
+    if (Tok[0] == "ipra-db-format") {
+      // Header line: format version + producing-config fingerprint.
+      // Files without one (pre-versioning) are accepted as legacy.
+      long long Version = 0;
+      if (Tok.size() < 2 || !parseInt(Tok[1], Version)) {
+        Error = "line " + std::to_string(LineNo) +
+                ": malformed database format header";
+        return false;
+      }
+      if (Version != DatabaseFormatVersion) {
+        Error = "database format version " + Tok[1] +
+                " is not supported (this reader handles version " +
+                std::to_string(DatabaseFormatVersion) +
+                "); regenerate the database with this toolchain";
+        return false;
+      }
+      for (const std::string &T : Tok)
+        if (startsWith(T, "config=")) {
+          std::string FP = T.substr(7);
+          Out.ConfigFingerprint = FP == "-" ? "" : FP;
+        }
+    } else if (Tok[0] == "proc") {
       if (Tok.size() < 2) {
         Error = "line " + std::to_string(LineNo) + ": malformed proc";
         return false;

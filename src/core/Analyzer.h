@@ -56,6 +56,14 @@ struct AnalyzerOptions {
   /// (e.g. a library): only statics are promotable, and externally
   /// visible procedures join no web interior and no cluster.
   bool AssumeClosedWorld = true;
+
+  /// Named Table-4 presets (§6.1) for the analyzer side of a
+  /// configuration. Columns B and F are A and C with profile data,
+  /// which enters through CallProfile rather than these options.
+  static AnalyzerOptions columnA(); ///< Spill code motion only.
+  static AnalyzerOptions columnC(); ///< + 6-register web coloring.
+  static AnalyzerOptions columnD(); ///< + greedy coloring.
+  static AnalyzerOptions columnE(); ///< + blanket promotion.
 };
 
 /// The analyzer's observable statistics (the §6.2 narrative).
@@ -77,9 +85,20 @@ struct AnalyzerStats {
   }
 };
 
+/// Version of the textual program-database format. Serialized files
+/// carry it in a header line; readers reject other versions instead of
+/// misparsing.
+inline constexpr int DatabaseFormatVersion = 2;
+
 /// The program database (§4.3): one directive record per procedure.
 class ProgramDatabase {
 public:
+  /// Fingerprint of the pipeline configuration that produced this
+  /// database (PipelineConfig::fingerprint()). Serialized in the header
+  /// line; phase 2 rejects a database built under a different
+  /// configuration. Empty when unknown (legacy files, hand-built DBs).
+  std::string ConfigFingerprint;
+
   /// Directives for \p QualName; the standard convention when absent.
   ProcDirectives lookup(const std::string &QualName) const;
 
@@ -90,10 +109,22 @@ public:
     return Procs;
   }
 
-  /// Text serialization (one database file per program, §2).
+  /// Text serialization (one database file per program, §2). The first
+  /// line is a header carrying DatabaseFormatVersion and
+  /// ConfigFingerprint.
   std::string serialize() const;
   static bool deserialize(const std::string &Text, ProgramDatabase &Out,
                           std::string &Error);
+
+  /// The part of the database that can affect one module's second-phase
+  /// compile (its *database slice*): the directives of the module's own
+  /// procedures plus, when \p IncludeCalleeClobbers (the §7.6.2
+  /// caller-saves extension), the subtree clobber masks of its direct
+  /// callees. Deterministic text — hash it to decide whether a database
+  /// change forces the module's phase-2 recompile, the recompilation
+  /// avoidance §6 calls for.
+  std::string sliceFor(const ModuleSummary &Summary,
+                       bool IncludeCalleeClobbers) const;
 
   /// Smart recompilation (§7.1: "source level changes need to be
   /// tracked carefully and can be very expensive"): the procedures

@@ -1,0 +1,106 @@
+//===- ArtifactCache.cpp - Content-addressed artifact cache ---------------===//
+//
+// Part of the IPRA project: a reproduction of Santhanam & Odnert,
+// "Register Allocation Across Procedure and Module Boundaries", PLDI 1990.
+//
+//===----------------------------------------------------------------------===//
+
+#include "driver/ArtifactCache.h"
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <system_error>
+#include <thread>
+
+using namespace ipra;
+
+namespace fs = std::filesystem;
+
+ArtifactCache::ArtifactCache(std::string DiskDir) : Dir(std::move(DiskDir)) {}
+
+std::string ArtifactCache::pathFor(const std::string &Key) const {
+  return (fs::path(Dir) / (Key + ".art")).string();
+}
+
+std::optional<std::string> ArtifactCache::get(const std::string &Key) {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  auto It = Mem.find(Key);
+  if (It != Mem.end()) {
+    ++Stats.MemHits;
+    Stats.BytesRead += It->second.size();
+    return It->second;
+  }
+  if (!Dir.empty()) {
+    std::ifstream In(pathFor(Key), std::ios::binary);
+    if (In) {
+      std::ostringstream Buf;
+      Buf << In.rdbuf();
+      if (!In.bad()) {
+        std::string Value = Buf.str();
+        ++Stats.DiskHits;
+        Stats.BytesRead += Value.size();
+        Mem[Key] = Value; // Promote: later probes hit memory.
+        return Value;
+      }
+    }
+  }
+  ++Stats.Misses;
+  return std::nullopt;
+}
+
+void ArtifactCache::put(const std::string &Key, const std::string &Value) {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  Mem[Key] = Value;
+  Stats.BytesWritten += Value.size();
+  if (Dir.empty())
+    return;
+  if (!DirReady) {
+    std::error_code EC;
+    fs::create_directories(Dir, EC);
+    if (EC)
+      return; // Unwritable cache dir degrades to memory-only.
+    DirReady = true;
+  }
+  // Publish atomically: write a private temp file, then rename it over
+  // the final name. Two processes racing on the same key both write the
+  // same bytes (keys are content hashes), so either rename winning is
+  // fine; a crash mid-write leaves only a stray temp file, never a torn
+  // entry.
+  std::ostringstream TmpName;
+  TmpName << pathFor(Key) << ".tmp."
+          << std::hash<std::thread::id>{}(std::this_thread::get_id());
+  {
+    std::ofstream Out(TmpName.str(), std::ios::binary | std::ios::trunc);
+    if (!Out)
+      return;
+    Out.write(Value.data(), static_cast<std::streamsize>(Value.size()));
+    if (!Out) {
+      Out.close();
+      std::remove(TmpName.str().c_str());
+      return;
+    }
+  }
+  std::error_code EC;
+  fs::rename(TmpName.str(), pathFor(Key), EC);
+  if (EC)
+    std::remove(TmpName.str().c_str());
+}
+
+void ArtifactCache::invalidate(const std::string &Key) {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  Mem.erase(Key);
+  if (!Dir.empty())
+    std::remove(pathFor(Key).c_str());
+}
+
+void ArtifactCache::clearMemory() {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  Mem.clear();
+}
+
+ArtifactCacheStats ArtifactCache::stats() const {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  return Stats;
+}

@@ -1,0 +1,83 @@
+//===- ArtifactCache.h - Content-addressed artifact cache ------*- C++ -*-===//
+//
+// Part of the IPRA project: a reproduction of Santhanam & Odnert,
+// "Register Allocation Across Procedure and Module Boundaries", PLDI 1990.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A two-layer content-addressed store for pipeline artifacts (summary
+/// files, program databases, object files). Keys are derived from
+/// content hashes (source text × configuration fingerprint × database
+/// slice), so entries never go stale — a changed input simply misses.
+///
+///  - The in-memory layer lives for the lifetime of a Pipeline object
+///    and serves the phase-granular API.
+///  - The optional on-disk layer (one file per entry under a cache
+///    directory) persists across processes; disk hits are promoted into
+///    memory. Writes go through a temp-file + rename so concurrent
+///    writers (the module-parallel phases) and crashed builds can never
+///    publish a torn entry.
+///
+/// The cache stores artifacts verbatim; callers validate entries by
+/// parsing them (a corrupted or truncated disk entry fails its parse
+/// and is treated as a miss, then overwritten by the recompute).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef IPRA_DRIVER_ARTIFACTCACHE_H
+#define IPRA_DRIVER_ARTIFACTCACHE_H
+
+#include <cstddef>
+#include <map>
+#include <mutex>
+#include <optional>
+#include <string>
+
+namespace ipra {
+
+/// Counters for one cache instance, cumulative across builds.
+struct ArtifactCacheStats {
+  unsigned MemHits = 0;
+  unsigned DiskHits = 0;
+  unsigned Misses = 0;
+  size_t BytesRead = 0;    ///< Artifact bytes served from the cache.
+  size_t BytesWritten = 0; ///< Artifact bytes stored into the cache.
+};
+
+/// Thread-safe two-layer (memory + optional disk) artifact store.
+class ArtifactCache {
+public:
+  /// \p DiskDir empty means memory-only. The directory is created on
+  /// the first put().
+  explicit ArtifactCache(std::string DiskDir = "");
+
+  /// Looks \p Key up in memory, then on disk. Counts a hit or miss.
+  std::optional<std::string> get(const std::string &Key);
+
+  /// Stores \p Value under \p Key in both layers.
+  void put(const std::string &Key, const std::string &Value);
+
+  /// Drops \p Key from both layers (used when a cached entry fails
+  /// validation).
+  void invalidate(const std::string &Key);
+
+  /// Forgets the in-memory layer (disk entries survive). For tests.
+  void clearMemory();
+
+  ArtifactCacheStats stats() const;
+  const std::string &diskDir() const { return Dir; }
+
+private:
+  std::string pathFor(const std::string &Key) const;
+
+  mutable std::mutex Mutex;
+  std::map<std::string, std::string> Mem;
+  std::string Dir;
+  bool DirReady = false; ///< Created (or found) the disk directory.
+  ArtifactCacheStats Stats;
+};
+
+} // namespace ipra
+
+#endif // IPRA_DRIVER_ARTIFACTCACHE_H

@@ -4,21 +4,16 @@
 // "Register Allocation Across Procedure and Module Boundaries", PLDI 1990.
 //
 //===----------------------------------------------------------------------===//
+//
+// Thin wrappers over the Pipeline facade. Every call constructs a fresh
+// Pipeline, so the functions behave like cold builds (plus whatever the
+// configuration's CacheDir already holds on disk).
+//
+//===----------------------------------------------------------------------===//
 
 #include "driver/Driver.h"
 
-#include "codegen/CodeGen.h"
-#include "ir/IRGen.h"
-#include "ir/Verifier.h"
-#include "lang/Lexer.h"
-#include "lang/Parser.h"
-#include "lang/Sema.h"
-#include "link/Linker.h"
 #include "link/ObjectIO.h"
-#include "opt/Passes.h"
-#include "support/ThreadPool.h"
-
-#include <optional>
 
 using namespace ipra;
 
@@ -33,404 +28,20 @@ const char *ipra::runtimeModuleSource() {
          "}\n";
 }
 
-PipelineConfig PipelineConfig::baseline() { return PipelineConfig(); }
-
-PipelineConfig PipelineConfig::configA() {
-  PipelineConfig C;
-  C.Ipra = true;
-  C.SpillMotion = true;
-  return C;
-}
-
-PipelineConfig PipelineConfig::configB() {
-  PipelineConfig C = configA();
-  C.UseProfile = true;
-  return C;
-}
-
-PipelineConfig PipelineConfig::configC() {
-  PipelineConfig C = configA();
-  C.Promotion = PromotionMode::Webs;
-  return C;
-}
-
-PipelineConfig PipelineConfig::configD() {
-  PipelineConfig C = configA();
-  C.Promotion = PromotionMode::Greedy;
-  return C;
-}
-
-PipelineConfig PipelineConfig::configE() {
-  PipelineConfig C = configA();
-  C.Promotion = PromotionMode::Blanket;
-  return C;
-}
-
-PipelineConfig PipelineConfig::configF() {
-  PipelineConfig C = configC();
-  C.UseProfile = true;
-  return C;
-}
-
-namespace {
-
-/// Parses and checks one module; returns null on error.
-std::unique_ptr<ModuleAST> frontEnd(const SourceFile &Source,
-                                    DiagnosticEngine &Diags) {
-  Lexer Lex(Source.Name, Source.Text, Diags);
-  Parser P(Source.Name, Lex.lexAll(), Diags);
-  auto AST = P.parseModule();
-  if (Diags.hasErrors())
-    return nullptr;
-  Sema S(Diags);
-  if (!S.run(*AST))
-    return nullptr;
-  return AST;
-}
-
-/// Per-function level-2 optimization, with promoted globals excluded
-/// from local promotion (§5: the dedicated register takes over).
-void optimizeForDirectives(IRModule &IR, const ProgramDatabase *DB,
-                           bool LocalGlobalPromotion) {
-  for (auto &F : IR.Functions) {
-    OptOptions Options;
-    Options.LocalGlobalPromotion = LocalGlobalPromotion;
-    if (DB) {
-      ProcDirectives Dir = DB->lookup(F->qualifiedName());
-      for (const PromotedGlobal &P : Dir.Promoted) {
-        // Directive names are qualified; the local pass sees plain
-        // module-level names.
-        std::string Plain = P.QualName;
-        size_t Colon = Plain.rfind(':');
-        if (Colon != std::string::npos)
-          Plain = Plain.substr(Colon + 1);
-        Options.SkipGlobals.insert(Plain);
-      }
-    }
-    optimizeFunction(*F, Options);
-  }
-}
-
-/// One function's position in the flattened cross-module work list
-/// both phases use for parallel code generation.
-struct FuncJob {
-  size_t Module = 0;
-  size_t Func = 0;
-};
-
-/// Flattens every function of every module into one work list, so
-/// small programs with few modules still fill all workers during code
-/// generation (generateCode takes the module and function const).
-std::vector<FuncJob>
-flattenFunctions(const std::vector<std::unique_ptr<IRModule>> &IRs) {
-  std::vector<FuncJob> Jobs;
-  for (size_t M = 0; M < IRs.size(); ++M)
-    for (size_t F = 0; F < IRs[M]->Functions.size(); ++F)
-      Jobs.push_back(FuncJob{M, F});
-  return Jobs;
-}
-
-/// The first non-empty per-module error, in module order, so the
-/// reported error does not depend on worker scheduling.
-const std::string *firstError(const std::vector<std::string> &Errors) {
-  for (const std::string &E : Errors)
-    if (!E.empty())
-      return &E;
-  return nullptr;
-}
-
-CompileResult compileProgramImpl(const std::vector<SourceFile> &Sources,
-                                 const PipelineConfig &Config,
-                                 const ProfileData *Profile) {
-  CompileResult Result;
-  PipelineStats &PS = Result.Pipeline;
-  const unsigned Threads = resolveThreadCount(Config.NumThreads);
-  ThreadPool Pool(Threads);
-  PS.ThreadsUsed = Threads;
-
-  std::vector<SourceFile> AllSources = Sources;
-  AllSources.push_back(SourceFile{"__runtime.mc", runtimeModuleSource()});
-  const size_t NumModules = AllSources.size();
-  PS.Modules.resize(NumModules);
-  for (size_t I = 0; I < NumModules; ++I)
-    PS.Modules[I].Name = AllSources[I].Name;
-
-  // ---- Front end (shared by both phases; the paper recompiled the
-  // source text in phase two, we re-lower from the checked AST). Each
-  // module gets its own diagnostic engine; merging in module order
-  // keeps the rendered text independent of worker scheduling.
-  std::vector<std::unique_ptr<ModuleAST>> ASTs(NumModules);
-  std::vector<DiagnosticEngine> ModuleDiags(NumModules);
-  {
-    ScopedTimerMs Timer(PS.FrontEndMs);
-    parallelForEach(Pool, NumModules, [&](size_t I) {
-      ScopedTimerMs ModuleTimer(PS.Modules[I].FrontEndMs);
-      ASTs[I] = frontEnd(AllSources[I], ModuleDiags[I]);
-    });
-  }
-  for (size_t I = 0; I < NumModules; ++I) {
-    if (!ASTs[I]) {
-      DiagnosticEngine Merged;
-      for (const DiagnosticEngine &D : ModuleDiags)
-        Merged.append(D);
-      Result.ErrorText = Merged.renderAll();
-      return Result;
-    }
-  }
-
-  // ---- Compiler first phase: optimize, trial codegen, summary file.
-  ProgramDatabase DB;
-  bool HaveDB = false;
-  if (Config.Ipra) {
-    std::vector<ModuleSummary> Summaries(NumModules);
-    {
-      ScopedTimerMs Timer(PS.Phase1Ms);
-      std::vector<std::unique_ptr<IRModule>> IRs(NumModules);
-      std::vector<std::string> Errors(NumModules);
-      parallelForEach(Pool, NumModules, [&](size_t I) {
-        ScopedTimerMs ModuleTimer(PS.Modules[I].Phase1Ms);
-        DiagnosticEngine Diags;
-        auto IR = generateIR(*ASTs[I], Diags);
-        auto Problems = verifyModule(*IR);
-        if (!Problems.empty()) {
-          Errors[I] = "phase 1 IR verification failed: " + Problems[0];
-          return;
-        }
-        optimizeForDirectives(*IR, nullptr, Config.LocalGlobalPromotion);
-        IRs[I] = std::move(IR);
-      });
-      if (const std::string *E = firstError(Errors)) {
-        Result.ErrorText = *E;
-        return Result;
-      }
-
-      // Trial code generation for the register-need estimates and the
-      // caller-saves footprints (§6, §7.6.2), parallel across every
-      // function of every module.
-      std::vector<FuncJob> Jobs = flattenFunctions(IRs);
-      std::vector<std::vector<std::optional<TrialCodeGenInfo>>> Trial(
-          NumModules);
-      for (size_t M = 0; M < NumModules; ++M)
-        Trial[M].resize(IRs[M]->Functions.size());
-      std::vector<double> JobMs(Jobs.size(), 0);
-      parallelForEach(Pool, Jobs.size(), [&](size_t J) {
-        ScopedTimerMs JobTimer(JobMs[J]);
-        const IRModule &IR = *IRs[Jobs[J].Module];
-        CodeGenResult CG = generateCode(
-            IR, *IR.Functions[Jobs[J].Func], ProcDirectives());
-        if (CG.Success)
-          Trial[Jobs[J].Module][Jobs[J].Func] = TrialCodeGenInfo{
-              CG.RA.CalleeRegsUsed,
-              static_cast<unsigned>(CG.CallerRegsWritten)};
-      });
-      for (size_t J = 0; J < Jobs.size(); ++J)
-        PS.Modules[Jobs[J].Module].Phase1Ms += JobMs[J];
-
-      // Summary emission, round-tripped through the textual
-      // summary-file format.
-      std::vector<std::string> SummaryTexts(NumModules);
-      parallelForEach(Pool, NumModules, [&](size_t I) {
-        ScopedTimerMs ModuleTimer(PS.Modules[I].Phase1Ms);
-        std::map<std::string, TrialCodeGenInfo> Estimates;
-        for (size_t F = 0; F < Trial[I].size(); ++F)
-          if (Trial[I][F])
-            Estimates[IRs[I]->Functions[F]->Name] = *Trial[I][F];
-        ModuleSummary Summary = buildModuleSummary(*IRs[I], Estimates);
-        std::string Text = writeSummary(Summary);
-        ModuleSummary Parsed;
-        std::string Error;
-        if (!readSummary(Text, Parsed, Error)) {
-          Errors[I] = "summary round-trip failed: " + Error;
-          return;
-        }
-        SummaryTexts[I] = std::move(Text);
-        Summaries[I] = std::move(Parsed);
-      });
-      for (size_t I = 0; I < NumModules; ++I) {
-        PS.Modules[I].Functions =
-            static_cast<unsigned>(IRs[I]->Functions.size());
-        PS.Modules[I].SummaryBytes = SummaryTexts[I].size();
-        PS.SummaryBytes += SummaryTexts[I].size();
-      }
-      Result.SummaryFiles = std::move(SummaryTexts);
-      if (const std::string *E = firstError(Errors)) {
-        Result.ErrorText = *E;
-        return Result;
-      }
-    }
-
-    // ---- Program analyzer: the one whole-program step, always
-    // single-threaded (it is the paper's sequential bottleneck).
-    ScopedTimerMs Timer(PS.AnalyzerMs);
-    AnalyzerOptions Options;
-    Options.SpillMotion = Config.SpillMotion;
-    Options.Promotion = Config.Promotion;
-    Options.WebPool = Config.WebPool;
-    Options.BlanketCount = Config.BlanketCount;
-    Options.Webs = Config.Webs;
-    Options.Clusters = Config.Clusters;
-    Options.RegSets.RelaxWebAvail = Config.RelaxWebAvail;
-    Options.RegSets.ImprovedFreeSets = Config.ImprovedFreeSets;
-    Options.CallerSavePropagation = Config.CallerSavePropagation;
-
-    CallProfile CP;
-    if (Config.UseProfile && Profile) {
-      CP.CallCounts = Profile->CallCounts;
-      CP.EdgeCounts = Profile->EdgeCounts;
-    }
-
-    ProgramDatabase Produced =
-        runAnalyzer(Summaries, Options, CP, &Result.Stats);
-    // Round-trip through the database file format (§2).
-    Result.DatabaseFile = Produced.serialize();
-    PS.DatabaseBytes = Result.DatabaseFile.size();
-    std::string Error;
-    if (!ProgramDatabase::deserialize(Result.DatabaseFile, DB, Error)) {
-      Result.ErrorText = "database round-trip failed: " + Error;
-      return Result;
-    }
-    HaveDB = true;
-  }
-
-  // ---- Compiler second phase: per-module compilation to objects.
-  std::vector<ObjectFile> Objects(NumModules);
-  {
-    ScopedTimerMs Timer(PS.Phase2Ms);
-    std::vector<std::unique_ptr<IRModule>> IRs(NumModules);
-    std::vector<std::string> Errors(NumModules);
-    parallelForEach(Pool, NumModules, [&](size_t I) {
-      ScopedTimerMs ModuleTimer(PS.Modules[I].Phase2Ms);
-      DiagnosticEngine Diags;
-      auto IR = generateIR(*ASTs[I], Diags);
-      optimizeForDirectives(*IR, HaveDB ? &DB : nullptr,
-                            Config.LocalGlobalPromotion);
-      auto Problems = verifyModule(*IR);
-      if (!Problems.empty()) {
-        Errors[I] = "phase 2 IR verification failed: " + Problems[0];
-        return;
-      }
-      IRs[I] = std::move(IR);
-    });
-    if (const std::string *E = firstError(Errors)) {
-      Result.ErrorText = *E;
-      return Result;
-    }
-
-    // Per-callee clobber masks for the §7.6.2 extension; without a
-    // database (or with the extension off) every call clobbers fully.
-    // The resolver only reads the database, so workers share it.
-    CallClobberResolver Clobbers;
-    if (HaveDB && Config.CallerSavePropagation)
-      Clobbers = [&DB](const std::string &Callee) {
-        return DB.lookup(Callee).SubtreeClobber;
-      };
-
-    // Code generation, parallel across every function of every module;
-    // each function writes into its (module, function) slot so object
-    // files come out byte-identical at any thread count.
-    std::vector<FuncJob> Jobs = flattenFunctions(IRs);
-    std::vector<std::vector<ObjFunction>> Funcs(NumModules);
-    for (size_t M = 0; M < NumModules; ++M)
-      Funcs[M].resize(IRs[M]->Functions.size());
-    std::vector<std::string> JobErrors(Jobs.size());
-    std::vector<double> JobMs(Jobs.size(), 0);
-    parallelForEach(Pool, Jobs.size(), [&](size_t J) {
-      ScopedTimerMs JobTimer(JobMs[J]);
-      const IRModule &IR = *IRs[Jobs[J].Module];
-      const auto &F = *IR.Functions[Jobs[J].Func];
-      ProcDirectives Dir =
-          HaveDB ? DB.lookup(F.qualifiedName()) : ProcDirectives();
-      Dir.Caller &= ~Config.LinkerReservedRegs;
-      Dir.Callee &= ~Config.LinkerReservedRegs;
-      Dir.Free &= ~Config.LinkerReservedRegs;
-      CodeGenResult CG = generateCode(IR, F, Dir, Clobbers);
-      if (!CG.Success) {
-        JobErrors[J] =
-            "register allocation failed for " + F.qualifiedName();
-        return;
-      }
-      Funcs[Jobs[J].Module][Jobs[J].Func] = std::move(CG.Obj);
-    });
-    for (size_t J = 0; J < Jobs.size(); ++J)
-      PS.Modules[Jobs[J].Module].Phase2Ms += JobMs[J];
-    if (const std::string *E = firstError(JobErrors)) {
-      Result.ErrorText = *E;
-      return Result;
-    }
-
-    // Object assembly, round-tripped through the textual object-file
-    // format: the object really is a standalone artifact, like the
-    // paper's per-module object files.
-    std::vector<std::string> ObjTexts(NumModules);
-    parallelForEach(Pool, NumModules, [&](size_t I) {
-      ScopedTimerMs ModuleTimer(PS.Modules[I].Phase2Ms);
-      ObjectFile Obj;
-      Obj.Module = IRs[I]->Name;
-      for (const IRGlobal &G : IRs[I]->Globals) {
-        ObjGlobal OG;
-        OG.QualName = G.qualifiedName();
-        OG.SizeWords = G.SizeWords;
-        OG.Init = G.Init;
-        if (!G.FuncInit.empty()) {
-          // Resolve the initializer function's qualified name.
-          OG.FuncInit = G.FuncInit;
-          for (const auto &F : IRs[I]->Functions)
-            if (F->Name == G.FuncInit)
-              OG.FuncInit = F->qualifiedName();
-        }
-        Obj.Globals.push_back(std::move(OG));
-      }
-      for (ObjFunction &F : Funcs[I])
-        Obj.Functions.push_back(std::move(F));
-      std::string ObjText = writeObjectFile(Obj);
-      ObjectFile Parsed;
-      std::string Error;
-      if (!readObjectFile(ObjText, Parsed, Error)) {
-        Errors[I] = "object round-trip failed: " + Error;
-        return;
-      }
-      ObjTexts[I] = std::move(ObjText);
-      Objects[I] = std::move(Parsed);
-    });
-    for (size_t I = 0; I < NumModules; ++I) {
-      PS.Modules[I].Functions =
-          static_cast<unsigned>(Funcs[I].size());
-      PS.Modules[I].ObjectBytes = ObjTexts[I].size();
-      PS.ObjectBytes += ObjTexts[I].size();
-    }
-    Result.ObjectFiles = std::move(ObjTexts);
-    if (const std::string *E = firstError(Errors)) {
-      Result.ErrorText = *E;
-      return Result;
-    }
-  }
-
-  // ---- Link.
-  ScopedTimerMs Timer(PS.LinkMs);
-  LinkResult Linked = linkObjects(Objects);
-  if (!Linked.Success) {
-    Result.ErrorText = "link failed:";
-    for (const std::string &E : Linked.Errors)
-      Result.ErrorText += "\n  " + E;
-    return Result;
-  }
-  Result.Exe = std::move(Linked.Exe);
-  Result.Success = true;
-  return Result;
-}
-
-} // namespace
-
 CompileResult ipra::compileProgram(const std::vector<SourceFile> &Sources,
                                    const PipelineConfig &Config,
                                    const ProfileData *Profile) {
-  double TotalMs = 0;
+  Pipeline P(Config);
+  BuildResult Built = P.build(Sources, Profile);
   CompileResult Result;
-  {
-    ScopedTimerMs Timer(TotalMs);
-    Result = compileProgramImpl(Sources, Config, Profile);
-  }
-  Result.Pipeline.TotalMs = TotalMs;
+  Result.Success = Built.ok();
+  Result.ErrorText = Built.Diags.text();
+  Result.Exe = std::move(Built.Exe);
+  Result.Stats = Built.Analyzer;
+  Result.Pipeline = std::move(Built.Stats);
+  Result.SummaryFiles = std::move(Built.SummaryFiles);
+  Result.DatabaseFile = std::move(Built.DatabaseFile);
+  Result.ObjectFiles = std::move(Built.ObjectFiles);
   return Result;
 }
 
@@ -450,139 +61,48 @@ CompileAndRunResult ipra::compileAndRun(
 
 Phase1Result ipra::runPhase1(const SourceFile &Source,
                              const PipelineConfig &Config) {
+  Pipeline P(Config);
+  SummaryResult R = P.compileSummary(Source);
   Phase1Result Result;
-  DiagnosticEngine Diags;
-  auto AST = frontEnd(Source, Diags);
-  if (!AST) {
-    Result.ErrorText = Diags.renderAll();
-    return Result;
-  }
-  auto IR = generateIR(*AST, Diags);
-  auto Problems = verifyModule(*IR);
-  if (!Problems.empty()) {
-    Result.ErrorText = "IR verification failed: " + Problems[0];
-    return Result;
-  }
-  optimizeForDirectives(*IR, nullptr, Config.LocalGlobalPromotion);
-
-  std::map<std::string, TrialCodeGenInfo> Estimates;
-  for (auto &F : IR->Functions) {
-    CodeGenResult CG = generateCode(*IR, *F, ProcDirectives());
-    if (CG.Success)
-      Estimates[F->Name] = TrialCodeGenInfo{
-          CG.RA.CalleeRegsUsed,
-          static_cast<unsigned>(CG.CallerRegsWritten)};
-  }
-  Result.SummaryText = writeSummary(buildModuleSummary(*IR, Estimates));
-  Result.Success = true;
+  Result.Success = R.ok();
+  Result.ErrorText = R.Diags.text();
+  Result.SummaryText = std::move(R.SummaryText);
   return Result;
 }
 
 AnalyzeResult ipra::runAnalyzerPhase(
     const std::vector<std::string> &SummaryTexts,
     const PipelineConfig &Config, const ProfileData *Profile) {
+  Pipeline P(Config);
+  DatabaseResult R = P.analyze(SummaryTexts, Profile);
   AnalyzeResult Result;
-  std::vector<ModuleSummary> Summaries;
-  for (const std::string &Text : SummaryTexts) {
-    ModuleSummary S;
-    std::string Error;
-    if (!readSummary(Text, S, Error)) {
-      Result.ErrorText = "bad summary file: " + Error;
-      return Result;
-    }
-    Summaries.push_back(std::move(S));
-  }
-
-  AnalyzerOptions Options;
-  Options.SpillMotion = Config.SpillMotion;
-  Options.Promotion = Config.Promotion;
-  Options.WebPool = Config.WebPool;
-  Options.BlanketCount = Config.BlanketCount;
-  Options.Webs = Config.Webs;
-  Options.Clusters = Config.Clusters;
-  Options.RegSets.RelaxWebAvail = Config.RelaxWebAvail;
-  Options.RegSets.ImprovedFreeSets = Config.ImprovedFreeSets;
-  Options.CallerSavePropagation = Config.CallerSavePropagation;
-  Options.AssumeClosedWorld = Config.AssumeClosedWorld;
-
-  CallProfile CP;
-  if (Config.UseProfile && Profile) {
-    CP.CallCounts = Profile->CallCounts;
-    CP.EdgeCounts = Profile->EdgeCounts;
-  }
-  Result.DatabaseText =
-      runAnalyzer(Summaries, Options, CP, &Result.Stats).serialize();
-  Result.Success = true;
+  Result.Success = R.ok();
+  Result.ErrorText = R.Diags.text();
+  Result.DatabaseText = std::move(R.DatabaseText);
+  Result.Stats = R.Stats;
   return Result;
 }
 
 Phase2Result ipra::runPhase2(const SourceFile &Source,
                              const std::string &DatabaseText,
                              const PipelineConfig &Config) {
+  Pipeline P(Config);
+  ObjectResult R = P.compileObject(Source, DatabaseText);
   Phase2Result Result;
-  ProgramDatabase DB;
-  bool HaveDB = !DatabaseText.empty();
-  if (HaveDB) {
-    std::string Error;
-    if (!ProgramDatabase::deserialize(DatabaseText, DB, Error)) {
-      Result.ErrorText = "bad program database: " + Error;
-      return Result;
-    }
-  }
+  Result.Success = R.ok();
+  Result.ErrorText = R.Diags.text();
+  Result.ObjectText = std::move(R.ObjectText);
+  return Result;
+}
 
-  DiagnosticEngine Diags;
-  auto AST = frontEnd(Source, Diags);
-  if (!AST) {
-    Result.ErrorText = Diags.renderAll();
-    return Result;
-  }
-  auto IR = generateIR(*AST, Diags);
-  optimizeForDirectives(*IR, HaveDB ? &DB : nullptr,
-                        Config.LocalGlobalPromotion);
-  auto Problems = verifyModule(*IR);
-  if (!Problems.empty()) {
-    Result.ErrorText = "IR verification failed: " + Problems[0];
-    return Result;
-  }
-
-  ObjectFile Obj;
-  Obj.Module = IR->Name;
-  for (const IRGlobal &G : IR->Globals) {
-    ObjGlobal OG;
-    OG.QualName = G.qualifiedName();
-    OG.SizeWords = G.SizeWords;
-    OG.Init = G.Init;
-    if (!G.FuncInit.empty()) {
-      OG.FuncInit = G.FuncInit;
-      for (const auto &F : IR->Functions)
-        if (F->Name == G.FuncInit)
-          OG.FuncInit = F->qualifiedName();
-    }
-    Obj.Globals.push_back(std::move(OG));
-  }
-
-  CallClobberResolver Clobbers;
-  if (HaveDB && Config.CallerSavePropagation)
-    Clobbers = [&DB](const std::string &Callee) {
-      return DB.lookup(Callee).SubtreeClobber;
-    };
-
-  for (auto &F : IR->Functions) {
-    ProcDirectives Dir =
-        HaveDB ? DB.lookup(F->qualifiedName()) : ProcDirectives();
-    Dir.Caller &= ~Config.LinkerReservedRegs;
-    Dir.Callee &= ~Config.LinkerReservedRegs;
-    Dir.Free &= ~Config.LinkerReservedRegs;
-    CodeGenResult CG = generateCode(*IR, *F, Dir, Clobbers);
-    if (!CG.Success) {
-      Result.ErrorText =
-          "register allocation failed for " + F->qualifiedName();
-      return Result;
-    }
-    Obj.Functions.push_back(std::move(CG.Obj));
-  }
-  Result.ObjectText = writeObjectFile(Obj);
-  Result.Success = true;
+LinkTextsResult ipra::linkObjectTexts(
+    const std::vector<std::string> &Objects) {
+  Pipeline P((PipelineConfig()));
+  LinkedResult R = P.link(Objects);
+  LinkTextsResult Result;
+  Result.Success = R.ok();
+  Result.ErrorText = R.Diags.text();
+  Result.Exe = std::move(R.Exe);
   return Result;
 }
 
@@ -599,11 +119,12 @@ ipra::compileWallStyle(const std::vector<SourceFile> &Sources,
   // Baseline second phase per module (an empty database text means the
   // standard linkage convention), round-tripped through the textual
   // object format like every other pipeline.
+  Pipeline P(Base);
   std::vector<ObjectFile> Objects;
   for (const SourceFile &Src : AllSources) {
-    Phase2Result P2 = runPhase2(Src, "", Base);
-    if (!P2.Success) {
-      Result.ErrorText = P2.ErrorText;
+    ObjectResult P2 = P.compileObject(Src, "");
+    if (!P2.ok()) {
+      Result.ErrorText = P2.Diags.text();
       return Result;
     }
     ObjectFile Obj;
@@ -617,31 +138,6 @@ ipra::compileWallStyle(const std::vector<SourceFile> &Sources,
 
   WallLinkResult Linked = linkObjectsWallStyle(std::move(Objects), Options);
   Result.LinkStats = Linked.Stats;
-  if (!Linked.Success) {
-    Result.ErrorText = "link failed:";
-    for (const std::string &E : Linked.Errors)
-      Result.ErrorText += "\n  " + E;
-    return Result;
-  }
-  Result.Exe = std::move(Linked.Exe);
-  Result.Success = true;
-  return Result;
-}
-
-LinkTextsResult ipra::linkObjectTexts(
-    const std::vector<std::string> &Objects) {
-  LinkTextsResult Result;
-  std::vector<ObjectFile> Parsed;
-  for (const std::string &Text : Objects) {
-    ObjectFile Obj;
-    std::string Error;
-    if (!readObjectFile(Text, Obj, Error)) {
-      Result.ErrorText = "bad object file: " + Error;
-      return Result;
-    }
-    Parsed.push_back(std::move(Obj));
-  }
-  LinkResult Linked = linkObjects(Parsed);
   if (!Linked.Success) {
     Result.ErrorText = "link failed:";
     for (const std::string &E : Linked.Errors)

@@ -22,12 +22,19 @@
 /// summary files and program database really are serialized to text and
 /// parsed back between phases, keeping the module boundary honest.
 ///
+/// The functions here are convenience wrappers over the Pipeline facade
+/// (Pipeline.h); each call runs against a fresh cache, so they behave
+/// like a cold build. Hold a Pipeline object (or set
+/// PipelineConfig::CacheDir) for incremental reuse.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef IPRA_DRIVER_DRIVER_H
 #define IPRA_DRIVER_DRIVER_H
 
 #include "core/Analyzer.h"
+#include "driver/Pipeline.h"
+#include "driver/PipelineConfig.h"
 #include "driver/PipelineStats.h"
 #include "link/LinkOpt.h"
 #include "link/Object.h"
@@ -37,61 +44,6 @@
 #include <vector>
 
 namespace ipra {
-
-/// One MiniC source module.
-struct SourceFile {
-  std::string Name;
-  std::string Text;
-};
-
-/// Pipeline configuration. The six analyzer configurations of Table 4
-/// are provided as named presets.
-struct PipelineConfig {
-  /// Run the program analyzer at all; false = level-2 baseline.
-  bool Ipra = false;
-  bool SpillMotion = false;
-  PromotionMode Promotion = PromotionMode::None;
-  RegMask WebPool = pr32::defaultWebColoringPool();
-  int BlanketCount = 6;
-  bool UseProfile = false; ///< Consume supplied profile data (§6.1 B/F).
-  /// Level-2 intraprocedural global promotion (on in every column).
-  bool LocalGlobalPromotion = true;
-  /// §7.6.2 extensions (off by default; ablation benches flip them).
-  bool RelaxWebAvail = false;
-  bool ImprovedFreeSets = false;
-  bool CallerSavePropagation = false;
-  /// §7.2: set false when the sources are a library fragment rather
-  /// than a whole program (only meaningful for the phase-granular API;
-  /// compileProgram always has main and the runtime).
-  bool AssumeClosedWorld = true;
-  WebOptions Webs;
-  ClusterOptions Clusters;
-  /// [Wall 86] compiler cooperation: registers the allocator must leave
-  /// untouched so the linker can assign them at link time (see
-  /// link/LinkOpt.h). Zero for every two-pass configuration.
-  RegMask LinkerReservedRegs = 0;
-  /// Worker threads for the module-parallel pipeline stages (both
-  /// compiler phases; the analyzer is always single-threaded). 0 means
-  /// take the IPRA_THREADS environment variable, falling back to the
-  /// hardware thread count; 1 compiles serially on the calling thread.
-  /// Artifacts are byte-identical at every thread count.
-  int NumThreads = 0;
-
-  /// Level-2 optimization only (the Table 4/5 baseline).
-  static PipelineConfig baseline();
-  /// Column A: spill code motion only.
-  static PipelineConfig configA();
-  /// Column B: spill motion with profile information.
-  static PipelineConfig configB();
-  /// Column C: spill motion and 6-register web coloring.
-  static PipelineConfig configC();
-  /// Column D: spill motion and greedy coloring.
-  static PipelineConfig configD();
-  /// Column E: spill motion and blanket promotion.
-  static PipelineConfig configE();
-  /// Column F: spill motion and 6-register coloring with profile.
-  static PipelineConfig configF();
-};
 
 /// Output of a full pipeline run.
 struct CompileResult {
@@ -131,7 +83,8 @@ const char *runtimeModuleSource();
 // Phase-granular API: each paper phase as a standalone step over real
 // textual artifacts, so modules can be processed independently and in
 // any order (the property §4.3 highlights). compileProgram() is the
-// same pipeline fused for convenience.
+// same pipeline fused for convenience. These wrappers adapt the
+// structured Pipeline results to the original bool + ErrorText shape.
 //===----------------------------------------------------------------------===//
 
 /// Compiler first phase on one module: returns the summary file text.

@@ -1,0 +1,757 @@
+//===- Pipeline.cpp - Phase-granular incremental pipeline -----------------===//
+//
+// Part of the IPRA project: a reproduction of Santhanam & Odnert,
+// "Register Allocation Across Procedure and Module Boundaries", PLDI 1990.
+//
+//===----------------------------------------------------------------------===//
+
+#include "driver/Pipeline.h"
+
+#include "codegen/CodeGen.h"
+#include "driver/Driver.h"
+#include "ir/IRGen.h"
+#include "ir/Verifier.h"
+#include "lang/Lexer.h"
+#include "lang/Parser.h"
+#include "lang/Sema.h"
+#include "link/Linker.h"
+#include "link/ObjectIO.h"
+#include "opt/Passes.h"
+#include "support/Hash.h"
+#include "support/ThreadPool.h"
+
+#include <optional>
+#include <sstream>
+
+using namespace ipra;
+
+std::string Diagnostics::text() const {
+  std::string Out;
+  for (const Diagnostic &D : Items) {
+    if (D.Module.empty() && !D.Loc.isValid()) {
+      // Pipeline-level error: the message is the whole text.
+      Out += D.Message;
+    } else {
+      Out += D.render();
+      Out += '\n';
+    }
+  }
+  return Out;
+}
+
+namespace {
+
+/// Parses and checks one module; returns null on error.
+std::unique_ptr<ModuleAST> frontEnd(const SourceFile &Source,
+                                    DiagnosticEngine &Diags) {
+  Lexer Lex(Source.Name, Source.Text, Diags);
+  Parser P(Source.Name, Lex.lexAll(), Diags);
+  auto AST = P.parseModule();
+  if (Diags.hasErrors())
+    return nullptr;
+  Sema S(Diags);
+  if (!S.run(*AST))
+    return nullptr;
+  return AST;
+}
+
+/// Per-function level-2 optimization, with promoted globals excluded
+/// from local promotion (§5: the dedicated register takes over).
+void optimizeForDirectives(IRModule &IR, const ProgramDatabase *DB,
+                           bool LocalGlobalPromotion) {
+  for (auto &F : IR.Functions) {
+    OptOptions Options;
+    Options.LocalGlobalPromotion = LocalGlobalPromotion;
+    if (DB) {
+      ProcDirectives Dir = DB->lookup(F->qualifiedName());
+      for (const PromotedGlobal &P : Dir.Promoted) {
+        // Directive names are qualified; the local pass sees plain
+        // module-level names.
+        std::string Plain = P.QualName;
+        size_t Colon = Plain.rfind(':');
+        if (Colon != std::string::npos)
+          Plain = Plain.substr(Colon + 1);
+        Options.SkipGlobals.insert(Plain);
+      }
+    }
+    optimizeFunction(*F, Options);
+  }
+}
+
+/// One function's position in the flattened cross-module work list
+/// both phases use for parallel code generation.
+struct FuncJob {
+  size_t Module = 0;
+  size_t Func = 0;
+};
+
+/// The first non-empty per-module error, in module order, so the
+/// reported error does not depend on worker scheduling.
+const std::string *firstError(const std::vector<std::string> &Errors) {
+  for (const std::string &E : Errors)
+    if (!E.empty())
+      return &E;
+  return nullptr;
+}
+
+/// Assembles the textual object file for one compiled module.
+ObjectFile assembleObject(const IRModule &IR,
+                          std::vector<ObjFunction> Funcs) {
+  ObjectFile Obj;
+  Obj.Module = IR.Name;
+  for (const IRGlobal &G : IR.Globals) {
+    ObjGlobal OG;
+    OG.QualName = G.qualifiedName();
+    OG.SizeWords = G.SizeWords;
+    OG.Init = G.Init;
+    if (!G.FuncInit.empty()) {
+      // Resolve the initializer function's qualified name.
+      OG.FuncInit = G.FuncInit;
+      for (const auto &F : IR.Functions)
+        if (F->Name == G.FuncInit)
+          OG.FuncInit = F->qualifiedName();
+    }
+    Obj.Globals.push_back(std::move(OG));
+  }
+  for (ObjFunction &F : Funcs)
+    Obj.Functions.push_back(std::move(F));
+  return Obj;
+}
+
+/// Deterministic text rendering of a profile, for the analyzer cache
+/// key (std::map iteration is ordered).
+std::string serializeProfile(const CallProfile &CP) {
+  std::ostringstream OS;
+  for (const auto &[Name, N] : CP.CallCounts)
+    OS << "c " << Name << " " << N << "\n";
+  for (const auto &[Edge, N] : CP.EdgeCounts)
+    OS << "e " << Edge.first << " " << Edge.second << " " << N << "\n";
+  return OS.str();
+}
+
+/// The analyzer cache entry bundles the AnalyzerStats with the database
+/// text (a cached analyzer run must still report its statistics):
+/// one "analyzer-stats <9 counters>" line, then the database verbatim.
+std::string statsHeader(const AnalyzerStats &S) {
+  std::ostringstream OS;
+  OS << "analyzer-stats " << S.EligibleGlobals << " " << S.TotalWebs << " "
+     << S.ConsideredWebs << " " << S.ColoredWebs << " " << S.SplitWebs
+     << " " << S.RemergedWebs << " " << S.NumClusters << " "
+     << S.TotalClusterNodes << " " << S.MaxClusterSize << "\n";
+  return OS.str();
+}
+
+bool splitStatsEntry(const std::string &Entry, AnalyzerStats &S,
+                     std::string &DbText) {
+  size_t NL = Entry.find('\n');
+  if (NL == std::string::npos)
+    return false;
+  std::istringstream IS(Entry.substr(0, NL));
+  std::string Tag;
+  IS >> Tag >> S.EligibleGlobals >> S.TotalWebs >> S.ConsideredWebs >>
+      S.ColoredWebs >> S.SplitWebs >> S.RemergedWebs >> S.NumClusters >>
+      S.TotalClusterNodes >> S.MaxClusterSize;
+  if (Tag != "analyzer-stats" || IS.fail())
+    return false;
+  DbText = Entry.substr(NL + 1);
+  return true;
+}
+
+std::string summaryKey(const std::string &CompileFP,
+                       const SourceFile &Source) {
+  return hashParts({"summary", CompileFP, Source.Name, Source.Text});
+}
+
+std::string objectKey(const std::string &CompileFP,
+                      const SourceFile &Source, const std::string &Slice) {
+  return hashParts({"object", CompileFP, Source.Name, Source.Text, Slice});
+}
+
+} // namespace
+
+Pipeline::Pipeline(PipelineConfig Config_)
+    : Config(std::move(Config_)), Cache(Config.CacheDir),
+      CompileFP(Config.compileFingerprint()),
+      AnalyzerFP(Config.analyzerFingerprint()),
+      FullFP(Config.fingerprint()) {}
+
+//===----------------------------------------------------------------------===//
+// Phase-granular methods.
+//===----------------------------------------------------------------------===//
+
+SummaryResult Pipeline::compileSummary(const SourceFile &Source) {
+  SummaryResult Result;
+  std::string Key = summaryKey(CompileFP, Source);
+  if (auto Entry = Cache.get(Key)) {
+    ModuleSummary Parsed;
+    std::string Error;
+    if (readSummary(*Entry, Parsed, Error) &&
+        Parsed.ConfigFingerprint == CompileFP) {
+      Result.SummaryText = std::move(*Entry);
+      Result.FromCache = true;
+      Result.Status = PhaseStatus::Ok;
+      return Result;
+    }
+    Cache.invalidate(Key); // Corrupt or stale entry: recompute.
+  }
+
+  DiagnosticEngine Diags;
+  auto AST = frontEnd(Source, Diags);
+  if (!AST) {
+    Result.Diags.addAll(Diags);
+    return Result;
+  }
+  auto IR = generateIR(*AST, Diags);
+  auto Problems = verifyModule(*IR);
+  if (!Problems.empty()) {
+    Result.Diags.error("IR verification failed: " + Problems[0]);
+    return Result;
+  }
+  optimizeForDirectives(*IR, nullptr, Config.LocalGlobalPromotion);
+
+  std::map<std::string, TrialCodeGenInfo> Estimates;
+  for (auto &F : IR->Functions) {
+    CodeGenResult CG = generateCode(*IR, *F, ProcDirectives());
+    if (CG.Success)
+      Estimates[F->Name] = TrialCodeGenInfo{
+          CG.RA.CalleeRegsUsed,
+          static_cast<unsigned>(CG.CallerRegsWritten)};
+  }
+  ModuleSummary Summary = buildModuleSummary(*IR, Estimates);
+  Summary.ConfigFingerprint = CompileFP;
+  Result.SummaryText = writeSummary(Summary);
+  Cache.put(Key, Result.SummaryText);
+  Result.Status = PhaseStatus::Ok;
+  return Result;
+}
+
+bool Pipeline::analyzeCached(const std::vector<ModuleSummary> &Summaries,
+                             const std::vector<std::string> &SummaryTexts,
+                             const CallProfile &CP, AnalyzerStats &Stats,
+                             std::string &DbText, ProgramDatabase &DB,
+                             bool &FromCache, std::string &Error) {
+  FromCache = false;
+  std::string ProfileText = serializeProfile(CP);
+  std::vector<std::string_view> Parts{"database", AnalyzerFP, ProfileText};
+  for (const std::string &T : SummaryTexts)
+    Parts.push_back(T);
+  std::string Key = hashParts(Parts);
+
+  if (auto Entry = Cache.get(Key)) {
+    AnalyzerStats CachedStats;
+    std::string CachedDb;
+    if (splitStatsEntry(*Entry, CachedStats, CachedDb)) {
+      ProgramDatabase Parsed;
+      std::string ParseError;
+      if (ProgramDatabase::deserialize(CachedDb, Parsed, ParseError) &&
+          Parsed.ConfigFingerprint == FullFP) {
+        DB = std::move(Parsed);
+        DbText = std::move(CachedDb);
+        Stats = CachedStats;
+        FromCache = true;
+        return true;
+      }
+    }
+    Cache.invalidate(Key); // Corrupt or stale entry: recompute.
+  }
+
+  ProgramDatabase Produced =
+      runAnalyzer(Summaries, Config.analyzerOptions(), CP, &Stats);
+  Produced.ConfigFingerprint = FullFP;
+  // Round-trip through the database file format (§2).
+  DbText = Produced.serialize();
+  if (!ProgramDatabase::deserialize(DbText, DB, Error))
+    return false;
+  Cache.put(Key, statsHeader(Stats) + DbText);
+  return true;
+}
+
+DatabaseResult Pipeline::analyze(const std::vector<std::string> &SummaryTexts,
+                                 const ProfileData *Profile) {
+  DatabaseResult Result;
+  std::vector<ModuleSummary> Summaries;
+  for (const std::string &Text : SummaryTexts) {
+    ModuleSummary S;
+    std::string Error;
+    if (!readSummary(Text, S, Error)) {
+      Result.Diags.error("bad summary file: " + Error);
+      return Result;
+    }
+    if (!S.ConfigFingerprint.empty() && S.ConfigFingerprint != CompileFP) {
+      Result.Diags.error(
+          "bad summary file: summary for module '" + S.Module +
+          "' was produced under a different compiler configuration "
+          "(fingerprint " +
+          S.ConfigFingerprint + ", expected " + CompileFP +
+          "); re-run phase 1 with matching options");
+      return Result;
+    }
+    Summaries.push_back(std::move(S));
+  }
+
+  CallProfile CP;
+  if (Config.UseProfile && Profile) {
+    CP.CallCounts = Profile->CallCounts;
+    CP.EdgeCounts = Profile->EdgeCounts;
+  }
+  ProgramDatabase DB;
+  std::string Error;
+  if (!analyzeCached(Summaries, SummaryTexts, CP, Result.Stats,
+                     Result.DatabaseText, DB, Result.FromCache, Error)) {
+    Result.Diags.error("database round-trip failed: " + Error);
+    return Result;
+  }
+  Result.Status = PhaseStatus::Ok;
+  return Result;
+}
+
+ObjectResult Pipeline::compileObject(const SourceFile &Source,
+                                     const std::string &DatabaseText) {
+  ObjectResult Result;
+  ProgramDatabase DB;
+  bool HaveDB = !DatabaseText.empty();
+  if (HaveDB) {
+    std::string Error;
+    if (!ProgramDatabase::deserialize(DatabaseText, DB, Error)) {
+      Result.Diags.error("bad program database: " + Error);
+      return Result;
+    }
+    if (!DB.ConfigFingerprint.empty() && DB.ConfigFingerprint != FullFP) {
+      Result.Diags.error(
+          "bad program database: database was produced under a different "
+          "configuration (fingerprint " +
+          DB.ConfigFingerprint + ", expected " + FullFP +
+          "); re-run the analyzer with matching options");
+      return Result;
+    }
+  }
+
+  // Standalone calls have no summary to compute the precise database
+  // slice from; the whole database text stands in (build() keys on
+  // ProgramDatabase::sliceFor instead).
+  std::string Key = objectKey(CompileFP, Source, DatabaseText);
+  if (auto Entry = Cache.get(Key)) {
+    ObjectFile Parsed;
+    std::string Error;
+    if (readObjectFile(*Entry, Parsed, Error)) {
+      Result.ObjectText = std::move(*Entry);
+      Result.FromCache = true;
+      Result.Status = PhaseStatus::Ok;
+      return Result;
+    }
+    Cache.invalidate(Key); // Corrupt entry: recompute.
+  }
+
+  DiagnosticEngine Diags;
+  auto AST = frontEnd(Source, Diags);
+  if (!AST) {
+    Result.Diags.addAll(Diags);
+    return Result;
+  }
+  auto IR = generateIR(*AST, Diags);
+  optimizeForDirectives(*IR, HaveDB ? &DB : nullptr,
+                        Config.LocalGlobalPromotion);
+  auto Problems = verifyModule(*IR);
+  if (!Problems.empty()) {
+    Result.Diags.error("IR verification failed: " + Problems[0]);
+    return Result;
+  }
+
+  // Per-callee clobber masks for the §7.6.2 extension; without a
+  // database (or with the extension off) every call clobbers fully.
+  CallClobberResolver Clobbers;
+  if (HaveDB && Config.CallerSavePropagation)
+    Clobbers = [&DB](const std::string &Callee) {
+      return DB.lookup(Callee).SubtreeClobber;
+    };
+
+  std::vector<ObjFunction> Funcs;
+  for (auto &F : IR->Functions) {
+    ProcDirectives Dir =
+        HaveDB ? DB.lookup(F->qualifiedName()) : ProcDirectives();
+    Dir.Caller &= ~Config.LinkerReservedRegs;
+    Dir.Callee &= ~Config.LinkerReservedRegs;
+    Dir.Free &= ~Config.LinkerReservedRegs;
+    CodeGenResult CG = generateCode(*IR, *F, Dir, Clobbers);
+    if (!CG.Success) {
+      Result.Diags.error("register allocation failed for " +
+                         F->qualifiedName());
+      return Result;
+    }
+    Funcs.push_back(std::move(CG.Obj));
+  }
+  Result.ObjectText = writeObjectFile(assembleObject(*IR, std::move(Funcs)));
+  Cache.put(Key, Result.ObjectText);
+  Result.Status = PhaseStatus::Ok;
+  return Result;
+}
+
+LinkedResult Pipeline::link(const std::vector<std::string> &ObjectTexts) {
+  LinkedResult Result;
+  std::vector<ObjectFile> Parsed;
+  for (const std::string &Text : ObjectTexts) {
+    ObjectFile Obj;
+    std::string Error;
+    if (!readObjectFile(Text, Obj, Error)) {
+      Result.Diags.error("bad object file: " + Error);
+      return Result;
+    }
+    Parsed.push_back(std::move(Obj));
+  }
+  LinkResult Linked = linkObjects(Parsed);
+  if (!Linked.Success) {
+    std::string Text = "link failed:";
+    for (const std::string &E : Linked.Errors)
+      Text += "\n  " + E;
+    Result.Diags.error(std::move(Text));
+    return Result;
+  }
+  Result.Exe = std::move(Linked.Exe);
+  Result.Status = PhaseStatus::Ok;
+  return Result;
+}
+
+//===----------------------------------------------------------------------===//
+// The fused incremental build.
+//===----------------------------------------------------------------------===//
+
+BuildResult Pipeline::build(const std::vector<SourceFile> &Sources,
+                            const ProfileData *Profile) {
+  BuildResult Result;
+  PipelineStats &PS = Result.Stats;
+  ScopedTimerMs TotalTimer(PS.TotalMs);
+  const unsigned Threads = resolveThreadCount(Config.NumThreads);
+  ThreadPool Pool(Threads);
+  PS.ThreadsUsed = Threads;
+
+  std::vector<SourceFile> AllSources = Sources;
+  AllSources.push_back(SourceFile{"__runtime.mc", runtimeModuleSource()});
+  const size_t NumModules = AllSources.size();
+  PS.Modules.resize(NumModules);
+  for (size_t I = 0; I < NumModules; ++I)
+    PS.Modules[I].Name = AllSources[I].Name;
+
+  // ---- Front end, on demand: a module whose artifacts all come out of
+  // the cache is never parsed (the cached artifact proves the source it
+  // hashes compiled cleanly). Each module gets its own diagnostic
+  // engine; merging in module order keeps the rendered text independent
+  // of worker scheduling.
+  std::vector<std::unique_ptr<ModuleAST>> ASTs(NumModules);
+  std::vector<char> FrontEndRan(NumModules, 0);
+  std::vector<DiagnosticEngine> ModuleDiags(NumModules);
+  auto ensureFrontEnd = [&](const std::vector<size_t> &Need) {
+    std::vector<size_t> Run;
+    for (size_t I : Need)
+      if (!FrontEndRan[I])
+        Run.push_back(I);
+    if (!Run.empty()) {
+      ScopedTimerMs Timer(PS.FrontEndMs);
+      parallelForEach(Pool, Run.size(), [&](size_t J) {
+        size_t I = Run[J];
+        ScopedTimerMs ModuleTimer(PS.Modules[I].FrontEndMs);
+        ASTs[I] = frontEnd(AllSources[I], ModuleDiags[I]);
+        FrontEndRan[I] = 1;
+      });
+    }
+    bool Ok = true;
+    for (size_t I : Need)
+      Ok &= ASTs[I] != nullptr;
+    if (!Ok)
+      for (size_t I = 0; I < NumModules; ++I)
+        Result.Diags.addAll(ModuleDiags[I]);
+    return Ok;
+  };
+
+  // ---- Compiler first phase: optimize, trial codegen, summary file.
+  // Cache key: compile fingerprint x module name x source text.
+  ProgramDatabase DB;
+  bool HaveDB = false;
+  std::vector<ModuleSummary> Summaries(NumModules);
+  std::vector<std::string> SummaryTexts(NumModules);
+  if (Config.Ipra) {
+    {
+      ScopedTimerMs Timer(PS.Phase1Ms);
+      std::vector<std::string> Keys(NumModules);
+      std::vector<size_t> Miss;
+      for (size_t I = 0; I < NumModules; ++I) {
+        Keys[I] = summaryKey(CompileFP, AllSources[I]);
+        if (auto Entry = Cache.get(Keys[I])) {
+          ModuleSummary Parsed;
+          std::string Error;
+          if (readSummary(*Entry, Parsed, Error) &&
+              Parsed.ConfigFingerprint == CompileFP) {
+            SummaryTexts[I] = std::move(*Entry);
+            Summaries[I] = std::move(Parsed);
+            ++PS.Phase1CacheHits;
+            PS.Modules[I].Phase1FromCache = true;
+            PS.CacheBytesSaved += SummaryTexts[I].size();
+            continue;
+          }
+          Cache.invalidate(Keys[I]); // Corrupt entry: recompute.
+        }
+        ++PS.Phase1CacheMisses;
+        Miss.push_back(I);
+      }
+
+      if (!Miss.empty()) {
+        if (!ensureFrontEnd(Miss))
+          return Result;
+        std::vector<std::unique_ptr<IRModule>> IRs(NumModules);
+        std::vector<std::string> Errors(NumModules);
+        parallelForEach(Pool, Miss.size(), [&](size_t J) {
+          size_t I = Miss[J];
+          ScopedTimerMs ModuleTimer(PS.Modules[I].Phase1Ms);
+          DiagnosticEngine Diags;
+          auto IR = generateIR(*ASTs[I], Diags);
+          auto Problems = verifyModule(*IR);
+          if (!Problems.empty()) {
+            Errors[I] = "phase 1 IR verification failed: " + Problems[0];
+            return;
+          }
+          optimizeForDirectives(*IR, nullptr, Config.LocalGlobalPromotion);
+          IRs[I] = std::move(IR);
+        });
+        if (const std::string *E = firstError(Errors)) {
+          Result.Diags.error(*E);
+          return Result;
+        }
+
+        // Trial code generation for the register-need estimates and the
+        // caller-saves footprints (§6, §7.6.2), parallel across every
+        // function of every recompiled module.
+        std::vector<FuncJob> Jobs;
+        for (size_t I : Miss)
+          for (size_t F = 0; F < IRs[I]->Functions.size(); ++F)
+            Jobs.push_back(FuncJob{I, F});
+        std::vector<std::vector<std::optional<TrialCodeGenInfo>>> Trial(
+            NumModules);
+        for (size_t I : Miss)
+          Trial[I].resize(IRs[I]->Functions.size());
+        std::vector<double> JobMs(Jobs.size(), 0);
+        parallelForEach(Pool, Jobs.size(), [&](size_t J) {
+          ScopedTimerMs JobTimer(JobMs[J]);
+          const IRModule &IR = *IRs[Jobs[J].Module];
+          CodeGenResult CG = generateCode(
+              IR, *IR.Functions[Jobs[J].Func], ProcDirectives());
+          if (CG.Success)
+            Trial[Jobs[J].Module][Jobs[J].Func] = TrialCodeGenInfo{
+                CG.RA.CalleeRegsUsed,
+                static_cast<unsigned>(CG.CallerRegsWritten)};
+        });
+        for (size_t J = 0; J < Jobs.size(); ++J)
+          PS.Modules[Jobs[J].Module].Phase1Ms += JobMs[J];
+
+        // Summary emission, round-tripped through the textual
+        // summary-file format and stamped with the compile fingerprint.
+        parallelForEach(Pool, Miss.size(), [&](size_t J) {
+          size_t I = Miss[J];
+          ScopedTimerMs ModuleTimer(PS.Modules[I].Phase1Ms);
+          std::map<std::string, TrialCodeGenInfo> Estimates;
+          for (size_t F = 0; F < Trial[I].size(); ++F)
+            if (Trial[I][F])
+              Estimates[IRs[I]->Functions[F]->Name] = *Trial[I][F];
+          ModuleSummary Summary = buildModuleSummary(*IRs[I], Estimates);
+          Summary.ConfigFingerprint = CompileFP;
+          std::string Text = writeSummary(Summary);
+          ModuleSummary Parsed;
+          std::string Error;
+          if (!readSummary(Text, Parsed, Error)) {
+            Errors[I] = "summary round-trip failed: " + Error;
+            return;
+          }
+          SummaryTexts[I] = std::move(Text);
+          Summaries[I] = std::move(Parsed);
+        });
+        Result.SummaryFiles = SummaryTexts;
+        if (const std::string *E = firstError(Errors)) {
+          Result.Diags.error(*E);
+          return Result;
+        }
+        // Publish only once every miss round-tripped cleanly; failures
+        // are never cached.
+        for (size_t I : Miss)
+          Cache.put(Keys[I], SummaryTexts[I]);
+      }
+      Result.SummaryFiles = SummaryTexts;
+      for (size_t I = 0; I < NumModules; ++I) {
+        PS.Modules[I].SummaryBytes = SummaryTexts[I].size();
+        PS.SummaryBytes += SummaryTexts[I].size();
+      }
+    }
+
+    // ---- Program analyzer: the one whole-program step, always
+    // single-threaded (it is the paper's sequential bottleneck). Cache
+    // key: analyzer fingerprint x profile x every summary text.
+    ScopedTimerMs Timer(PS.AnalyzerMs);
+    CallProfile CP;
+    if (Config.UseProfile && Profile) {
+      CP.CallCounts = Profile->CallCounts;
+      CP.EdgeCounts = Profile->EdgeCounts;
+    }
+    bool FromCache = false;
+    std::string Error;
+    if (!analyzeCached(Summaries, SummaryTexts, CP, Result.Analyzer,
+                       Result.DatabaseFile, DB, FromCache, Error)) {
+      Result.Diags.error("database round-trip failed: " + Error);
+      return Result;
+    }
+    if (FromCache) {
+      ++PS.AnalyzerCacheHits;
+      PS.CacheBytesSaved += Result.DatabaseFile.size();
+    } else {
+      ++PS.AnalyzerCacheMisses;
+    }
+    PS.DatabaseBytes = Result.DatabaseFile.size();
+    HaveDB = true;
+  }
+
+  // ---- Compiler second phase: per-module compilation to objects.
+  // Cache key: compile fingerprint x module name x source text x the
+  // module's database slice — after an edit, only modules whose slice
+  // the analyzer actually moved recompile.
+  std::vector<ObjectFile> Objects(NumModules);
+  {
+    ScopedTimerMs Timer(PS.Phase2Ms);
+    std::vector<std::string> ObjTexts(NumModules);
+    std::vector<std::string> Keys(NumModules);
+    std::vector<size_t> Miss;
+    for (size_t I = 0; I < NumModules; ++I) {
+      std::string Slice =
+          HaveDB ? DB.sliceFor(Summaries[I], Config.CallerSavePropagation)
+                 : std::string();
+      Keys[I] = objectKey(CompileFP, AllSources[I], Slice);
+      if (auto Entry = Cache.get(Keys[I])) {
+        ObjectFile Parsed;
+        std::string Error;
+        if (readObjectFile(*Entry, Parsed, Error)) {
+          ObjTexts[I] = std::move(*Entry);
+          Objects[I] = std::move(Parsed);
+          ++PS.Phase2CacheHits;
+          PS.Modules[I].Phase2FromCache = true;
+          PS.CacheBytesSaved += ObjTexts[I].size();
+          continue;
+        }
+        Cache.invalidate(Keys[I]); // Corrupt entry: recompute.
+      }
+      ++PS.Phase2CacheMisses;
+      Miss.push_back(I);
+    }
+
+    if (!Miss.empty()) {
+      if (!ensureFrontEnd(Miss))
+        return Result;
+      std::vector<std::unique_ptr<IRModule>> IRs(NumModules);
+      std::vector<std::string> Errors(NumModules);
+      parallelForEach(Pool, Miss.size(), [&](size_t J) {
+        size_t I = Miss[J];
+        ScopedTimerMs ModuleTimer(PS.Modules[I].Phase2Ms);
+        DiagnosticEngine Diags;
+        auto IR = generateIR(*ASTs[I], Diags);
+        optimizeForDirectives(*IR, HaveDB ? &DB : nullptr,
+                              Config.LocalGlobalPromotion);
+        auto Problems = verifyModule(*IR);
+        if (!Problems.empty()) {
+          Errors[I] = "phase 2 IR verification failed: " + Problems[0];
+          return;
+        }
+        IRs[I] = std::move(IR);
+      });
+      if (const std::string *E = firstError(Errors)) {
+        Result.Diags.error(*E);
+        return Result;
+      }
+
+      // Per-callee clobber masks for the §7.6.2 extension; without a
+      // database (or with the extension off) every call clobbers fully.
+      // The resolver only reads the database, so workers share it.
+      CallClobberResolver Clobbers;
+      if (HaveDB && Config.CallerSavePropagation)
+        Clobbers = [&DB](const std::string &Callee) {
+          return DB.lookup(Callee).SubtreeClobber;
+        };
+
+      // Code generation, parallel across every function of every
+      // recompiled module; each function writes into its (module,
+      // function) slot so object files come out byte-identical at any
+      // thread count.
+      std::vector<FuncJob> Jobs;
+      for (size_t I : Miss)
+        for (size_t F = 0; F < IRs[I]->Functions.size(); ++F)
+          Jobs.push_back(FuncJob{I, F});
+      std::vector<std::vector<ObjFunction>> Funcs(NumModules);
+      for (size_t I : Miss)
+        Funcs[I].resize(IRs[I]->Functions.size());
+      std::vector<std::string> JobErrors(Jobs.size());
+      std::vector<double> JobMs(Jobs.size(), 0);
+      parallelForEach(Pool, Jobs.size(), [&](size_t J) {
+        ScopedTimerMs JobTimer(JobMs[J]);
+        const IRModule &IR = *IRs[Jobs[J].Module];
+        const auto &F = *IR.Functions[Jobs[J].Func];
+        ProcDirectives Dir =
+            HaveDB ? DB.lookup(F.qualifiedName()) : ProcDirectives();
+        Dir.Caller &= ~Config.LinkerReservedRegs;
+        Dir.Callee &= ~Config.LinkerReservedRegs;
+        Dir.Free &= ~Config.LinkerReservedRegs;
+        CodeGenResult CG = generateCode(IR, F, Dir, Clobbers);
+        if (!CG.Success) {
+          JobErrors[J] =
+              "register allocation failed for " + F.qualifiedName();
+          return;
+        }
+        Funcs[Jobs[J].Module][Jobs[J].Func] = std::move(CG.Obj);
+      });
+      for (size_t J = 0; J < Jobs.size(); ++J)
+        PS.Modules[Jobs[J].Module].Phase2Ms += JobMs[J];
+      if (const std::string *E = firstError(JobErrors)) {
+        Result.Diags.error(*E);
+        return Result;
+      }
+
+      // Object assembly, round-tripped through the textual object-file
+      // format: the object really is a standalone artifact, like the
+      // paper's per-module object files.
+      parallelForEach(Pool, Miss.size(), [&](size_t J) {
+        size_t I = Miss[J];
+        ScopedTimerMs ModuleTimer(PS.Modules[I].Phase2Ms);
+        std::string ObjText =
+            writeObjectFile(assembleObject(*IRs[I], std::move(Funcs[I])));
+        ObjectFile Parsed;
+        std::string Error;
+        if (!readObjectFile(ObjText, Parsed, Error)) {
+          Errors[I] = "object round-trip failed: " + Error;
+          return;
+        }
+        ObjTexts[I] = std::move(ObjText);
+        Objects[I] = std::move(Parsed);
+      });
+      Result.ObjectFiles = ObjTexts;
+      if (const std::string *E = firstError(Errors)) {
+        Result.Diags.error(*E);
+        return Result;
+      }
+      for (size_t I : Miss)
+        Cache.put(Keys[I], ObjTexts[I]);
+    }
+    Result.ObjectFiles = ObjTexts;
+    for (size_t I = 0; I < NumModules; ++I) {
+      PS.Modules[I].Functions =
+          static_cast<unsigned>(Objects[I].Functions.size());
+      PS.Modules[I].ObjectBytes = ObjTexts[I].size();
+      PS.ObjectBytes += ObjTexts[I].size();
+    }
+  }
+
+  // ---- Link.
+  ScopedTimerMs Timer(PS.LinkMs);
+  LinkResult Linked = linkObjects(Objects);
+  if (!Linked.Success) {
+    std::string Text = "link failed:";
+    for (const std::string &E : Linked.Errors)
+      Text += "\n  " + E;
+    Result.Diags.error(std::move(Text));
+    return Result;
+  }
+  Result.Exe = std::move(Linked.Exe);
+  Result.Status = PhaseStatus::Ok;
+  return Result;
+}

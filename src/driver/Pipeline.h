@@ -1,0 +1,194 @@
+//===- Pipeline.h - Phase-granular incremental pipeline --------*- C++ -*-===//
+//
+// Part of the IPRA project: a reproduction of Santhanam & Odnert,
+// "Register Allocation Across Procedure and Module Boundaries", PLDI 1990.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The pipeline facade: each paper phase (Figure 1) as a method
+/// returning a structured result — status, diagnostics, and the textual
+/// artifact — plus a fused incremental build() that runs all four
+/// stages with content-addressed caching:
+///
+///  - phase 1 is keyed on the module's source text and the compile-side
+///    configuration fingerprint, so an edit reruns phase 1 for exactly
+///    the edited module;
+///  - the analyzer is keyed on all summary texts plus the analyzer-side
+///    fingerprint and the profile;
+///  - phase 2 is keyed on the source text, the compile fingerprint, and
+///    the module's *database slice* (ProgramDatabase::sliceFor) — the
+///    projection of the database that can affect this module's code —
+///    so a database change recompiles only the modules whose slice
+///    actually moved (the recompilation avoidance §6 calls for).
+///
+/// Cache entries are validated by parsing; a corrupt or truncated entry
+/// is a miss that gets recomputed and overwritten. Failures are never
+/// cached. Cached and cold builds produce byte-identical artifacts at
+/// every thread count.
+///
+/// The free functions in Driver.h (compileProgram, runPhase1, ...) are
+/// thin wrappers over this class; each call constructs a fresh Pipeline
+/// so their behavior is unchanged. Hold a Pipeline (and/or set
+/// PipelineConfig::CacheDir) to get reuse across builds.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef IPRA_DRIVER_PIPELINE_H
+#define IPRA_DRIVER_PIPELINE_H
+
+#include "core/Analyzer.h"
+#include "driver/ArtifactCache.h"
+#include "driver/PipelineConfig.h"
+#include "driver/PipelineStats.h"
+#include "link/Object.h"
+#include "sim/Simulator.h"
+#include "support/Diagnostics.h"
+
+#include <string>
+#include <vector>
+
+namespace ipra {
+
+/// A value collection of diagnostics. DiagnosticEngine owns a mutex and
+/// cannot be copied into results; phases collect into engines and hand
+/// back one of these.
+struct Diagnostics {
+  std::vector<Diagnostic> Items;
+
+  /// Appends a pipeline-level error with no source location.
+  void error(std::string Message) {
+    Items.push_back(
+        Diagnostic{DiagKind::Error, "", SourceLoc(), std::move(Message)});
+  }
+  /// Appends every diagnostic \p Engine collected, in order.
+  void addAll(const DiagnosticEngine &Engine) {
+    for (const Diagnostic &D : Engine.diagnostics())
+      Items.push_back(D);
+  }
+  bool hasErrors() const {
+    for (const Diagnostic &D : Items)
+      if (D.Kind == DiagKind::Error)
+        return true;
+    return false;
+  }
+  bool empty() const { return Items.empty(); }
+
+  /// Renders the collected diagnostics as the legacy ErrorText string:
+  /// located diagnostics render as "module:line:col: error: ..." lines,
+  /// bare pipeline-level errors as their message alone.
+  std::string text() const;
+};
+
+/// Outcome of one phase.
+enum class PhaseStatus { Ok, Error };
+
+/// Phase 1 over one module.
+struct SummaryResult {
+  PhaseStatus Status = PhaseStatus::Error;
+  Diagnostics Diags;
+  std::string SummaryText;
+  bool FromCache = false;
+  bool ok() const { return Status == PhaseStatus::Ok; }
+};
+
+/// The program analyzer over all summaries.
+struct DatabaseResult {
+  PhaseStatus Status = PhaseStatus::Error;
+  Diagnostics Diags;
+  std::string DatabaseText;
+  AnalyzerStats Stats;
+  bool FromCache = false;
+  bool ok() const { return Status == PhaseStatus::Ok; }
+};
+
+/// Phase 2 over one module.
+struct ObjectResult {
+  PhaseStatus Status = PhaseStatus::Error;
+  Diagnostics Diags;
+  std::string ObjectText;
+  bool FromCache = false;
+  bool ok() const { return Status == PhaseStatus::Ok; }
+};
+
+/// The link step.
+struct LinkedResult {
+  PhaseStatus Status = PhaseStatus::Error;
+  Diagnostics Diags;
+  Executable Exe;
+  bool ok() const { return Status == PhaseStatus::Ok; }
+};
+
+/// The fused four-stage build.
+struct BuildResult {
+  PhaseStatus Status = PhaseStatus::Error;
+  Diagnostics Diags;
+  Executable Exe;
+  AnalyzerStats Analyzer;
+  PipelineStats Stats;
+  std::vector<std::string> SummaryFiles;
+  std::string DatabaseFile;
+  /// One textual object file per module (including the runtime module).
+  std::vector<std::string> ObjectFiles;
+  bool ok() const { return Status == PhaseStatus::Ok; }
+};
+
+/// The two-pass pipeline under one configuration, with an artifact
+/// cache that persists for the lifetime of the object (and on disk when
+/// the configuration names a CacheDir).
+class Pipeline {
+public:
+  explicit Pipeline(PipelineConfig Config);
+
+  const PipelineConfig &config() const { return Config; }
+  ArtifactCache &cache() { return Cache; }
+
+  /// Compiler first phase on one module: parse, check, optimize, trial
+  /// codegen, summary file (stamped with the compile fingerprint).
+  SummaryResult compileSummary(const SourceFile &Source);
+
+  /// Program analyzer over summary files. Rejects summaries whose
+  /// stamped fingerprint disagrees with this configuration. The cache
+  /// key covers every summary text and the profile, so it only hits
+  /// when nothing the analyzer sees has changed.
+  DatabaseResult analyze(const std::vector<std::string> &SummaryTexts,
+                         const ProfileData *Profile = nullptr);
+
+  /// Compiler second phase on one module. An empty \p DatabaseText
+  /// compiles at the baseline convention. Rejects a database stamped
+  /// with a different configuration fingerprint. Standalone calls key
+  /// the cache on the whole database text (no summary is available to
+  /// compute the precise slice — build() does better).
+  ObjectResult compileObject(const SourceFile &Source,
+                             const std::string &DatabaseText);
+
+  /// Links textual object files into an executable.
+  LinkedResult link(const std::vector<std::string> &ObjectTexts);
+
+  /// The fused incremental build: appends the runtime module, runs
+  /// phase 1 / analyzer / phase 2 through the cache, links. Cache hit
+  /// and miss counts land in Stats (PipelineStats).
+  BuildResult build(const std::vector<SourceFile> &Sources,
+                    const ProfileData *Profile = nullptr);
+
+private:
+  /// Shared by analyze() and build(): runs the analyzer through the
+  /// cache. Returns false (filling \p Error) only when the produced
+  /// database fails its serialization round-trip.
+  bool analyzeCached(const std::vector<ModuleSummary> &Summaries,
+                     const std::vector<std::string> &SummaryTexts,
+                     const CallProfile &CP, AnalyzerStats &Stats,
+                     std::string &DbText, ProgramDatabase &DB,
+                     bool &FromCache, std::string &Error);
+
+  PipelineConfig Config;
+  ArtifactCache Cache;
+  /// Fingerprints are fixed at construction; the three are the cache
+  /// key ingredients for phase 1+2, the analyzer, and artifact
+  /// stamping respectively.
+  std::string CompileFP, AnalyzerFP, FullFP;
+};
+
+} // namespace ipra
+
+#endif // IPRA_DRIVER_PIPELINE_H

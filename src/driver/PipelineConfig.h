@@ -1,0 +1,141 @@
+//===- PipelineConfig.h - Pipeline inputs and configuration ----*- C++ -*-===//
+//
+// Part of the IPRA project: a reproduction of Santhanam & Odnert,
+// "Register Allocation Across Procedure and Module Boundaries", PLDI 1990.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The pipeline's inputs (SourceFile) and configuration. PipelineConfig
+/// keeps the flat field layout older code sets directly, and exposes two
+/// composable views:
+///
+///  - CompileOptions: everything that affects how ONE MODULE compiles in
+///    either compiler phase (front end, level-2 optimization, code
+///    generation) — the knobs a per-module cache key must cover;
+///  - AnalyzerOptions (core/Analyzer.h): everything that shapes the
+///    program analyzer's output.
+///
+/// Each view has a stable fingerprint; fingerprint() combines both plus
+/// the artifact format versions. The incremental artifact cache keys on
+/// these, so a config flip invalidates exactly the artifacts it can
+/// influence: compiler knobs invalidate summaries and objects, analyzer
+/// knobs invalidate only the database (objects then follow their
+/// database slices).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef IPRA_DRIVER_PIPELINECONFIG_H
+#define IPRA_DRIVER_PIPELINECONFIG_H
+
+#include "core/Analyzer.h"
+
+#include <string>
+#include <vector>
+
+namespace ipra {
+
+/// One MiniC source module.
+struct SourceFile {
+  std::string Name;
+  std::string Text;
+};
+
+/// The per-module compilation knobs: the subset of the configuration
+/// that can change a module's summary or object file independent of the
+/// program database. NumThreads is deliberately absent — artifacts are
+/// byte-identical at every thread count.
+struct CompileOptions {
+  /// Level-2 intraprocedural global promotion (on in every column).
+  bool LocalGlobalPromotion = true;
+  /// [Wall 86] compiler cooperation: registers codegen must not touch.
+  RegMask LinkerReservedRegs = 0;
+  /// §7.6.2: phase 2 consults per-callee clobber masks.
+  bool CallerSavePropagation = false;
+
+  /// Stable hash over every field plus the summary/object format
+  /// versions; part of every cache key.
+  std::string fingerprint() const;
+};
+
+/// Pipeline configuration. The six analyzer configurations of Table 4
+/// are provided as named presets, composed from the
+/// AnalyzerOptions::columnX() view presets.
+struct PipelineConfig {
+  /// Run the program analyzer at all; false = level-2 baseline.
+  bool Ipra = false;
+  bool SpillMotion = false;
+  PromotionMode Promotion = PromotionMode::None;
+  RegMask WebPool = pr32::defaultWebColoringPool();
+  int BlanketCount = 6;
+  bool UseProfile = false; ///< Consume supplied profile data (§6.1 B/F).
+  /// Level-2 intraprocedural global promotion (on in every column).
+  bool LocalGlobalPromotion = true;
+  /// §7.6.2 extensions (off by default; ablation benches flip them).
+  bool RelaxWebAvail = false;
+  bool ImprovedFreeSets = false;
+  bool CallerSavePropagation = false;
+  /// §7.2: set false when the sources are a library fragment rather
+  /// than a whole program (only meaningful for the phase-granular API;
+  /// compileProgram always has main and the runtime).
+  bool AssumeClosedWorld = true;
+  WebOptions Webs;
+  ClusterOptions Clusters;
+  /// [Wall 86] compiler cooperation: registers the allocator must leave
+  /// untouched so the linker can assign them at link time (see
+  /// link/LinkOpt.h). Zero for every two-pass configuration.
+  RegMask LinkerReservedRegs = 0;
+  /// Worker threads for the module-parallel pipeline stages (both
+  /// compiler phases; the analyzer is always single-threaded). 0 means
+  /// take the IPRA_THREADS environment variable, falling back to the
+  /// hardware thread count; 1 compiles serially on the calling thread.
+  /// Artifacts are byte-identical at every thread count.
+  int NumThreads = 0;
+  /// Directory for the persistent artifact cache (summaries, program
+  /// databases, objects). Empty disables the on-disk layer; a Pipeline
+  /// object always keeps an in-memory layer. Created on first use.
+  /// Neither NumThreads nor CacheDir enters any fingerprint.
+  std::string CacheDir;
+
+  /// Level-2 optimization only (the Table 4/5 baseline).
+  static PipelineConfig baseline();
+  /// Column A: spill code motion only.
+  static PipelineConfig configA();
+  /// Column B: spill motion with profile information.
+  static PipelineConfig configB();
+  /// Column C: spill motion and 6-register web coloring.
+  static PipelineConfig configC();
+  /// Column D: spill motion and greedy coloring.
+  static PipelineConfig configD();
+  /// Column E: spill motion and blanket promotion.
+  static PipelineConfig configE();
+  /// Column F: spill motion and 6-register coloring with profile.
+  static PipelineConfig configF();
+
+  /// The per-module compilation view of this configuration.
+  CompileOptions compileOptions() const;
+  /// Writes a compile view back into the flat fields.
+  void setCompileOptions(const CompileOptions &O);
+
+  /// The analyzer view of this configuration (fully populated
+  /// core::AnalyzerOptions, replacing the field-by-field copies the
+  /// driver used to repeat).
+  AnalyzerOptions analyzerOptions() const;
+  /// Writes an analyzer view back into the flat fields and turns the
+  /// analyzer on (composition: baseline() + columnC() = configC()).
+  void setAnalyzerOptions(const AnalyzerOptions &O);
+
+  /// Fingerprint of the per-module compilation knobs (phase-1 and
+  /// phase-2 cache keys).
+  std::string compileFingerprint() const;
+  /// Fingerprint of the analyzer knobs (database cache key).
+  std::string analyzerFingerprint() const;
+  /// Combined fingerprint of everything that can influence artifacts;
+  /// stamped into summary files and program databases so readers reject
+  /// artifacts from a different configuration.
+  std::string fingerprint() const;
+};
+
+} // namespace ipra
+
+#endif // IPRA_DRIVER_PIPELINECONFIG_H

@@ -22,10 +22,21 @@ std::string PipelineStats::toString() const {
      << "ms link=" << LinkMs << "ms\n";
   OS << "  summaries=" << SummaryBytes << "B database=" << DatabaseBytes
      << "B objects=" << ObjectBytes << "B\n";
+  if (Phase1CacheHits + Phase1CacheMisses + AnalyzerCacheHits +
+          AnalyzerCacheMisses + Phase2CacheHits + Phase2CacheMisses >
+      0)
+    OS << "  cache: phase1 " << Phase1CacheHits << "/"
+       << (Phase1CacheHits + Phase1CacheMisses) << " analyzer "
+       << AnalyzerCacheHits << "/"
+       << (AnalyzerCacheHits + AnalyzerCacheMisses) << " phase2 "
+       << Phase2CacheHits << "/" << (Phase2CacheHits + Phase2CacheMisses)
+       << " hits, saved=" << CacheBytesSaved << "B\n";
   for (const ModulePipelineStats &M : Modules)
     OS << "  module " << M.Name << ": funcs=" << M.Functions
        << " frontend=" << M.FrontEndMs << "ms phase1=" << M.Phase1Ms
        << "ms phase2=" << M.Phase2Ms << "ms summary=" << M.SummaryBytes
-       << "B object=" << M.ObjectBytes << "B\n";
+       << "B object=" << M.ObjectBytes << "B"
+       << (M.Phase1FromCache ? " phase1-cached" : "")
+       << (M.Phase2FromCache ? " phase2-cached" : "") << "\n";
   return OS.str();
 }

@@ -33,6 +33,10 @@ struct ModulePipelineStats {
   size_t SummaryBytes = 0;
   size_t ObjectBytes = 0;
   unsigned Functions = 0;
+  /// The module's artifact came out of the artifact cache instead of
+  /// being recompiled.
+  bool Phase1FromCache = false;
+  bool Phase2FromCache = false;
 };
 
 /// Instrumentation for one compileProgram() run.
@@ -47,6 +51,16 @@ struct PipelineStats {
   size_t SummaryBytes = 0;  ///< All summary files.
   size_t DatabaseBytes = 0; ///< Serialized program database.
   size_t ObjectBytes = 0;   ///< All textual object files.
+  /// Artifact-cache accounting for the incremental pipeline: per-phase
+  /// hit/miss counts (one count per module, plus one per analyzer run)
+  /// and the artifact bytes served from the cache instead of rebuilt.
+  unsigned Phase1CacheHits = 0;
+  unsigned Phase1CacheMisses = 0;
+  unsigned AnalyzerCacheHits = 0;
+  unsigned AnalyzerCacheMisses = 0;
+  unsigned Phase2CacheHits = 0;
+  unsigned Phase2CacheMisses = 0;
+  size_t CacheBytesSaved = 0;
   std::vector<ModulePipelineStats> Modules;
 
   /// Multi-line human-readable report.

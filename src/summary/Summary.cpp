@@ -149,6 +149,7 @@ ModuleSummary ipra::buildModuleSummary(
 //===----------------------------------------------------------------------===//
 // Serialization: a line-oriented format.
 //
+//   summary-format <version> config=<fingerprint|->
 //   module <name>
 //   global <qual> static=<0|1> scalar=<0|1> aliased=<0|1>
 //   proc <qual> regs=<n> indirect=<0|1> indfreq=<n>
@@ -160,6 +161,8 @@ ModuleSummary ipra::buildModuleSummary(
 
 std::string ipra::writeSummary(const ModuleSummary &S) {
   std::ostringstream OS;
+  OS << "summary-format " << SummaryFormatVersion << " config="
+     << (S.ConfigFingerprint.empty() ? "-" : S.ConfigFingerprint) << "\n";
   OS << "module " << S.Module << "\n";
   for (const GlobalSummary &G : S.Globals)
     OS << "global " << G.QualName << " static=" << G.IsStatic
@@ -228,7 +231,28 @@ bool ipra::readSummary(const std::string &Text, ModuleSummary &Out,
       }
       return true;
     };
-    if (Kind == "module") {
+    if (Kind == "summary-format") {
+      // Header line: format version + producing-config fingerprint.
+      // Files without one (pre-versioning) are accepted as legacy.
+      long long Version = 0;
+      if (!Require(2) || !parseInt(Tok[1], Version)) {
+        Error = "line " + std::to_string(LineNo) +
+                ": malformed summary format header";
+        return false;
+      }
+      if (Version != SummaryFormatVersion) {
+        Error = "summary format version " + Tok[1] +
+                " is not supported (this reader handles version " +
+                std::to_string(SummaryFormatVersion) +
+                "); regenerate the summary with this toolchain";
+        return false;
+      }
+      for (const std::string &T : Tok)
+        if (startsWith(T, "config=")) {
+          std::string FP = T.substr(7);
+          Out.ConfigFingerprint = FP == "-" ? "" : FP;
+        }
+    } else if (Kind == "module") {
       if (!Require(2))
         return false;
       Out.Module = Tok[1];

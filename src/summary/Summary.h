@@ -75,11 +75,21 @@ struct GlobalSummary {
   bool Aliased = false;  ///< Address taken somewhere in this module.
 };
 
+/// Version of the textual summary-file format. Serialized files carry
+/// it in a header line; readers reject other versions instead of
+/// misparsing.
+inline constexpr int SummaryFormatVersion = 2;
+
 /// The summary file for one module.
 struct ModuleSummary {
   std::string Module;
   std::vector<ProcSummary> Procs;
   std::vector<GlobalSummary> Globals;
+  /// Fingerprint of the compiler configuration that produced this
+  /// summary (PipelineConfig::compileFingerprint()). Serialized in the
+  /// header line; the analyzer rejects summaries built under a
+  /// different configuration. Empty when unknown.
+  std::string ConfigFingerprint;
 };
 
 /// Per-function facts the trial code generation feeds into the summary.

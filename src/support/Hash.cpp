@@ -1,0 +1,43 @@
+//===- Hash.cpp - Stable content hashing ----------------------------------===//
+//
+// Part of the IPRA project: a reproduction of Santhanam & Odnert,
+// "Register Allocation Across Procedure and Module Boundaries", PLDI 1990.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Hash.h"
+
+#include <cstdio>
+
+using namespace ipra;
+
+std::uint64_t ipra::fnv1a64(std::string_view Data, std::uint64_t Seed) {
+  std::uint64_t H = Seed;
+  for (unsigned char C : Data) {
+    H ^= C;
+    H *= 0x100000001b3ull;
+  }
+  return H;
+}
+
+std::string ipra::hashHex(std::string_view Data) {
+  char Buf[17];
+  std::snprintf(Buf, sizeof(Buf), "%016llx",
+                static_cast<unsigned long long>(fnv1a64(Data)));
+  return std::string(Buf);
+}
+
+std::string ipra::hashParts(const std::vector<std::string_view> &Parts) {
+  std::uint64_t H = 0xcbf29ce484222325ull;
+  for (std::string_view P : Parts) {
+    // Length prefix keeps part boundaries unambiguous.
+    char Len[32];
+    std::snprintf(Len, sizeof(Len), "%zu:", P.size());
+    H = fnv1a64(Len, H);
+    H = fnv1a64(P, H);
+  }
+  char Buf[17];
+  std::snprintf(Buf, sizeof(Buf), "%016llx",
+                static_cast<unsigned long long>(H));
+  return std::string(Buf);
+}

@@ -1,0 +1,42 @@
+//===- Hash.h - Stable content hashing -------------------------*- C++ -*-===//
+//
+// Part of the IPRA project: a reproduction of Santhanam & Odnert,
+// "Register Allocation Across Procedure and Module Boundaries", PLDI 1990.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A stable 64-bit content hash (FNV-1a) for the incremental pipeline:
+/// source texts, configuration fingerprints, and program-database
+/// slices are hashed into cache keys. The hash is deterministic across
+/// runs, platforms, and thread counts — cache keys derived from it may
+/// be persisted on disk and compared between processes.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef IPRA_SUPPORT_HASH_H
+#define IPRA_SUPPORT_HASH_H
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace ipra {
+
+/// FNV-1a over \p Data, continuing from \p Seed (chain calls to hash
+/// multi-part content).
+std::uint64_t fnv1a64(std::string_view Data,
+                      std::uint64_t Seed = 0xcbf29ce484222325ull);
+
+/// Hex rendering of fnv1a64(Data): 16 lowercase hex digits.
+std::string hashHex(std::string_view Data);
+
+/// Hashes a sequence of parts unambiguously (each part is
+/// length-prefixed, so {"ab","c"} and {"a","bc"} differ). Used to build
+/// cache keys from (fingerprint, source hash, slice hash, ...) tuples.
+std::string hashParts(const std::vector<std::string_view> &Parts);
+
+} // namespace ipra
+
+#endif // IPRA_SUPPORT_HASH_H

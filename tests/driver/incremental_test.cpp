@@ -1,0 +1,564 @@
+//===- incremental_test.cpp - Incremental pipeline cache tests ------------===//
+//
+// Part of the IPRA project: a reproduction of Santhanam & Odnert,
+// "Register Allocation Across Procedure and Module Boundaries", PLDI 1990.
+//
+//===----------------------------------------------------------------------===//
+//
+// The invalidation matrix for the content-addressed artifact cache:
+// no-op rebuilds hit everything; a source edit reruns phase 1 for
+// exactly the edited module and phase 2 for exactly the modules whose
+// database slice moved; config flips invalidate exactly the artifacts
+// they can influence; corrupt or deleted cache entries are recomputed.
+// In every case the incremental build's artifacts are byte-identical to
+// a cold build, at 1 and 8 threads.
+//
+//===----------------------------------------------------------------------===//
+
+#include "driver/Driver.h"
+#include "support/Hash.h"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <unistd.h>
+
+using namespace ipra;
+
+namespace {
+
+namespace fs = std::filesystem;
+
+/// A self-cleaning per-test scratch directory for the disk cache.
+class TempDir {
+public:
+  explicit TempDir(const std::string &Tag) {
+    Path = fs::temp_directory_path() /
+           ("ipra_incremental_" + Tag + "_" + std::to_string(::getpid()));
+    std::error_code EC;
+    fs::remove_all(Path, EC);
+    fs::create_directories(Path);
+  }
+  ~TempDir() {
+    std::error_code EC;
+    fs::remove_all(Path, EC);
+  }
+  std::string str() const { return Path.string(); }
+
+private:
+  fs::path Path;
+};
+
+/// An 8-module program: a call chain f0 -> f1 -> ... -> f6 where every
+/// module accumulates into its own global, plus a main module driving
+/// the chain from a loop. Deep enough that a register-pressure change
+/// in the middle of the chain moves the analyzer's FREE sets (and so
+/// the database slices) of the modules above it.
+std::vector<SourceFile> corpus() {
+  std::vector<SourceFile> Sources;
+  const int Chain = 7;
+  for (int I = 0; I < Chain; ++I) {
+    std::string Name = "mod" + std::to_string(I) + ".mc";
+    std::string G = "g" + std::to_string(I);
+    std::string Text = "int " + G + ";\n";
+    if (I + 1 < Chain) {
+      std::string Next = "f" + std::to_string(I + 1);
+      Text += "int " + Next + "(int);\n";
+      Text += "int f" + std::to_string(I) + "(int x) { " + G + " = " + G +
+              " + x; return " + Next + "(x) + " + G + "; }\n";
+    } else {
+      Text += "int f" + std::to_string(I) + "(int x) { " + G + " = " + G +
+              " + x; return " + G + "; }\n";
+    }
+    Sources.push_back(SourceFile{Name, Text});
+  }
+  Sources.push_back(SourceFile{
+      "main.mc", "int f0(int);\n"
+                 "int main() {\n"
+                 "  int r = 0;\n"
+                 "  for (int i = 1; i <= 6; i = i + 1) r = r + f0(i);\n"
+                 "  print(r);\n"
+                 "  return 0;\n"
+                 "}\n"});
+  return Sources;
+}
+
+/// Replaces one module's text, asserting the module exists.
+std::vector<SourceFile> withEdit(std::vector<SourceFile> Sources,
+                                 const std::string &Name,
+                                 const std::string &NewText) {
+  for (SourceFile &S : Sources)
+    if (S.Name == Name) {
+      EXPECT_NE(S.Text, NewText) << "edit must change the source";
+      S.Text = NewText;
+      return Sources;
+    }
+  ADD_FAILURE() << "no module named " << Name;
+  return Sources;
+}
+
+void expectSameArtifacts(const BuildResult &A, const BuildResult &B) {
+  EXPECT_EQ(A.SummaryFiles, B.SummaryFiles);
+  EXPECT_EQ(A.DatabaseFile, B.DatabaseFile);
+  EXPECT_EQ(A.ObjectFiles, B.ObjectFiles);
+}
+
+//===--------------------------------------------------------------------===//
+// The invalidation matrix.
+//===--------------------------------------------------------------------===//
+
+TEST(IncrementalTest, NoopRebuildHitsEveryPhase) {
+  Pipeline P(PipelineConfig::configC());
+  BuildResult Cold = P.build(corpus());
+  ASSERT_TRUE(Cold.ok()) << Cold.Diags.text();
+  const size_t N = Cold.Stats.Modules.size(); // 8 sources + runtime.
+  ASSERT_EQ(N, 9u);
+  EXPECT_EQ(Cold.Stats.Phase1CacheHits, 0u);
+  EXPECT_EQ(Cold.Stats.Phase1CacheMisses, N);
+  EXPECT_EQ(Cold.Stats.AnalyzerCacheMisses, 1u);
+  EXPECT_EQ(Cold.Stats.Phase2CacheMisses, N);
+
+  BuildResult Warm = P.build(corpus());
+  ASSERT_TRUE(Warm.ok()) << Warm.Diags.text();
+  EXPECT_EQ(Warm.Stats.Phase1CacheHits, N);
+  EXPECT_EQ(Warm.Stats.Phase1CacheMisses, 0u);
+  EXPECT_EQ(Warm.Stats.AnalyzerCacheHits, 1u);
+  EXPECT_EQ(Warm.Stats.Phase2CacheHits, N);
+  EXPECT_EQ(Warm.Stats.Phase2CacheMisses, 0u);
+  EXPECT_GT(Warm.Stats.CacheBytesSaved, 0u);
+  for (const ModulePipelineStats &M : Warm.Stats.Modules) {
+    EXPECT_TRUE(M.Phase1FromCache) << M.Name;
+    EXPECT_TRUE(M.Phase2FromCache) << M.Name;
+  }
+  expectSameArtifacts(Cold, Warm);
+  // The run result matches too.
+  EXPECT_EQ(runExecutable(Cold.Exe).Output, runExecutable(Warm.Exe).Output);
+  // The cached-run analyzer statistics survive.
+  EXPECT_EQ(Warm.Analyzer.EligibleGlobals, Cold.Analyzer.EligibleGlobals);
+  EXPECT_EQ(Warm.Analyzer.ColoredWebs, Cold.Analyzer.ColoredWebs);
+  // The stats report shows the cache line.
+  EXPECT_NE(Warm.Stats.toString().find("cache: phase1 9/9"),
+            std::string::npos);
+}
+
+TEST(IncrementalTest, NeutralEditRecompilesOnlyTheEditedModule) {
+  Pipeline P(PipelineConfig::configC());
+  BuildResult Cold = P.build(corpus());
+  ASSERT_TRUE(Cold.ok()) << Cold.Diags.text();
+  const size_t N = Cold.Stats.Modules.size();
+
+  // An allocation-neutral edit: commute the accumulation in mod3. The
+  // summary's reference sets and frequencies are unchanged, so the
+  // database cannot move and phase 2 reruns for mod3 alone.
+  auto Edited = withEdit(corpus(), "mod3.mc",
+                         "int g3;\n"
+                         "int f4(int);\n"
+                         "int f3(int x) { g3 = x + g3; "
+                         "return f4(x) + g3; }\n");
+  BuildResult Warm = P.build(Edited);
+  ASSERT_TRUE(Warm.ok()) << Warm.Diags.text();
+  EXPECT_EQ(Warm.Stats.Phase1CacheMisses, 1u);
+  EXPECT_EQ(Warm.Stats.Phase1CacheHits, N - 1);
+  EXPECT_EQ(Warm.Stats.Phase2CacheMisses, 1u);
+  EXPECT_EQ(Warm.Stats.Phase2CacheHits, N - 1);
+  for (const ModulePipelineStats &M : Warm.Stats.Modules) {
+    EXPECT_EQ(M.Phase1FromCache, M.Name != "mod3.mc") << M.Name;
+    EXPECT_EQ(M.Phase2FromCache, M.Name != "mod3.mc") << M.Name;
+  }
+
+  // Byte-identical to a cold build of the edited program.
+  Pipeline Fresh(PipelineConfig::configC());
+  BuildResult Ref = Fresh.build(Edited);
+  ASSERT_TRUE(Ref.ok()) << Ref.Diags.text();
+  expectSameArtifacts(Ref, Warm);
+}
+
+TEST(IncrementalTest, PressureEditRecompilesExactlyTheMovedSlices) {
+  PipelineConfig Config = PipelineConfig::configC();
+  Pipeline P(Config);
+  BuildResult Cold = P.build(corpus());
+  ASSERT_TRUE(Cold.ok()) << Cold.Diags.text();
+
+  // A register-pressure edit in the middle of the call chain: mod3 now
+  // needs far more registers, which moves the FREE sets the analyzer
+  // publishes for its ancestors — their database slices change even
+  // though their sources did not.
+  auto Edited = withEdit(
+      corpus(), "mod3.mc",
+      "int g3;\n"
+      "int f4(int);\n"
+      "int f3(int x) {\n"
+      "  int a = x * 3; int b = a + x; int c = b * a; int d = c + b;\n"
+      "  int e = d * 2 + a; int h = e + c * d;\n"
+      "  g3 = g3 + a + b + c + d + e + h;\n"
+      "  return f4(x) + g3 + a * b + c * d + e * h;\n"
+      "}\n");
+  BuildResult Warm = P.build(Edited);
+  ASSERT_TRUE(Warm.ok()) << Warm.Diags.text();
+
+  // Phase 1 reran for the edited module alone.
+  EXPECT_EQ(Warm.Stats.Phase1CacheMisses, 1u);
+
+  // Compute each module's database slice under both databases; the
+  // phase-2 recompile set must be exactly {edited} union {slice moved}.
+  ProgramDatabase OldDB, NewDB;
+  std::string Error;
+  ASSERT_TRUE(ProgramDatabase::deserialize(Cold.DatabaseFile, OldDB, Error))
+      << Error;
+  ASSERT_TRUE(ProgramDatabase::deserialize(Warm.DatabaseFile, NewDB, Error))
+      << Error;
+  size_t MovedSlices = 0;
+  for (size_t I = 0; I < Warm.SummaryFiles.size(); ++I) {
+    ModuleSummary S;
+    ASSERT_TRUE(readSummary(Warm.SummaryFiles[I], S, Error)) << Error;
+    bool IsEdited = S.Module == "mod3.mc";
+    bool SliceMoved =
+        OldDB.sliceFor(S, Config.CallerSavePropagation) !=
+        NewDB.sliceFor(S, Config.CallerSavePropagation);
+    MovedSlices += SliceMoved && !IsEdited;
+    EXPECT_EQ(Warm.Stats.Modules[I].Phase2FromCache,
+              !IsEdited && !SliceMoved)
+        << S.Module;
+  }
+  // The edit must actually have moved at least one other module's
+  // slice, or this test exercises nothing beyond the neutral-edit case.
+  EXPECT_GT(MovedSlices, 0u);
+  EXPECT_EQ(Warm.Stats.Phase2CacheMisses, 1u + MovedSlices);
+
+  Pipeline Fresh(Config);
+  BuildResult Ref = Fresh.build(Edited);
+  ASSERT_TRUE(Ref.ok()) << Ref.Diags.text();
+  expectSameArtifacts(Ref, Warm);
+}
+
+TEST(IncrementalTest, AnalyzerKnobFlipKeepsSummariesInvalidatesDatabase) {
+  TempDir Dir("knob");
+  PipelineConfig C = PipelineConfig::configC();
+  C.CacheDir = Dir.str();
+  Pipeline P1(C);
+  BuildResult Cold = P1.build(corpus());
+  ASSERT_TRUE(Cold.ok()) << Cold.Diags.text();
+  const size_t N = Cold.Stats.Modules.size();
+
+  // Same compiler knobs, different analyzer: summaries are shared
+  // through the disk cache, the database and (changed-slice) objects
+  // are not.
+  PipelineConfig D = PipelineConfig::configD();
+  D.CacheDir = Dir.str();
+  Pipeline P2(D);
+  BuildResult R = P2.build(corpus());
+  ASSERT_TRUE(R.ok()) << R.Diags.text();
+  EXPECT_EQ(R.Stats.Phase1CacheHits, N);
+  EXPECT_EQ(R.Stats.AnalyzerCacheMisses, 1u);
+
+  Pipeline Fresh(PipelineConfig::configD());
+  BuildResult Ref = Fresh.build(corpus());
+  ASSERT_TRUE(Ref.ok()) << Ref.Diags.text();
+  expectSameArtifacts(Ref, R);
+}
+
+TEST(IncrementalTest, CompileKnobFlipInvalidatesEverything) {
+  TempDir Dir("cflip");
+  PipelineConfig C = PipelineConfig::configC();
+  C.CacheDir = Dir.str();
+  Pipeline P1(C);
+  BuildResult Cold = P1.build(corpus());
+  ASSERT_TRUE(Cold.ok()) << Cold.Diags.text();
+  const size_t N = Cold.Stats.Modules.size();
+
+  // A per-module compiler knob: every summary and object is stale.
+  PipelineConfig C2 = C;
+  C2.LocalGlobalPromotion = false;
+  Pipeline P2(C2);
+  BuildResult R = P2.build(corpus());
+  ASSERT_TRUE(R.ok()) << R.Diags.text();
+  EXPECT_EQ(R.Stats.Phase1CacheHits, 0u);
+  EXPECT_EQ(R.Stats.Phase1CacheMisses, N);
+  EXPECT_EQ(R.Stats.Phase2CacheHits, 0u);
+}
+
+TEST(IncrementalTest, DiskCachePersistsAcrossPipelines) {
+  TempDir Dir("persist");
+  PipelineConfig C = PipelineConfig::configC();
+  C.CacheDir = Dir.str();
+  Pipeline P1(C);
+  BuildResult Cold = P1.build(corpus());
+  ASSERT_TRUE(Cold.ok()) << Cold.Diags.text();
+  const size_t N = Cold.Stats.Modules.size();
+
+  // A brand-new Pipeline (fresh memory layer) sees only the disk.
+  Pipeline P2(C);
+  BuildResult Warm = P2.build(corpus());
+  ASSERT_TRUE(Warm.ok()) << Warm.Diags.text();
+  EXPECT_EQ(Warm.Stats.Phase1CacheHits, N);
+  EXPECT_EQ(Warm.Stats.AnalyzerCacheHits, 1u);
+  EXPECT_EQ(Warm.Stats.Phase2CacheHits, N);
+  expectSameArtifacts(Cold, Warm);
+  EXPECT_GT(P2.cache().stats().DiskHits, 0u);
+}
+
+TEST(IncrementalTest, CorruptOrDeletedEntriesAreRecomputed) {
+  TempDir Dir("corrupt");
+  PipelineConfig C = PipelineConfig::configC();
+  C.CacheDir = Dir.str();
+  {
+    Pipeline P(C);
+    BuildResult Cold = P.build(corpus());
+    ASSERT_TRUE(Cold.ok()) << Cold.Diags.text();
+  }
+
+  // Truncate half the entries, delete the rest.
+  size_t Entry = 0;
+  for (const fs::directory_entry &E : fs::directory_iterator(Dir.str())) {
+    if (++Entry % 2 == 0) {
+      std::ofstream Out(E.path(), std::ios::trunc);
+      Out << "not an artifact\n";
+    } else {
+      fs::remove(E.path());
+    }
+  }
+
+  Pipeline P(C);
+  BuildResult R = P.build(corpus());
+  ASSERT_TRUE(R.ok()) << R.Diags.text();
+  EXPECT_EQ(R.Stats.Phase1CacheHits, 0u);
+  EXPECT_EQ(R.Stats.Phase2CacheHits, 0u);
+
+  Pipeline Fresh(PipelineConfig::configC());
+  BuildResult Ref = Fresh.build(corpus());
+  expectSameArtifacts(Ref, R);
+
+  // The rebuilt entries serve the next build again.
+  Pipeline P2(C);
+  BuildResult Warm = P2.build(corpus());
+  ASSERT_TRUE(Warm.ok()) << Warm.Diags.text();
+  EXPECT_EQ(Warm.Stats.Phase2CacheHits, Warm.Stats.Modules.size());
+}
+
+TEST(IncrementalTest, WarmRebuildsAreByteIdenticalAcrossThreadCounts) {
+  TempDir Dir1("threads1");
+  TempDir Dir8("threads8");
+  auto Edited = withEdit(corpus(), "mod5.mc",
+                         "int g5;\n"
+                         "int f6(int);\n"
+                         "int f5(int x) { g5 = x + g5; "
+                         "return f6(x) + g5; }\n");
+
+  auto buildPair = [&](const std::string &CacheDir, int Threads) {
+    PipelineConfig C = PipelineConfig::configC();
+    C.CacheDir = CacheDir;
+    C.NumThreads = Threads;
+    Pipeline P(C);
+    BuildResult Cold = P.build(corpus());
+    EXPECT_TRUE(Cold.ok()) << Cold.Diags.text();
+    BuildResult Warm = P.build(Edited);
+    EXPECT_TRUE(Warm.ok()) << Warm.Diags.text();
+    EXPECT_EQ(Warm.Stats.Phase1CacheMisses, 1u);
+    return Warm;
+  };
+  BuildResult Serial = buildPair(Dir1.str(), 1);
+  BuildResult Parallel = buildPair(Dir8.str(), 8);
+  expectSameArtifacts(Serial, Parallel);
+
+  Pipeline Fresh(PipelineConfig::configC());
+  BuildResult Ref = Fresh.build(Edited);
+  ASSERT_TRUE(Ref.ok()) << Ref.Diags.text();
+  expectSameArtifacts(Ref, Serial);
+}
+
+//===--------------------------------------------------------------------===//
+// Artifact format versioning and configuration fingerprints.
+//===--------------------------------------------------------------------===//
+
+TEST(IncrementalTest, SummaryReaderRejectsUnknownFormatVersion) {
+  ModuleSummary S;
+  std::string Error;
+  EXPECT_FALSE(
+      readSummary("summary-format 99 config=-\nmodule m\n", S, Error));
+  EXPECT_NE(Error.find("version 99 is not supported"), std::string::npos);
+
+  auto R = runAnalyzerPhase({"summary-format 99 config=-\nmodule m\n"},
+                            PipelineConfig::configC());
+  EXPECT_FALSE(R.Success);
+  EXPECT_NE(R.ErrorText.find("bad summary file"), std::string::npos);
+}
+
+TEST(IncrementalTest, DatabaseReaderRejectsUnknownFormatVersion) {
+  ProgramDatabase DB;
+  std::string Error;
+  EXPECT_FALSE(
+      ProgramDatabase::deserialize("ipra-db-format 99 config=-\n", DB,
+                                   Error));
+  EXPECT_NE(Error.find("version 99 is not supported"), std::string::npos);
+
+  auto R = runPhase2({"m.mc", "int main() { return 0; }\n"},
+                     "ipra-db-format 99 config=-\n",
+                     PipelineConfig::configC());
+  EXPECT_FALSE(R.Success);
+  EXPECT_NE(R.ErrorText.find("bad program database"), std::string::npos);
+}
+
+TEST(IncrementalTest, HeaderlessLegacyArtifactsStillParse) {
+  ModuleSummary S;
+  std::string Error;
+  EXPECT_TRUE(readSummary("module m\nproc m:f regs=2\nend\n", S, Error))
+      << Error;
+  EXPECT_EQ(S.ConfigFingerprint, "");
+
+  ProgramDatabase DB;
+  EXPECT_TRUE(ProgramDatabase::deserialize(
+      "proc m:f free=00000000 caller=00000000 callee=00000000"
+      " mspill=00000000 root=0\nend\n",
+      DB, Error))
+      << Error;
+  EXPECT_EQ(DB.ConfigFingerprint, "");
+}
+
+TEST(IncrementalTest, AnalyzerRejectsSummariesFromOtherCompilerConfig) {
+  auto P1 = runPhase1({"m.mc", "int g;\nint main() { g = 1; return g; }\n"},
+                      PipelineConfig::configC());
+  ASSERT_TRUE(P1.Success) << P1.ErrorText;
+
+  // Flip a compile-side knob: the stamped fingerprint no longer
+  // matches, so the analyzer refuses the stale summary.
+  PipelineConfig Other = PipelineConfig::configC();
+  Other.LocalGlobalPromotion = false;
+  auto R = runAnalyzerPhase({P1.SummaryText}, Other);
+  EXPECT_FALSE(R.Success);
+  EXPECT_NE(R.ErrorText.find("different compiler configuration"),
+            std::string::npos);
+
+  // Analyzer-side knobs do not invalidate summaries.
+  auto Ok = runAnalyzerPhase({P1.SummaryText}, PipelineConfig::configD());
+  EXPECT_TRUE(Ok.Success) << Ok.ErrorText;
+}
+
+TEST(IncrementalTest, Phase2RejectsDatabaseFromOtherConfig) {
+  PipelineConfig C = PipelineConfig::configC();
+  SourceFile Src{"m.mc", "int g;\nint main() { g = 1; return g; }\n"};
+  auto P1 = runPhase1(Src, C);
+  ASSERT_TRUE(P1.Success) << P1.ErrorText;
+  auto A = runAnalyzerPhase({P1.SummaryText}, C);
+  ASSERT_TRUE(A.Success) << A.ErrorText;
+
+  auto R = runPhase2(Src, A.DatabaseText, PipelineConfig::configD());
+  EXPECT_FALSE(R.Success);
+  EXPECT_NE(R.ErrorText.find("different configuration"), std::string::npos);
+
+  auto Ok = runPhase2(Src, A.DatabaseText, C);
+  EXPECT_TRUE(Ok.Success) << Ok.ErrorText;
+}
+
+//===--------------------------------------------------------------------===//
+// The structured facade results.
+//===--------------------------------------------------------------------===//
+
+TEST(IncrementalTest, FacadeReportsStructuredDiagnostics) {
+  Pipeline P(PipelineConfig::baseline());
+  SummaryResult R =
+      P.compileSummary({"bad.mc", "int main() { return x; }\n"});
+  EXPECT_FALSE(R.ok());
+  EXPECT_EQ(R.Status, PhaseStatus::Error);
+  ASSERT_TRUE(R.Diags.hasErrors());
+  EXPECT_EQ(R.Diags.Items[0].Module, "bad.mc");
+  EXPECT_NE(R.Diags.text().find("undeclared"), std::string::npos);
+}
+
+TEST(IncrementalTest, PhaseGranularMethodsShareThePipelineCache) {
+  Pipeline P(PipelineConfig::configC());
+  SourceFile Src{"m.mc", "int g;\nint main() { g = 2; return g; }\n"};
+  SummaryResult First = P.compileSummary(Src);
+  ASSERT_TRUE(First.ok()) << First.Diags.text();
+  EXPECT_FALSE(First.FromCache);
+  SummaryResult Second = P.compileSummary(Src);
+  ASSERT_TRUE(Second.ok());
+  EXPECT_TRUE(Second.FromCache);
+  EXPECT_EQ(First.SummaryText, Second.SummaryText);
+
+  DatabaseResult DB1 = P.analyze({First.SummaryText});
+  ASSERT_TRUE(DB1.ok()) << DB1.Diags.text();
+  EXPECT_FALSE(DB1.FromCache);
+  DatabaseResult DB2 = P.analyze({First.SummaryText});
+  ASSERT_TRUE(DB2.ok());
+  EXPECT_TRUE(DB2.FromCache);
+  EXPECT_EQ(DB1.DatabaseText, DB2.DatabaseText);
+
+  ObjectResult O1 = P.compileObject(Src, DB1.DatabaseText);
+  ASSERT_TRUE(O1.ok()) << O1.Diags.text();
+  EXPECT_FALSE(O1.FromCache);
+  ObjectResult O2 = P.compileObject(Src, DB1.DatabaseText);
+  ASSERT_TRUE(O2.ok());
+  EXPECT_TRUE(O2.FromCache);
+  EXPECT_EQ(O1.ObjectText, O2.ObjectText);
+}
+
+TEST(IncrementalTest, CachedBuildStillRunsTheProgram) {
+  TempDir Dir("run");
+  PipelineConfig C = PipelineConfig::configC();
+  C.CacheDir = Dir.str();
+  Pipeline P1(C);
+  BuildResult Cold = P1.build(corpus());
+  ASSERT_TRUE(Cold.ok()) << Cold.Diags.text();
+  RunResult ColdRun = runExecutable(Cold.Exe);
+  ASSERT_TRUE(ColdRun.Halted) << ColdRun.Trap;
+
+  Pipeline P2(C);
+  BuildResult Warm = P2.build(corpus());
+  ASSERT_TRUE(Warm.ok()) << Warm.Diags.text();
+  RunResult WarmRun = runExecutable(Warm.Exe);
+  ASSERT_TRUE(WarmRun.Halted) << WarmRun.Trap;
+  EXPECT_EQ(ColdRun.Output, WarmRun.Output);
+  EXPECT_EQ(ColdRun.Stats.Cycles, WarmRun.Stats.Cycles);
+}
+
+//===--------------------------------------------------------------------===//
+// Composable configuration views.
+//===--------------------------------------------------------------------===//
+
+TEST(IncrementalTest, ConfigViewsComposeIntoThePresets) {
+  PipelineConfig C = PipelineConfig::baseline();
+  C.setAnalyzerOptions(AnalyzerOptions::columnC());
+  EXPECT_EQ(C.fingerprint(), PipelineConfig::configC().fingerprint());
+  EXPECT_TRUE(C.Ipra);
+
+  PipelineConfig D = PipelineConfig::baseline();
+  D.setAnalyzerOptions(AnalyzerOptions::columnD());
+  EXPECT_EQ(D.fingerprint(), PipelineConfig::configD().fingerprint());
+  EXPECT_NE(D.fingerprint(), C.fingerprint());
+
+  // Compile and analyzer views round-trip through their setters.
+  PipelineConfig E = PipelineConfig::configE();
+  PipelineConfig Copy = PipelineConfig::baseline();
+  Copy.setCompileOptions(E.compileOptions());
+  Copy.setAnalyzerOptions(E.analyzerOptions());
+  EXPECT_EQ(Copy.fingerprint(), E.fingerprint());
+}
+
+TEST(IncrementalTest, FingerprintIgnoresThreadsAndCacheDir) {
+  PipelineConfig A = PipelineConfig::configC();
+  PipelineConfig B = PipelineConfig::configC();
+  B.NumThreads = 8;
+  B.CacheDir = "/nonexistent/cache";
+  EXPECT_EQ(A.fingerprint(), B.fingerprint());
+  EXPECT_EQ(A.compileFingerprint(), B.compileFingerprint());
+
+  // Compile knobs move only the compile fingerprint; analyzer knobs
+  // move only the analyzer fingerprint.
+  PipelineConfig C = PipelineConfig::configC();
+  C.LinkerReservedRegs = 0xf0;
+  EXPECT_NE(C.compileFingerprint(), A.compileFingerprint());
+  EXPECT_EQ(C.analyzerFingerprint(), A.analyzerFingerprint());
+  PipelineConfig D = PipelineConfig::configC();
+  D.BlanketCount = 9;
+  EXPECT_EQ(D.compileFingerprint(), A.compileFingerprint());
+  EXPECT_NE(D.analyzerFingerprint(), A.analyzerFingerprint());
+}
+
+TEST(IncrementalTest, HashPartsIsUnambiguous) {
+  EXPECT_NE(hashParts({"ab", "c"}), hashParts({"a", "bc"}));
+  EXPECT_NE(hashParts({"", "x"}), hashParts({"x", ""}));
+  EXPECT_EQ(hashParts({"a", "b"}), hashParts({"a", "b"}));
+}
+
+} // namespace
