@@ -10,7 +10,8 @@
 #include "support/StringUtils.h"
 
 #include <algorithm>
-#include <set>
+#include <cassert>
+#include <chrono>
 #include <sstream>
 
 using namespace ipra;
@@ -45,15 +46,48 @@ ProcDirectives ProgramDatabase::lookup(const std::string &QualName) const {
   return It == Procs.end() ? ProcDirectives() : It->second;
 }
 
+//===----------------------------------------------------------------------===//
+// Determinism contract. The analyzer's output (the program database
+// text) must be byte-identical for a given input regardless of thread
+// count, platform, or allocation behavior — slice hashes drive the
+// recompilation avoidance, so any wobble forces spurious phase-2
+// recompiles. The invariants, each enforced at its source:
+//
+//  [D1] NodeSet iterates members in ascending node id — exactly the
+//       order std::set<int> would give. Every consumer of Web::Nodes
+//       and cluster membership (entry-node order, priority
+//       accumulation, directive emission) relies on it.
+//  [D2] buildWebs discovers webs per global on a thread pool but
+//       concatenates the per-global results in global-id order and
+//       only then assigns ids; afterwards Webs[I].Id == I (asserted
+//       below). Coloring order and the promoted-globals emission order
+//       below both key off that numbering.
+//  [D3] ProgramDatabase::Procs is an ordered map keyed by qualified
+//       name: serialize() emits procedures in name order.
+//  [D4] sliceFor() emits callee-clobber records from an explicitly
+//       sorted, deduplicated vector — determinism is by construction,
+//       never by container iteration order.
+//
+// Anything new the analyzer emits must pick one of these mechanisms.
+//===----------------------------------------------------------------------===//
+
 ProgramDatabase ipra::runAnalyzer(
     const std::vector<ModuleSummary> &Summaries,
     const AnalyzerOptions &Options, const CallProfile &Profile,
     AnalyzerStats *Stats) {
+  using Clock = std::chrono::steady_clock;
+  auto MsSince = [](Clock::time_point T0) {
+    return std::chrono::duration<double, std::milli>(Clock::now() - T0)
+        .count();
+  };
+
+  Clock::time_point T0 = Clock::now();
   CallGraph CG(Summaries, Profile);
   RefSets RS(CG, Options.AssumeClosedWorld);
 
   AnalyzerStats LocalStats;
   LocalStats.EligibleGlobals = RS.numEligible();
+  LocalStats.RefSetsMs = MsSince(T0);
 
   // --- Global variable promotion (§4.1) ----------------------------------
   std::vector<Web> Webs;
@@ -63,8 +97,13 @@ ProgramDatabase ipra::runAnalyzer(
   case PromotionMode::Webs: {
     WebOptions WO = Options.Webs;
     WO.AssumeClosedWorld = Options.AssumeClosedWorld;
+    WO.NumThreads = Options.NumThreads;
+    T0 = Clock::now();
     Webs = buildWebs(CG, RS, WO);
+    LocalStats.WebsMs = MsSince(T0);
+    T0 = Clock::now();
     WebColorStats WC = colorWebsKRegisters(Webs, CG, Options.WebPool);
+    LocalStats.ColoringMs = MsSince(T0);
     LocalStats.TotalWebs = WC.TotalWebs;
     LocalStats.ConsideredWebs = WC.Considered;
     LocalStats.ColoredWebs = WC.Colored;
@@ -79,16 +118,23 @@ ProgramDatabase ipra::runAnalyzer(
   case PromotionMode::Greedy: {
     WebOptions WO = Options.Webs;
     WO.AssumeClosedWorld = Options.AssumeClosedWorld;
+    WO.NumThreads = Options.NumThreads;
+    T0 = Clock::now();
     Webs = buildWebs(CG, RS, WO);
+    LocalStats.WebsMs = MsSince(T0);
+    T0 = Clock::now();
     WebColorStats WC = colorWebsGreedy(Webs, CG);
+    LocalStats.ColoringMs = MsSince(T0);
     LocalStats.TotalWebs = WC.TotalWebs;
     LocalStats.ConsideredWebs = WC.Considered;
     LocalStats.ColoredWebs = WC.Colored;
     break;
   }
   case PromotionMode::Blanket: {
+    T0 = Clock::now();
     Webs = buildBlanketWebs(CG, RS, Options.BlanketCount,
                             Options.WebPool);
+    LocalStats.WebsMs = MsSince(T0);
     LocalStats.TotalWebs = static_cast<int>(Webs.size());
     LocalStats.ConsideredWebs = LocalStats.TotalWebs;
     LocalStats.ColoredWebs = LocalStats.TotalWebs;
@@ -102,8 +148,12 @@ ProgramDatabase ipra::runAnalyzer(
   if (Options.SpillMotion) {
     ClusterOptions CO = Options.Clusters;
     CO.AssumeClosedWorld = Options.AssumeClosedWorld;
+    T0 = Clock::now();
     Clusters = identifyClusters(CG, CO);
+    LocalStats.ClustersMs = MsSince(T0);
+    T0 = Clock::now();
     Sets = computeRegisterSets(CG, Clusters, Webs, Options.RegSets);
+    LocalStats.RegSetsMs = MsSince(T0);
     LocalStats.NumClusters = static_cast<int>(Clusters.size());
     for (const Cluster &C : Clusters) {
       int Size = static_cast<int>(C.Members.size()) + 1;
@@ -147,6 +197,19 @@ ProgramDatabase ipra::runAnalyzer(
   }
 
   // --- Assemble the database (§4.3) ---------------------------------------
+  // Per-node occupancy index: which colored webs cover each node. One
+  // pass over the webs replaces a webs x nodes membership scan, and
+  // appending in web-id order ([D2]) reproduces the emission order the
+  // old all-webs-per-node loop had.
+  for (size_t I = 0; I < Webs.size(); ++I)
+    assert(Webs[I].Id == static_cast<int>(I) &&
+           "buildWebs must number webs by vector index [D2]");
+  std::vector<std::vector<int>> PromotedAt(CG.size());
+  for (const Web &W : Webs)
+    if (W.AssignedReg >= 0)
+      for (int N : W.Nodes)
+        PromotedAt[N].push_back(W.Id);
+
   ProgramDatabase DB;
   for (const CGNode &Node : CG.nodes()) {
     ProcDirectives Dir = Sets[Node.Id];
@@ -154,9 +217,8 @@ ProgramDatabase ipra::runAnalyzer(
       Dir.SelfCallerBudget = SelfBudget[Node.Id];
       Dir.SubtreeClobber = SubtreeClobber[Node.Id];
     }
-    for (const Web &W : Webs) {
-      if (W.AssignedReg < 0 || !W.Nodes.count(Node.Id))
-        continue;
+    for (int WebId : PromotedAt[Node.Id]) {
+      const Web &W = Webs[WebId];
       PromotedGlobal P;
       P.QualName = RS.globalName(W.GlobalId);
       P.Reg = static_cast<unsigned>(W.AssignedReg);
@@ -168,8 +230,7 @@ ProgramDatabase ipra::runAnalyzer(
         if (WrapIt != W.WrapEdges.end())
           for (int S : WrapIt->second)
             P.WrapCallees.push_back(CG.node(S).QualName);
-        auto IndIt = W.WrapIndirect.find(Node.Id);
-        P.WrapIndirect = IndIt != W.WrapIndirect.end() && IndIt->second;
+        P.WrapIndirect = W.WrapIndirect.count(Node.Id) != 0;
       }
       Dir.Promoted.push_back(std::move(P));
     }
@@ -252,12 +313,18 @@ std::string ProgramDatabase::sliceFor(const ModuleSummary &Summary,
   for (const ProcSummary &P : Summary.Procs)
     writeProcRecord(OS, P.QualName, lookup(P.QualName));
   // With §7.6.2 caller-saves propagation, codegen also reads the
-  // subtree clobber mask of every direct callee.
+  // subtree clobber mask of every direct callee. The slice text is
+  // hashed for recompilation avoidance, so the records are emitted
+  // from an explicitly sorted, deduplicated list ([D4]) rather than
+  // relying on a container's iteration order.
   if (IncludeCalleeClobbers) {
-    std::set<std::string> Callees;
+    std::vector<std::string> Callees;
     for (const ProcSummary &P : Summary.Procs)
       for (const CallSummary &C : P.Calls)
-        Callees.insert(C.QualCallee);
+        Callees.push_back(C.QualCallee);
+    std::sort(Callees.begin(), Callees.end());
+    Callees.erase(std::unique(Callees.begin(), Callees.end()),
+                  Callees.end());
     char Buf[16];
     for (const std::string &C : Callees) {
       std::snprintf(Buf, sizeof(Buf), "%08x", lookup(C).SubtreeClobber);

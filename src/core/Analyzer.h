@@ -56,6 +56,11 @@ struct AnalyzerOptions {
   /// (e.g. a library): only statics are promotable, and externally
   /// visible procedures join no web interior and no cluster.
   bool AssumeClosedWorld = true;
+  /// Threads for the parallelizable analyzer stages (per-global web
+  /// discovery): 1 runs serially on the calling thread, 0 defers to
+  /// IPRA_THREADS / the hardware count. The database is byte-identical
+  /// at every value, so NumThreads enters no fingerprint.
+  int NumThreads = 1;
 
   /// Named Table-4 presets (§6.1) for the analyzer side of a
   /// configuration. Columns B and F are A and C with profile data,
@@ -77,6 +82,15 @@ struct AnalyzerStats {
   int NumClusters = 0;
   int TotalClusterNodes = 0; ///< Members + roots over all clusters.
   int MaxClusterSize = 0;
+
+  // Sub-phase wall-clock breakdown (milliseconds), filled by
+  // runAnalyzer; a cached analyzer run reports the producing run's
+  // times.
+  double RefSetsMs = 0;  ///< Call graph + L/P/C_REF dataflow.
+  double WebsMs = 0;     ///< Web discovery (parallel per global).
+  double ColoringMs = 0; ///< Web interference coloring.
+  double ClustersMs = 0; ///< Cluster identification (§4.2).
+  double RegSetsMs = 0;  ///< FREE/CALLER/CALLEE/MSPILL (Figure 6).
 
   double avgClusterSize() const {
     return NumClusters ? static_cast<double>(TotalClusterNodes) /

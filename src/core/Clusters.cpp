@@ -7,8 +7,9 @@
 
 #include "core/Clusters.h"
 
+#include "support/NodeSet.h"
+
 #include <algorithm>
-#include <set>
 
 using namespace ipra;
 
@@ -82,7 +83,8 @@ std::vector<Cluster> ipra::identifyClusters(const CallGraph &CG,
       continue;
     Cluster C;
     C.Root = R;
-    std::set<int> InCluster = {R};
+    NodeSet InCluster = NodeSet::withUniverse(CG.size());
+    InCluster.insert(R);
 
     bool Grew = true;
     while (Grew) {
@@ -91,7 +93,7 @@ std::vector<Cluster> ipra::identifyClusters(const CallGraph &CG,
       // are not yet members. Expansion does not continue past member
       // nodes that root deeper clusters (their own cluster covers their
       // subtree).
-      std::set<int> Frontier;
+      NodeSet Frontier = NodeSet::withUniverse(CG.size());
       auto AddSuccs = [&](int N) {
         for (int S : CG.node(N).Succs)
           if (!InCluster.count(S))
@@ -146,7 +148,9 @@ std::vector<std::string> ipra::checkClusterInvariants(
 
   for (size_t CI = 0; CI < Clusters.size(); ++CI) {
     const Cluster &C = Clusters[CI];
-    std::set<int> InCluster(C.Members.begin(), C.Members.end());
+    NodeSet InCluster = NodeSet::withUniverse(CG.size());
+    for (int M : C.Members)
+      InCluster.insert(M);
     InCluster.insert(C.Root);
 
     for (int M : C.Members) {

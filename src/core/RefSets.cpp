@@ -7,6 +7,8 @@
 
 #include "core/RefSets.h"
 
+#include <algorithm>
+
 using namespace ipra;
 
 RefSets::RefSets(const CallGraph &CG, bool ClosedWorld) : CG(CG) {
@@ -34,47 +36,84 @@ RefSets::RefSets(const CallGraph &CG, bool ClosedWorld) : CG(CG) {
       if (It == Ids.end())
         continue;
       LRef[Node.Id].set(It->second);
-      auto &Entry = Local[Node.Id][It->second];
-      Entry.first += R.Freq;
-      Entry.second |= R.Stores;
+      // A procedure summary may carry several records for one global;
+      // fold them into one entry (the list stays short, linear scan).
+      auto &Refs = Local[Node.Id];
+      auto Existing = std::find_if(
+          Refs.begin(), Refs.end(),
+          [&It](const LocalRef &L) { return L.Id == It->second; });
+      if (Existing == Refs.end())
+        Refs.push_back(LocalRef{It->second, R.Freq, R.Stores});
+      else {
+        Existing->Freq += R.Freq;
+        Existing->Stores |= R.Stores;
+      }
     }
+    std::sort(Local[Node.Id].begin(), Local[Node.Id].end(),
+              [](const LocalRef &A, const LocalRef &B) {
+                return A.Id < B.Id;
+              });
   }
 
   if (E == 0)
     return;
 
-  // P_REF: top-down fixpoint (the paper propagates breadth-first
-  // top-down for fast convergence; we iterate to the fixpoint, visiting
-  // RPO order first and then any nodes unreachable from the starts).
-  std::vector<int> Order = CG.rpo();
+  // SCC condensation sweep. Tarjan (CallGraph::computeSCC) numbers SCCs
+  // in reverse topological order of the condensation: a cross-SCC edge
+  // u -> v guarantees sccId(v) < sccId(u). All members of a cyclic SCC
+  // (size > 1, or a self-loop) are mutual ancestors/descendants, so
+  // they share one P_REF and one C_REF value which includes the union
+  // of the members' own L_REF.
+  int NumSccs = 0;
   for (int Node = 0; Node < CG.size(); ++Node)
-    if (!CG.isReachable(Node))
-      Order.push_back(Node);
-
-  bool Changed = true;
-  while (Changed) {
-    Changed = false;
-    for (int Node : Order) {
-      for (int P : CG.node(Node).Preds) {
-        DynBitset In = PRef[P];
-        In.unionWith(LRef[P]);
-        Changed |= PRef[Node].unionWith(In);
-      }
-    }
+    NumSccs = std::max(NumSccs, CG.sccId(Node) + 1);
+  std::vector<std::vector<int>> Members(NumSccs);
+  std::vector<char> Cyclic(NumSccs, 0);
+  for (int Node = 0; Node < CG.size(); ++Node) {
+    Members[CG.sccId(Node)].push_back(Node);
+    // isRecursive covers both nontrivial SCCs and self-loops.
+    if (CG.isRecursive(Node))
+      Cyclic[CG.sccId(Node)] = 1;
   }
 
-  // C_REF: bottom-up fixpoint.
-  Changed = true;
-  while (Changed) {
-    Changed = false;
-    for (auto It = Order.rbegin(); It != Order.rend(); ++It) {
-      int Node = *It;
-      for (int S : CG.node(Node).Succs) {
-        DynBitset In = CRef[S];
-        In.unionWith(LRef[S]);
-        Changed |= CRef[Node].unionWith(In);
-      }
-    }
+  std::vector<DynBitset> LAll(NumSccs, DynBitset(E));
+  for (int Scc = 0; Scc < NumSccs; ++Scc)
+    for (int Node : Members[Scc])
+      LAll[Scc].unionWith(LRef[Node]);
+
+  // P_REF: forward sweep, ancestors first (descending SCC id). The
+  // incoming contribution of a cross-SCC edge p -> v is
+  // P_REF[p] U L_REF[p]; intra-SCC edges are covered by LAll when the
+  // SCC is cyclic and cannot exist otherwise.
+  std::vector<DynBitset> SccPRef(NumSccs, DynBitset(E));
+  for (int Scc = NumSccs - 1; Scc >= 0; --Scc) {
+    DynBitset &In = SccPRef[Scc];
+    for (int Node : Members[Scc])
+      for (int P : CG.node(Node).Preds)
+        if (CG.sccId(P) != Scc) {
+          In.unionWith(SccPRef[CG.sccId(P)]);
+          In.unionWith(LRef[P]);
+        }
+    if (Cyclic[Scc])
+      In.unionWith(LAll[Scc]);
+    for (int Node : Members[Scc])
+      PRef[Node] = In;
+  }
+
+  // C_REF: backward sweep, descendants first (ascending SCC id).
+  std::vector<DynBitset> SccCRef(NumSccs, DynBitset(E));
+  for (int Scc = 0; Scc < NumSccs; ++Scc) {
+    DynBitset &Out = SccCRef[Scc];
+    for (int Node : Members[Scc])
+      for (int S : CG.node(Node).Succs)
+        if (CG.sccId(S) != Scc) {
+          Out.unionWith(SccCRef[CG.sccId(S)]);
+          Out.unionWith(LRef[S]);
+        }
+    if (Cyclic[Scc])
+      Out.unionWith(LAll[Scc]);
+    for (int Node : Members[Scc])
+      CRef[Node] = Out;
   }
 }
 
@@ -84,11 +123,19 @@ int RefSets::globalId(const std::string &QualName) const {
 }
 
 long long RefSets::refFreq(int Node, int Id) const {
-  auto It = Local[Node].find(Id);
-  return It == Local[Node].end() ? 0 : It->second.first;
+  const std::vector<LocalRef> &Refs = Local[Node];
+  auto It = std::lower_bound(Refs.begin(), Refs.end(), Id,
+                             [](const LocalRef &L, int Id) {
+                               return L.Id < Id;
+                             });
+  return It != Refs.end() && It->Id == Id ? It->Freq : 0;
 }
 
 bool RefSets::refStores(int Node, int Id) const {
-  auto It = Local[Node].find(Id);
-  return It != Local[Node].end() && It->second.second;
+  const std::vector<LocalRef> &Refs = Local[Node];
+  auto It = std::lower_bound(Refs.begin(), Refs.end(), Id,
+                             [](const LocalRef &L, int Id) {
+                               return L.Id < Id;
+                             });
+  return It != Refs.end() && It->Id == Id && It->Stores;
 }

@@ -17,9 +17,17 @@
 ///   C_REF[P]  globals accessed somewhere on a call chain starting at P
 ///             (exclusive of P);
 ///
-/// computed with the fixpoint equations
+/// defined by the fixpoint equations
 ///   P_REF[P] = U over predecessors i of (P_REF[i] U L_REF[i])
 ///   C_REF[P] = U over successors  i of (C_REF[i] U L_REF[i]).
+///
+/// Rather than iterating those equations to a fixpoint, the sets are
+/// computed over the Tarjan SCC condensation of the call graph: within
+/// a cyclic SCC every node is an ancestor and descendant of every
+/// other, so all members share one P_REF (and one C_REF) value, and
+/// the condensation is a DAG that one forward sweep (ancestors first)
+/// and one backward sweep (descendants first) solve exactly —
+/// O((V + E) x words) instead of O(iterations x E x words).
 ///
 //===----------------------------------------------------------------------===//
 
@@ -58,12 +66,21 @@ public:
   bool refStores(int Node, int Id) const;
 
 private:
+  /// One local reference record: global \p Id is accessed in the node
+  /// with loop-weighted frequency \p Freq; \p Stores when written.
+  struct LocalRef {
+    int Id;
+    long long Freq;
+    bool Stores;
+  };
+
   const CallGraph &CG;
   std::vector<std::string> Names;
   std::map<std::string, int> Ids;
   std::vector<DynBitset> LRef, PRef, CRef;
-  /// Per node: (global id -> (freq, stores)).
-  std::vector<std::map<int, std::pair<long long, bool>>> Local;
+  /// Per node: local references sorted by global id (binary-searched by
+  /// refFreq/refStores, which sit in the analyzer's hot loops).
+  std::vector<std::vector<LocalRef>> Local;
 };
 
 } // namespace ipra

@@ -7,10 +7,10 @@
 
 #include "core/RegSets.h"
 
+#include "support/NodeSet.h"
+
 #include <algorithm>
 #include <cassert>
-#include <map>
-#include <set>
 
 using namespace ipra;
 
@@ -37,16 +37,17 @@ RegMask pickRegisters(unsigned Count, RegMask From, RegMask AvoidLast) {
 /// Topological order of a cluster's nodes (root first); the cluster is a
 /// DAG by construction.
 std::vector<int> clusterTopoOrder(const CallGraph &CG, const Cluster &C) {
-  std::set<int> InCluster(C.Members.begin(), C.Members.end());
+  NodeSet InCluster = NodeSet::withUniverse(CG.size());
+  for (int M : C.Members)
+    InCluster.insert(M);
   InCluster.insert(C.Root);
-  std::map<int, int> PendingPreds;
+  std::vector<int> PendingPreds(CG.size(), 0);
   for (int N : InCluster) {
-    int Count = 0;
-    if (N != C.Root)
-      for (int P : CG.node(N).Preds)
-        if (InCluster.count(P))
-          ++Count;
-    PendingPreds[N] = Count;
+    if (N == C.Root)
+      continue;
+    for (int P : CG.node(N).Preds)
+      if (InCluster.count(P))
+        ++PendingPreds[N];
   }
   std::vector<int> Order, Ready = {C.Root};
   while (!Ready.empty()) {
@@ -56,8 +57,7 @@ std::vector<int> clusterTopoOrder(const CallGraph &CG, const Cluster &C) {
     for (int S : CG.node(N).Succs) {
       if (S == C.Root || !InCluster.count(S))
         continue;
-      auto It = PendingPreds.find(S);
-      if (It != PendingPreds.end() && --It->second == 0)
+      if (--PendingPreds[S] == 0)
         Ready.push_back(S);
     }
   }
@@ -90,7 +90,7 @@ std::vector<ProcDirectives> ipra::computeRegisterSets(
   std::vector<int> ClusterOrder;
   for (size_t C = 0; C < Clusters.size(); ++C)
     ClusterOrder.push_back(static_cast<int>(C));
-  std::map<int, int> RPOIdx;
+  std::vector<int> RPOIdx(N, 0);
   {
     int I = 0;
     for (int Node : CG.rpo())
@@ -108,7 +108,9 @@ std::vector<ProcDirectives> ipra::computeRegisterSets(
   for (int CI : ClusterOrder) {
     const Cluster &C = Clusters[CI];
     int R = C.Root;
-    std::set<int> InCluster(C.Members.begin(), C.Members.end());
+    NodeSet InCluster = NodeSet::withUniverse(CG.size());
+    for (int M : C.Members)
+      InCluster.insert(M);
     InCluster.insert(R);
 
     // Child MSPILL sets steer the selection order (§4.2.4).
@@ -184,7 +186,7 @@ std::vector<ProcDirectives> ipra::computeRegisterSets(
     // Optional §7.6.2 extension: a root-spilled register unused on every
     // path below Q may join FREE[Q].
     if (Options.ImprovedFreeSets) {
-      std::map<int, RegMask> Downstream;
+      std::vector<RegMask> Downstream(N, 0);
       for (auto It = Order.rbegin(); It != Order.rend(); ++It) {
         int Node = *It;
         RegMask D = 0;
@@ -266,11 +268,13 @@ std::vector<std::string> ipra::checkRegisterSetInvariants(
   // live value may be held in it across the call chain) must not be
   // FREE or caller-saves scratch downstream.
   for (const Cluster &C : Clusters) {
-    std::set<int> InCluster(C.Members.begin(), C.Members.end());
+    NodeSet InCluster = NodeSet::withUniverse(CG.size());
+    for (int M : C.Members)
+      InCluster.insert(M);
     InCluster.insert(C.Root);
     for (int Q : C.Members) {
       // Forward reachability from Q within the cluster.
-      std::set<int> Seen;
+      NodeSet Seen = NodeSet::withUniverse(CG.size());
       std::vector<int> Work = {Q};
       while (!Work.empty()) {
         int Cur = Work.back();

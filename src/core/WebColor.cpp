@@ -137,6 +137,7 @@ std::vector<Web> ipra::buildBlanketWebs(const CallGraph &CG,
     W.Id = static_cast<int>(Out.size());
     W.GlobalId = Ranked[I].second;
     W.Priority = Ranked[I].first;
+    W.Nodes = NodeSet::withUniverse(CG.size());
     for (int N = 0; N < CG.size(); ++N) {
       W.Nodes.insert(N);
       if (RS.refStores(N, W.GlobalId))
@@ -166,13 +167,10 @@ std::vector<std::string> ipra::checkColoring(const std::vector<Web> &Webs) {
       const Web &WB = Webs[B];
       if (WB.AssignedReg != WA.AssignedReg)
         continue;
-      for (int N : WA.Nodes)
-        if (WB.Nodes.count(N)) {
-          Problems.push_back("webs " + std::to_string(WA.Id) + " and " +
-                             std::to_string(WB.Id) +
-                             " interfere but share a register");
-          break;
-        }
+      if (WA.Nodes.intersects(WB.Nodes))
+        Problems.push_back("webs " + std::to_string(WA.Id) + " and " +
+                           std::to_string(WB.Id) +
+                           " interfere but share a register");
     }
   }
   return Problems;

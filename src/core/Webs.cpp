@@ -7,6 +7,8 @@
 
 #include "core/Webs.h"
 
+#include "support/ThreadPool.h"
+
 #include <algorithm>
 
 using namespace ipra;
@@ -28,15 +30,14 @@ long long capMul(long long A, long long B) {
 
 /// Figure 2's Expand_Web, iteratively: adds \p Seed and every successor
 /// chain whose nodes have G in L_REF or C_REF.
-void expandWeb(const CallGraph &CG, const RefSets &RS, int G,
-               std::set<int> &W, int Seed) {
+void expandWeb(const CallGraph &CG, const RefSets &RS, int G, NodeSet &W,
+               int Seed) {
   std::vector<int> Stack = {Seed};
   while (!Stack.empty()) {
     int Q = Stack.back();
     Stack.pop_back();
-    if (W.count(Q))
+    if (!W.insert(Q))
       continue;
-    W.insert(Q);
     for (int S : CG.node(Q).Succs)
       if (!W.count(S) && (RS.cref(S).test(G) || RS.lref(S).test(G)))
         Stack.push_back(S);
@@ -45,13 +46,14 @@ void expandWeb(const CallGraph &CG, const RefSets &RS, int G,
 
 /// The repeat/until loop of Figure 2: expand from \p Seeds, then absorb
 /// external predecessors of mixed-predecessor nodes until none remain.
-void growWeb(const CallGraph &CG, const RefSets &RS, int G,
-             std::set<int> &W, std::set<int> Seeds) {
+void growWeb(const CallGraph &CG, const RefSets &RS, int G, NodeSet &W,
+             NodeSet Seeds) {
   while (true) {
     for (int Q : Seeds)
       expandWeb(CG, RS, G, W, Q);
     // S := nodes of W with both an internal and an external predecessor.
-    std::set<int> NewSeeds;
+    NodeSet NewSeeds = NodeSet::withUniverse(CG.size());
+    bool Any = false;
     for (int Z : W) {
       bool Internal = false, External = false;
       for (int P : CG.node(Z).Preds) {
@@ -63,9 +65,9 @@ void growWeb(const CallGraph &CG, const RefSets &RS, int G,
       if (Internal && External)
         for (int P : CG.node(Z).Preds)
           if (!W.count(P))
-            NewSeeds.insert(P);
+            Any |= NewSeeds.insert(P);
     }
-    if (NewSeeds.empty())
+    if (!Any)
       return;
     Seeds = std::move(NewSeeds);
   }
@@ -81,9 +83,10 @@ std::string moduleOfQualName(const std::string &QualName) {
 /// Figure 2's repeat loop, WITHOUT the successor descent (descendant
 /// reference regions belong to other sub-webs; wrap code synchronizes
 /// with them through memory).
-void closeSplitWeb(const CallGraph &CG, std::set<int> &W) {
+void closeSplitWeb(const CallGraph &CG, NodeSet &W) {
   while (true) {
-    std::set<int> Absorb;
+    NodeSet Absorb = NodeSet::withUniverse(CG.size());
+    bool Any = false;
     for (int Z : W) {
       bool Internal = false, External = false;
       for (int P : CG.node(Z).Preds) {
@@ -95,11 +98,11 @@ void closeSplitWeb(const CallGraph &CG, std::set<int> &W) {
       if (Internal && External)
         for (int P : CG.node(Z).Preds)
           if (!W.count(P))
-            Absorb.insert(P);
+            Any |= Absorb.insert(P);
     }
-    if (Absorb.empty())
+    if (!Any)
       return;
-    W.insert(Absorb.begin(), Absorb.end());
+    W.unionWith(Absorb);
   }
 }
 
@@ -148,7 +151,7 @@ void remergeWebs(const CallGraph &CG, const RefSets &RS,
                  std::vector<Web> &Webs, const WebOptions &Options) {
   // Nearest common dominator of two nodes (walking idom chains).
   auto commonDominator = [&](int A, int B) {
-    std::set<int> Chain;
+    NodeSet Chain;
     for (int N = A; N >= 0; N = CG.idom(N))
       Chain.insert(N);
     for (int N = B; N >= 0; N = CG.idom(N))
@@ -188,8 +191,8 @@ void remergeWebs(const CallGraph &CG, const RefSets &RS,
 
         // Region: the pair, plus nodes on Dom-to-web paths (reachable
         // from Dom and reaching a web node). The shared entry is Dom.
-        std::set<int> Union = Webs[A].Nodes;
-        Union.insert(Webs[B].Nodes.begin(), Webs[B].Nodes.end());
+        NodeSet Union = Webs[A].Nodes;
+        Union.unionWith(Webs[B].Nodes);
         std::vector<char> FromDom(CG.size(), 0), ToWeb(CG.size(), 0);
         std::vector<int> Work{Dom};
         FromDom[Dom] = 1;
@@ -226,12 +229,12 @@ void remergeWebs(const CallGraph &CG, const RefSets &RS,
         // property). Repeat until stable. Split sub-webs cannot be
         // absorbed (their wrap code assumes their exact shape): touching
         // one vetoes the merge.
-        std::set<int> MergedNodes;
+        NodeSet MergedNodes;
         bool TouchesSplitWeb = false;
         bool Grew = true;
         while (Grew && !TouchesSplitWeb) {
           Grew = false;
-          MergedNodes.clear();
+          MergedNodes = NodeSet::withUniverse(CG.size());
           growWeb(CG, RS, G, MergedNodes, Union);
           std::vector<char> Reach(CG.size(), 0);
           for (int N : MergedNodes)
@@ -261,10 +264,8 @@ void remergeWebs(const CallGraph &CG, const RefSets &RS,
               break;
             }
             for (int N : W.Nodes)
-              if (!Union.count(N)) {
-                Union.insert(N);
+              if (Union.insert(N))
                 Grew = true;
-              }
           }
         }
         if (TouchesSplitWeb)
@@ -278,8 +279,9 @@ void remergeWebs(const CallGraph &CG, const RefSets &RS,
 
         // The §7.2/§7.4 correctness filters apply to the merged shape.
         if (!Options.AssumeClosedWorld) {
-          std::set<int> Entries(Merged.EntryNodes.begin(),
-                                Merged.EntryNodes.end());
+          NodeSet Entries;
+          for (int E : Merged.EntryNodes)
+            Entries.insert(E);
           bool VisibleInterior = false;
           for (int N : Merged.Nodes)
             VisibleInterior |=
@@ -304,13 +306,7 @@ void remergeWebs(const CallGraph &CG, const RefSets &RS,
         for (size_t C = 0; C < Webs.size(); ++C) {
           if (Webs[C].GlobalId != G)
             continue;
-          bool Overlaps = false;
-          for (int N : Webs[C].Nodes)
-            if (MergedNodes.count(N)) {
-              Overlaps = true;
-              break;
-            }
-          if (Overlaps) {
+          if (Webs[C].Nodes.intersects(MergedNodes)) {
             Absorbed.push_back(C);
             if (Webs[C].Considered)
               PairPriority = capAdd(PairPriority, Webs[C].Priority);
@@ -374,25 +370,20 @@ std::vector<Web> splitSparseWeb(const CallGraph &CG, const RefSets &RS,
     return {}; // Nothing to split apart.
 
   // 2. Close each component and merge any that collided.
-  std::vector<std::set<int>> SubNodes(NumComponents);
+  std::vector<NodeSet> SubNodes(
+      NumComponents, NodeSet::withUniverse(CG.size()));
   for (auto &[Node, Id] : Component)
     SubNodes[Id].insert(Node);
   for (auto &W : SubNodes)
     closeSplitWeb(CG, W);
-  std::vector<std::set<int>> Merged;
-  for (std::set<int> W : SubNodes) {
+  std::vector<NodeSet> Merged;
+  for (NodeSet W : SubNodes) {
     bool Absorbed = true;
     while (Absorbed) {
       Absorbed = false;
       for (auto It = Merged.begin(); It != Merged.end(); ++It) {
-        bool Overlaps = false;
-        for (int N : W)
-          if (It->count(N)) {
-            Overlaps = true;
-            break;
-          }
-        if (Overlaps) {
-          W.insert(It->begin(), It->end());
+        if (W.intersects(*It)) {
+          W.unionWith(*It);
           Merged.erase(It);
           closeSplitWeb(CG, W);
           Absorbed = true;
@@ -407,7 +398,7 @@ std::vector<Web> splitSparseWeb(const CallGraph &CG, const RefSets &RS,
 
   // 3. Materialize sub-webs with wrap edges and split-aware priorities.
   std::vector<Web> Out;
-  for (std::set<int> &Nodes : Merged) {
+  for (NodeSet &Nodes : Merged) {
     Web W;
     W.GlobalId = G;
     W.IsSplit = true;
@@ -452,7 +443,7 @@ std::vector<Web> splitSparseWeb(const CallGraph &CG, const RefSets &RS,
           if (!T.IsAddressTaken || W.Nodes.count(T.Id))
             continue;
           if (RS.lref(T.Id).test(G) || RS.cref(T.Id).test(G)) {
-            W.WrapIndirect[N] = true;
+            W.WrapIndirect.insert(N);
             Overhead = capAdd(Overhead, capMul(CG.invocationCount(N), 2));
             break;
           }
@@ -469,158 +460,179 @@ std::vector<Web> splitSparseWeb(const CallGraph &CG, const RefSets &RS,
   return Out;
 }
 
+/// Discovers and materializes every web of global \p G. Web Ids are
+/// left unassigned; buildWebs numbers them after the (possibly
+/// parallel) per-global fan-out, in global-id order, so the result is
+/// independent of scheduling. \p SccMembers maps an SCC id to its
+/// member nodes (precomputed once; the cycle case below needs it).
+std::vector<Web> websForGlobal(const CallGraph &CG, const RefSets &RS,
+                               int G,
+                               const std::vector<std::vector<int>> &SccMembers,
+                               const WebOptions &Options) {
+  std::vector<NodeSet> GWebs;
+  // Union of every discovered web's nodes: the "is P already in some
+  // web of G" test is one bit probe instead of a scan over GWebs.
+  NodeSet Assigned = NodeSet::withUniverse(CG.size());
+
+  auto MergeIn = [&GWebs, &Assigned](NodeSet W) {
+    // Union overlapping webs of the same variable (Figure 2's merge).
+    for (auto It = GWebs.begin(); It != GWebs.end();) {
+      if (W.intersects(*It)) {
+        W.unionWith(*It);
+        It = GWebs.erase(It);
+      } else {
+        ++It;
+      }
+    }
+    Assigned.unionWith(W);
+    GWebs.push_back(std::move(W));
+  };
+
+  // Main loop: candidate web entry nodes have G in L_REF, not P_REF.
+  for (int P = 0; P < CG.size(); ++P) {
+    if (!RS.lref(P).test(G) || RS.pref(P).test(G) || Assigned.count(P))
+      continue;
+    NodeSet W = NodeSet::withUniverse(CG.size());
+    NodeSet Seeds = NodeSet::withUniverse(CG.size());
+    Seeds.insert(P);
+    growWeb(CG, RS, G, W, std::move(Seeds));
+    MergeIn(std::move(W));
+  }
+
+  // Cycle case (§4.1.2): nodes of recursive chains that reference G
+  // but have G in P_REF all around the cycle never qualify as entry
+  // candidates; seed a web with the whole cycle and enlarge it.
+  for (int P = 0; P < CG.size(); ++P) {
+    if (!RS.lref(P).test(G) || Assigned.count(P))
+      continue;
+    NodeSet Seeds = NodeSet::withUniverse(CG.size());
+    for (int N : SccMembers[CG.sccId(P)])
+      Seeds.insert(N);
+    NodeSet W = NodeSet::withUniverse(CG.size());
+    growWeb(CG, RS, G, W, std::move(Seeds));
+    MergeIn(std::move(W));
+  }
+
+  // Materialize web records.
+  std::vector<Web> Webs;
+  for (NodeSet &Nodes : GWebs) {
+    Web W;
+    W.GlobalId = G;
+    W.Nodes = std::move(Nodes);
+
+    int LRefNodes = 0;
+    long long Benefit = 0;
+    for (int N : W.Nodes) {
+      if (RS.lref(N).test(G))
+        ++LRefNodes;
+      if (RS.refStores(N, G))
+        W.Modifies = true;
+      Benefit = capAdd(
+          Benefit, capMul(RS.refFreq(N, G), CG.invocationCount(N)));
+    }
+    long long EntryOverhead = 0;
+    for (int N : W.Nodes) {
+      bool HasInternalPred = false;
+      for (int P : CG.node(N).Preds)
+        if (W.Nodes.count(P)) {
+          HasInternalPred = true;
+          break;
+        }
+      if (!HasInternalPred) {
+        W.EntryNodes.push_back(N);
+        EntryOverhead = capAdd(
+            EntryOverhead,
+            capMul(CG.invocationCount(N), W.Modifies ? 2 : 1));
+      }
+    }
+    W.Priority = Benefit - EntryOverhead;
+
+    // Filters (§6.2, §7.4, §7.2).
+    if (!Options.AssumeClosedWorld && W.Considered) {
+      NodeSet Entries;
+      for (int E : W.EntryNodes)
+        Entries.insert(E);
+      for (int N : W.Nodes) {
+        if (!Entries.count(N) && CG.node(N).ExternallyVisible) {
+          W.Considered = false;
+          W.DiscardReason = "interior node externally visible";
+          break;
+        }
+      }
+    }
+    const std::string &Name = RS.globalName(G);
+    std::string StaticModule = moduleOfQualName(Name);
+    if (Options.DiscardCrossModuleStaticWebs && !StaticModule.empty()) {
+      for (int E : W.EntryNodes) {
+        if (CG.node(E).Module != StaticModule) {
+          W.Considered = false;
+          W.DiscardReason = "static web entry crosses modules";
+          break;
+        }
+      }
+    }
+    if (W.Considered && W.Nodes.size() == 1) {
+      int Only = *W.Nodes.begin();
+      if (RS.refFreq(Only, G) < Options.MinSingleNodeFreq) {
+        W.Considered = false;
+        W.DiscardReason = "single node, infrequent";
+      }
+    }
+    if (W.Considered && !W.Nodes.empty()) {
+      double Ratio =
+          static_cast<double>(LRefNodes) / static_cast<double>(
+                                               W.Nodes.size());
+      if (Ratio < Options.MinLRefRatio) {
+        W.Considered = false;
+        W.DiscardReason = "too sparse";
+      }
+    }
+    if (W.Considered && W.Priority <= 0) {
+      W.Considered = false;
+      W.DiscardReason = "unprofitable";
+    }
+
+    // §7.6.1: a web rejected as too sparse may split into tight
+    // sub-webs that pay for their wrap code; they replace the parent.
+    if (Options.SplitSparseWebs && !W.Considered &&
+        W.DiscardReason == "too sparse") {
+      std::vector<Web> Subs = splitSparseWeb(CG, RS, W);
+      if (!Subs.empty()) {
+        for (Web &Sub : Subs)
+          Webs.push_back(std::move(Sub));
+        continue;
+      }
+    }
+    Webs.push_back(std::move(W));
+  }
+  return Webs;
+}
+
 } // namespace
 
 std::vector<Web> ipra::buildWebs(const CallGraph &CG, const RefSets &RS,
                                  const WebOptions &Options) {
+  std::vector<std::vector<int>> SccMembers(CG.size());
+  for (int N = 0; N < CG.size(); ++N)
+    SccMembers[CG.sccId(N)].push_back(N);
+
+  // Discovery is independent per global: fan out over the eligible
+  // globals, then concatenate the per-global results in global-id order
+  // and number the webs — identical output at any thread count.
+  size_t NumGlobals = static_cast<size_t>(RS.numEligible());
+  std::vector<std::vector<Web>> PerGlobal(NumGlobals);
+  parallelForEach(NumGlobals, resolveThreadCount(Options.NumThreads),
+                  [&](size_t G) {
+                    PerGlobal[G] = websForGlobal(
+                        CG, RS, static_cast<int>(G), SccMembers, Options);
+                  });
+
   std::vector<Web> Webs;
-
-  for (int G = 0; G < RS.numEligible(); ++G) {
-    std::vector<std::set<int>> GWebs;
-
-    auto InSomeWeb = [&GWebs](int Node) {
-      for (const std::set<int> &W : GWebs)
-        if (W.count(Node))
-          return true;
-      return false;
-    };
-    auto MergeIn = [&GWebs](std::set<int> W) {
-      // Union overlapping webs of the same variable (Figure 2's merge).
-      for (auto It = GWebs.begin(); It != GWebs.end();) {
-        bool Overlaps = false;
-        for (int N : *It)
-          if (W.count(N)) {
-            Overlaps = true;
-            break;
-          }
-        if (Overlaps) {
-          W.insert(It->begin(), It->end());
-          It = GWebs.erase(It);
-        } else {
-          ++It;
-        }
-      }
-      GWebs.push_back(std::move(W));
-    };
-
-    // Main loop: candidate web entry nodes have G in L_REF, not P_REF.
-    for (int P = 0; P < CG.size(); ++P) {
-      if (!RS.lref(P).test(G) || RS.pref(P).test(G) || InSomeWeb(P))
-        continue;
-      std::set<int> W;
-      growWeb(CG, RS, G, W, {P});
-      MergeIn(std::move(W));
-    }
-
-    // Cycle case (§4.1.2): nodes of recursive chains that reference G
-    // but have G in P_REF all around the cycle never qualify as entry
-    // candidates; seed a web with the whole cycle and enlarge it.
-    for (int P = 0; P < CG.size(); ++P) {
-      if (!RS.lref(P).test(G) || InSomeWeb(P))
-        continue;
-      std::set<int> Seeds;
-      for (int N = 0; N < CG.size(); ++N)
-        if (CG.sccId(N) == CG.sccId(P))
-          Seeds.insert(N);
-      std::set<int> W;
-      growWeb(CG, RS, G, W, Seeds);
-      MergeIn(std::move(W));
-    }
-
-    // Materialize web records.
-    for (std::set<int> &Nodes : GWebs) {
-      Web W;
-      W.Id = static_cast<int>(Webs.size());
-      W.GlobalId = G;
-      W.Nodes = std::move(Nodes);
-
-      int LRefNodes = 0;
-      long long Benefit = 0;
-      for (int N : W.Nodes) {
-        if (RS.lref(N).test(G))
-          ++LRefNodes;
-        if (RS.refStores(N, G))
-          W.Modifies = true;
-        Benefit = capAdd(
-            Benefit, capMul(RS.refFreq(N, G), CG.invocationCount(N)));
-      }
-      long long EntryOverhead = 0;
-      for (int N : W.Nodes) {
-        bool HasInternalPred = false;
-        for (int P : CG.node(N).Preds)
-          if (W.Nodes.count(P)) {
-            HasInternalPred = true;
-            break;
-          }
-        if (!HasInternalPred) {
-          W.EntryNodes.push_back(N);
-          EntryOverhead = capAdd(
-              EntryOverhead,
-              capMul(CG.invocationCount(N), W.Modifies ? 2 : 1));
-        }
-      }
-      W.Priority = Benefit - EntryOverhead;
-
-      // Filters (§6.2, §7.4, §7.2).
-      if (!Options.AssumeClosedWorld && W.Considered) {
-        std::set<int> Entries(W.EntryNodes.begin(), W.EntryNodes.end());
-        for (int N : W.Nodes) {
-          if (!Entries.count(N) && CG.node(N).ExternallyVisible) {
-            W.Considered = false;
-            W.DiscardReason = "interior node externally visible";
-            break;
-          }
-        }
-      }
-      const std::string &Name = RS.globalName(G);
-      std::string StaticModule = moduleOfQualName(Name);
-      if (Options.DiscardCrossModuleStaticWebs && !StaticModule.empty()) {
-        for (int E : W.EntryNodes) {
-          if (CG.node(E).Module != StaticModule) {
-            W.Considered = false;
-            W.DiscardReason = "static web entry crosses modules";
-            break;
-          }
-        }
-      }
-      if (W.Considered && W.Nodes.size() == 1) {
-        int Only = *W.Nodes.begin();
-        if (RS.refFreq(Only, G) < Options.MinSingleNodeFreq) {
-          W.Considered = false;
-          W.DiscardReason = "single node, infrequent";
-        }
-      }
-      if (W.Considered && !W.Nodes.empty()) {
-        double Ratio =
-            static_cast<double>(LRefNodes) / static_cast<double>(
-                                                 W.Nodes.size());
-        if (Ratio < Options.MinLRefRatio) {
-          W.Considered = false;
-          W.DiscardReason = "too sparse";
-        }
-      }
-      if (W.Considered && W.Priority <= 0) {
-        W.Considered = false;
-        W.DiscardReason = "unprofitable";
-      }
-
-      // §7.6.1: a web rejected as too sparse may split into tight
-      // sub-webs that pay for their wrap code; they replace the parent.
-      if (Options.SplitSparseWebs && !W.Considered &&
-          W.DiscardReason == "too sparse") {
-        std::vector<Web> Subs = splitSparseWeb(CG, RS, W);
-        if (!Subs.empty()) {
-          for (Web &Sub : Subs) {
-            Sub.Id = static_cast<int>(Webs.size());
-            Webs.push_back(std::move(Sub));
-          }
-          continue;
-        }
-      }
+  for (std::vector<Web> &GWebs : PerGlobal)
+    for (Web &W : GWebs) {
       W.Id = static_cast<int>(Webs.size());
       Webs.push_back(std::move(W));
     }
-  }
   if (Options.RemergeWebs)
     remergeWebs(CG, RS, Webs, Options);
   return Webs;
@@ -642,7 +654,9 @@ ipra::checkWebInvariants(const CallGraph &CG, const RefSets &RS,
     }
 
     // Entry/internal predecessor discipline.
-    std::set<int> Entries(W.EntryNodes.begin(), W.EntryNodes.end());
+    NodeSet Entries;
+    for (int E : W.EntryNodes)
+      Entries.insert(E);
     for (int N : W.Nodes) {
       bool IsEntry = Entries.count(N);
       for (int P : CG.node(N).Preds) {
@@ -678,9 +692,7 @@ ipra::checkWebInvariants(const CallGraph &CG, const RefSets &RS,
             if (T.IsAddressTaken && !W.Nodes.count(T.Id) &&
                 (RS.lref(T.Id).test(G) || RS.cref(T.Id).test(G)))
               AnyReachingTarget = true;
-          auto It = W.WrapIndirect.find(N);
-          if (AnyReachingTarget &&
-              (It == W.WrapIndirect.end() || !It->second))
+          if (AnyReachingTarget && !W.WrapIndirect.count(N))
             Bad(W, "missing indirect wrap at " + CG.node(N).QualName);
         }
       }
@@ -716,16 +728,13 @@ ipra::checkWebInvariants(const CallGraph &CG, const RefSets &RS,
     Sweep(/*Forward=*/false);
   }
 
-  // Node-disjointness of same-variable webs.
+  // Node-disjointness of same-variable webs (word-parallel overlap).
   for (size_t A = 0; A < Webs.size(); ++A)
     for (size_t B = A + 1; B < Webs.size(); ++B) {
       if (Webs[A].GlobalId != Webs[B].GlobalId)
         continue;
-      for (int N : Webs[A].Nodes)
-        if (Webs[B].Nodes.count(N)) {
-          Bad(Webs[A], "overlaps web " + std::to_string(Webs[B].Id));
-          break;
-        }
+      if (Webs[A].Nodes.intersects(Webs[B].Nodes))
+        Bad(Webs[A], "overlaps web " + std::to_string(Webs[B].Id));
     }
   return Problems;
 }

@@ -20,14 +20,24 @@
 /// a single node with infrequent access; the statics rule (§7.4)
 /// discards webs whose entry nodes fall outside the static's module.
 ///
+/// Web node membership is a NodeSet (bitset over call-graph node ids):
+/// growth, merging and disjointness checks are word-parallel, and
+/// iteration stays in ascending node order — the same order std::set
+/// gave — so every downstream consumer sees identical sequences.
+/// Discovery is independent per global variable; with
+/// WebOptions::NumThreads > 1 the per-global discoveries run on a
+/// thread pool and are merged in global-id order, making the output
+/// byte-identical at any thread count.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef IPRA_CORE_WEBS_H
 #define IPRA_CORE_WEBS_H
 
 #include "core/RefSets.h"
+#include "support/NodeSet.h"
 
-#include <set>
+#include <map>
 #include <string>
 #include <vector>
 
@@ -37,7 +47,7 @@ namespace ipra {
 struct Web {
   int Id = -1;
   int GlobalId = -1;
-  std::set<int> Nodes;
+  NodeSet Nodes;
   /// Nodes with no predecessor inside the web; they load the variable at
   /// entry and store it back at exit.
   std::vector<int> EntryNodes;
@@ -56,10 +66,9 @@ struct Web {
   /// Per web node: successors outside the web whose subtree references
   /// the variable; calls along these edges store the register back
   /// before (when Modifies) and reload it after.
-  std::map<int, std::set<int>> WrapEdges;
-  /// Per web node: true when the node's indirect calls can reach a
-  /// referencing procedure.
-  std::map<int, bool> WrapIndirect;
+  std::map<int, NodeSet> WrapEdges;
+  /// Web nodes whose indirect calls can reach a referencing procedure.
+  NodeSet WrapIndirect;
 };
 
 /// Filtering knobs (§6.2, §7.4).
@@ -83,6 +92,10 @@ struct WebOptions {
   /// web (sharing entry nodes higher up) has a better priority than the
   /// pair, "at the expense of extra interferences".
   bool RemergeWebs = false;
+  /// Threads for per-global web discovery: 1 runs serially on the
+  /// calling thread, 0 defers to IPRA_THREADS / the hardware count.
+  /// Output is identical at any value.
+  int NumThreads = 1;
 };
 
 /// Identifies every web, computes entry nodes, priorities (weighted

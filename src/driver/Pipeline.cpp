@@ -131,13 +131,17 @@ std::string serializeProfile(const CallProfile &CP) {
 
 /// The analyzer cache entry bundles the AnalyzerStats with the database
 /// text (a cached analyzer run must still report its statistics):
-/// one "analyzer-stats <9 counters>" line, then the database verbatim.
+/// one "analyzer-stats <9 counters> <5 sub-phase ms>" line, then the
+/// database verbatim. Entries written under the old 9-field format fail
+/// the parse below and degrade to a cache miss.
 std::string statsHeader(const AnalyzerStats &S) {
   std::ostringstream OS;
   OS << "analyzer-stats " << S.EligibleGlobals << " " << S.TotalWebs << " "
      << S.ConsideredWebs << " " << S.ColoredWebs << " " << S.SplitWebs
      << " " << S.RemergedWebs << " " << S.NumClusters << " "
-     << S.TotalClusterNodes << " " << S.MaxClusterSize << "\n";
+     << S.TotalClusterNodes << " " << S.MaxClusterSize << " "
+     << S.RefSetsMs << " " << S.WebsMs << " " << S.ColoringMs << " "
+     << S.ClustersMs << " " << S.RegSetsMs << "\n";
   return OS.str();
 }
 
@@ -150,7 +154,8 @@ bool splitStatsEntry(const std::string &Entry, AnalyzerStats &S,
   std::string Tag;
   IS >> Tag >> S.EligibleGlobals >> S.TotalWebs >> S.ConsideredWebs >>
       S.ColoredWebs >> S.SplitWebs >> S.RemergedWebs >> S.NumClusters >>
-      S.TotalClusterNodes >> S.MaxClusterSize;
+      S.TotalClusterNodes >> S.MaxClusterSize >> S.RefSetsMs >>
+      S.WebsMs >> S.ColoringMs >> S.ClustersMs >> S.RegSetsMs;
   if (Tag != "analyzer-stats" || IS.fail())
     return false;
   DbText = Entry.substr(NL + 1);
@@ -579,9 +584,11 @@ BuildResult Pipeline::build(const std::vector<SourceFile> &Sources,
       }
     }
 
-    // ---- Program analyzer: the one whole-program step, always
-    // single-threaded (it is the paper's sequential bottleneck). Cache
-    // key: analyzer fingerprint x profile x every summary text.
+    // ---- Program analyzer: the one whole-program step. Web discovery
+    // inside it fans out per global onto the configured thread count
+    // (output is byte-identical at any value); the remaining stages are
+    // sequential. Cache key: analyzer fingerprint x profile x every
+    // summary text.
     ScopedTimerMs Timer(PS.AnalyzerMs);
     CallProfile CP;
     if (Config.UseProfile && Profile) {
@@ -601,6 +608,11 @@ BuildResult Pipeline::build(const std::vector<SourceFile> &Sources,
     } else {
       ++PS.AnalyzerCacheMisses;
     }
+    PS.AnalyzerRefSetsMs = Result.Analyzer.RefSetsMs;
+    PS.AnalyzerWebsMs = Result.Analyzer.WebsMs;
+    PS.AnalyzerColoringMs = Result.Analyzer.ColoringMs;
+    PS.AnalyzerClustersMs = Result.Analyzer.ClustersMs;
+    PS.AnalyzerRegSetsMs = Result.Analyzer.RegSetsMs;
     PS.DatabaseBytes = Result.DatabaseFile.size();
     HaveDB = true;
   }

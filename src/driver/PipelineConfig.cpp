@@ -78,6 +78,10 @@ AnalyzerOptions PipelineConfig::analyzerOptions() const {
   O.RegSets.ImprovedFreeSets = ImprovedFreeSets;
   O.CallerSavePropagation = CallerSavePropagation;
   O.AssumeClosedWorld = AssumeClosedWorld;
+  // The analyzer's parallel stages reuse the pipeline thread count.
+  // NumThreads stays out of every fingerprint (the database is
+  // byte-identical at any value).
+  O.NumThreads = NumThreads;
   return O;
 }
 

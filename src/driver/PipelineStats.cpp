@@ -20,6 +20,14 @@ std::string PipelineStats::toString() const {
   OS << "  frontend=" << FrontEndMs << "ms phase1=" << Phase1Ms
      << "ms analyzer=" << AnalyzerMs << "ms phase2=" << Phase2Ms
      << "ms link=" << LinkMs << "ms\n";
+  if (AnalyzerRefSetsMs + AnalyzerWebsMs + AnalyzerColoringMs +
+          AnalyzerClustersMs + AnalyzerRegSetsMs >
+      0)
+    OS << "  analyzer phases: refsets=" << AnalyzerRefSetsMs
+       << "ms webs=" << AnalyzerWebsMs
+       << "ms coloring=" << AnalyzerColoringMs
+       << "ms clusters=" << AnalyzerClustersMs
+       << "ms regsets=" << AnalyzerRegSetsMs << "ms\n";
   OS << "  summaries=" << SummaryBytes << "B database=" << DatabaseBytes
      << "B objects=" << ObjectBytes << "B\n";
   if (Phase1CacheHits + Phase1CacheMisses + AnalyzerCacheHits +

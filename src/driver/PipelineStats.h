@@ -44,10 +44,17 @@ struct PipelineStats {
   unsigned ThreadsUsed = 1;
   double FrontEndMs = 0;
   double Phase1Ms = 0;   ///< Zero when the analyzer is off.
-  double AnalyzerMs = 0; ///< Always single-threaded.
+  double AnalyzerMs = 0; ///< Whole analyzer step, including cache I/O.
   double Phase2Ms = 0;
   double LinkMs = 0;
   double TotalMs = 0;
+  /// Analyzer sub-phase breakdown (from AnalyzerStats; on a cache hit
+  /// these are the producing run's times).
+  double AnalyzerRefSetsMs = 0;
+  double AnalyzerWebsMs = 0; ///< Parallel per-global web discovery.
+  double AnalyzerColoringMs = 0;
+  double AnalyzerClustersMs = 0;
+  double AnalyzerRegSetsMs = 0;
   size_t SummaryBytes = 0;  ///< All summary files.
   size_t DatabaseBytes = 0; ///< Serialized program database.
   size_t ObjectBytes = 0;   ///< All textual object files.

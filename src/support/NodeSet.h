@@ -1,0 +1,146 @@
+//===- NodeSet.h - Bitset-backed set of call-graph node ids ----*- C++ -*-===//
+//
+// Part of the IPRA project: a reproduction of Santhanam & Odnert,
+// "Register Allocation Across Procedure and Module Boundaries", PLDI 1990.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A set of small non-negative integers (call-graph node ids) backed by
+/// DynBitset. The analyzer's web and cluster machinery was originally
+/// built on std::set<int>; NodeSet keeps that interface shape —
+/// count/insert/size/empty and ascending-order iteration — while making
+/// membership O(1) and union/intersection O(words). Iteration decodes
+/// bits on the fly (no materialized vector, no mutable caches), so
+/// concurrent reads of a const NodeSet are safe.
+///
+/// The universe grows on demand: inserting N resizes to cover N. Two
+/// NodeSets with different universe sizes compare and combine by
+/// logical content (missing high words are treated as zero), so sets
+/// built against different graphs-in-progress still behave like value
+/// sets of integers.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef IPRA_SUPPORT_NODESET_H
+#define IPRA_SUPPORT_NODESET_H
+
+#include "support/DynBitset.h"
+
+#include <algorithm>
+#include <cstddef>
+#include <initializer_list>
+#include <iterator>
+
+namespace ipra {
+
+class NodeSet {
+public:
+  NodeSet() = default;
+  NodeSet(std::initializer_list<int> Init) {
+    for (int N : Init)
+      insert(N);
+  }
+
+  /// Pre-sizes the universe (typically CallGraph::size()) so hot loops
+  /// never pay for growth.
+  static NodeSet withUniverse(size_t Universe) {
+    NodeSet S;
+    S.Bits.resize(Universe);
+    return S;
+  }
+
+  size_t size() const { return Bits.count(); }
+  bool empty() const { return !Bits.any(); }
+
+  /// std::set-compatible membership test (0 or 1).
+  size_t count(int N) const {
+    return N >= 0 && static_cast<size_t>(N) < Bits.size() &&
+           Bits.test(static_cast<size_t>(N));
+  }
+
+  /// Inserts \p N, growing the universe if needed. Returns true when
+  /// the element was not present before.
+  bool insert(int N) {
+    size_t Bit = static_cast<size_t>(N);
+    if (Bit >= Bits.size())
+      Bits.resize(std::max(Bit + 1, Bits.size() * 2));
+    if (Bits.test(Bit))
+      return false;
+    Bits.set(Bit);
+    return true;
+  }
+
+  void erase(int N) {
+    if (count(N))
+      Bits.reset(static_cast<size_t>(N));
+  }
+
+  void clear() { Bits.clear(); }
+
+  /// Word-parallel union; returns true if this set changed.
+  bool unionWith(const NodeSet &RHS) {
+    if (Bits.size() < RHS.Bits.size())
+      Bits.resize(RHS.Bits.size());
+    return Bits.unionWithZeroExtended(RHS.Bits);
+  }
+
+  /// Word-parallel overlap test.
+  bool intersects(const NodeSet &RHS) const {
+    return Bits.intersectsZeroExtended(RHS.Bits);
+  }
+
+  /// Logical equality: same elements, regardless of universe size.
+  bool operator==(const NodeSet &RHS) const {
+    return Bits.equalsZeroExtended(RHS.Bits);
+  }
+
+  /// Forward iterator over members in ascending order.
+  class const_iterator {
+  public:
+    using iterator_category = std::forward_iterator_tag;
+    using value_type = int;
+    using difference_type = std::ptrdiff_t;
+    using pointer = const int *;
+    using reference = int;
+
+    const_iterator() = default;
+    const_iterator(const DynBitset *BS, ptrdiff_t Pos) : BS(BS), Pos(Pos) {}
+
+    int operator*() const { return static_cast<int>(Pos); }
+    const_iterator &operator++() {
+      Pos = BS->findNext(Pos);
+      return *this;
+    }
+    const_iterator operator++(int) {
+      const_iterator Old = *this;
+      ++*this;
+      return Old;
+    }
+    bool operator==(const const_iterator &RHS) const {
+      return Pos == RHS.Pos;
+    }
+    bool operator!=(const const_iterator &RHS) const {
+      return Pos != RHS.Pos;
+    }
+
+  private:
+    const DynBitset *BS = nullptr;
+    ptrdiff_t Pos = -1; ///< -1 is the end sentinel.
+  };
+
+  const_iterator begin() const {
+    return const_iterator(&Bits, Bits.findFirst());
+  }
+  const_iterator end() const { return const_iterator(&Bits, -1); }
+
+  /// The underlying bitset (read-only), for word-level algorithms.
+  const DynBitset &bitset() const { return Bits; }
+
+private:
+  DynBitset Bits;
+};
+
+} // namespace ipra
+
+#endif // IPRA_SUPPORT_NODESET_H

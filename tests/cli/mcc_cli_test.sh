@@ -64,6 +64,18 @@ if [ -n "$DIFF" ]; then
   exit 1
 fi
 
+# --stats reports the analyzer sub-phase breakdown, and with a cache
+# the second run pairs it with analyzer hit counts (the times shown are
+# the producing run's).
+"$MCC" --stats --config C --cache-dir cache lib.mc main.mc 2> stats1.txt > /dev/null
+grep -q "analyzer phases: refsets=" stats1.txt \
+  || { echo "no analyzer phase breakdown in --stats" >&2; cat stats1.txt >&2; exit 1; }
+"$MCC" --stats --config C --cache-dir cache lib.mc main.mc 2> stats2.txt > /dev/null
+grep -q "analyzer phases: refsets=" stats2.txt \
+  || { echo "no analyzer phase breakdown on cached run" >&2; exit 1; }
+grep -q "analyzer 1/1" stats2.txt \
+  || { echo "no analyzer cache hit on second run" >&2; cat stats2.txt >&2; exit 1; }
+
 # [Wall 86] link-time route must match the fused output.
 WALL="$("$MCC" --wall lib.mc main.mc)"
 if [ "$FUSED" != "$WALL" ]; then

@@ -1,0 +1,286 @@
+//===- analyzer_equivalence_test.cpp - Optimized vs seed analyzer ---------===//
+//
+// Part of the IPRA project: a reproduction of Santhanam & Odnert,
+// "Register Allocation Across Procedure and Module Boundaries", PLDI 1990.
+//
+//===----------------------------------------------------------------------===//
+///
+/// Property tests pinning the scaled analyzer (SCC-condensed P_REF/C_REF,
+/// bitset webs, parallel per-global discovery) to the retained seed
+/// implementations in core/ReferenceAnalyzer.h: on randomized call
+/// graphs both must produce the identical web set, entry nodes, register
+/// assignments and cluster partition, and the program database must be
+/// byte-identical at every thread count. Runs under -DIPRA_SANITIZE=thread
+/// in the verify flow to catch races in the parallel discovery.
+///
+//===----------------------------------------------------------------------===//
+
+#include "core/Analyzer.h"
+#include "core/ReferenceAnalyzer.h"
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+using namespace ipra;
+
+namespace {
+
+/// A randomized multi-module program: layered intra-module call DAGs
+/// with back edges (recursion, including self-loops), cross-module
+/// calls to exported procedures, static procedures and globals (the
+/// §7.4 filter), address-taken procedures plus indirect callers (split
+/// wrap logic), stores, and a few procedures unreachable from main.
+std::vector<ModuleSummary> randomProgram(unsigned SeedValue) {
+  std::mt19937 Rng(SeedValue);
+  auto Rand = [&Rng](int N) {
+    return static_cast<int>(Rng() % static_cast<unsigned>(N));
+  };
+
+  int NumModules = 2 + Rand(2);
+  int ProcsPerModule = 10 + Rand(8);
+  int NumGlobals = 8 + Rand(8);
+
+  std::vector<ModuleSummary> Mods(NumModules);
+  std::vector<std::string> Names; // global proc index -> qual name
+  std::vector<int> ModOf;
+  std::vector<bool> Exported;
+  for (int M = 0; M < NumModules; ++M) {
+    Mods[M].Module = "m" + std::to_string(M);
+    for (int P = 0; P < ProcsPerModule; ++P) {
+      ProcSummary PS;
+      int Idx = static_cast<int>(Names.size());
+      bool IsMain = M == 0 && P == 0;
+      bool Static = !IsMain && Rand(4) == 0;
+      PS.QualName = IsMain ? "main"
+                    : Static
+                        ? Mods[M].Module + ":s" + std::to_string(Idx)
+                        : "p" + std::to_string(Idx);
+      PS.Module = Mods[M].Module;
+      PS.CalleeRegsNeeded = static_cast<unsigned>(Rand(14));
+      Names.push_back(PS.QualName);
+      ModOf.push_back(M);
+      Exported.push_back(!Static);
+      Mods[M].Procs.push_back(std::move(PS));
+    }
+  }
+
+  auto ProcAt = [&](int Idx) -> ProcSummary & {
+    return Mods[ModOf[Idx]].Procs[Idx % ProcsPerModule];
+  };
+
+  // Intra-module layered edges (forward by index) plus occasional back
+  // edges and self-loops for recursion.
+  for (int Idx = 0; Idx < static_cast<int>(Names.size()); ++Idx) {
+    int M = ModOf[Idx];
+    int Base = M * ProcsPerModule;
+    int Pos = Idx - Base;
+    int NumCalls = Rand(3);
+    for (int C = 0; C < NumCalls; ++C) {
+      int Span = ProcsPerModule - 1 - Pos;
+      if (Span <= 0)
+        break;
+      int Target = Idx + 1 + Rand(std::min(Span, 5));
+      ProcAt(Idx).Calls.push_back(
+          CallSummary{Names[Target], 1 + Rand(40)});
+    }
+    if (Pos > 2 && Rand(6) == 0) { // Back edge: a recursion cycle.
+      int Target = Base + Rand(Pos);
+      ProcAt(Idx).Calls.push_back(
+          CallSummary{Names[Target], 1 + Rand(10)});
+    }
+    if (Rand(12) == 0) // Self-recursion.
+      ProcAt(Idx).Calls.push_back(CallSummary{Names[Idx], 1 + Rand(5)});
+    if (Rand(4) == 0) { // Cross-module call to an exported procedure.
+      int Target = Rand(static_cast<int>(Names.size()));
+      if (Exported[Target] && ModOf[Target] != M && Target != 0)
+        ProcAt(Idx).Calls.push_back(
+            CallSummary{Names[Target], 1 + Rand(20)});
+    }
+  }
+  // main fans out to a root in every module so most nodes are
+  // reachable; the rest stay unreachable on purpose.
+  for (int M = 1; M < NumModules; ++M)
+    Mods[0].Procs[0].Calls.push_back(
+        CallSummary{Names[M * ProcsPerModule + Rand(3)], 1 + Rand(20)});
+
+  // Address-taken procedures and indirect callers.
+  int NumIndirect = Rand(3);
+  for (int I = 0; I < NumIndirect; ++I) {
+    int Holder = Rand(static_cast<int>(Names.size()));
+    int Target = Rand(static_cast<int>(Names.size()));
+    ProcAt(Holder).AddressTakenProcs.push_back(Names[Target]);
+    ProcAt(Holder).MakesIndirectCalls = true;
+    ProcAt(Holder).IndirectCallFreq = 1 + Rand(10);
+  }
+
+  // Globals: mostly exported scalars, some module statics, a few
+  // ineligible (aliased or non-scalar).
+  for (int G = 0; G < NumGlobals; ++G) {
+    GlobalSummary GS;
+    int M = Rand(NumModules);
+    GS.Module = Mods[M].Module;
+    GS.IsStatic = Rand(4) == 0;
+    GS.QualName = GS.IsStatic ? GS.Module + ":h" + std::to_string(G)
+                              : "g" + std::to_string(G);
+    GS.IsScalar = Rand(10) != 0;
+    GS.Aliased = Rand(10) == 0;
+    Mods[M].Globals.push_back(GS);
+
+    int NumRefs = 1 + Rand(4);
+    for (int R = 0; R < NumRefs; ++R) {
+      int P = Rand(static_cast<int>(Names.size()));
+      if (GS.IsStatic && ModOf[P] != M && Rand(2) == 0)
+        continue; // Statics mostly referenced in their own module.
+      ProcAt(P).GlobalRefs.push_back(
+          GlobalRefSummary{GS.QualName, 1 + Rand(100), Rand(3) == 0});
+    }
+  }
+  return Mods;
+}
+
+/// The option sets the web comparison runs under: the default path plus
+/// every §7.6.1/§7.2 extension the discovery can take.
+std::vector<WebOptions> webOptionMatrix() {
+  WebOptions Split;
+  Split.SplitSparseWebs = true;
+  WebOptions Remerge;
+  Remerge.RemergeWebs = true;
+  WebOptions Open;
+  Open.AssumeClosedWorld = false;
+  Open.SplitSparseWebs = true;
+  Open.RemergeWebs = true;
+  return {WebOptions{}, Split, Remerge, Open};
+}
+
+void expectWebsEqual(const std::vector<Web> &Got,
+                     const std::vector<Web> &Want, unsigned SeedValue) {
+  ASSERT_EQ(Got.size(), Want.size()) << "seed " << SeedValue;
+  for (size_t I = 0; I < Got.size(); ++I) {
+    SCOPED_TRACE("seed " + std::to_string(SeedValue) + " web " +
+                 std::to_string(I));
+    const Web &A = Got[I], &B = Want[I];
+    EXPECT_EQ(A.Id, B.Id);
+    EXPECT_EQ(A.GlobalId, B.GlobalId);
+    EXPECT_TRUE(A.Nodes == B.Nodes);
+    EXPECT_EQ(A.EntryNodes, B.EntryNodes);
+    EXPECT_EQ(A.Modifies, B.Modifies);
+    EXPECT_EQ(A.Priority, B.Priority);
+    EXPECT_EQ(A.AssignedReg, B.AssignedReg);
+    EXPECT_EQ(A.Considered, B.Considered);
+    EXPECT_EQ(A.DiscardReason, B.DiscardReason);
+    EXPECT_EQ(A.IsSplit, B.IsSplit);
+    EXPECT_EQ(A.IsRemerged, B.IsRemerged);
+    ASSERT_EQ(A.WrapEdges.size(), B.WrapEdges.size());
+    for (const auto &[Node, Targets] : A.WrapEdges) {
+      auto It = B.WrapEdges.find(Node);
+      ASSERT_NE(It, B.WrapEdges.end());
+      EXPECT_TRUE(Targets == It->second);
+    }
+    EXPECT_TRUE(A.WrapIndirect == B.WrapIndirect);
+  }
+}
+
+constexpr unsigned NumSeeds = 40;
+
+TEST(AnalyzerEquivalence, PrefCrefMatchFixpoint) {
+  for (unsigned Seed = 0; Seed < NumSeeds; ++Seed) {
+    CallGraph CG(randomProgram(Seed));
+    RefSets RS(CG);
+    reference::FixpointRefSets Ref(CG, RS);
+    for (int N = 0; N < CG.size(); ++N) {
+      EXPECT_TRUE(RS.pref(N) == Ref.pref(N))
+          << "P_REF mismatch, seed " << Seed << " node " << N;
+      EXPECT_TRUE(RS.cref(N) == Ref.cref(N))
+          << "C_REF mismatch, seed " << Seed << " node " << N;
+    }
+  }
+}
+
+TEST(AnalyzerEquivalence, WebsMatchSetBasedReference) {
+  for (unsigned Seed = 0; Seed < NumSeeds; ++Seed) {
+    CallGraph CG(randomProgram(Seed));
+    RefSets RS(CG);
+    for (const WebOptions &Options : webOptionMatrix()) {
+      auto Got = buildWebs(CG, RS, Options);
+      auto Want = reference::buildWebs(CG, RS, Options);
+      expectWebsEqual(Got, Want, Seed);
+      EXPECT_TRUE(checkWebInvariants(CG, RS, Got).empty());
+    }
+  }
+}
+
+TEST(AnalyzerEquivalence, WebsIdenticalAtAnyThreadCount) {
+  for (unsigned Seed = 0; Seed < NumSeeds; ++Seed) {
+    CallGraph CG(randomProgram(Seed));
+    RefSets RS(CG);
+    for (WebOptions Options : webOptionMatrix()) {
+      Options.NumThreads = 1;
+      auto Serial = buildWebs(CG, RS, Options);
+      for (int Threads : {3, 8}) {
+        Options.NumThreads = Threads;
+        expectWebsEqual(buildWebs(CG, RS, Options), Serial, Seed);
+      }
+    }
+  }
+}
+
+TEST(AnalyzerEquivalence, RegisterAssignmentsMatchOnReferenceWebs) {
+  for (unsigned Seed = 0; Seed < NumSeeds; ++Seed) {
+    CallGraph CG(randomProgram(Seed));
+    RefSets RS(CG);
+    auto Got = buildWebs(CG, RS);
+    auto Want = reference::buildWebs(CG, RS);
+    colorWebsKRegisters(Got, CG, pr32::defaultWebColoringPool());
+    colorWebsKRegisters(Want, CG, pr32::defaultWebColoringPool());
+    expectWebsEqual(Got, Want, Seed);
+
+    auto GotGreedy = buildWebs(CG, RS);
+    auto WantGreedy = reference::buildWebs(CG, RS);
+    colorWebsGreedy(GotGreedy, CG);
+    colorWebsGreedy(WantGreedy, CG);
+    expectWebsEqual(GotGreedy, WantGreedy, Seed);
+  }
+}
+
+TEST(AnalyzerEquivalence, ClustersMatchSetBasedReference) {
+  for (unsigned Seed = 0; Seed < NumSeeds; ++Seed) {
+    CallGraph CG(randomProgram(Seed));
+    ClusterOptions Options;
+    auto Got = identifyClusters(CG, Options);
+    auto Want = reference::identifyClusters(CG, Options);
+    ASSERT_EQ(Got.size(), Want.size()) << "seed " << Seed;
+    for (size_t I = 0; I < Got.size(); ++I) {
+      EXPECT_EQ(Got[I].Root, Want[I].Root) << "seed " << Seed;
+      EXPECT_EQ(Got[I].Members, Want[I].Members) << "seed " << Seed;
+    }
+    EXPECT_TRUE(checkClusterInvariants(CG, Got).empty());
+  }
+}
+
+TEST(AnalyzerEquivalence, DatabaseByteIdenticalAcrossThreadCounts) {
+  for (unsigned Seed = 0; Seed < 8; ++Seed) {
+    auto Summaries = randomProgram(Seed);
+    AnalyzerOptions Options;
+    Options.Webs.SplitSparseWebs = true;
+    Options.Webs.RemergeWebs = true;
+    Options.CallerSavePropagation = true;
+
+    Options.NumThreads = 1;
+    AnalyzerStats SerialStats;
+    std::string Serial =
+        runAnalyzer(Summaries, Options, {}, &SerialStats).serialize();
+    for (int Threads : {2, 8}) {
+      Options.NumThreads = Threads;
+      AnalyzerStats Stats;
+      EXPECT_EQ(runAnalyzer(Summaries, Options, {}, &Stats).serialize(),
+                Serial)
+          << "database differs at " << Threads << " threads, seed "
+          << Seed;
+      EXPECT_EQ(Stats.TotalWebs, SerialStats.TotalWebs);
+      EXPECT_EQ(Stats.ColoredWebs, SerialStats.ColoredWebs);
+    }
+  }
+}
+
+} // namespace
