@@ -30,6 +30,7 @@ const std::vector<ProgramInfo> &ipra::bench::programList() {
       {"crtool", "Prototype code repositioning tool"},
       {"protoc", "A fast compiler, compiling generated programs"},
       {"paopt", "Optimizer, optimizing synthetic linear IR"},
+      {"disp", "Function-pointer dispatch machine (points-to showcase)"},
   };
   return Programs;
 }

@@ -42,6 +42,15 @@
 ///   --improved-free              §7.6.2 wider FREE sets
 ///   --wall                       [Wall 86] link-time allocation instead
 ///                                of the two-pass analyzer (§7.1)
+///   --no-points-to               disable the per-module points-to /
+///                                escape analysis (conservative paper
+///                                behaviour; summaries carry no facts)
+///   --verify-ipra                after compiling, statically check the
+///                                IPRA invariants over the objects and
+///                                database (web interior silence, entry
+///                                load/store exactness, wrap brackets,
+///                                callee-saves discipline); violations
+///                                fail the run
 ///
 /// Configurations B and F collect their profile by first running the
 /// program compiled at the baseline, exactly like running gprof before
@@ -49,7 +58,9 @@
 ///
 //===----------------------------------------------------------------------===//
 
+#include "analysis/IPRAVerify.h"
 #include "driver/Driver.h"
+#include "link/ObjectIO.h"
 
 #include <cstdio>
 #include <cstring>
@@ -66,7 +77,8 @@ int usage() {
       stderr,
       "usage: mcc [--config base|A|B|C|D|E|F] [--stats] [--dump-summary]\n"
       "           [--dump-db] [--disasm] [--fuel N] [--threads N]\n"
-      "           [--cache-dir DIR] file.mc...\n"
+      "           [--cache-dir DIR] [--no-points-to] [--verify-ipra]\n"
+      "           file.mc...\n"
       "       mcc --phase1 file.mc            (summary to stdout)\n"
       "       mcc --analyze file.sum...       (database to stdout)\n"
       "       mcc --phase2 --db prog.db file.mc  (object to stdout)\n"
@@ -102,6 +114,7 @@ int main(int argc, char **argv) {
   bool SplitWebs = false, RemergeWebs = false, CallerSaveProp = false,
        RelaxWebAvail = false, ImprovedFree = false, Partial = false;
   bool WallLink = false;
+  bool NoPointsTo = false, VerifyIPRA = false;
   long long Fuel = 500'000'000;
   int NumThreads = 0;
   std::string CacheDir;
@@ -145,6 +158,10 @@ int main(int argc, char **argv) {
       Partial = true;
     } else if (Arg == "--wall") {
       WallLink = true;
+    } else if (Arg == "--no-points-to") {
+      NoPointsTo = true;
+    } else if (Arg == "--verify-ipra") {
+      VerifyIPRA = true;
     } else if (Arg.size() > 1 && Arg[0] == '-') {
       return usage();
     } else {
@@ -182,6 +199,7 @@ int main(int argc, char **argv) {
   Config.RelaxWebAvail = RelaxWebAvail;
   Config.ImprovedFreeSets = ImprovedFree;
   Config.AssumeClosedWorld = !Partial;
+  Config.PointsTo = !NoPointsTo;
   Config.NumThreads = NumThreads;
   Config.CacheDir = CacheDir;
 
@@ -303,6 +321,38 @@ int main(int argc, char **argv) {
   if (!R.Compile.Success) {
     std::fprintf(stderr, "%s\n", R.Compile.ErrorText.c_str());
     return 1;
+  }
+
+  if (VerifyIPRA) {
+    std::vector<ObjectFile> Objects;
+    for (const std::string &Text : R.Compile.ObjectFiles) {
+      ObjectFile Obj;
+      std::string Error;
+      if (!readObjectFile(Text, Obj, Error)) {
+        std::fprintf(stderr, "mcc: --verify-ipra: bad object: %s\n",
+                     Error.c_str());
+        return 1;
+      }
+      Objects.push_back(std::move(Obj));
+    }
+    ProgramDatabase DB;
+    std::string Error;
+    if (!R.Compile.DatabaseFile.empty() &&
+        !ProgramDatabase::deserialize(R.Compile.DatabaseFile, DB, Error)) {
+      std::fprintf(stderr, "mcc: --verify-ipra: bad database: %s\n",
+                   Error.c_str());
+      return 1;
+    }
+    IPRAVerifyResult V = verifyIPRA(Objects, DB);
+    std::fprintf(stderr,
+                 "verify-ipra: %u functions, %u call sites, "
+                 "%u promotions checked: %s\n",
+                 V.FunctionsChecked, V.CallSitesChecked,
+                 V.PromotionsChecked, V.ok() ? "ok" : "FAILED");
+    if (!V.ok()) {
+      std::fputs(V.text().c_str(), stderr);
+      return 1;
+    }
   }
 
   if (DumpSummary)

@@ -1,0 +1,502 @@
+//===- IPRAVerify.cpp - Whole-program IPRA invariant checker --------------===//
+//
+// Part of the IPRA project: a reproduction of Santhanam & Odnert,
+// "Register Allocation Across Procedure and Module Boundaries", PLDI 1990.
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/IPRAVerify.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+using namespace ipra;
+
+const char *ipra::ipraViolationKindName(IPRAViolationKind Kind) {
+  switch (Kind) {
+  case IPRAViolationKind::InteriorAccess:
+    return "interior-access";
+  case IPRAViolationKind::MalformedSync:
+    return "malformed-sync";
+  case IPRAViolationKind::MissingEntryLoad:
+    return "missing-entry-load";
+  case IPRAViolationKind::MissingExitStore:
+    return "missing-exit-store";
+  case IPRAViolationKind::MissingWrapStore:
+    return "missing-wrap-store";
+  case IPRAViolationKind::MissingWrapLoad:
+    return "missing-wrap-load";
+  case IPRAViolationKind::UnsavedCalleeWrite:
+    return "unsaved-callee-write";
+  case IPRAViolationKind::ClobberedWebRegister:
+    return "clobbered-web-register";
+  }
+  return "unknown";
+}
+
+std::string IPRAViolation::render() const {
+  std::string Out = Module + ": " + Function + ": " +
+                    ipraViolationKindName(Kind) + ": " + Message;
+  if (Index >= 0)
+    Out += " [at #" + std::to_string(Index) + "]";
+  return Out;
+}
+
+std::string IPRAVerifyResult::text() const {
+  std::string Out;
+  for (const IPRAViolation &V : Violations) {
+    Out += V.render();
+    Out += '\n';
+  }
+  return Out;
+}
+
+namespace {
+
+/// One recognized memory access to a promoted global.
+struct PromotedAccess {
+  int Index = 0;
+  bool IsStore = false;
+  const PromotedGlobal *P = nullptr;
+  bool WellFormed = false; ///< Dedicated register, zero offset.
+};
+
+/// Whether \p Call (BL or BLR) is one the database wraps for \p P.
+bool wrapFor(const PromotedGlobal &P, const MInstr &Call) {
+  if (Call.Op == MOp::BLR)
+    return P.WrapIndirect;
+  if (Call.Op == MOp::BL && Call.A.isSym())
+    return std::find(P.WrapCallees.begin(), P.WrapCallees.end(),
+                     Call.A.SymName) != P.WrapCallees.end();
+  return false;
+}
+
+/// Everything the checker gathers about one object function in its
+/// single linear walk.
+struct FuncScan {
+  const ObjectFile *Obj = nullptr;
+  const ObjFunction *F = nullptr;
+  ProcDirectives Dir;
+  std::vector<char> Leader;             ///< Instruction starts a region.
+  std::map<int, PromotedAccess> Access; ///< By instruction index.
+  std::vector<int> Calls;               ///< Indices of BL/BLR.
+  std::vector<int> Returns;             ///< Indices of BV through RP.
+  RegMask WrittenCalleeSaved = 0; ///< Static callee-saves bank writes.
+  RegMask FrameSaved = 0; ///< Stored to and reloaded from a frame slot.
+  /// Callee-saves registers written and never reloaded from the frame:
+  /// what a caller actually loses across a call to this function.
+  RegMask LocalClobber = 0;
+};
+
+class Verifier {
+public:
+  Verifier(const std::vector<ObjectFile> &Objects,
+           const ProgramDatabase &DB)
+      : Objects(Objects), DB(DB) {}
+
+  IPRAVerifyResult run();
+
+private:
+  void scanFunction(FuncScan &S);
+  void checkAccessPlacement(FuncScan &S);
+  void checkEntryExit(FuncScan &S);
+  void checkWrapBrackets(FuncScan &S);
+  void checkCalleeSaves(FuncScan &S);
+  void computeClobberFixpoint();
+  void checkCallClobbers(FuncScan &S);
+
+  void violate(const FuncScan &S, IPRAViolationKind Kind,
+               std::string Message, int Index = -1,
+               const std::string &Global = std::string(),
+               unsigned Reg = 0) {
+    Result.Violations.push_back(IPRAViolation{
+        Kind, S.Obj->Module, S.F->QualName, Global, Reg, Index,
+        std::move(Message)});
+  }
+
+  /// The last branch/call strictly before \p I within its straight-line
+  /// region, or -1 when the region reaches back to \p I == 0 without
+  /// one. Returns -2 when a region boundary (leader) intervenes.
+  int backwardBoundary(const FuncScan &S, int I) const {
+    for (int J = I - 1; J >= 0; --J) {
+      if (S.F->Code[J].isBranch())
+        return J;
+      // A fall-through leader is transparent (the branch above it is
+      // found on the next step); a pure branch target is a merge point
+      // the scan must not cross.
+      if (S.Leader[J] && J > 0 && !S.F->Code[J - 1].isBranch())
+        return -2;
+    }
+    return -1;
+  }
+
+  /// The next branch/call strictly after \p I in its straight-line
+  /// region, or -1 when the region ends (leader / function end) first.
+  int forwardBoundary(const FuncScan &S, int I) const {
+    for (int J = I + 1; J < static_cast<int>(S.F->Code.size()); ++J) {
+      if (S.Leader[J])
+        return -1;
+      if (S.F->Code[J].isBranch())
+        return J;
+    }
+    return -1;
+  }
+
+  const std::vector<ObjectFile> &Objects;
+  const ProgramDatabase &DB;
+  IPRAVerifyResult Result;
+  std::vector<FuncScan> Funcs;
+  std::map<std::string, size_t> FuncIdx; ///< QualName -> Funcs index.
+  std::vector<RegMask> Clobber;          ///< Transitive, per function.
+};
+
+void Verifier::scanFunction(FuncScan &S) {
+  const std::vector<MInstr> &Code = S.F->Code;
+  const size_t N = Code.size();
+
+  // Region leaders: entry, branch targets, fall-throughs of branches.
+  S.Leader.assign(N, 0);
+  if (N > 0)
+    S.Leader[0] = 1;
+  for (size_t I = 0; I < N; ++I) {
+    for (const MOperand *Op : {&Code[I].A, &Code[I].B, &Code[I].C})
+      if (Op->isLabel() && Op->LabelId >= 0 &&
+          Op->LabelId < static_cast<int>(N))
+        S.Leader[Op->LabelId] = 1;
+    if (Code[I].isBranch() && I + 1 < N)
+      S.Leader[I + 1] = 1;
+  }
+
+  std::map<std::string, const PromotedGlobal *> PromotedByName;
+  for (const PromotedGlobal &P : S.Dir.Promoted)
+    PromotedByName[P.QualName] = &P;
+
+  // Linear walk: track which registers provably hold the address of a
+  // global (ADDRG defines, any redefinition or region boundary clears),
+  // classify memory accesses, and collect the register-discipline sets.
+  std::map<unsigned, std::string> AddrReg;
+  std::map<unsigned, std::set<int32_t>> SlotStores, SlotLoads;
+  std::vector<unsigned> Defs;
+  for (size_t I = 0; I < N; ++I) {
+    const MInstr &In = Code[I];
+    if (S.Leader[I])
+      AddrReg.clear();
+
+    if (In.isMemAccess() && In.B.isReg() && In.A.isReg()) {
+      if (In.B.RegNo == pr32::SP && In.C.isImm()) {
+        // Frame traffic, for the save/restore pairing below.
+        (In.Op == MOp::STW ? SlotStores : SlotLoads)[In.A.RegNo].insert(
+            In.C.ImmVal);
+      } else if (auto It = AddrReg.find(In.B.RegNo);
+                 It != AddrReg.end()) {
+        if (auto PIt = PromotedByName.find(It->second);
+            PIt != PromotedByName.end()) {
+          const PromotedGlobal &P = *PIt->second;
+          PromotedAccess A;
+          A.Index = static_cast<int>(I);
+          A.IsStore = In.Op == MOp::STW;
+          A.P = &P;
+          A.WellFormed =
+              In.A.RegNo == P.Reg && In.C.isImm() && In.C.ImmVal == 0;
+          if (!A.WellFormed)
+            violate(S, IPRAViolationKind::MalformedSync,
+                    "access to promoted global " + P.QualName +
+                        " does not move its dedicated register " +
+                        pr32::regName(P.Reg),
+                    A.Index, P.QualName, P.Reg);
+          S.Access[A.Index] = A;
+        }
+      }
+    }
+
+    if (In.Op == MOp::BL || In.Op == MOp::BLR)
+      S.Calls.push_back(static_cast<int>(I));
+    if (In.Op == MOp::BV && In.A.isReg() && In.A.RegNo == pr32::RP)
+      S.Returns.push_back(static_cast<int>(I));
+    if (In.isBranch())
+      AddrReg.clear();
+
+    Defs.clear();
+    In.appendDefs(Defs);
+    for (unsigned D : Defs) {
+      AddrReg.erase(D);
+      if (pr32::isCalleeSaved(D))
+        S.WrittenCalleeSaved |= pr32::maskOf(D);
+    }
+    if (In.Op == MOp::ADDRG && In.A.isReg() && In.B.isSym())
+      AddrReg[In.A.RegNo] = In.B.SymName;
+  }
+
+  for (const auto &[Reg, Stores] : SlotStores) {
+    auto It = SlotLoads.find(Reg);
+    if (It == SlotLoads.end())
+      continue;
+    for (int32_t Off : Stores)
+      if (It->second.count(Off)) {
+        S.FrameSaved |= pr32::maskOf(Reg);
+        break;
+      }
+  }
+  S.LocalClobber = S.WrittenCalleeSaved & ~S.FrameSaved;
+}
+
+/// V1/V4: every access to a promoted global sits at a sanctioned
+/// synchronization point of its straight-line region.
+void Verifier::checkAccessPlacement(FuncScan &S) {
+  const std::vector<MInstr> &Code = S.F->Code;
+  for (auto &[Index, A] : S.Access) {
+    const PromotedGlobal &P = *A.P;
+    if (A.IsStore) {
+      int Next = forwardBoundary(S, Index);
+      const MInstr *B = Next >= 0 ? &Code[Next] : nullptr;
+      bool WrapStore =
+          B && B->isCall() && wrapFor(P, *B) && P.WebModifies;
+      bool ExitStore = B && B->Op == MOp::BV && P.IsEntry &&
+                       P.WebModifies;
+      if (!WrapStore && !ExitStore)
+        violate(S, IPRAViolationKind::InteriorAccess,
+                "store to promoted global " + P.QualName +
+                    " outside every synchronization point",
+                Index, P.QualName, P.Reg);
+    } else {
+      int Prev = backwardBoundary(S, Index);
+      bool WrapLoad = Prev >= 0 && Code[Prev].isCall() &&
+                      wrapFor(P, Code[Prev]);
+      bool EntryLoad = Prev == -1 && P.IsEntry;
+      if (!WrapLoad && !EntryLoad)
+        violate(S, IPRAViolationKind::InteriorAccess,
+                "load of promoted global " + P.QualName +
+                    " outside every synchronization point",
+                Index, P.QualName, P.Reg);
+    }
+  }
+}
+
+/// V2: entries load the global at the top of the prologue, and modified
+/// webs store it back before every return.
+void Verifier::checkEntryExit(FuncScan &S) {
+  for (const PromotedGlobal &P : S.Dir.Promoted) {
+    ++Result.PromotionsChecked;
+    if (!P.IsEntry)
+      continue;
+    bool HaveEntryLoad = false;
+    for (const auto &[Index, A] : S.Access)
+      if (A.P == &P && !A.IsStore && A.WellFormed &&
+          backwardBoundary(S, Index) == -1)
+        HaveEntryLoad = true;
+    if (!HaveEntryLoad)
+      violate(S, IPRAViolationKind::MissingEntryLoad,
+              "web entry never loads " + P.QualName + " into " +
+                  pr32::regName(P.Reg),
+              -1, P.QualName, P.Reg);
+    if (!P.WebModifies)
+      continue;
+    for (int R : S.Returns) {
+      bool HaveStore = false;
+      for (int J = R - 1; J >= 0; --J) {
+        if (S.F->Code[J].isBranch())
+          break;
+        if (auto It = S.Access.find(J);
+            It != S.Access.end() && It->second.P == &P &&
+            It->second.IsStore && It->second.WellFormed)
+          HaveStore = true;
+        if (S.Leader[J])
+          break;
+      }
+      if (!HaveStore)
+        violate(S, IPRAViolationKind::MissingExitStore,
+                "return without storing modified " + P.QualName +
+                    " back to memory",
+                R, P.QualName, P.Reg);
+    }
+  }
+}
+
+/// V3: wrapped calls carry their full store/load bracket.
+void Verifier::checkWrapBrackets(FuncScan &S) {
+  for (int C : S.Calls) {
+    ++Result.CallSitesChecked;
+    const MInstr &Call = S.F->Code[C];
+    for (const PromotedGlobal &P : S.Dir.Promoted) {
+      if (!wrapFor(P, Call))
+        continue;
+      bool HaveLoad = false;
+      for (int J = C + 1; J < static_cast<int>(S.F->Code.size()); ++J) {
+        if (S.Leader[J] || S.F->Code[J].isBranch())
+          break;
+        if (auto It = S.Access.find(J);
+            It != S.Access.end() && It->second.P == &P &&
+            !It->second.IsStore && It->second.WellFormed)
+          HaveLoad = true;
+      }
+      if (!HaveLoad)
+        violate(S, IPRAViolationKind::MissingWrapLoad,
+                "wrapped call does not reload " + P.QualName +
+                    " after it returns",
+                C, P.QualName, P.Reg);
+      if (!P.WebModifies)
+        continue;
+      bool HaveStore = false;
+      for (int J = C - 1; J >= 0; --J) {
+        if (S.F->Code[J].isBranch())
+          break;
+        if (auto It = S.Access.find(J);
+            It != S.Access.end() && It->second.P == &P &&
+            It->second.IsStore && It->second.WellFormed)
+          HaveStore = true;
+        if (S.Leader[J])
+          break;
+      }
+      if (!HaveStore)
+        violate(S, IPRAViolationKind::MissingWrapStore,
+                "wrapped call does not store " + P.QualName +
+                    " to memory first",
+                C, P.QualName, P.Reg);
+    }
+  }
+}
+
+/// V5: a written register the directives mark callee-saves for this
+/// procedure is frame-saved, granted, or a dedicated web register.
+/// Registers the analyzer moved to the caller-saves side (Dir.Callee
+/// excludes them; callers save them instead) may be scratched freely.
+void Verifier::checkCalleeSaves(FuncScan &S) {
+  RegMask Allowed = S.FrameSaved | S.Dir.Free | S.Dir.MSpill |
+                    S.Dir.promotedMask();
+  RegMask Bad = S.WrittenCalleeSaved & S.Dir.Callee & ~Allowed;
+  for (unsigned R : pr32::maskRegs(Bad))
+    violate(S, IPRAViolationKind::UnsavedCalleeWrite,
+            "writes callee-saves " + pr32::regName(R) +
+                " without saving it and without a directive granting it",
+            -1, std::string(), R);
+}
+
+/// Transitive callee-saves clobber per function, with indirect calls
+/// narrowed to the database's proven target sets when available and
+/// widened to every function otherwise.
+void Verifier::computeClobberFixpoint() {
+  Clobber.resize(Funcs.size());
+  for (size_t I = 0; I < Funcs.size(); ++I)
+    Clobber[I] = Funcs[I].LocalClobber;
+  bool Changed = true;
+  while (Changed) {
+    Changed = false;
+    RegMask UnionAll = 0;
+    for (RegMask M : Clobber)
+      UnionAll |= M;
+    for (size_t I = 0; I < Funcs.size(); ++I) {
+      RegMask M = Clobber[I];
+      for (int C : Funcs[I].Calls) {
+        const MInstr &Call = Funcs[I].F->Code[C];
+        if (Call.Op == MOp::BL && Call.A.isSym()) {
+          auto It = FuncIdx.find(Call.A.SymName);
+          M |= It != FuncIdx.end() ? Clobber[It->second]
+                                   : pr32::calleeSavedMask();
+        } else if (Call.Op == MOp::BLR) {
+          if (Funcs[I].Dir.IndTargetsResolved) {
+            for (const std::string &T : Funcs[I].Dir.IndirectTargets) {
+              auto It = FuncIdx.find(T);
+              M |= It != FuncIdx.end() ? Clobber[It->second]
+                                       : pr32::calleeSavedMask();
+            }
+          } else {
+            M |= UnionAll;
+          }
+        }
+      }
+      // A register this function saves in its frame is restored on
+      // exit, so clobbers of it anywhere below stay invisible to the
+      // caller (web entries preserve their web register this way).
+      M &= ~Funcs[I].FrameSaved;
+      if (M != Clobber[I]) {
+        Clobber[I] = M;
+        Changed = true;
+      }
+    }
+  }
+}
+
+/// V6: no unwrapped call reaches a function that clobbers a web
+/// register dedicated at the call site.
+void Verifier::checkCallClobbers(FuncScan &S) {
+  if (S.Dir.Promoted.empty())
+    return;
+  auto TargetClobbers = [&](const std::string &Name,
+                            const PromotedGlobal &P) {
+    auto It = FuncIdx.find(Name);
+    if (It == FuncIdx.end())
+      return true; // Unknown callee: assume the worst.
+    // A callee carrying the same promotion writes the register only as
+    // the global's current value; that is the web communicating, not a
+    // clobber.
+    for (const PromotedGlobal &Q : Funcs[It->second].Dir.Promoted)
+      if (Q.QualName == P.QualName && Q.Reg == P.Reg)
+        return false;
+    return (Clobber[It->second] & pr32::maskOf(P.Reg)) != 0;
+  };
+  for (int C : S.Calls) {
+    const MInstr &Call = S.F->Code[C];
+    for (const PromotedGlobal &P : S.Dir.Promoted) {
+      if (wrapFor(P, Call))
+        continue; // Synchronized; the callee may do anything.
+      bool Bad = false;
+      if (Call.Op == MOp::BL && Call.A.isSym()) {
+        Bad = TargetClobbers(Call.A.SymName, P);
+      } else if (Call.Op == MOp::BLR) {
+        if (S.Dir.IndTargetsResolved) {
+          for (const std::string &T : S.Dir.IndirectTargets)
+            Bad |= TargetClobbers(T, P);
+        } else {
+          RegMask UnionAll = 0;
+          for (size_t I = 0; I < Funcs.size(); ++I) {
+            bool InWeb = false;
+            for (const PromotedGlobal &Q : Funcs[I].Dir.Promoted)
+              if (Q.QualName == P.QualName && Q.Reg == P.Reg)
+                InWeb = true;
+            if (!InWeb)
+              UnionAll |= Clobber[I];
+          }
+          Bad = (UnionAll & pr32::maskOf(P.Reg)) != 0;
+        }
+      }
+      if (Bad)
+        violate(S, IPRAViolationKind::ClobberedWebRegister,
+                "unwrapped call may reach a clobber of " +
+                    pr32::regName(P.Reg) + " while it holds " +
+                    P.QualName,
+                C, P.QualName, P.Reg);
+    }
+  }
+}
+
+IPRAVerifyResult Verifier::run() {
+  for (const ObjectFile &Obj : Objects)
+    for (const ObjFunction &F : Obj.Functions) {
+      FuncScan S;
+      S.Obj = &Obj;
+      S.F = &F;
+      S.Dir = DB.lookup(F.QualName);
+      FuncIdx[F.QualName] = Funcs.size();
+      Funcs.push_back(std::move(S));
+    }
+  for (FuncScan &S : Funcs) {
+    ++Result.FunctionsChecked;
+    scanFunction(S);
+    checkAccessPlacement(S);
+    checkEntryExit(S);
+    checkWrapBrackets(S);
+    checkCalleeSaves(S);
+  }
+  computeClobberFixpoint();
+  for (FuncScan &S : Funcs)
+    checkCallClobbers(S);
+  return Result;
+}
+
+} // namespace
+
+IPRAVerifyResult ipra::verifyIPRA(const std::vector<ObjectFile> &Objects,
+                                  const ProgramDatabase &DB) {
+  return Verifier(Objects, DB).run();
+}

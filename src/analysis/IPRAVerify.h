@@ -1,0 +1,115 @@
+//===- IPRAVerify.h - Whole-program IPRA invariant checker -----*- C++ -*-===//
+//
+// Part of the IPRA project: a reproduction of Santhanam & Odnert,
+// "Register Allocation Across Procedure and Module Boundaries", PLDI 1990.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A post-link checker for the machine-level invariants interprocedural
+/// register allocation depends on. It walks the compiled object files
+/// together with the program database and statically proves, per
+/// function:
+///
+///  - every memory access to a promoted global is one of the sanctioned
+///    synchronization points (web-entry load, web-exit store, spill /
+///    reload bracketing a wrapped call) and moves the web's dedicated
+///    register, never a scratch register (§5, §7.6.1);
+///  - web entries load the global exactly once, at the top of the
+///    prologue, and modified webs store it back on every return path;
+///  - every call the analyzer marked as needing a wrap is actually
+///    bracketed by the store/load synchronization pair;
+///  - callee-saves registers a function writes are either saved in its
+///    frame, granted by its FREE/MSPILL directives, or dedicated web
+///    registers;
+///  - no call can reach, transitively, a function that clobbers a web
+///    register live at the call site, with indirect calls narrowed to
+///    the database's proven target sets (the points-to refinement).
+///
+/// The checker is pattern-based: it recognizes the address-formation
+/// idiom the code generator emits (ADDRG into a register, then LDW/STW
+/// through it) and tracks those address registers through straight-line
+/// code. Accesses through computed pointers are outside its scope --
+/// promotion only applies to unaliased scalars, so none may exist.
+///
+/// Run by `mcc --verify-ipra` after linking and by the test suite.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef IPRA_ANALYSIS_IPRAVERIFY_H
+#define IPRA_ANALYSIS_IPRAVERIFY_H
+
+#include "core/Analyzer.h"
+#include "link/Object.h"
+
+#include <string>
+#include <vector>
+
+namespace ipra {
+
+/// What an IPRA invariant violation is about.
+enum class IPRAViolationKind {
+  /// A load/store touches a promoted global outside every sanctioned
+  /// synchronization point (web interior must be silent).
+  InteriorAccess,
+  /// A synchronization access exists but is malformed: wrong register,
+  /// nonzero offset, or no preceding ADDRG.
+  MalformedSync,
+  /// A web entry never loads the global in its prologue.
+  MissingEntryLoad,
+  /// A modified web's entry returns without storing the global back.
+  MissingExitStore,
+  /// A call the database marks as wrapped is missing its pre-call
+  /// store synchronization.
+  MissingWrapStore,
+  /// A call the database marks as wrapped is missing its post-call
+  /// load synchronization.
+  MissingWrapLoad,
+  /// A callee-saves register is written without a frame save/restore
+  /// and without a FREE/MSPILL grant or web dedication.
+  UnsavedCalleeWrite,
+  /// A call site can reach a function that clobbers a dedicated web
+  /// register without the call being wrapped.
+  ClobberedWebRegister,
+};
+
+/// Printable tag, e.g. "interior-access".
+const char *ipraViolationKindName(IPRAViolationKind Kind);
+
+/// One invariant violation, attributed to a function (and instruction)
+/// of a linked object file.
+struct IPRAViolation {
+  IPRAViolationKind Kind;
+  std::string Module;   ///< Object module the function came from.
+  std::string Function; ///< Qualified function name.
+  std::string Global;   ///< Qualified promoted global, when relevant.
+  unsigned Reg = 0;     ///< The register involved, when relevant.
+  int Index = -1;       ///< Instruction index in the function, or -1.
+  std::string Message;  ///< Human-readable detail.
+
+  /// Renders "module: function: kind: message [at #index]".
+  std::string render() const;
+};
+
+/// The checker's outcome plus coverage counters for reporting.
+struct IPRAVerifyResult {
+  std::vector<IPRAViolation> Violations;
+  unsigned FunctionsChecked = 0;
+  unsigned CallSitesChecked = 0;
+  unsigned PromotionsChecked = 0;
+
+  bool ok() const { return Violations.empty(); }
+  /// One rendered violation per line; empty when ok().
+  std::string text() const;
+};
+
+/// Statically checks the IPRA invariants over \p Objects against the
+/// directives in \p DB. The objects must be the set that links into the
+/// program (unresolved direct callees are treated as able to clobber
+/// everything).
+IPRAVerifyResult verifyIPRA(const std::vector<ObjectFile> &Objects,
+                            const ProgramDatabase &DB);
+
+} // namespace ipra
+
+#endif // IPRA_ANALYSIS_IPRAVERIFY_H

@@ -1,0 +1,655 @@
+//===- PointsTo.cpp - Module points-to/escape analysis --------------------===//
+//
+// Part of the IPRA project: a reproduction of Santhanam & Odnert,
+// "Register Allocation Across Procedure and Module Boundaries", PLDI 1990.
+//
+//===----------------------------------------------------------------------===//
+///
+/// Constraint language (DESIGN.md §10 gives the soundness argument):
+///
+///   objects   o ::= Unknown | Global(g) | Slot(f, s) | Func(name)
+///   variables v ::= VReg(f, i) | Contents(o) | Ret(f) | E
+///
+/// E is the escape set: everything whose address may be observable
+/// outside the module. Constraints are the usual inclusion kinds —
+/// base (v ∋ o), copy (pts(dst) ⊇ pts(src)), deref loads/stores, and
+/// indirect-call sites whose argument/return linkage materializes as
+/// target functions flow into the site's pointer. The solver iterates
+/// all constraint families to a joint fixpoint; sets only grow and the
+/// object space is finite, so it terminates. Everything is indexed and
+/// iterated in deterministic (declaration or sorted) order: the same
+/// module always yields the same facts, which the pipeline's
+/// byte-identity and cache-key guarantees rely on.
+///
+/// After the solve, three read-only views are derived:
+///  - escape verdicts per global (Escapes / ModuleLocal / Refuted);
+///  - per-procedure indirect-call resolution (every site's pointer set
+///    contains only Func objects) with the union of proven targets;
+///  - a MayTouch closure over the call structure (with a virtual
+///    "extern world" node standing for all other modules) answering
+///    the optimizer's callMayTouch / indirectCallMayTouch /
+///    derefMayTouch queries.
+///
+//===----------------------------------------------------------------------===//
+
+#include "analysis/PointsTo.h"
+
+#include <algorithm>
+#include <cassert>
+
+using namespace ipra;
+
+namespace {
+
+/// Object node kinds. Unknown (object id 0) stands for every object
+/// the module cannot see: globals and slots of other modules, and
+/// anything reachable from them.
+enum class ObjKind : uint8_t { Unknown, Global, Slot, Func };
+
+struct Object {
+  ObjKind K = ObjKind::Unknown;
+  int FuncIdx = -1;   ///< Defined function index for in-module Func.
+  bool IsStatic = false; ///< For Global: module-private (§7.4).
+  std::string Name; ///< Global: plain name; Func: qualified name.
+};
+
+/// One touch summary: global objects possibly loaded/stored plus a
+/// flag meaning "and possibly any exported or escaped global".
+struct TouchSet {
+  std::set<int> Objs;
+  bool Unknown = false;
+};
+
+} // namespace
+
+struct ModulePointsTo::Impl {
+  std::string ModuleName;
+
+  // Object and variable spaces.
+  std::vector<Object> Objects;
+  std::map<std::string, int> GlobalObj; ///< Plain name -> object id.
+  std::map<std::string, int> FuncObjBySym; ///< Plain sym -> Func object.
+
+  struct FuncInfo {
+    std::string Name; ///< Plain.
+    std::string Qual;
+    bool IsStatic = false;
+    unsigned NumParams = 0;
+    int ObjId = -1;   ///< This function's Func object.
+    int VRegBase = 0; ///< Variable id of vreg 0.
+    int RetVar = 0;
+    std::vector<int> SlotObjs;
+    // Derived after the solve:
+    bool HasIndSites = false;
+    bool IndResolved = true;
+    std::set<std::string> IndTargets; ///< Qualified, naturally sorted.
+  };
+  std::vector<FuncInfo> Funcs;
+  std::map<std::string, int> FuncIdx; ///< Plain name -> index.
+
+  int ContentsBase = 0; ///< Contents(o) is variable ContentsBase + o.
+  int EscapeVar = 0;
+  std::vector<std::set<int>> Pts;
+
+  // Constraints.
+  std::vector<std::pair<int, int>> Bases;  ///< (variable, object).
+  std::vector<std::pair<int, int>> Copies; ///< (src, dst).
+  struct Deref {
+    int Func;
+    int Ptr;
+    int Other; ///< Dst for loads, stored value for stores.
+    bool IsLoad;
+  };
+  std::vector<Deref> Derefs;
+  struct IndSite {
+    int Func;
+    int Ptr;
+    std::vector<int> Args;
+    int Dst = -1;
+  };
+  std::vector<IndSite> Sites;
+
+  // Post-solve views. MayTouch/MayTouchInd are transitively closed
+  // over the call structure; DerefTouch covers only the function's own
+  // LdPtr/StPtr sites. Index Funcs.size() in MayTouch is the virtual
+  // extern-world node.
+  std::vector<TouchSet> MayTouch;
+  std::vector<TouchSet> MayTouchInd;
+  std::vector<TouchSet> DerefTouch;
+  std::map<std::string, EscapeVerdict> VerdictByPlain;
+  std::map<std::string, EscapeVerdict> VerdictByQual;
+
+  int externWorld() const { return static_cast<int>(Funcs.size()); }
+  bool escaped(int Obj) const { return Pts[EscapeVar].count(Obj) != 0; }
+
+  /// Could an Unknown-valued pointer be the address of this global?
+  /// Only if the address is makeable outside the module: the global is
+  /// exported (another module may take its address) or its address
+  /// escaped from this one.
+  bool unknownMayAlias(int Obj) const {
+    return !Objects[Obj].IsStatic || escaped(Obj);
+  }
+
+  bool touches(const TouchSet &T, const std::string &Global) const {
+    auto It = GlobalObj.find(Global);
+    if (It == GlobalObj.end())
+      return true; // Unknown name: stay conservative.
+    return T.Objs.count(It->second) ||
+           (T.Unknown && unknownMayAlias(It->second));
+  }
+};
+
+ModulePointsTo::~ModulePointsTo() = default;
+
+ModulePointsTo::ModulePointsTo(const IRModule &M)
+    : P(std::make_unique<Impl>()) {
+  Impl &I = *P;
+  I.ModuleName = M.Name;
+
+  //===--------------------------------------------------------------------===//
+  // Object and variable allocation.
+  //===--------------------------------------------------------------------===//
+
+  auto findGlobal = [&](const std::string &Name) -> const IRGlobal * {
+    for (const IRGlobal &G : M.Globals)
+      if (G.Name == Name)
+        return &G;
+    return nullptr;
+  };
+  auto findFunc = [&](const std::string &Name) -> const IRFunction * {
+    for (const auto &F : M.Functions)
+      if (F->Name == Name)
+        return F.get();
+    return nullptr;
+  };
+
+  // Object 0 is Unknown.
+  I.Objects.push_back(Object{});
+
+  for (const IRGlobal &G : M.Globals) {
+    Object O;
+    O.K = ObjKind::Global;
+    O.IsStatic = G.IsStatic;
+    O.Name = G.Name;
+    I.GlobalObj[G.Name] = static_cast<int>(I.Objects.size());
+    I.Objects.push_back(std::move(O));
+  }
+
+  for (const auto &F : M.Functions) {
+    Impl::FuncInfo FI;
+    FI.Name = F->Name;
+    FI.Qual = F->qualifiedName();
+    FI.IsStatic = F->IsStatic;
+    FI.NumParams = F->NumParams;
+    for (size_t S = 0; S < F->Slots.size(); ++S) {
+      Object O;
+      O.K = ObjKind::Slot;
+      FI.SlotObjs.push_back(static_cast<int>(I.Objects.size()));
+      I.Objects.push_back(std::move(O));
+    }
+    Object O;
+    O.K = ObjKind::Func;
+    O.FuncIdx = static_cast<int>(I.Funcs.size());
+    O.Name = FI.Qual;
+    FI.ObjId = static_cast<int>(I.Objects.size());
+    I.Objects.push_back(std::move(O));
+    I.FuncObjBySym[FI.Name] = FI.ObjId;
+    I.FuncIdx[FI.Name] = static_cast<int>(I.Funcs.size());
+    I.Funcs.push_back(std::move(FI));
+  }
+
+  // Extern function objects: '&f' or 'func g = &f;' where f is neither
+  // a module global nor a module function must name a function defined
+  // elsewhere (Sema only accepts '&' on declared names). Collect the
+  // symbols in sorted order so object ids are deterministic.
+  std::set<std::string> ExternFuncs;
+  for (const auto &F : M.Functions)
+    for (const auto &B : F->Blocks)
+      for (const IRInstr &Ins : B->Instrs)
+        if (Ins.Op == IROp::AddrG && !findGlobal(Ins.Sym) &&
+            !findFunc(Ins.Sym))
+          ExternFuncs.insert(Ins.Sym);
+  for (const IRGlobal &G : M.Globals)
+    if (!G.FuncInit.empty() && !findFunc(G.FuncInit))
+      ExternFuncs.insert(G.FuncInit);
+  for (const std::string &Sym : ExternFuncs) {
+    Object O;
+    O.K = ObjKind::Func;
+    O.Name = Sym; // Exported elsewhere: the plain name is qualified.
+    I.FuncObjBySym[Sym] = static_cast<int>(I.Objects.size());
+    I.Objects.push_back(std::move(O));
+  }
+
+  // Variables: each function's vregs and return value, then one
+  // contents variable per object, then the escape set E.
+  int NextVar = 0;
+  for (size_t F = 0; F < M.Functions.size(); ++F) {
+    I.Funcs[F].VRegBase = NextVar;
+    NextVar += static_cast<int>(M.Functions[F]->NumVRegs);
+    I.Funcs[F].RetVar = NextVar++;
+  }
+  I.ContentsBase = NextVar;
+  NextVar += static_cast<int>(I.Objects.size());
+  I.EscapeVar = NextVar++;
+  I.Pts.assign(NextVar, {});
+
+  //===--------------------------------------------------------------------===//
+  // Constraint collection.
+  //===--------------------------------------------------------------------===//
+
+  auto contents = [&](int Obj) { return I.ContentsBase + Obj; };
+  auto base = [&](int Var, int Obj) { I.Bases.emplace_back(Var, Obj); };
+  auto copy = [&](int Src, int Dst) { I.Copies.emplace_back(Src, Dst); };
+
+  // The world outside the module: Unknown's contents are Unknown;
+  // exported globals are readable and writable by other modules, so
+  // their contents both escape and include Unknown; exported functions
+  // can be called from anywhere with any arguments, and their return
+  // values are observable outside.
+  base(contents(0), 0);
+  for (const IRGlobal &G : M.Globals) {
+    int Obj = I.GlobalObj[G.Name];
+    if (!G.IsStatic) {
+      base(contents(Obj), 0);
+      copy(contents(Obj), I.EscapeVar);
+    }
+    if (!G.FuncInit.empty())
+      base(contents(Obj), I.FuncObjBySym.at(G.FuncInit));
+  }
+  for (size_t F = 0; F < M.Functions.size(); ++F) {
+    Impl::FuncInfo &FI = I.Funcs[F];
+    if (FI.IsStatic)
+      continue;
+    for (unsigned A = 0; A < FI.NumParams; ++A)
+      base(FI.VRegBase + static_cast<int>(A), 0);
+    copy(FI.RetVar, I.EscapeVar);
+  }
+
+  for (size_t F = 0; F < M.Functions.size(); ++F) {
+    const IRFunction &Fn = *M.Functions[F];
+    Impl::FuncInfo &FI = I.Funcs[F];
+    auto vr = [&](unsigned R) { return FI.VRegBase + static_cast<int>(R); };
+    // Unreachable blocks are included: soundness does not depend on
+    // reachability, and the verifier IR is pre-optimization anyway.
+    for (const auto &B : Fn.Blocks) {
+      for (const IRInstr &Ins : B->Instrs) {
+        switch (Ins.Op) {
+        case IROp::Copy:
+        case IROp::Neg:
+        case IROp::Not:
+          copy(vr(Ins.Srcs[0]), vr(Ins.Dst));
+          break;
+        case IROp::Bin:
+          // Pointer arithmetic stays within the pointed-to object.
+          copy(vr(Ins.Srcs[0]), vr(Ins.Dst));
+          copy(vr(Ins.Srcs[1]), vr(Ins.Dst));
+          break;
+        case IROp::LdG:
+          if (const IRGlobal *G = findGlobal(Ins.Sym))
+            copy(contents(I.GlobalObj[G->Name]), vr(Ins.Dst));
+          else
+            base(vr(Ins.Dst), 0);
+          break;
+        case IROp::StG:
+          if (const IRGlobal *G = findGlobal(Ins.Sym))
+            copy(vr(Ins.Srcs[0]), contents(I.GlobalObj[G->Name]));
+          else
+            copy(vr(Ins.Srcs[0]), I.EscapeVar);
+          break;
+        case IROp::LdSlot:
+          copy(contents(FI.SlotObjs[Ins.Slot]), vr(Ins.Dst));
+          break;
+        case IROp::StSlot:
+          copy(vr(Ins.Srcs[0]), contents(FI.SlotObjs[Ins.Slot]));
+          break;
+        case IROp::LdElem: {
+          int Obj = !Ins.Sym.empty() && findGlobal(Ins.Sym)
+                        ? I.GlobalObj[Ins.Sym]
+                        : Ins.Sym.empty() ? FI.SlotObjs[Ins.Slot] : 0;
+          if (Obj)
+            copy(contents(Obj), vr(Ins.Dst));
+          else
+            base(vr(Ins.Dst), 0);
+          break;
+        }
+        case IROp::StElem: {
+          int Obj = !Ins.Sym.empty() && findGlobal(Ins.Sym)
+                        ? I.GlobalObj[Ins.Sym]
+                        : Ins.Sym.empty() ? FI.SlotObjs[Ins.Slot] : 0;
+          if (Obj)
+            copy(vr(Ins.Srcs[1]), contents(Obj));
+          else
+            copy(vr(Ins.Srcs[1]), I.EscapeVar);
+          break;
+        }
+        case IROp::LdPtr:
+          I.Derefs.push_back({static_cast<int>(F), vr(Ins.Srcs[0]),
+                              vr(Ins.Dst), true});
+          break;
+        case IROp::StPtr:
+          I.Derefs.push_back({static_cast<int>(F), vr(Ins.Srcs[0]),
+                              vr(Ins.Srcs[1]), false});
+          break;
+        case IROp::AddrG:
+          if (findGlobal(Ins.Sym))
+            base(vr(Ins.Dst), I.GlobalObj[Ins.Sym]);
+          else
+            base(vr(Ins.Dst), I.FuncObjBySym.at(Ins.Sym));
+          break;
+        case IROp::AddrSlot:
+          base(vr(Ins.Dst), FI.SlotObjs[Ins.Slot]);
+          break;
+        case IROp::Call:
+          if (const IRFunction *T = findFunc(Ins.Sym)) {
+            Impl::FuncInfo &TI = I.Funcs[I.FuncIdx[T->Name]];
+            for (size_t A = 0; A < Ins.Srcs.size() && A < TI.NumParams; ++A)
+              copy(vr(Ins.Srcs[A]), TI.VRegBase + static_cast<int>(A));
+            if (Ins.HasDst)
+              copy(TI.RetVar, vr(Ins.Dst));
+          } else {
+            // Extern callee: arguments escape, result is Unknown.
+            for (unsigned S : Ins.Srcs)
+              copy(vr(S), I.EscapeVar);
+            if (Ins.HasDst)
+              base(vr(Ins.Dst), 0);
+          }
+          break;
+        case IROp::CallInd: {
+          Impl::IndSite Site;
+          Site.Func = static_cast<int>(F);
+          Site.Ptr = vr(Ins.Srcs[0]);
+          for (size_t A = 1; A < Ins.Srcs.size(); ++A)
+            Site.Args.push_back(vr(Ins.Srcs[A]));
+          if (Ins.HasDst)
+            Site.Dst = vr(Ins.Dst);
+          I.Sites.push_back(std::move(Site));
+          FI.HasIndSites = true;
+          break;
+        }
+        case IROp::Ret:
+          if (!Ins.Srcs.empty())
+            copy(vr(Ins.Srcs[0]), FI.RetVar);
+          break;
+        case IROp::Const:
+        case IROp::Print:
+        case IROp::PrintC:
+        case IROp::Br:
+        case IROp::CondBr:
+          break;
+        }
+      }
+    }
+  }
+
+  Stats.Constraints = I.Bases.size() + I.Copies.size() + I.Derefs.size() +
+                      I.Sites.size();
+
+  //===--------------------------------------------------------------------===//
+  // Fixpoint solve.
+  //===--------------------------------------------------------------------===//
+
+  for (const auto &[Var, Obj] : I.Bases)
+    I.Pts[Var].insert(Obj);
+
+  bool Changed = true;
+  while (Changed) {
+    Changed = false;
+    ++Stats.Iterations;
+    auto add = [&](int Var, int Obj) {
+      if (I.Pts[Var].insert(Obj).second)
+        Changed = true;
+    };
+    auto unionInto = [&](int Dst, int Src) {
+      if (Dst == Src)
+        return;
+      for (int Obj : I.Pts[Src])
+        add(Dst, Obj);
+    };
+    for (const auto &[Src, Dst] : I.Copies)
+      unionInto(Dst, Src);
+    for (const Impl::Deref &D : I.Derefs) {
+      // Snapshot: the union may grow the very set being walked
+      // (e.g. p = *p).
+      std::vector<int> Ptr(I.Pts[D.Ptr].begin(), I.Pts[D.Ptr].end());
+      for (int Obj : Ptr) {
+        if (D.IsLoad)
+          unionInto(D.Other, contents(Obj));
+        else if (Obj == 0)
+          unionInto(I.EscapeVar, D.Other); // *unknown = v leaks v.
+        else
+          unionInto(contents(Obj), D.Other);
+      }
+    }
+    for (const Impl::IndSite &S : I.Sites) {
+      std::vector<int> Ptr(I.Pts[S.Ptr].begin(), I.Pts[S.Ptr].end());
+      for (int Obj : Ptr) {
+        const Object &O = I.Objects[Obj];
+        if (O.K == ObjKind::Func && O.FuncIdx >= 0) {
+          // Proven in-module target: ordinary argument/return linkage.
+          Impl::FuncInfo &TI = I.Funcs[O.FuncIdx];
+          for (size_t A = 0; A < S.Args.size() && A < TI.NumParams; ++A)
+            unionInto(TI.VRegBase + static_cast<int>(A), S.Args[A]);
+          if (S.Dst >= 0)
+            unionInto(S.Dst, TI.RetVar);
+        } else {
+          // Extern function, Unknown, or a non-function value: the
+          // call leaves the module (or traps); arguments escape.
+          for (int A : S.Args)
+            unionInto(I.EscapeVar, A);
+          if (S.Dst >= 0)
+            add(S.Dst, 0);
+        }
+      }
+    }
+    // Escape closure: an escaped object's contents are externally
+    // readable (they escape too) and writable (they gain Unknown); an
+    // escaped in-module function becomes callable from anywhere.
+    std::vector<int> Esc(I.Pts[I.EscapeVar].begin(),
+                         I.Pts[I.EscapeVar].end());
+    for (int Obj : Esc) {
+      if (Obj == 0)
+        continue;
+      add(contents(Obj), 0);
+      unionInto(I.EscapeVar, contents(Obj));
+      const Object &O = I.Objects[Obj];
+      if (O.K == ObjKind::Func && O.FuncIdx >= 0) {
+        Impl::FuncInfo &TI = I.Funcs[O.FuncIdx];
+        for (unsigned A = 0; A < TI.NumParams; ++A)
+          add(TI.VRegBase + static_cast<int>(A), 0);
+        unionInto(I.EscapeVar, TI.RetVar);
+      }
+    }
+  }
+
+  //===--------------------------------------------------------------------===//
+  // Derived views.
+  //===--------------------------------------------------------------------===//
+
+  // Indirect-call resolution: a site is resolved when its pointer set
+  // holds only function objects (extern ones included — their names
+  // are link-time symbols). An empty set is trivially resolved.
+  for (const Impl::IndSite &S : I.Sites) {
+    Impl::FuncInfo &FI = I.Funcs[S.Func];
+    for (int Obj : I.Pts[S.Ptr]) {
+      if (I.Objects[Obj].K == ObjKind::Func)
+        FI.IndTargets.insert(I.Objects[Obj].Name);
+      else
+        FI.IndResolved = false;
+    }
+  }
+
+  // Per-function deref touch sets (the function's own LdPtr/StPtr).
+  I.DerefTouch.assign(I.Funcs.size(), {});
+  for (const Impl::Deref &D : I.Derefs) {
+    TouchSet &T = I.DerefTouch[D.Func];
+    for (int Obj : I.Pts[D.Ptr]) {
+      if (I.Objects[Obj].K == ObjKind::Global)
+        T.Objs.insert(Obj);
+      else if (Obj == 0)
+        T.Unknown = true;
+    }
+  }
+
+  // MayTouch closure over the call structure. Node X = Funcs.size() is
+  // the world outside the module: it may touch any exported or escaped
+  // global (the Unknown flag plus unknownMayAlias encode exactly that)
+  // and may call back into any exported or escaped-address function.
+  int X = I.externWorld();
+  I.MayTouch.assign(I.Funcs.size() + 1, {});
+  I.MayTouch[X].Unknown = true;
+  std::vector<std::set<int>> CallEdges(I.Funcs.size() + 1);
+  for (size_t F = 0; F < I.Funcs.size(); ++F)
+    if (!I.Funcs[F].IsStatic || I.escaped(I.Funcs[F].ObjId))
+      CallEdges[X].insert(static_cast<int>(F));
+  for (size_t F = 0; F < M.Functions.size(); ++F) {
+    const IRFunction &Fn = *M.Functions[F];
+    TouchSet &T = I.MayTouch[F];
+    T = I.DerefTouch[F]; // Own derefs are touches too.
+    for (const auto &B : Fn.Blocks) {
+      for (const IRInstr &Ins : B->Instrs) {
+        switch (Ins.Op) {
+        case IROp::LdG:
+        case IROp::StG:
+        case IROp::LdElem:
+        case IROp::StElem:
+          if (!Ins.Sym.empty() && findGlobal(Ins.Sym))
+            T.Objs.insert(I.GlobalObj[Ins.Sym]);
+          break;
+        case IROp::Call:
+          if (findFunc(Ins.Sym))
+            CallEdges[F].insert(I.FuncIdx[Ins.Sym]);
+          else
+            CallEdges[F].insert(X);
+          break;
+        default:
+          break;
+        }
+      }
+    }
+  }
+  for (const Impl::IndSite &S : I.Sites)
+    for (int Obj : I.Pts[S.Ptr]) {
+      const Object &O = I.Objects[Obj];
+      if (O.K == ObjKind::Func && O.FuncIdx >= 0)
+        CallEdges[S.Func].insert(O.FuncIdx);
+      else
+        CallEdges[S.Func].insert(X);
+    }
+  for (bool Again = true; Again;) {
+    Again = false;
+    for (size_t F = 0; F < CallEdges.size(); ++F) {
+      TouchSet &T = I.MayTouch[F];
+      for (int Callee : CallEdges[F]) {
+        for (int Obj : I.MayTouch[Callee].Objs)
+          Again |= T.Objs.insert(Obj).second;
+        if (I.MayTouch[Callee].Unknown && !T.Unknown) {
+          T.Unknown = true;
+          Again = true;
+        }
+      }
+    }
+  }
+
+  // What each function's indirect calls (only) may touch.
+  I.MayTouchInd.assign(I.Funcs.size(), {});
+  for (const Impl::IndSite &S : I.Sites) {
+    TouchSet &T = I.MayTouchInd[S.Func];
+    for (int Obj : I.Pts[S.Ptr]) {
+      const Object &O = I.Objects[Obj];
+      int Callee = O.K == ObjKind::Func && O.FuncIdx >= 0 ? O.FuncIdx : X;
+      T.Objs.insert(I.MayTouch[Callee].Objs.begin(),
+                    I.MayTouch[Callee].Objs.end());
+      T.Unknown |= I.MayTouch[Callee].Unknown;
+    }
+  }
+
+  // Escape verdicts. A deref through an Unknown pointer does NOT
+  // demote a non-escaped global here: Unknown can only be its address
+  // if some module leaked it, and that module's own verdict already
+  // blocks the merge. (The optimizer-facing queries above stay
+  // conservative about Unknown — they have no merge to lean on.)
+  for (const IRGlobal &G : M.Globals) {
+    int Obj = I.GlobalObj[G.Name];
+    EscapeVerdict V = EscapeVerdict::Refuted;
+    if (I.escaped(Obj)) {
+      V = EscapeVerdict::Escapes;
+    } else {
+      for (const Impl::Deref &D : I.Derefs)
+        if (I.Pts[D.Ptr].count(Obj)) {
+          V = EscapeVerdict::ModuleLocal;
+          break;
+        }
+    }
+    I.VerdictByPlain[G.Name] = V;
+    I.VerdictByQual[G.qualifiedName()] = V;
+    if (G.AddressTaken && V == EscapeVerdict::Refuted)
+      ++Stats.EscapesRefuted;
+  }
+  for (const Impl::FuncInfo &FI : I.Funcs)
+    if (FI.HasIndSites && FI.IndResolved)
+      ++Stats.IndirectResolved;
+}
+
+bool ModulePointsTo::callMayTouch(const std::string &CalleeSym,
+                                  const std::string &Global) const {
+  auto It = P->FuncIdx.find(CalleeSym);
+  int Node = It != P->FuncIdx.end() ? It->second : P->externWorld();
+  return P->touches(P->MayTouch[Node], Global);
+}
+
+bool ModulePointsTo::indirectCallMayTouch(const std::string &Func,
+                                          const std::string &Global) const {
+  auto It = P->FuncIdx.find(Func);
+  if (It == P->FuncIdx.end())
+    return true;
+  return P->touches(P->MayTouchInd[It->second], Global);
+}
+
+bool ModulePointsTo::derefMayTouch(const std::string &Func,
+                                   const std::string &Global) const {
+  auto It = P->FuncIdx.find(Func);
+  if (It == P->FuncIdx.end())
+    return true;
+  return P->touches(P->DerefTouch[It->second], Global);
+}
+
+EscapeVerdict ModulePointsTo::verdict(const std::string &PlainGlobal) const {
+  auto It = P->VerdictByPlain.find(PlainGlobal);
+  return It != P->VerdictByPlain.end() ? It->second : EscapeVerdict::Escapes;
+}
+
+bool ModulePointsTo::indirectResolved(const std::string &Func) const {
+  auto It = P->FuncIdx.find(Func);
+  return It != P->FuncIdx.end() && P->Funcs[It->second].HasIndSites &&
+         P->Funcs[It->second].IndResolved;
+}
+
+std::vector<std::string>
+ModulePointsTo::indirectTargets(const std::string &Func) const {
+  auto It = P->FuncIdx.find(Func);
+  if (It == P->FuncIdx.end())
+    return {};
+  const auto &T = P->Funcs[It->second].IndTargets;
+  return {T.begin(), T.end()};
+}
+
+void ModulePointsTo::applyToSummary(ModuleSummary &S) const {
+  for (GlobalSummary &G : S.Globals) {
+    auto It = P->VerdictByQual.find(G.QualName);
+    if (It != P->VerdictByQual.end())
+      G.Escape = It->second;
+  }
+  for (ProcSummary &PS : S.Procs) {
+    int F = -1;
+    for (size_t K = 0; K < P->Funcs.size(); ++K)
+      if (P->Funcs[K].Qual == PS.QualName)
+        F = static_cast<int>(K);
+    if (F < 0)
+      continue; // e.g. the synthetic "<module>:.data" pseudo-proc.
+    const Impl::FuncInfo &FI = P->Funcs[F];
+    if (FI.HasIndSites && FI.IndResolved) {
+      PS.IndTargetsResolved = true;
+      PS.IndirectTargets.assign(FI.IndTargets.begin(), FI.IndTargets.end());
+    }
+  }
+}

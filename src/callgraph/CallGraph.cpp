@@ -46,7 +46,10 @@ void CallGraph::addEdge(int From, int To, long long Freq) {
 }
 
 CallGraph::CallGraph(const std::vector<ModuleSummary> &Summaries,
-                     const CallProfile &Profile) {
+                     const CallProfile &Profile, bool UsePointsTo) {
+  // Globals some module aliases before verdicts are applied; the ones
+  // that end up un-aliased were refuted by the escape analysis.
+  std::set<std::string> RawAliased;
   // Nodes for every summarized procedure.
   for (const ModuleSummary &S : Summaries) {
     for (const ProcSummary &P : S.Procs) {
@@ -64,13 +67,30 @@ CallGraph::CallGraph(const std::vector<ModuleSummary> &Summaries,
       Nodes.push_back(std::move(N));
     }
     for (const GlobalSummary &G : S.Globals) {
+      // This module aliases the global only if it takes the address AND
+      // the escape analysis failed to refute the Aliased bit. The OR
+      // over modules is sound per-module: an address that crosses a
+      // module boundary is an escape, so a Refuted verdict proves this
+      // module's '&' contributes no reachable alias anywhere.
+      bool Aliases =
+          G.Aliased &&
+          (!UsePointsTo || G.Escape != EscapeVerdict::Refuted);
+      if (UsePointsTo && G.Aliased && !Aliases)
+        RawAliased.insert(G.QualName);
       auto [It, Inserted] = GlobalFacts.try_emplace(G.QualName, G);
-      if (!Inserted) {
-        It->second.Aliased |= G.Aliased;
+      if (Inserted) {
+        It->second.Aliased = Aliases;
+      } else {
+        It->second.Aliased |= Aliases;
         It->second.IsScalar &= G.IsScalar;
+        if (G.Escape < It->second.Escape)
+          It->second.Escape = G.Escape;
       }
     }
   }
+  for (const std::string &Name : RawAliased)
+    if (!GlobalFacts.at(Name).Aliased)
+      ++NumEscapesRefuted;
 
   // Placeholder nodes for called-but-undefined procedures, so the graph
   // stays closed (see §7.2; these are treated as opaque leaves).
@@ -104,18 +124,33 @@ CallGraph::CallGraph(const std::vector<ModuleSummary> &Summaries,
     Nodes[Id].ExternallyVisible = true;
   }
 
-  // Conservative indirect edges (§7.3): every indirect caller may reach
-  // every address-taken procedure.
+  // Indirect edges. When the producing module's points-to analysis
+  // resolved every indirect call in a procedure, edges go only to the
+  // proven targets; otherwise the conservative rule applies (§7.3):
+  // every indirect caller may reach every address-taken procedure.
   for (const ModuleSummary &S : Summaries) {
     for (const ProcSummary &P : S.Procs) {
       if (!P.MakesIndirectCalls)
         continue;
       int From = NameToId.at(P.QualName);
+      if (UsePointsTo && P.IndTargetsResolved) {
+        std::vector<int> Ids;
+        for (const std::string &T : P.IndirectTargets) {
+          int Id = EnsureNode(T);
+          addEdge(From, Id, std::max<long long>(1, P.IndirectCallFreq));
+          Ids.push_back(Id);
+        }
+        ResolvedIndTargets[From] = std::move(Ids);
+        continue;
+      }
       for (const std::string &A : AddrTaken)
         addEdge(From, NameToId.at(A), std::max<long long>(
                                           1, P.IndirectCallFreq));
     }
   }
+  for (const CGNode &N : Nodes)
+    if (N.IsAddressTaken)
+      AddrTakenIds.push_back(N.Id);
 
   // Start nodes: every node without a predecessor is treated as a start
   // node (§4.1.2 footnote); main is always a start node.
@@ -360,6 +395,11 @@ void CallGraph::computeInvocations(const CallProfile &Profile) {
       Count = capMul(Count, 2);
     EdgeCounts[Edge] = Count;
   }
+}
+
+const std::vector<int> &CallGraph::indirectTargetsOf(int Node) const {
+  auto It = ResolvedIndTargets.find(Node);
+  return It != ResolvedIndTargets.end() ? It->second : AddrTakenIds;
 }
 
 long long CallGraph::edgeCount(int From, int To) const {

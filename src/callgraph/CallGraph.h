@@ -9,7 +9,16 @@
 /// The program call graph the analyzer builds from all summary files
 /// (§4). Nodes are procedures (qualified names). Direct calls come from
 /// the summaries; every procedure that makes indirect calls gets a
-/// conservative edge to every address-taken procedure (§7.3).
+/// conservative edge to every address-taken procedure (§7.3) — unless
+/// the module's points-to analysis proved the exact target set, in
+/// which case only those edges are added and indirectTargetsOf()
+/// reports the proven set for wrap placement.
+///
+/// The same analysis supplies per-module escape verdicts for the
+/// Aliased bit: a global counts as aliased only if some module both
+/// takes its address and fails to refute the escape (the address
+/// leaving a module is itself an escape, so each module's verdict
+/// covers its own contribution and the OR over modules is sound).
 ///
 /// Call-count estimation follows §6.2: the raw per-invocation heuristic
 /// frequencies are normalized over the whole graph by propagating
@@ -68,9 +77,12 @@ struct CGNode {
 class CallGraph {
 public:
   /// Builds the graph from every module's summary. \p Profile may be
-  /// empty (heuristic counts are used then).
+  /// empty (heuristic counts are used then). \p UsePointsTo consumes
+  /// the summaries' escape verdicts and resolved indirect-target sets;
+  /// false ignores them, reproducing the paper's conservative graph
+  /// (fact-free summaries build the identical graph either way).
   CallGraph(const std::vector<ModuleSummary> &Summaries,
-            const CallProfile &Profile = {});
+            const CallProfile &Profile = {}, bool UsePointsTo = true);
 
   int size() const { return static_cast<int>(Nodes.size()); }
   const CGNode &node(int Id) const { return Nodes[Id]; }
@@ -108,6 +120,23 @@ public:
   /// Nodes in reverse post-order from the virtual root.
   const std::vector<int> &rpo() const { return RPO; }
 
+  /// The procedures an indirect call made by \p Node may invoke: the
+  /// proven target set when the summaries resolved it, otherwise every
+  /// address-taken procedure (§7.3), in node-id order. Meaningful only
+  /// for nodes with MakesIndirectCalls.
+  const std::vector<int> &indirectTargetsOf(int Node) const;
+  /// True when \p Node's indirect calls were narrowed to a proven set.
+  bool indirectResolved(int Node) const {
+    return ResolvedIndTargets.count(Node) != 0;
+  }
+
+  /// Globals whose Aliased bit was dropped by the escape verdicts.
+  unsigned escapesRefuted() const { return NumEscapesRefuted; }
+  /// Indirect-calling procedures whose edges were narrowed.
+  unsigned indirectCallersResolved() const {
+    return static_cast<unsigned>(ResolvedIndTargets.size());
+  }
+
   /// Renders the graph for debugging.
   std::string toString() const;
 
@@ -126,6 +155,11 @@ private:
   std::map<std::pair<int, int>, long long> EdgeCounts;
   std::vector<long long> Invocations;
   std::vector<int> Starts;
+  /// Address-taken node ids in node-id order (the §7.3 fallback).
+  std::vector<int> AddrTakenIds;
+  /// Proven indirect-target ids per resolved indirect caller.
+  std::map<int, std::vector<int>> ResolvedIndTargets;
+  unsigned NumEscapesRefuted = 0;
   std::vector<int> SccIds;
   std::vector<bool> Recursive;
   std::vector<int> IDom;

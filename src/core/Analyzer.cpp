@@ -82,11 +82,14 @@ ProgramDatabase ipra::runAnalyzer(
   };
 
   Clock::time_point T0 = Clock::now();
-  CallGraph CG(Summaries, Profile);
+  CallGraph CG(Summaries, Profile, Options.PointsTo);
   RefSets RS(CG, Options.AssumeClosedWorld);
 
   AnalyzerStats LocalStats;
   LocalStats.EligibleGlobals = RS.numEligible();
+  LocalStats.EscapesRefuted = static_cast<int>(CG.escapesRefuted());
+  LocalStats.IndirectCallersResolved =
+      static_cast<int>(CG.indirectCallersResolved());
   LocalStats.RefSetsMs = MsSince(T0);
 
   // --- Global variable promotion (§4.1) ----------------------------------
@@ -217,6 +220,14 @@ ProgramDatabase ipra::runAnalyzer(
       Dir.SelfCallerBudget = SelfBudget[Node.Id];
       Dir.SubtreeClobber = SubtreeClobber[Node.Id];
     }
+    if (CG.indirectResolved(Node.Id)) {
+      // Publish the proven targets so post-link checking can narrow
+      // the machine-level BLR edges the same way the analyzer did.
+      Dir.IndTargetsResolved = true;
+      for (int T : CG.indirectTargetsOf(Node.Id))
+        Dir.IndirectTargets.push_back(CG.node(T).QualName);
+      std::sort(Dir.IndirectTargets.begin(), Dir.IndirectTargets.end());
+    }
     for (int WebId : PromotedAt[Node.Id]) {
       const Web &W = Webs[WebId];
       PromotedGlobal P;
@@ -247,8 +258,14 @@ ProgramDatabase ipra::runAnalyzer(
 //
 //   ipra-db-format <version> config=<fingerprint|->
 //   proc <qual> free=<hex> caller=<hex> callee=<hex> mspill=<hex> root=<0|1>
+//   indtarget <qual>
 //   promote <qual> reg=<n> entry=<0|1> modifies=<0|1>
 //   end
+//
+// Version 3 added the points-to fields: indresolved=<0|1> on the proc
+// line and one indtarget record per proven indirect-call target.
+// Readers default them to the conservative values when absent so
+// headerless legacy files keep parsing.
 //===----------------------------------------------------------------------===//
 
 std::vector<std::string>
@@ -282,7 +299,10 @@ void writeProcRecord(std::ostream &OS, const std::string &Name,
      << " caller=" << Hex(Dir.Caller) << " callee=" << Hex(Dir.Callee)
      << " mspill=" << Hex(Dir.MSpill) << " root=" << Dir.IsClusterRoot
      << " budget=" << Hex(Dir.SelfCallerBudget)
-     << " clobber=" << Hex(Dir.SubtreeClobber) << "\n";
+     << " clobber=" << Hex(Dir.SubtreeClobber)
+     << " indresolved=" << Dir.IndTargetsResolved << "\n";
+  for (const std::string &T : Dir.IndirectTargets)
+    OS << "indtarget " << T << "\n";
   for (const PromotedGlobal &P : Dir.Promoted) {
     OS << "promote " << P.QualName << " reg=" << P.Reg
        << " entry=" << P.IsEntry << " modifies=" << P.WebModifies
@@ -411,7 +431,14 @@ bool ProgramDatabase::deserialize(const std::string &Text,
         Cur.SelfCallerBudget = HexField(Tok, "budget");
       if (HasClobber)
         Cur.SubtreeClobber = HexField(Tok, "clobber");
+      Cur.IndTargetsResolved = NumFieldOf(Tok, "indresolved");
       InProc = true;
+    } else if (Tok[0] == "indtarget") {
+      if (!InProc || Tok.size() < 2) {
+        Error = "line " + std::to_string(LineNo) + ": stray indtarget";
+        return false;
+      }
+      Cur.IndirectTargets.push_back(Tok[1]);
     } else if (Tok[0] == "promote") {
       if (!InProc || Tok.size() < 2) {
         Error = "line " + std::to_string(LineNo) + ": stray promote";

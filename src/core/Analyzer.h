@@ -56,6 +56,11 @@ struct AnalyzerOptions {
   /// (e.g. a library): only statics are promotable, and externally
   /// visible procedures join no web interior and no cluster.
   bool AssumeClosedWorld = true;
+  /// Consume the summaries' points-to facts (escape verdicts, resolved
+  /// indirect-call target sets). False ignores the fields entirely,
+  /// reproducing the paper's conservative analysis; on fact-free
+  /// summaries the output is identical either way.
+  bool PointsTo = true;
   /// Threads for the parallelizable analyzer stages (per-global web
   /// discovery): 1 runs serially on the calling thread, 0 defers to
   /// IPRA_THREADS / the hardware count. The database is byte-identical
@@ -82,6 +87,10 @@ struct AnalyzerStats {
   int NumClusters = 0;
   int TotalClusterNodes = 0; ///< Members + roots over all clusters.
   int MaxClusterSize = 0;
+  /// Globals whose Aliased bit the escape verdicts refuted.
+  int EscapesRefuted = 0;
+  /// Indirect callers whose call edges were narrowed to proven sets.
+  int IndirectCallersResolved = 0;
 
   // Sub-phase wall-clock breakdown (milliseconds), filled by
   // runAnalyzer; a cached analyzer run reports the producing run's
@@ -102,7 +111,7 @@ struct AnalyzerStats {
 /// Version of the textual program-database format. Serialized files
 /// carry it in a header line; readers reject other versions instead of
 /// misparsing.
-inline constexpr int DatabaseFormatVersion = 2;
+inline constexpr int DatabaseFormatVersion = 3;
 
 /// The program database (§4.3): one directive record per procedure.
 class ProgramDatabase {

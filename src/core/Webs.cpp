@@ -436,10 +436,13 @@ std::vector<Web> splitSparseWeb(const CallGraph &CG, const RefSets &RS,
                                              W.Modifies ? 2 : 1));
         }
       }
-      // Indirect calls from N: wrap when any address-taken procedure
-      // can reach the variable.
+      // Indirect calls from N: wrap when any procedure the call may
+      // invoke (the proven target set when points-to resolved it,
+      // every address-taken procedure otherwise) can reach the
+      // variable.
       if (CG.node(N).MakesIndirectCalls) {
-        for (const CGNode &T : CG.nodes()) {
+        for (int TId : CG.indirectTargetsOf(N)) {
+          const CGNode &T = CG.node(TId);
           if (!T.IsAddressTaken || W.Nodes.count(T.Id))
             continue;
           if (RS.lref(T.Id).test(G) || RS.cref(T.Id).test(G)) {
@@ -688,10 +691,12 @@ ipra::checkWebInvariants(const CallGraph &CG, const RefSets &RS,
         }
         if (CG.node(N).MakesIndirectCalls) {
           bool AnyReachingTarget = false;
-          for (const CGNode &T : CG.nodes())
+          for (int TId : CG.indirectTargetsOf(N)) {
+            const CGNode &T = CG.node(TId);
             if (T.IsAddressTaken && !W.Nodes.count(T.Id) &&
                 (RS.lref(T.Id).test(G) || RS.cref(T.Id).test(G)))
               AnyReachingTarget = true;
+          }
           if (AnyReachingTarget && !W.WrapIndirect.count(N))
             Bad(W, "missing indirect wrap at " + CG.node(N).QualName);
         }

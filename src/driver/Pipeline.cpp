@@ -7,6 +7,7 @@
 
 #include "driver/Pipeline.h"
 
+#include "analysis/PointsTo.h"
 #include "codegen/CodeGen.h"
 #include "driver/Driver.h"
 #include "ir/IRGen.h"
@@ -56,12 +57,15 @@ std::unique_ptr<ModuleAST> frontEnd(const SourceFile &Source,
 }
 
 /// Per-function level-2 optimization, with promoted globals excluded
-/// from local promotion (§5: the dedicated register takes over).
+/// from local promotion (§5: the dedicated register takes over) and
+/// optional points-to alias facts refining the kill points.
 void optimizeForDirectives(IRModule &IR, const ProgramDatabase *DB,
-                           bool LocalGlobalPromotion) {
+                           bool LocalGlobalPromotion,
+                           const GlobalAliasFacts *Alias = nullptr) {
   for (auto &F : IR.Functions) {
     OptOptions Options;
     Options.LocalGlobalPromotion = LocalGlobalPromotion;
+    Options.Alias = Alias;
     if (DB) {
       ProcDirectives Dir = DB->lookup(F->qualifiedName());
       for (const PromotedGlobal &P : Dir.Promoted) {
@@ -131,8 +135,8 @@ std::string serializeProfile(const CallProfile &CP) {
 
 /// The analyzer cache entry bundles the AnalyzerStats with the database
 /// text (a cached analyzer run must still report its statistics):
-/// one "analyzer-stats <9 counters> <5 sub-phase ms>" line, then the
-/// database verbatim. Entries written under the old 9-field format fail
+/// one "analyzer-stats <11 counters> <5 sub-phase ms>" line, then the
+/// database verbatim. Entries written under an older field count fail
 /// the parse below and degrade to a cache miss.
 std::string statsHeader(const AnalyzerStats &S) {
   std::ostringstream OS;
@@ -140,6 +144,7 @@ std::string statsHeader(const AnalyzerStats &S) {
      << S.ConsideredWebs << " " << S.ColoredWebs << " " << S.SplitWebs
      << " " << S.RemergedWebs << " " << S.NumClusters << " "
      << S.TotalClusterNodes << " " << S.MaxClusterSize << " "
+     << S.EscapesRefuted << " " << S.IndirectCallersResolved << " "
      << S.RefSetsMs << " " << S.WebsMs << " " << S.ColoringMs << " "
      << S.ClustersMs << " " << S.RegSetsMs << "\n";
   return OS.str();
@@ -154,8 +159,9 @@ bool splitStatsEntry(const std::string &Entry, AnalyzerStats &S,
   std::string Tag;
   IS >> Tag >> S.EligibleGlobals >> S.TotalWebs >> S.ConsideredWebs >>
       S.ColoredWebs >> S.SplitWebs >> S.RemergedWebs >> S.NumClusters >>
-      S.TotalClusterNodes >> S.MaxClusterSize >> S.RefSetsMs >>
-      S.WebsMs >> S.ColoringMs >> S.ClustersMs >> S.RegSetsMs;
+      S.TotalClusterNodes >> S.MaxClusterSize >> S.EscapesRefuted >>
+      S.IndirectCallersResolved >> S.RefSetsMs >> S.WebsMs >>
+      S.ColoringMs >> S.ClustersMs >> S.RegSetsMs;
   if (Tag != "analyzer-stats" || IS.fail())
     return false;
   DbText = Entry.substr(NL + 1);
@@ -212,7 +218,13 @@ SummaryResult Pipeline::compileSummary(const SourceFile &Source) {
     Result.Diags.error("IR verification failed: " + Problems[0]);
     return Result;
   }
-  optimizeForDirectives(*IR, nullptr, Config.LocalGlobalPromotion);
+  // Points-to runs on the pristine pre-optimization IR (optimization
+  // only removes access sites, so the facts stay sound afterwards).
+  std::unique_ptr<ModulePointsTo> PT;
+  if (Config.PointsTo)
+    PT = std::make_unique<ModulePointsTo>(*IR);
+  optimizeForDirectives(*IR, nullptr, Config.LocalGlobalPromotion,
+                        PT.get());
 
   std::map<std::string, TrialCodeGenInfo> Estimates;
   for (auto &F : IR->Functions) {
@@ -223,6 +235,8 @@ SummaryResult Pipeline::compileSummary(const SourceFile &Source) {
           static_cast<unsigned>(CG.CallerRegsWritten)};
   }
   ModuleSummary Summary = buildModuleSummary(*IR, Estimates);
+  if (PT)
+    PT->applyToSummary(Summary);
   Summary.ConfigFingerprint = CompileFP;
   Result.SummaryText = writeSummary(Summary);
   Cache.put(Key, Result.SummaryText);
@@ -354,8 +368,11 @@ ObjectResult Pipeline::compileObject(const SourceFile &Source,
     return Result;
   }
   auto IR = generateIR(*AST, Diags);
+  std::unique_ptr<ModulePointsTo> PT;
+  if (Config.PointsTo)
+    PT = std::make_unique<ModulePointsTo>(*IR);
   optimizeForDirectives(*IR, HaveDB ? &DB : nullptr,
-                        Config.LocalGlobalPromotion);
+                        Config.LocalGlobalPromotion, PT.get());
   auto Problems = verifyModule(*IR);
   if (!Problems.empty()) {
     Result.Diags.error("IR verification failed: " + Problems[0]);
@@ -502,6 +519,7 @@ BuildResult Pipeline::build(const std::vector<SourceFile> &Sources,
         if (!ensureFrontEnd(Miss))
           return Result;
         std::vector<std::unique_ptr<IRModule>> IRs(NumModules);
+        std::vector<std::unique_ptr<ModulePointsTo>> PTs(NumModules);
         std::vector<std::string> Errors(NumModules);
         parallelForEach(Pool, Miss.size(), [&](size_t J) {
           size_t I = Miss[J];
@@ -513,7 +531,14 @@ BuildResult Pipeline::build(const std::vector<SourceFile> &Sources,
             Errors[I] = "phase 1 IR verification failed: " + Problems[0];
             return;
           }
-          optimizeForDirectives(*IR, nullptr, Config.LocalGlobalPromotion);
+          // Points-to runs on the pristine pre-optimization IR; its
+          // facts feed the optimizer below and the summary later.
+          if (Config.PointsTo) {
+            ScopedTimerMs PTTimer(PS.Modules[I].PointsToMs);
+            PTs[I] = std::make_unique<ModulePointsTo>(*IR);
+          }
+          optimizeForDirectives(*IR, nullptr, Config.LocalGlobalPromotion,
+                                PTs[I].get());
           IRs[I] = std::move(IR);
         });
         if (const std::string *E = firstError(Errors)) {
@@ -556,6 +581,8 @@ BuildResult Pipeline::build(const std::vector<SourceFile> &Sources,
             if (Trial[I][F])
               Estimates[IRs[I]->Functions[F]->Name] = *Trial[I][F];
           ModuleSummary Summary = buildModuleSummary(*IRs[I], Estimates);
+          if (PTs[I])
+            PTs[I]->applyToSummary(Summary);
           Summary.ConfigFingerprint = CompileFP;
           std::string Text = writeSummary(Summary);
           ModuleSummary Parsed;
@@ -576,6 +603,11 @@ BuildResult Pipeline::build(const std::vector<SourceFile> &Sources,
         // are never cached.
         for (size_t I : Miss)
           Cache.put(Keys[I], SummaryTexts[I]);
+        for (size_t I : Miss)
+          if (PTs[I]) {
+            PS.PointsToConstraints += PTs[I]->stats().Constraints;
+            PS.PointsToIterations += PTs[I]->stats().Iterations;
+          }
       }
       Result.SummaryFiles = SummaryTexts;
       for (size_t I = 0; I < NumModules; ++I) {
@@ -613,6 +645,10 @@ BuildResult Pipeline::build(const std::vector<SourceFile> &Sources,
     PS.AnalyzerColoringMs = Result.Analyzer.ColoringMs;
     PS.AnalyzerClustersMs = Result.Analyzer.ClustersMs;
     PS.AnalyzerRegSetsMs = Result.Analyzer.RegSetsMs;
+    PS.PointsToEscapesRefuted =
+        static_cast<unsigned>(Result.Analyzer.EscapesRefuted);
+    PS.PointsToIndirectResolved =
+        static_cast<unsigned>(Result.Analyzer.IndirectCallersResolved);
     PS.DatabaseBytes = Result.DatabaseFile.size();
     HaveDB = true;
   }
@@ -659,8 +695,13 @@ BuildResult Pipeline::build(const std::vector<SourceFile> &Sources,
         ScopedTimerMs ModuleTimer(PS.Modules[I].Phase2Ms);
         DiagnosticEngine Diags;
         auto IR = generateIR(*ASTs[I], Diags);
+        std::unique_ptr<ModulePointsTo> PT;
+        if (Config.PointsTo) {
+          ScopedTimerMs PTTimer(PS.Modules[I].PointsToMs);
+          PT = std::make_unique<ModulePointsTo>(*IR);
+        }
         optimizeForDirectives(*IR, HaveDB ? &DB : nullptr,
-                              Config.LocalGlobalPromotion);
+                              Config.LocalGlobalPromotion, PT.get());
         auto Problems = verifyModule(*IR);
         if (!Problems.empty()) {
           Errors[I] = "phase 2 IR verification failed: " + Problems[0];
@@ -750,6 +791,7 @@ BuildResult Pipeline::build(const std::vector<SourceFile> &Sources,
           static_cast<unsigned>(Objects[I].Functions.size());
       PS.Modules[I].ObjectBytes = ObjTexts[I].size();
       PS.ObjectBytes += ObjTexts[I].size();
+      PS.PointsToMs += PS.Modules[I].PointsToMs;
     }
   }
 

@@ -57,6 +57,7 @@ CompileOptions PipelineConfig::compileOptions() const {
   O.LocalGlobalPromotion = LocalGlobalPromotion;
   O.LinkerReservedRegs = LinkerReservedRegs;
   O.CallerSavePropagation = CallerSavePropagation;
+  O.PointsTo = PointsTo;
   return O;
 }
 
@@ -64,6 +65,7 @@ void PipelineConfig::setCompileOptions(const CompileOptions &O) {
   LocalGlobalPromotion = O.LocalGlobalPromotion;
   LinkerReservedRegs = O.LinkerReservedRegs;
   CallerSavePropagation = O.CallerSavePropagation;
+  PointsTo = O.PointsTo;
 }
 
 AnalyzerOptions PipelineConfig::analyzerOptions() const {
@@ -78,6 +80,7 @@ AnalyzerOptions PipelineConfig::analyzerOptions() const {
   O.RegSets.ImprovedFreeSets = ImprovedFreeSets;
   O.CallerSavePropagation = CallerSavePropagation;
   O.AssumeClosedWorld = AssumeClosedWorld;
+  O.PointsTo = PointsTo;
   // The analyzer's parallel stages reuse the pipeline thread count.
   // NumThreads stays out of every fingerprint (the database is
   // byte-identical at any value).
@@ -97,6 +100,7 @@ void PipelineConfig::setAnalyzerOptions(const AnalyzerOptions &O) {
   ImprovedFreeSets = O.RegSets.ImprovedFreeSets;
   CallerSavePropagation = O.CallerSavePropagation;
   AssumeClosedWorld = O.AssumeClosedWorld;
+  PointsTo = O.PointsTo;
 }
 
 //===----------------------------------------------------------------------===//
@@ -109,7 +113,8 @@ std::string CompileOptions::fingerprint() const {
   std::ostringstream OS;
   OS << "sumfmt=" << SummaryFormatVersion << ";objfmt=1"
      << ";lgp=" << LocalGlobalPromotion << ";lrr=" << std::hex
-     << LinkerReservedRegs << std::dec << ";csp=" << CallerSavePropagation;
+     << LinkerReservedRegs << std::dec << ";csp=" << CallerSavePropagation
+     << ";pt=" << PointsTo;
   return hashHex(OS.str());
 }
 
@@ -125,7 +130,7 @@ std::string PipelineConfig::analyzerFingerprint() const {
      << WebPool << std::dec << ";blanket=" << BlanketCount
      << ";profile=" << UseProfile << ";relax=" << RelaxWebAvail
      << ";freesets=" << ImprovedFreeSets << ";csp=" << CallerSavePropagation
-     << ";closed=" << AssumeClosedWorld
+     << ";closed=" << AssumeClosedWorld << ";pt=" << PointsTo
      << ";web.lref=" << Webs.MinLRefRatio
      << ";web.minfreq=" << Webs.MinSingleNodeFreq
      << ";web.xstatic=" << Webs.DiscardCrossModuleStaticWebs

@@ -52,6 +52,11 @@ struct CompileOptions {
   RegMask LinkerReservedRegs = 0;
   /// §7.6.2: phase 2 consults per-callee clobber masks.
   bool CallerSavePropagation = false;
+  /// Run the per-module points-to/escape analysis: summaries carry
+  /// escape verdicts and resolved indirect-call targets, and the local
+  /// optimizer consults the alias facts. False skips the analysis and
+  /// writes conservative defaults (mcc --no-points-to).
+  bool PointsTo = true;
 
   /// Stable hash over every field plus the summary/object format
   /// versions; part of every cache key.
@@ -71,6 +76,11 @@ struct PipelineConfig {
   bool UseProfile = false; ///< Consume supplied profile data (§6.1 B/F).
   /// Level-2 intraprocedural global promotion (on in every column).
   bool LocalGlobalPromotion = true;
+  /// Per-module points-to/escape analysis feeding summaries, the local
+  /// optimizer, and the analyzer (see CompileOptions::PointsTo). On by
+  /// default; --no-points-to reproduces the paper's conservative
+  /// behaviour.
+  bool PointsTo = true;
   /// §7.6.2 extensions (off by default; ablation benches flip them).
   bool RelaxWebAvail = false;
   bool ImprovedFreeSets = false;

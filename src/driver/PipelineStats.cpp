@@ -28,6 +28,12 @@ std::string PipelineStats::toString() const {
        << "ms coloring=" << AnalyzerColoringMs
        << "ms clusters=" << AnalyzerClustersMs
        << "ms regsets=" << AnalyzerRegSetsMs << "ms\n";
+  if (PointsToConstraints + PointsToIterations > 0 || PointsToMs > 0)
+    OS << "  points-to: constraints=" << PointsToConstraints
+       << " iterations=" << PointsToIterations
+       << " escapes-refuted=" << PointsToEscapesRefuted
+       << " indirect-resolved=" << PointsToIndirectResolved
+       << " time=" << PointsToMs << "ms\n";
   OS << "  summaries=" << SummaryBytes << "B database=" << DatabaseBytes
      << "B objects=" << ObjectBytes << "B\n";
   if (Phase1CacheHits + Phase1CacheMisses + AnalyzerCacheHits +

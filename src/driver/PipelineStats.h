@@ -30,6 +30,7 @@ struct ModulePipelineStats {
   double FrontEndMs = 0; ///< Lex + parse + sema.
   double Phase1Ms = 0;   ///< IR, optimize, trial codegen, summary.
   double Phase2Ms = 0;   ///< IR, optimize, codegen, object emission.
+  double PointsToMs = 0; ///< Points-to/escape analysis (inside both phases).
   size_t SummaryBytes = 0;
   size_t ObjectBytes = 0;
   unsigned Functions = 0;
@@ -55,6 +56,15 @@ struct PipelineStats {
   double AnalyzerColoringMs = 0;
   double AnalyzerClustersMs = 0;
   double AnalyzerRegSetsMs = 0;
+  /// Points-to/escape analysis: per-module wall clock (summed across
+  /// modules; zero for phase-1 cache hits) and solver counters. The
+  /// refuted/resolved counts come from the analyzer's merge and are
+  /// cached with the other analyzer counters.
+  double PointsToMs = 0;
+  unsigned long long PointsToConstraints = 0;
+  unsigned long long PointsToIterations = 0;
+  unsigned PointsToEscapesRefuted = 0;
+  unsigned PointsToIndirectResolved = 0;
   size_t SummaryBytes = 0;  ///< All summary files.
   size_t DatabaseBytes = 0; ///< Serialized program database.
   size_t ObjectBytes = 0;   ///< All textual object files.

@@ -19,6 +19,14 @@
 /// global), and LdPtr (store before only). Promotion is applied when the
 /// loop-weighted reference count exceeds the synchronization cost.
 ///
+/// When OptOptions::Alias carries points-to facts, a call or pointer
+/// dereference proven unable to touch a candidate stops being a kill
+/// point for it: no store/reload is emitted around it and it does not
+/// count toward the synchronization cost. Ret always synchronizes — the
+/// memory home must be current whenever the function returns. With no
+/// facts every kill point kills every candidate, byte for byte the
+/// behaviour described above.
+///
 //===----------------------------------------------------------------------===//
 
 #include "opt/Passes.h"
@@ -42,10 +50,22 @@ struct Candidate {
 bool ipra::promoteGlobalsLocally(IRFunction &F, const OptOptions &Options) {
   CFGInfo CFG(F);
 
+  // Does kill instruction I synchronize candidate Name? Ret always
+  // does; with no alias facts everything does.
+  auto Kills = [&](const IRInstr &I, const std::string &Name) {
+    if (I.Op == IROp::Ret || !Options.Alias)
+      return true;
+    if (I.Op == IROp::Call)
+      return Options.Alias->callMayTouch(I.Sym, Name);
+    if (I.Op == IROp::CallInd)
+      return Options.Alias->indirectCallMayTouch(F.Name, Name);
+    return Options.Alias->derefMayTouch(F.Name, Name);
+  };
+
   // Gather candidates: globals accessed via LdG/StG (always scalars; the
   // front end never emits LdG for arrays).
   std::map<std::string, Candidate> Candidates;
-  long long KillWeightTotal = 0;
+  std::vector<std::pair<const IRInstr *, long long>> KillPoints;
   for (const auto &B : F.Blocks) {
     if (!CFG.isReachable(B->Id))
       continue;
@@ -58,7 +78,7 @@ bool ipra::promoteGlobalsLocally(IRFunction &F, const OptOptions &Options) {
         Candidates[I.Sym].HasStore = true;
       } else if (I.isCall() || I.Op == IROp::StPtr || I.Op == IROp::LdPtr ||
                  I.Op == IROp::Ret) {
-        KillWeightTotal += W;
+        KillPoints.emplace_back(&I, W);
       }
     }
   }
@@ -70,7 +90,9 @@ bool ipra::promoteGlobalsLocally(IRFunction &F, const OptOptions &Options) {
   for (auto &[Name, C] : Candidates) {
     if (Options.SkipGlobals.count(Name))
       continue;
-    C.KillWeight = KillWeightTotal;
+    for (const auto &[I, W] : KillPoints)
+      if (Kills(*I, Name))
+        C.KillWeight += W;
     // Cost: entry load (1) plus a store+load pair at each kill point.
     long long Cost = 1 + C.KillWeight * (C.HasStore ? 2 : 1);
     if (C.RefWeight > Cost)
@@ -84,8 +106,11 @@ bool ipra::promoteGlobalsLocally(IRFunction &F, const OptOptions &Options) {
     std::vector<IRInstr> Out;
     Out.reserve(B->Instrs.size());
 
-    auto EmitLoadAll = [&]() {
-      for (const auto &[Name, Home] : Promoted) {
+    // Load/store sync around a kill point, restricted to the candidates
+    // the instruction can actually touch (all of them without facts).
+    auto EmitLoadFor = [&](const std::vector<std::pair<std::string, unsigned>>
+                               &Names) {
+      for (const auto &[Name, Home] : Names) {
         IRInstr Ld;
         Ld.Op = IROp::LdG;
         Ld.Sym = Name;
@@ -94,9 +119,9 @@ bool ipra::promoteGlobalsLocally(IRFunction &F, const OptOptions &Options) {
         Out.push_back(std::move(Ld));
       }
     };
-    auto EmitStoreDirty = [&]() {
+    auto EmitStoreDirty = [&](const IRInstr &Killer) {
       for (const auto &[Name, Home] : Promoted) {
-        if (!Candidates[Name].HasStore)
+        if (!Candidates[Name].HasStore || !Kills(Killer, Name))
           continue;
         IRInstr St;
         St.Op = IROp::StG;
@@ -106,8 +131,10 @@ bool ipra::promoteGlobalsLocally(IRFunction &F, const OptOptions &Options) {
       }
     };
 
-    if (B->Id == 0)
-      EmitLoadAll(); // Entry: load every promoted global.
+    if (B->Id == 0) {
+      // Entry: load every promoted global.
+      EmitLoadFor({Promoted.begin(), Promoted.end()});
+    }
 
     for (IRInstr &I : B->Instrs) {
       auto It = I.Op == IROp::LdG || I.Op == IROp::StG
@@ -132,18 +159,17 @@ bool ipra::promoteGlobalsLocally(IRFunction &F, const OptOptions &Options) {
         continue;
       }
       if (I.isCall() || I.Op == IROp::StPtr) {
-        EmitStoreDirty();
+        EmitStoreDirty(I);
+        std::vector<std::pair<std::string, unsigned>> Reload;
+        for (const auto &[Name, Home] : Promoted)
+          if (Kills(I, Name))
+            Reload.emplace_back(Name, Home);
         Out.push_back(std::move(I));
-        EmitLoadAll();
+        EmitLoadFor(Reload);
         continue;
       }
-      if (I.Op == IROp::LdPtr) {
-        EmitStoreDirty();
-        Out.push_back(std::move(I));
-        continue;
-      }
-      if (I.Op == IROp::Ret) {
-        EmitStoreDirty();
+      if (I.Op == IROp::LdPtr || I.Op == IROp::Ret) {
+        EmitStoreDirty(I);
         Out.push_back(std::move(I));
         continue;
       }

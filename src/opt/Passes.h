@@ -33,6 +33,31 @@
 
 namespace ipra {
 
+/// Module-level alias facts the local optimizer may consult. All
+/// queries are conservative may-information: a true answer means the
+/// construct may read or write the named global's memory home; a false
+/// answer is a proof that it cannot. Names are the plain in-module
+/// symbol names the IR carries. The points-to analysis
+/// (analysis/PointsTo.h) implements this; passes see only the
+/// interface, and a null pointer means "no facts" — every query is
+/// treated as true, reproducing the blanket discipline documented
+/// above.
+class GlobalAliasFacts {
+public:
+  virtual ~GlobalAliasFacts() = default;
+  /// May a direct call to \p CalleeSym, or anything it transitively
+  /// reaches, load or store global \p Global?
+  virtual bool callMayTouch(const std::string &CalleeSym,
+                            const std::string &Global) const = 0;
+  /// May an indirect call made from function \p Func touch \p Global?
+  virtual bool indirectCallMayTouch(const std::string &Func,
+                                    const std::string &Global) const = 0;
+  /// May a pointer dereference (LdPtr/StPtr) in function \p Func touch
+  /// \p Global?
+  virtual bool derefMayTouch(const std::string &Func,
+                             const std::string &Global) const = 0;
+};
+
 /// Configuration for the level-2 pipeline.
 struct OptOptions {
   /// Run the intraprocedural global-promotion pass (part of level 2).
@@ -40,6 +65,9 @@ struct OptOptions {
   /// Globals (plain, module-local names) that phase 2 will promote
   /// interprocedurally; the local pass must leave them alone.
   std::set<std::string> SkipGlobals;
+  /// Optional alias facts for this module; null reproduces the
+  /// conservative every-call-kills behaviour byte for byte.
+  const GlobalAliasFacts *Alias = nullptr;
 };
 
 /// Evaluates a BinKind on 32-bit values with the simulator's semantics

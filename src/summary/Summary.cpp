@@ -151,12 +151,17 @@ ModuleSummary ipra::buildModuleSummary(
 //
 //   summary-format <version> config=<fingerprint|->
 //   module <name>
-//   global <qual> static=<0|1> scalar=<0|1> aliased=<0|1>
-//   proc <qual> regs=<n> indirect=<0|1> indfreq=<n>
+//   global <qual> static=<0|1> scalar=<0|1> aliased=<0|1> escape=<0|1|2>
+//   proc <qual> regs=<n> indirect=<0|1> indfreq=<n> indresolved=<0|1>
 //   ref <qual> freq=<n> stores=<0|1>
 //   call <qual> freq=<n>
 //   addrtaken <qual>
+//   indtarget <qual>
 //   end
+//
+// Version 3 added the points-to fields (escape=, indresolved=,
+// indtarget). Readers default them to the conservative values when
+// absent so headerless legacy files keep parsing.
 //===----------------------------------------------------------------------===//
 
 std::string ipra::writeSummary(const ModuleSummary &S) {
@@ -166,14 +171,16 @@ std::string ipra::writeSummary(const ModuleSummary &S) {
   OS << "module " << S.Module << "\n";
   for (const GlobalSummary &G : S.Globals)
     OS << "global " << G.QualName << " static=" << G.IsStatic
-       << " scalar=" << G.IsScalar << " aliased=" << G.Aliased << "\n";
+       << " scalar=" << G.IsScalar << " aliased=" << G.Aliased
+       << " escape=" << static_cast<int>(G.Escape) << "\n";
   for (const ProcSummary &P : S.Procs) {
     char CallerHex[16];
     std::snprintf(CallerHex, sizeof(CallerHex), "%08x", P.CallerRegsUsed);
     OS << "proc " << P.QualName << " regs=" << P.CalleeRegsNeeded
        << " indirect=" << P.MakesIndirectCalls
        << " indfreq=" << P.IndirectCallFreq
-       << " callerused=" << CallerHex << "\n";
+       << " callerused=" << CallerHex
+       << " indresolved=" << P.IndTargetsResolved << "\n";
     for (const GlobalRefSummary &R : P.GlobalRefs)
       OS << "ref " << R.QualName << " freq=" << R.Freq
          << " stores=" << R.Stores << "\n";
@@ -181,6 +188,8 @@ std::string ipra::writeSummary(const ModuleSummary &S) {
       OS << "call " << C.QualCallee << " freq=" << C.Freq << "\n";
     for (const std::string &A : P.AddressTakenProcs)
       OS << "addrtaken " << A << "\n";
+    for (const std::string &T : P.IndirectTargets)
+      OS << "indtarget " << T << "\n";
     OS << "end\n";
   }
   return OS.str();
@@ -265,6 +274,9 @@ bool ipra::readSummary(const std::string &Text, ModuleSummary &Out,
       G.IsStatic = numField(Tok, "static");
       G.IsScalar = numField(Tok, "scalar");
       G.Aliased = numField(Tok, "aliased");
+      long long Escape = numField(Tok, "escape");
+      if (Escape >= 0 && Escape <= 2)
+        G.Escape = static_cast<EscapeVerdict>(Escape);
       Out.Globals.push_back(std::move(G));
     } else if (Kind == "proc") {
       if (!Require(2))
@@ -275,6 +287,7 @@ bool ipra::readSummary(const std::string &Text, ModuleSummary &Out,
       P.CalleeRegsNeeded = static_cast<unsigned>(numField(Tok, "regs"));
       P.MakesIndirectCalls = numField(Tok, "indirect");
       P.IndirectCallFreq = numField(Tok, "indfreq");
+      P.IndTargetsResolved = numField(Tok, "indresolved");
       for (const std::string &T : Tok)
         if (startsWith(T, "callerused="))
           P.CallerRegsUsed = static_cast<unsigned>(std::strtoul(
@@ -305,6 +318,13 @@ bool ipra::readSummary(const std::string &Text, ModuleSummary &Out,
         return false;
       }
       Cur->AddressTakenProcs.push_back(Tok[1]);
+    } else if (Kind == "indtarget") {
+      if (!Require(2) || !Cur) {
+        Error = "line " + std::to_string(LineNo) +
+                ": 'indtarget' outside proc";
+        return false;
+      }
+      Cur->IndirectTargets.push_back(Tok[1]);
     } else if (Kind == "end") {
       Cur = nullptr;
     } else {

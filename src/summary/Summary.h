@@ -49,6 +49,25 @@ struct CallSummary {
   long long Freq = 0; ///< Loop-weighted local call count.
 };
 
+/// The module-local points-to/escape analysis verdict for an
+/// address-taken global. The conservative default is Escapes; the
+/// analyzer may treat a global as unaliased only when *every* module
+/// that aliases it reports Refuted.
+enum class EscapeVerdict : uint8_t {
+  /// The address may leave the module (passed to an extern or
+  /// unresolved indirect call, stored through an unknown pointer,
+  /// stored into an exported location, returned from an exported
+  /// procedure) — or no analysis ran. The Aliased bit stands.
+  Escapes = 0,
+  /// The address stays inside the module but some in-module indirect
+  /// access may reach the global; still aliased.
+  ModuleLocal = 1,
+  /// The address neither leaves the module nor feeds any in-module
+  /// indirect access: every access to the global is a direct
+  /// load/store, so the Aliased bit is refuted here.
+  Refuted = 2,
+};
+
 /// Record for one procedure (§3).
 struct ProcSummary {
   std::string QualName;
@@ -59,6 +78,14 @@ struct ProcSummary {
   std::vector<std::string> AddressTakenProcs;
   bool MakesIndirectCalls = false;
   long long IndirectCallFreq = 0;
+  /// True when the points-to analysis proved that every indirect call
+  /// in this procedure targets a function in IndirectTargets; the
+  /// analyzer then adds call edges (and wrap decisions) only for those
+  /// targets instead of every address-taken procedure (§7.3).
+  bool IndTargetsResolved = false;
+  /// Qualified names of the proven indirect-call targets, sorted.
+  /// Meaningful only when IndTargetsResolved.
+  std::vector<std::string> IndirectTargets;
   unsigned CalleeRegsNeeded = 0;
   /// Caller-saves registers the trial code generation used (input to
   /// the §7.6.2 caller-saves pre-allocation extension).
@@ -73,12 +100,15 @@ struct GlobalSummary {
   bool IsStatic = false;
   bool IsScalar = false; ///< Single word; arrays are not promotable.
   bool Aliased = false;  ///< Address taken somewhere in this module.
+  /// Points-to/escape verdict for the Aliased bit (Escapes when the
+  /// analysis did not run).
+  EscapeVerdict Escape = EscapeVerdict::Escapes;
 };
 
 /// Version of the textual summary-file format. Serialized files carry
 /// it in a header line; readers reject other versions instead of
 /// misparsing.
-inline constexpr int SummaryFormatVersion = 2;
+inline constexpr int SummaryFormatVersion = 3;
 
 /// The summary file for one module.
 struct ModuleSummary {

@@ -56,6 +56,13 @@ struct ProcDirectives {
   RegMask SelfCallerBudget = pr32::callerSavedMask();
   /// Every register the procedure's call subtree may clobber.
   RegMask SubtreeClobber = pr32::callClobberMask();
+  /// True when points-to analysis proved every indirect call in this
+  /// procedure targets a function in IndirectTargets. Carried into the
+  /// database so post-link checking (--verify-ipra) can narrow the
+  /// machine-level BLR edges the same way the analyzer did.
+  bool IndTargetsResolved = false;
+  /// Qualified names of the proven indirect-call targets, sorted.
+  std::vector<std::string> IndirectTargets;
   /// Globals promoted to registers in webs containing this procedure.
   std::vector<PromotedGlobal> Promoted;
 

@@ -1,0 +1,14 @@
+#!/bin/sh
+# Builds the whole tree under UndefinedBehaviorSanitizer (the "ubsan"
+# CMake preset, -fno-sanitize-recover=all so any finding aborts) and
+# runs the tier-1 test suite under it.
+#
+# Usage: tests/ci/run_ubsan.sh [jobs]
+set -eu
+
+JOBS=${1:-2}
+ROOT=$(CDPATH= cd -- "$(dirname -- "$0")/../.." && pwd)
+
+cmake --preset ubsan -S "$ROOT"
+cmake --build --preset ubsan -j "$JOBS"
+ctest --test-dir "$ROOT/build-ubsan" --output-on-failure -j "$JOBS"

@@ -76,6 +76,23 @@ grep -q "analyzer phases: refsets=" stats2.txt \
 grep -q "analyzer 1/1" stats2.txt \
   || { echo "no analyzer cache hit on second run" >&2; cat stats2.txt >&2; exit 1; }
 
+# The per-module points-to pass reports its counters in --stats.
+grep -q "points-to: constraints=" stats1.txt \
+  || { echo "no points-to counters in --stats" >&2; cat stats1.txt >&2; exit 1; }
+
+# Disabling points-to still compiles and runs to the same program
+# output (the facts only sharpen allocation, never change semantics).
+NOPT="$("$MCC" --no-points-to --config C lib.mc main.mc)"
+if [ "$FUSED" != "$NOPT" ]; then
+  echo "--no-points-to changed program output: $NOPT" >&2
+  exit 1
+fi
+
+# The post-link invariant checker accepts its own compiler's output.
+"$MCC" --verify-ipra --config C lib.mc main.mc 2> verify.txt > /dev/null
+grep -q "verify-ipra: .* ok" verify.txt \
+  || { echo "verify-ipra did not report ok" >&2; cat verify.txt >&2; exit 1; }
+
 # [Wall 86] link-time route must match the fused output.
 WALL="$("$MCC" --wall lib.mc main.mc)"
 if [ "$FUSED" != "$WALL" ]; then

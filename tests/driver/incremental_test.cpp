@@ -399,6 +399,76 @@ TEST(IncrementalTest, DatabaseReaderRejectsUnknownFormatVersion) {
   EXPECT_NE(R.ErrorText.find("bad program database"), std::string::npos);
 }
 
+// The points-to facts (escape verdicts, resolved indirect-call target
+// sets) forced a format bump to version 3: artifacts stamped with the
+// previous version must be rejected so a stale cache cannot feed
+// fact-free summaries to a reader that expects them.
+TEST(IncrementalTest, PreviousFormatVersionIsRejected) {
+  ModuleSummary S;
+  std::string Error;
+  EXPECT_FALSE(
+      readSummary("summary-format 2 config=-\nmodule m\n", S, Error));
+  EXPECT_NE(Error.find("version 2 is not supported"), std::string::npos);
+  EXPECT_NE(Error.find("regenerate"), std::string::npos);
+
+  ProgramDatabase DB;
+  EXPECT_FALSE(
+      ProgramDatabase::deserialize("ipra-db-format 2 config=-\n", DB,
+                                   Error));
+  EXPECT_NE(Error.find("version 2 is not supported"), std::string::npos);
+  EXPECT_NE(Error.find("regenerate"), std::string::npos);
+}
+
+// The version-3 fields survive a full phase1 -> analyzer -> reader
+// round trip: escape verdicts and resolved indirect targets come back
+// from the serialized text exactly as the producer wrote them.
+TEST(IncrementalTest, PointsToFieldsSurviveSerializationRoundTrip) {
+  SourceFile Src{"m.mc",
+                 "static int hits;\n"
+                 "static int *probe;\n"
+                 "static int h(int x) { hits = hits + x; return hits; }\n"
+                 "static func cb = &h;\n"
+                 "void arm() { probe = &hits; }\n"
+                 "int main() { int i; i = 0;\n"
+                 "  while (i < 9) { i = i + cb(i) % 3 + 1; }\n"
+                 "  return i; }\n"};
+  auto P1 = runPhase1(Src, PipelineConfig::configC());
+  ASSERT_TRUE(P1.Success) << P1.ErrorText;
+
+  ModuleSummary S;
+  std::string Error;
+  ASSERT_TRUE(readSummary(P1.SummaryText, S, Error)) << Error;
+  const GlobalSummary *Hits = nullptr;
+  for (const GlobalSummary &G : S.Globals)
+    if (G.QualName.find("hits") != std::string::npos)
+      Hits = &G;
+  ASSERT_TRUE(Hits);
+  EXPECT_TRUE(Hits->Aliased);
+  EXPECT_EQ(Hits->Escape, EscapeVerdict::Refuted);
+  const ProcSummary *Main = nullptr;
+  for (const ProcSummary &P : S.Procs)
+    if (P.QualName.find("main") != std::string::npos)
+      Main = &P;
+  ASSERT_TRUE(Main);
+  EXPECT_TRUE(Main->IndTargetsResolved);
+  ASSERT_EQ(Main->IndirectTargets.size(), 1u);
+  EXPECT_NE(Main->IndirectTargets[0].find("h"), std::string::npos);
+  // Re-serializing the parsed summary reproduces the producer's bytes.
+  EXPECT_EQ(writeSummary(S), P1.SummaryText);
+
+  auto A = runAnalyzerPhase({P1.SummaryText}, PipelineConfig::configC());
+  ASSERT_TRUE(A.Success) << A.ErrorText;
+  ProgramDatabase DB;
+  ASSERT_TRUE(ProgramDatabase::deserialize(A.DatabaseText, DB, Error))
+      << Error;
+  ASSERT_TRUE(DB.procs().count("main"));
+  ProcDirectives MainDir = DB.lookup("main");
+  EXPECT_TRUE(MainDir.IndTargetsResolved);
+  ASSERT_EQ(MainDir.IndirectTargets.size(), 1u);
+  EXPECT_NE(MainDir.IndirectTargets[0].find("h"), std::string::npos);
+  EXPECT_EQ(DB.serialize(), A.DatabaseText);
+}
+
 TEST(IncrementalTest, HeaderlessLegacyArtifactsStillParse) {
   ModuleSummary S;
   std::string Error;

@@ -81,7 +81,7 @@ TEST_P(ProgramTest, AllRemainingConfigsMatch) {
 INSTANTIATE_TEST_SUITE_P(AllPrograms, ProgramTest,
                          ::testing::Values("dhry", "fgrep", "othello",
                                            "war", "crtool", "protoc",
-                                           "paopt"),
+                                           "paopt", "disp"),
                          [](const auto &Info) {
                            return std::string(Info.param);
                          });
