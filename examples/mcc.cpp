@@ -31,6 +31,12 @@
 ///                                across invocations when their source,
 ///                                configuration, and database slice are
 ///                                unchanged (--stats shows hit counts)
+///   --delta-analyze              route analyzer cache misses through
+///                                the delta analyzer: re-analyze only
+///                                the SCC damage region of the summary
+///                                edit (--stats tags the analyzer line
+///                                full/delta/cached and prints the
+///                                damage counters)
 ///   --dump-summary               print the per-module summary files
 ///   --dump-db                    print the program database
 ///   --disasm                     disassemble the linked executable
@@ -77,7 +83,8 @@ int usage() {
       stderr,
       "usage: mcc [--config base|A|B|C|D|E|F] [--stats] [--dump-summary]\n"
       "           [--dump-db] [--disasm] [--fuel N] [--threads N]\n"
-      "           [--cache-dir DIR] [--no-points-to] [--verify-ipra]\n"
+      "           [--cache-dir DIR] [--delta-analyze] [--no-points-to]\n"
+      "           [--verify-ipra]\n"
       "           file.mc...\n"
       "       mcc --phase1 file.mc            (summary to stdout)\n"
       "       mcc --analyze file.sum...       (database to stdout)\n"
@@ -114,7 +121,7 @@ int main(int argc, char **argv) {
   bool SplitWebs = false, RemergeWebs = false, CallerSaveProp = false,
        RelaxWebAvail = false, ImprovedFree = false, Partial = false;
   bool WallLink = false;
-  bool NoPointsTo = false, VerifyIPRA = false;
+  bool NoPointsTo = false, VerifyIPRA = false, DeltaAnalyze = false;
   long long Fuel = 500'000'000;
   int NumThreads = 0;
   std::string CacheDir;
@@ -144,6 +151,8 @@ int main(int argc, char **argv) {
       NumThreads = std::atoi(argv[++I]);
     } else if (Arg == "--cache-dir" && I + 1 < argc) {
       CacheDir = argv[++I];
+    } else if (Arg == "--delta-analyze") {
+      DeltaAnalyze = true;
     } else if (Arg == "--split-webs") {
       SplitWebs = true;
     } else if (Arg == "--remerge-webs") {
@@ -202,6 +211,7 @@ int main(int argc, char **argv) {
   Config.PointsTo = !NoPointsTo;
   Config.NumThreads = NumThreads;
   Config.CacheDir = CacheDir;
+  Config.DeltaAnalysis = DeltaAnalyze;
 
   // ---- Separate-compilation subcommands. ----------------------------
   if (Mode == "db-diff") {

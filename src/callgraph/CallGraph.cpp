@@ -9,6 +9,7 @@
 
 #include <algorithm>
 #include <cassert>
+#include <climits>
 #include <set>
 #include <sstream>
 
@@ -45,11 +46,43 @@ void CallGraph::addEdge(int From, int To, long long Freq) {
   W = capAdd(W, Freq);
 }
 
-CallGraph::CallGraph(const std::vector<ModuleSummary> &Summaries,
-                     const CallProfile &Profile, bool UsePointsTo) {
+void CallGraph::mergeGlobalFacts(const std::vector<ModuleSummary> &Summaries,
+                                 std::map<std::string, GlobalSummary> &Facts,
+                                 unsigned &Refuted) const {
   // Globals some module aliases before verdicts are applied; the ones
   // that end up un-aliased were refuted by the escape analysis.
   std::set<std::string> RawAliased;
+  for (const ModuleSummary &S : Summaries) {
+    for (const GlobalSummary &G : S.Globals) {
+      // This module aliases the global only if it takes the address AND
+      // the escape analysis failed to refute the Aliased bit. The OR
+      // over modules is sound per-module: an address that crosses a
+      // module boundary is an escape, so a Refuted verdict proves this
+      // module's '&' contributes no reachable alias anywhere.
+      bool Aliases =
+          G.Aliased &&
+          (!UsePointsTo || G.Escape != EscapeVerdict::Refuted);
+      if (UsePointsTo && G.Aliased && !Aliases)
+        RawAliased.insert(G.QualName);
+      auto [It, Inserted] = Facts.try_emplace(G.QualName, G);
+      if (Inserted) {
+        It->second.Aliased = Aliases;
+      } else {
+        It->second.Aliased |= Aliases;
+        It->second.IsScalar &= G.IsScalar;
+        if (G.Escape < It->second.Escape)
+          It->second.Escape = G.Escape;
+      }
+    }
+  }
+  for (const std::string &Name : RawAliased)
+    if (!Facts.at(Name).Aliased)
+      ++Refuted;
+}
+
+CallGraph::CallGraph(const std::vector<ModuleSummary> &Summaries,
+                     const CallProfile &Profile, bool UsePointsTo)
+    : UsePointsTo(UsePointsTo) {
   // Nodes for every summarized procedure.
   for (const ModuleSummary &S : Summaries) {
     for (const ProcSummary &P : S.Procs) {
@@ -66,31 +99,8 @@ CallGraph::CallGraph(const std::vector<ModuleSummary> &Summaries,
       NameToId[N.QualName] = N.Id;
       Nodes.push_back(std::move(N));
     }
-    for (const GlobalSummary &G : S.Globals) {
-      // This module aliases the global only if it takes the address AND
-      // the escape analysis failed to refute the Aliased bit. The OR
-      // over modules is sound per-module: an address that crosses a
-      // module boundary is an escape, so a Refuted verdict proves this
-      // module's '&' contributes no reachable alias anywhere.
-      bool Aliases =
-          G.Aliased &&
-          (!UsePointsTo || G.Escape != EscapeVerdict::Refuted);
-      if (UsePointsTo && G.Aliased && !Aliases)
-        RawAliased.insert(G.QualName);
-      auto [It, Inserted] = GlobalFacts.try_emplace(G.QualName, G);
-      if (Inserted) {
-        It->second.Aliased = Aliases;
-      } else {
-        It->second.Aliased |= Aliases;
-        It->second.IsScalar &= G.IsScalar;
-        if (G.Escape < It->second.Escape)
-          It->second.Escape = G.Escape;
-      }
-    }
   }
-  for (const std::string &Name : RawAliased)
-    if (!GlobalFacts.at(Name).Aliased)
-      ++NumEscapesRefuted;
+  mergeGlobalFacts(Summaries, GlobalFacts, NumEscapesRefuted);
 
   // Placeholder nodes for called-but-undefined procedures, so the graph
   // stays closed (see §7.2; these are treated as opaque leaves).
@@ -152,8 +162,17 @@ CallGraph::CallGraph(const std::vector<ModuleSummary> &Summaries,
     if (N.IsAddressTaken)
       AddrTakenIds.push_back(N.Id);
 
+  rebuildDerived(Profile);
+}
+
+/// Recomputes everything downstream of the adjacency lists. Runs both
+/// at construction and after applyProcDelta re-points edges; all passes
+/// are functions of (node order, Succs order, Preds membership,
+/// LocalFreq), so identical inputs reproduce identical results.
+void CallGraph::rebuildDerived(const CallProfile &Profile) {
   // Start nodes: every node without a predecessor is treated as a start
   // node (§4.1.2 footnote); main is always a start node.
+  Starts.clear();
   int MainId = findNode("main");
   for (const CGNode &N : Nodes)
     if (N.Preds.empty() || N.Id == MainId)
@@ -196,6 +215,10 @@ CallGraph::CallGraph(const std::vector<ModuleSummary> &Summaries,
       Reachable[RPO[I]] = true;
     }
   }
+
+  // Stale entries for edges that no longer exist must not survive into
+  // computeInvocations (its heuristic path only overwrites live keys).
+  EdgeCounts.clear();
 
   computeSCC();
   computeDominators();
@@ -291,11 +314,13 @@ void CallGraph::computeDominators() {
   };
 
   bool Changed = true;
-  std::set<int> StartSet(Starts.begin(), Starts.end());
+  std::vector<uint8_t> IsStart(N, 0);
+  for (int S : Starts)
+    IsStart[S] = 1;
   while (Changed) {
     Changed = false;
     for (int B : RPO) {
-      if (StartSet.count(B))
+      if (IsStart[B])
         continue;
       int NewIDom = -2;
       for (int P : Nodes[B].Preds) {
@@ -360,16 +385,31 @@ void CallGraph::computeInvocations(const CallProfile &Profile) {
   for (size_t U = 0; U < N; ++U)
     SccMembers[SccIds[U]].push_back(static_cast<int>(U));
 
+  // Local frequencies re-keyed parallel to each node's Preds list: one
+  // ordered walk of LocalFreq replaces a tree lookup per predecessor
+  // edge in the propagation below.
+  std::vector<std::vector<long long>> PredFreq(N);
+  for (size_t U = 0; U < N; ++U)
+    PredFreq[U].assign(Nodes[U].Preds.size(), 1);
+  for (const auto &[Edge, Freq] : LocalFreq) {
+    const std::vector<int> &P = Nodes[Edge.second].Preds;
+    for (size_t J = 0; J < P.size(); ++J)
+      if (P[J] == Edge.first) {
+        PredFreq[Edge.second][J] = Freq;
+        break;
+      }
+  }
+
   for (int Scc = MaxScc; Scc >= 0; --Scc) {
     // Incoming invocation flow from outside the SCC.
     for (int U : SccMembers[Scc]) {
       long long In = Invocations[U];
-      for (int P : Nodes[U].Preds) {
+      const std::vector<int> &Preds = Nodes[U].Preds;
+      for (size_t J = 0; J < Preds.size(); ++J) {
+        int P = Preds[J];
         if (SccIds[P] == Scc)
           continue;
-        auto It = LocalFreq.find({P, U});
-        long long F = It != LocalFreq.end() ? It->second : 1;
-        In = capAdd(In, capMul(Invocations[P], F));
+        In = capAdd(In, capMul(Invocations[P], PredFreq[U][J]));
       }
       Invocations[U] = In;
     }
@@ -388,13 +428,142 @@ void CallGraph::computeInvocations(const CallProfile &Profile) {
   }
 
   // Edge counts: caller invocations times local frequency, with the
-  // leaf bonus.
+  // leaf bonus. LocalFreq iterates in key order and EdgeCounts was
+  // cleared above, so end-hinted insertion is amortized O(1) per edge.
   for (auto &[Edge, Freq] : LocalFreq) {
     long long Count = capMul(Invocations[Edge.first], Freq);
     if (Nodes[Edge.second].Succs.empty())
       Count = capMul(Count, 2);
-    EdgeCounts[Edge] = Count;
+    EdgeCounts.emplace_hint(EdgeCounts.end(), Edge, Count);
   }
+}
+
+bool CallGraph::applyProcDelta(const std::vector<ModuleSummary> &Summaries,
+                               const CallProfile &Profile,
+                               const std::vector<ProcPatch> &Patches,
+                               std::string &FallbackReason) {
+  // --- Precheck (no mutation until every patch is known expressible).
+  //
+  // Placeholder nodes get their ids from first-reference order during a
+  // cold build; any patched record touching an unsummarized name could
+  // therefore shift the id assignment, which leaks into iteration
+  // orders and output bytes. Old out-edges are checked too: dropping
+  // the last reference to a placeholder would shrink a cold graph.
+  for (const ProcPatch &Patch : Patches) {
+    const CGNode &N = Nodes[Patch.Node];
+    const ProcSummary &P = *Patch.New;
+    assert(N.QualName == P.QualName && "patch must keep the node's name");
+    for (const CallSummary &C : P.Calls) {
+      auto It = NameToId.find(C.QualCallee);
+      if (It == NameToId.end() || !Nodes[It->second].HasSummary) {
+        FallbackReason = "call to unsummarized procedure " + C.QualCallee;
+        return false;
+      }
+    }
+    if (P.MakesIndirectCalls && UsePointsTo && P.IndTargetsResolved) {
+      for (const std::string &T : P.IndirectTargets) {
+        auto It = NameToId.find(T);
+        if (It == NameToId.end() || !Nodes[It->second].HasSummary) {
+          FallbackReason = "indirect target unsummarized: " + T;
+          return false;
+        }
+      }
+    }
+    for (int S : N.Succs)
+      if (!Nodes[S].HasSummary) {
+        FallbackReason =
+            "old edge to unsummarized procedure " + Nodes[S].QualName;
+        return false;
+      }
+  }
+
+  // The merged global facts must keep every field the eligibility rules
+  // read (§4.1.2, §7.4): a new/removed global or a flipped
+  // scalar/aliased/static fact re-lays the analyzer's bitset universe.
+  // Escape-verdict drift that does not flip Aliased is absorbed.
+  std::map<std::string, GlobalSummary> NewFacts;
+  unsigned NewRefuted = 0;
+  mergeGlobalFacts(Summaries, NewFacts, NewRefuted);
+  {
+    auto A = GlobalFacts.begin();
+    auto B = NewFacts.begin();
+    for (; A != GlobalFacts.end() && B != NewFacts.end(); ++A, ++B) {
+      if (A->first != B->first) {
+        FallbackReason = "global universe changed: " + B->first;
+        return false;
+      }
+      const GlobalSummary &G0 = A->second, &G1 = B->second;
+      if (G0.IsScalar != G1.IsScalar || G0.Aliased != G1.Aliased ||
+          G0.IsStatic != G1.IsStatic || G0.Module != G1.Module) {
+        FallbackReason = "global facts changed: " + B->first;
+        return false;
+      }
+    }
+    if (A != GlobalFacts.end() || B != NewFacts.end()) {
+      FallbackReason = "global universe changed";
+      return false;
+    }
+  }
+
+  // --- Commit.
+  GlobalFacts = std::move(NewFacts);
+  NumEscapesRefuted = NewRefuted;
+
+  // Unhook every patched node's out-edges.
+  for (const ProcPatch &Patch : Patches) {
+    CGNode &N = Nodes[Patch.Node];
+    for (int S : N.Succs) {
+      std::vector<int> &P = Nodes[S].Preds;
+      P.erase(std::find(P.begin(), P.end(), Patch.Node));
+    }
+    N.Succs.clear();
+    LocalFreq.erase(LocalFreq.lower_bound({Patch.Node, INT_MIN}),
+                    LocalFreq.lower_bound({Patch.Node + 1, INT_MIN}));
+    ResolvedIndTargets.erase(Patch.Node);
+
+    const ProcSummary &P = *Patch.New;
+    N.Module = P.Module; // §7.4 statics filter reads it.
+    N.CalleeRegsNeeded = P.CalleeRegsNeeded;
+    N.CallerRegsUsed = P.CallerRegsUsed;
+    N.MakesIndirectCalls = P.MakesIndirectCalls;
+    N.GlobalRefs = P.GlobalRefs;
+  }
+
+  // Re-add out-edges in cold-construction order: the direct-call pass
+  // first, then the indirect pass, exactly as the constructor orders
+  // them, so each node's Succs sequence matches a cold build.
+  for (const ProcPatch &Patch : Patches)
+    for (const CallSummary &C : Patch.New->Calls)
+      addEdge(Patch.Node, NameToId.at(C.QualCallee), C.Freq);
+
+  // The unresolved-indirect fan-out iterates address-taken procedures
+  // in name order (the constructor walks a std::set<std::string>).
+  std::vector<std::string> AddrTakenNames;
+  for (int Id : AddrTakenIds)
+    AddrTakenNames.push_back(Nodes[Id].QualName);
+  std::sort(AddrTakenNames.begin(), AddrTakenNames.end());
+
+  for (const ProcPatch &Patch : Patches) {
+    const ProcSummary &P = *Patch.New;
+    if (!P.MakesIndirectCalls)
+      continue;
+    if (UsePointsTo && P.IndTargetsResolved) {
+      std::vector<int> Ids;
+      for (const std::string &T : P.IndirectTargets) {
+        int Id = NameToId.at(T);
+        addEdge(Patch.Node, Id, std::max<long long>(1, P.IndirectCallFreq));
+        Ids.push_back(Id);
+      }
+      ResolvedIndTargets[Patch.Node] = std::move(Ids);
+      continue;
+    }
+    for (const std::string &A : AddrTakenNames)
+      addEdge(Patch.Node, NameToId.at(A),
+              std::max<long long>(1, P.IndirectCallFreq));
+  }
+
+  rebuildDerived(Profile);
+  return true;
 }
 
 const std::vector<int> &CallGraph::indirectTargetsOf(int Node) const {

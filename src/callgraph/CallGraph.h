@@ -89,6 +89,43 @@ public:
   CGNode &node(int Id) { return Nodes[Id]; }
   const std::vector<CGNode> &nodes() const { return Nodes; }
 
+  /// One procedure whose summary record changed in place (same name,
+  /// same node id): the target of an incremental re-point.
+  struct ProcPatch {
+    int Node = -1;
+    const ProcSummary *New = nullptr;
+  };
+
+  /// Incremental maintenance for the delta analyzer: re-points the
+  /// summarized fields and out-edges of each patched node at its new
+  /// summary record, re-merges the global facts from \p Summaries, and
+  /// recomputes every derived analysis (starts, RPO, SCCs, dominators,
+  /// invocation estimates) from scratch. The node universe and id
+  /// assignment are left untouched, and out-edge order replicates what
+  /// a cold construction over the new summaries would produce, so all
+  /// derived results are identical to a cold rebuild.
+  ///
+  /// Returns false — *without mutating the graph* — when the change
+  /// cannot be expressed under the retained id assignment: a patched
+  /// record references an unsummarized procedure (placeholder creation
+  /// order could shift), or the merged global facts change in any field
+  /// the promotion-eligibility rules read. \p FallbackReason then says
+  /// why; the caller should rebuild cold.
+  bool applyProcDelta(const std::vector<ModuleSummary> &Summaries,
+                      const CallProfile &Profile,
+                      const std::vector<ProcPatch> &Patches,
+                      std::string &FallbackReason);
+
+  /// All invocation estimates, indexed by node id (the delta analyzer
+  /// snapshots these around applyProcDelta to find damaged nodes).
+  const std::vector<long long> &invocations() const { return Invocations; }
+
+  /// All SCC ids, indexed by node id (snapshot peer of invocations()).
+  const std::vector<int> &sccIds() const { return SccIds; }
+
+  /// All immediate dominators, indexed by node id.
+  const std::vector<int> &idoms() const { return IDom; }
+
   /// Node id for a qualified name, or -1.
   int findNode(const std::string &QualName) const;
 
@@ -96,6 +133,12 @@ public:
   long long invocationCount(int Node) const { return Invocations[Node]; }
   /// Estimated (or measured) dynamic count of calls along edge.
   long long edgeCount(int From, int To) const;
+  /// Every known edge count in (from, to) key order. Profiled runs may
+  /// carry counts for edges absent from the graph; consumers summing
+  /// over graph edges must filter against the adjacency lists.
+  const std::map<std::pair<int, int>, long long> &edgeCounts() const {
+    return EdgeCounts;
+  }
 
   /// Global facts unioned across modules.
   const std::map<std::string, GlobalSummary> &globals() const {
@@ -142,10 +185,15 @@ public:
 
 private:
   void addEdge(int From, int To, long long Freq);
+  void rebuildDerived(const CallProfile &Profile);
   void computeSCC();
   void computeDominators();
   void computeInvocations(const CallProfile &Profile);
+  void mergeGlobalFacts(const std::vector<ModuleSummary> &Summaries,
+                        std::map<std::string, GlobalSummary> &Facts,
+                        unsigned &Refuted) const;
 
+  bool UsePointsTo = true;
   std::vector<CGNode> Nodes;
   std::map<std::string, int> NameToId;
   std::map<std::string, GlobalSummary> GlobalFacts;

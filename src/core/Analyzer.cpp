@@ -7,11 +7,13 @@
 
 #include "core/Analyzer.h"
 
+#include "core/AnalyzerInternal.h"
 #include "support/StringUtils.h"
 
 #include <algorithm>
 #include <cassert>
 #include <chrono>
+#include <cstdio>
 #include <sstream>
 
 using namespace ipra;
@@ -71,39 +73,51 @@ ProcDirectives ProgramDatabase::lookup(const std::string &QualName) const {
 // Anything new the analyzer emits must pick one of these mechanisms.
 //===----------------------------------------------------------------------===//
 
-ProgramDatabase ipra::runAnalyzer(
-    const std::vector<ModuleSummary> &Summaries,
-    const AnalyzerOptions &Options, const CallProfile &Profile,
-    AnalyzerStats *Stats) {
+WebOptions ipra::analyzer_detail::webOptionsFor(
+    const AnalyzerOptions &Options) {
+  WebOptions WO = Options.Webs;
+  WO.AssumeClosedWorld = Options.AssumeClosedWorld;
+  WO.NumThreads = Options.NumThreads;
+  return WO;
+}
+
+std::vector<Web> ipra::analyzer_detail::discoverPromotionWebs(
+    const CallGraph &CG, const RefSets &RS, const AnalyzerOptions &Options,
+    AnalyzerStats &Stats) {
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point T0 = Clock::now();
+  std::vector<Web> Webs;
+  switch (Options.Promotion) {
+  case PromotionMode::None:
+    return Webs;
+  case PromotionMode::Webs:
+  case PromotionMode::Greedy:
+    Webs = buildWebs(CG, RS, webOptionsFor(Options));
+    break;
+  case PromotionMode::Blanket:
+    Webs = buildBlanketWebs(CG, RS, Options.BlanketCount, Options.WebPool);
+    break;
+  }
+  Stats.WebsMs =
+      std::chrono::duration<double, std::milli>(Clock::now() - T0).count();
+  return Webs;
+}
+
+ProgramDatabase ipra::analyzer_detail::finishFromWebs(
+    const CallGraph &CG, const RefSets &RS, std::vector<Web> &Webs,
+    const AnalyzerOptions &Options, AnalyzerStats &LocalStats) {
   using Clock = std::chrono::steady_clock;
   auto MsSince = [](Clock::time_point T0) {
     return std::chrono::duration<double, std::milli>(Clock::now() - T0)
         .count();
   };
+  Clock::time_point T0;
 
-  Clock::time_point T0 = Clock::now();
-  CallGraph CG(Summaries, Profile, Options.PointsTo);
-  RefSets RS(CG, Options.AssumeClosedWorld);
-
-  AnalyzerStats LocalStats;
-  LocalStats.EligibleGlobals = RS.numEligible();
-  LocalStats.EscapesRefuted = static_cast<int>(CG.escapesRefuted());
-  LocalStats.IndirectCallersResolved =
-      static_cast<int>(CG.indirectCallersResolved());
-  LocalStats.RefSetsMs = MsSince(T0);
-
-  // --- Global variable promotion (§4.1) ----------------------------------
-  std::vector<Web> Webs;
+  // --- Promotion coloring (§4.1.3) ----------------------------------------
   switch (Options.Promotion) {
   case PromotionMode::None:
     break;
   case PromotionMode::Webs: {
-    WebOptions WO = Options.Webs;
-    WO.AssumeClosedWorld = Options.AssumeClosedWorld;
-    WO.NumThreads = Options.NumThreads;
-    T0 = Clock::now();
-    Webs = buildWebs(CG, RS, WO);
-    LocalStats.WebsMs = MsSince(T0);
     T0 = Clock::now();
     WebColorStats WC = colorWebsKRegisters(Webs, CG, Options.WebPool);
     LocalStats.ColoringMs = MsSince(T0);
@@ -119,12 +133,6 @@ ProgramDatabase ipra::runAnalyzer(
     break;
   }
   case PromotionMode::Greedy: {
-    WebOptions WO = Options.Webs;
-    WO.AssumeClosedWorld = Options.AssumeClosedWorld;
-    WO.NumThreads = Options.NumThreads;
-    T0 = Clock::now();
-    Webs = buildWebs(CG, RS, WO);
-    LocalStats.WebsMs = MsSince(T0);
     T0 = Clock::now();
     WebColorStats WC = colorWebsGreedy(Webs, CG);
     LocalStats.ColoringMs = MsSince(T0);
@@ -133,16 +141,12 @@ ProgramDatabase ipra::runAnalyzer(
     LocalStats.ColoredWebs = WC.Colored;
     break;
   }
-  case PromotionMode::Blanket: {
-    T0 = Clock::now();
-    Webs = buildBlanketWebs(CG, RS, Options.BlanketCount,
-                            Options.WebPool);
-    LocalStats.WebsMs = MsSince(T0);
+  case PromotionMode::Blanket:
+    // Blanket webs arrive pre-colored from discovery.
     LocalStats.TotalWebs = static_cast<int>(Webs.size());
     LocalStats.ConsideredWebs = LocalStats.TotalWebs;
     LocalStats.ColoredWebs = LocalStats.TotalWebs;
     break;
-  }
   }
 
   // --- Spill code motion (§4.2) -------------------------------------------
@@ -247,6 +251,31 @@ ProgramDatabase ipra::runAnalyzer(
     }
     DB.insert(Node.QualName, std::move(Dir));
   }
+
+  return DB;
+}
+
+ProgramDatabase ipra::runAnalyzer(
+    const std::vector<ModuleSummary> &Summaries,
+    const AnalyzerOptions &Options, const CallProfile &Profile,
+    AnalyzerStats *Stats) {
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point T0 = Clock::now();
+  CallGraph CG(Summaries, Profile, Options.PointsTo);
+  RefSets RS(CG, Options.AssumeClosedWorld);
+
+  AnalyzerStats LocalStats;
+  LocalStats.EligibleGlobals = RS.numEligible();
+  LocalStats.EscapesRefuted = static_cast<int>(CG.escapesRefuted());
+  LocalStats.IndirectCallersResolved =
+      static_cast<int>(CG.indirectCallersResolved());
+  LocalStats.RefSetsMs =
+      std::chrono::duration<double, std::milli>(Clock::now() - T0).count();
+
+  std::vector<Web> Webs =
+      analyzer_detail::discoverPromotionWebs(CG, RS, Options, LocalStats);
+  ProgramDatabase DB =
+      analyzer_detail::finishFromWebs(CG, RS, Webs, Options, LocalStats);
 
   if (Stats)
     *Stats = LocalStats;

@@ -1,0 +1,54 @@
+//===- AnalyzerInternal.h - Shared analyzer pipeline stages ----*- C++ -*-===//
+//
+// Part of the IPRA project: a reproduction of Santhanam & Odnert,
+// "Register Allocation Across Procedure and Module Boundaries", PLDI 1990.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The analyzer pipeline split into reusable stages. runAnalyzer wires
+/// them together for a cold whole-program run; the delta analyzer
+/// replays only the stages whose inputs lie in the damage region and
+/// calls finishFromWebs on the spliced web list. Internal header — not
+/// part of the public analyzer API.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef IPRA_CORE_ANALYZERINTERNAL_H
+#define IPRA_CORE_ANALYZERINTERNAL_H
+
+#include "core/Analyzer.h"
+
+namespace ipra {
+namespace analyzer_detail {
+
+/// The web options actually used for discovery: the user's knobs with
+/// the analyzer-level closed-world assumption and thread count folded
+/// in. The delta analyzer must re-discover damaged globals under
+/// exactly these options to reproduce cold output.
+WebOptions webOptionsFor(const AnalyzerOptions &Options);
+
+/// Stage 1 of promotion: web discovery per Options.Promotion (empty
+/// for None, blanket webs arrive pre-colored). Fills Stats.WebsMs.
+std::vector<Web> discoverPromotionWebs(const CallGraph &CG,
+                                       const RefSets &RS,
+                                       const AnalyzerOptions &Options,
+                                       AnalyzerStats &Stats);
+
+/// Everything downstream of web discovery: interference coloring per
+/// Options.Promotion, cluster identification, register-set computation,
+/// §7.6.2 caller-saves propagation, and database assembly. \p Webs must
+/// be uncolored (coloring assigns registers in place) except in Blanket
+/// mode, whose discovery pre-colors. Taken by reference so a caller
+/// retaining the webs across runs (the delta analyzer) avoids copying
+/// the list; on return the webs carry the run's register assignments.
+/// Fills the coloring/cluster/regset timings and counters of \p Stats.
+ProgramDatabase finishFromWebs(const CallGraph &CG, const RefSets &RS,
+                               std::vector<Web> &Webs,
+                               const AnalyzerOptions &Options,
+                               AnalyzerStats &Stats);
+
+} // namespace analyzer_detail
+} // namespace ipra
+
+#endif // IPRA_CORE_ANALYZERINTERNAL_H

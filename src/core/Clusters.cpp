@@ -10,55 +10,67 @@
 #include "support/NodeSet.h"
 
 #include <algorithm>
+#include <cstdint>
 
 using namespace ipra;
 
 namespace {
 
-/// Incoming dynamic call count of \p Node (1 for start nodes, which are
-/// invoked once from outside the program graph).
-long long incomingCalls(const CallGraph &CG, int Node) {
-  long long In = 0;
-  for (int P : CG.node(Node).Preds)
-    In += CG.edgeCount(P, Node);
-  for (int S : CG.startNodes())
-    if (S == Node)
-      In += 1;
-  return In;
-}
-
-/// The root heuristic (§4.2.2, refined per §7.6.2): compare the calls
-/// into R with the calls R makes to immediate successors it dominates
-/// and that could become members (non-recursive, reachable).
-bool isRootCandidate(const CallGraph &CG, int R,
-                     const ClusterOptions &Options) {
-  if (!CG.isReachable(R))
-    return false;
-  long long Outgoing = 0;
-  bool AnyCandidate = false;
-  for (int S : CG.node(R).Succs) {
-    if (S == R || CG.isRecursive(S) || !CG.isReachable(S))
-      continue;
-    if (CG.idom(S) != R)
-      continue;
-    AnyCandidate = true;
-    Outgoing += CG.edgeCount(R, S);
-  }
-  if (!AnyCandidate)
-    return false;
-  long long Incoming = incomingCalls(CG, R);
-  return static_cast<double>(Outgoing) >
-         Options.RootBenefitThreshold * static_cast<double>(Incoming);
+/// True when \p S could become a member of a cluster rooted at \p R:
+/// an immediate successor R dominates, non-recursive and reachable.
+bool memberCandidate(const CallGraph &CG, int R, int S) {
+  return S != R && !CG.isRecursive(S) && CG.isReachable(S) &&
+         CG.idom(S) == R;
 }
 
 } // namespace
 
 std::vector<Cluster> ipra::identifyClusters(const CallGraph &CG,
                                             const ClusterOptions &Options) {
-  // Pass 1: the root set.
-  std::vector<bool> IsRoot(CG.size(), false);
-  for (int N : CG.rpo())
-    IsRoot[N] = isRootCandidate(CG, N, Options);
+  int N = CG.size();
+
+  // Pass 1: the root set — the §4.2.2 heuristic (refined per §7.6.2)
+  // compares the calls into R with the calls R makes to immediate
+  // successors that could become members. The per-node dynamic call
+  // totals come from one ordered walk over the edge-count map rather
+  // than a tree lookup per adjacent edge; profiled runs may carry
+  // counts for edges absent from the graph, so the walk filters
+  // against sorted adjacency (edges without a count contribute 0 to
+  // both sums either way).
+  std::vector<long long> Incoming(N, 0), Outgoing(N, 0);
+  std::vector<uint8_t> AnyCandidate(N, 0);
+  {
+    std::vector<std::vector<int>> SortedSuccs(N);
+    for (int U = 0; U < N; ++U) {
+      SortedSuccs[U] = CG.node(U).Succs;
+      std::sort(SortedSuccs[U].begin(), SortedSuccs[U].end());
+    }
+    for (const auto &[Edge, Count] : CG.edgeCounts()) {
+      auto [F, T] = Edge;
+      const std::vector<int> &SS = SortedSuccs[F];
+      if (!std::binary_search(SS.begin(), SS.end(), T))
+        continue;
+      Incoming[T] += Count;
+      if (memberCandidate(CG, F, T))
+        Outgoing[F] += Count;
+    }
+    // Start nodes are invoked once from outside the program graph.
+    for (int S : CG.startNodes())
+      Incoming[S] += 1;
+    for (int U = 0; U < N; ++U)
+      for (int S : CG.node(U).Succs)
+        if (memberCandidate(CG, U, S)) {
+          AnyCandidate[U] = 1;
+          break;
+        }
+  }
+
+  std::vector<bool> IsRoot(N, false);
+  for (int R : CG.rpo())
+    IsRoot[R] = AnyCandidate[R] &&
+                static_cast<double>(Outgoing[R]) >
+                    Options.RootBenefitThreshold *
+                        static_cast<double>(Incoming[R]);
 
   // Nearest dominating root of a node (walking the idom chain,
   // excluding the node itself).
@@ -76,15 +88,24 @@ std::vector<Cluster> ipra::identifyClusters(const CallGraph &CG,
   // (dominators precede dominated nodes), which realizes Figure 5's
   // postpone-visit order: a node is added only after every predecessor
   // is already a member.
+  //
+  // Membership and the frontier use generation-stamped scratch arrays
+  // shared across roots: per-root universe-sized bitsets would cost
+  // O(roots x nodes) in allocation alone. The frontier is sorted before
+  // the admission scan so candidates are still visited in ascending
+  // node id, exactly the order the bitset iteration produced.
   std::vector<int> ClusterOf(CG.size(), -1);
   std::vector<Cluster> Clusters;
+  std::vector<int> MemberStamp(N, -1), FrontierStamp(N, -1);
+  std::vector<int> Frontier;
+  int Generation = 0;
   for (int R : CG.rpo()) {
     if (!IsRoot[R])
       continue;
     Cluster C;
     C.Root = R;
-    NodeSet InCluster = NodeSet::withUniverse(CG.size());
-    InCluster.insert(R);
+    auto InCluster = [&](int Node) { return MemberStamp[Node] == R; };
+    MemberStamp[R] = R;
 
     bool Grew = true;
     while (Grew) {
@@ -93,16 +114,20 @@ std::vector<Cluster> ipra::identifyClusters(const CallGraph &CG,
       // are not yet members. Expansion does not continue past member
       // nodes that root deeper clusters (their own cluster covers their
       // subtree).
-      NodeSet Frontier = NodeSet::withUniverse(CG.size());
-      auto AddSuccs = [&](int N) {
-        for (int S : CG.node(N).Succs)
-          if (!InCluster.count(S))
-            Frontier.insert(S);
+      ++Generation;
+      Frontier.clear();
+      auto AddSuccs = [&](int Node) {
+        for (int S : CG.node(Node).Succs)
+          if (!InCluster(S) && FrontierStamp[S] != Generation) {
+            FrontierStamp[S] = Generation;
+            Frontier.push_back(S);
+          }
       };
       AddSuccs(R);
       for (int M : C.Members)
         if (!IsRoot[M])
           AddSuccs(M);
+      std::sort(Frontier.begin(), Frontier.end());
 
       for (int S : Frontier) {
         if (!CG.isReachable(S) || S == R)
@@ -120,13 +145,13 @@ std::vector<Cluster> ipra::identifyClusters(const CallGraph &CG,
         // Property [2]: every immediate predecessor already a member.
         bool AllPredsIn = true;
         for (int P : CG.node(S).Preds)
-          if (!InCluster.count(P)) {
+          if (!InCluster(P)) {
             AllPredsIn = false;
             break;
           }
         if (!AllPredsIn)
           continue;
-        InCluster.insert(S);
+        MemberStamp[S] = R;
         C.Members.push_back(S);
         ClusterOf[S] = static_cast<int>(Clusters.size());
         Grew = true;

@@ -1,0 +1,419 @@
+//===- DeltaAnalyzer.cpp - Sub-linear incremental re-analysis ---------------===//
+//
+// Part of the IPRA project: a reproduction of Santhanam & Odnert,
+// "Register Allocation Across Procedure and Module Boundaries", PLDI 1990.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/DeltaAnalyzer.h"
+
+#include "core/AnalyzerInternal.h"
+#include "summary/SummaryDiff.h"
+#include "support/NodeSet.h"
+#include "support/ThreadPool.h"
+
+#include <algorithm>
+#include <chrono>
+#include <map>
+
+using namespace ipra;
+using analyzer_detail::finishFromWebs;
+using analyzer_detail::webOptionsFor;
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double msSince(Clock::time_point T0) {
+  return std::chrono::duration<double, std::milli>(Clock::now() - T0)
+      .count();
+}
+
+/// Everything the output depends on except thread count (NumThreads is
+/// excluded from every fingerprint; it must not force a full run).
+bool sameOptions(const AnalyzerOptions &A, const AnalyzerOptions &B) {
+  const WebOptions &WA = A.Webs, &WB = B.Webs;
+  return A.SpillMotion == B.SpillMotion && A.Promotion == B.Promotion &&
+         A.WebPool == B.WebPool && A.BlanketCount == B.BlanketCount &&
+         WA.MinLRefRatio == WB.MinLRefRatio &&
+         WA.MinSingleNodeFreq == WB.MinSingleNodeFreq &&
+         WA.DiscardCrossModuleStaticWebs ==
+             WB.DiscardCrossModuleStaticWebs &&
+         WA.SplitSparseWebs == WB.SplitSparseWebs &&
+         WA.RemergeWebs == WB.RemergeWebs &&
+         A.Clusters.RootBenefitThreshold ==
+             B.Clusters.RootBenefitThreshold &&
+         A.RegSets.RelaxWebAvail == B.RegSets.RelaxWebAvail &&
+         A.RegSets.ImprovedFreeSets == B.RegSets.ImprovedFreeSets &&
+         A.CallerSavePropagation == B.CallerSavePropagation &&
+         A.AssumeClosedWorld == B.AssumeClosedWorld &&
+         A.PointsTo == B.PointsTo;
+}
+
+bool sameProfile(const CallProfile &A, const CallProfile &B) {
+  return A.CallCounts == B.CallCounts && A.EdgeCounts == B.EdgeCounts;
+}
+
+} // namespace
+
+DeltaAnalyzer::DeltaAnalyzer() = default;
+DeltaAnalyzer::~DeltaAnalyzer() = default;
+DeltaAnalyzer::DeltaAnalyzer(DeltaAnalyzer &&) noexcept = default;
+DeltaAnalyzer &DeltaAnalyzer::operator=(DeltaAnalyzer &&) noexcept =
+    default;
+
+bool DeltaAnalyzer::retainable(std::string &Reason) const {
+  if (Opts.Promotion == PromotionMode::Blanket) {
+    // Blanket webs are a cross-global top-N selection: any touched
+    // global can displace any other, so there is no per-global splice.
+    Reason = "blanket promotion selects webs across globals";
+    return false;
+  }
+  if (Opts.Promotion != PromotionMode::None && Opts.Webs.RemergeWebs) {
+    // §7.6.1 re-merging runs over the concatenated whole-program list
+    // (idom-based), coupling webs across the splice boundary.
+    Reason = "web re-merging couples webs across globals";
+    return false;
+  }
+  return true;
+}
+
+void DeltaAnalyzer::storeWebs(std::vector<std::vector<Web>> PerGlobal) {
+  size_t Total = 0;
+  for (const std::vector<Web> &GWebs : PerGlobal)
+    Total += GWebs.size();
+  Webs.clear();
+  Webs.reserve(Total);
+  WebStart.assign(PerGlobal.size() + 1, 0);
+  for (size_t G = 0; G < PerGlobal.size(); ++G) {
+    WebStart[G] = static_cast<int>(Webs.size());
+    for (Web &W : PerGlobal[G]) {
+      W.Id = static_cast<int>(Webs.size());
+      Webs.push_back(std::move(W));
+    }
+  }
+  WebStart[PerGlobal.size()] = static_cast<int>(Webs.size());
+}
+
+void DeltaAnalyzer::primeFull(const std::vector<ModuleSummary> &Summaries,
+                              const CallProfile &Profile) {
+  Stats = AnalyzerStats();
+  Clock::time_point T0 = Clock::now();
+  CG = std::make_unique<CallGraph>(Summaries, Profile, Opts.PointsTo);
+  RS = std::make_unique<RefSets>(*CG, Opts.AssumeClosedWorld);
+  Stats.EligibleGlobals = RS->numEligible();
+  Stats.EscapesRefuted = static_cast<int>(CG->escapesRefuted());
+  Stats.IndirectCallersResolved =
+      static_cast<int>(CG->indirectCallersResolved());
+  Stats.RefSetsMs = msSince(T0);
+
+  // Discovery, keeping the per-global segments. Fanning out over
+  // websForGlobal and flattening in global-id order is exactly
+  // buildWebs (which the retainable() gate restricts us to the
+  // remerge-free case of); Blanket and non-retainable configurations
+  // go through the stock discovery stage instead.
+  std::string Unused;
+  if (Opts.Promotion == PromotionMode::None || !retainable(Unused)) {
+    Webs = analyzer_detail::discoverPromotionWebs(*CG, *RS, Opts, Stats);
+    WebStart.clear();
+  } else {
+    T0 = Clock::now();
+    std::vector<std::vector<int>> SccMembers(CG->size());
+    for (int N = 0; N < CG->size(); ++N)
+      SccMembers[CG->sccId(N)].push_back(N);
+    WebOptions WO = webOptionsFor(Opts);
+    std::vector<std::vector<Web>> PerGlobal(
+        static_cast<size_t>(RS->numEligible()));
+    parallelForEach(PerGlobal.size(), resolveThreadCount(WO.NumThreads),
+                    [&](size_t G) {
+                      PerGlobal[G] = websForGlobal(
+                          *CG, *RS, static_cast<int>(G), SccMembers, WO);
+                    });
+    Stats.WebsMs = msSince(T0);
+    storeWebs(std::move(PerGlobal));
+  }
+
+  Current = finishFromWebs(*CG, *RS, Webs, Opts, Stats);
+  PrevSummaries = Summaries;
+  Primed = true;
+}
+
+bool DeltaAnalyzer::tryIncremental(
+    const std::vector<ModuleSummary> &Summaries, const CallProfile &Profile,
+    std::string &Reason) {
+  ProgramSummaryDelta PD = diffProgramSummaries(PrevSummaries, Summaries);
+  if (PD.ModuleSequenceChanged) {
+    Reason = "module sequence changed";
+    return false;
+  }
+
+  Delta.TotalSccs = 0;
+  for (int N = 0; N < CG->size(); ++N)
+    Delta.TotalSccs = std::max(Delta.TotalSccs, CG->sccId(N) + 1);
+  Delta.TotalGlobals = RS->numEligible();
+
+  if (PD.identical()) {
+    // Allocation-neutral rebuild of some module: nothing to do.
+    Delta.Mode = DeltaMode::Incremental;
+    return true;
+  }
+
+  for (const ModuleSummaryDelta &MD : PD.ChangedModules) {
+    if (MD.ProcSequenceChanged) {
+      // Adding/removing/reordering procedures re-lays node ids; ids
+      // leak into every iteration order, so splicing cannot reproduce
+      // cold bytes.
+      Reason = "procedure sequence changed in " + MD.Module;
+      return false;
+    }
+    if (MD.AddrTakenSetChanged) {
+      // The address-taken set is the fan-out universe of every
+      // unresolved indirect call — a change damages all of them.
+      Reason = "address-taken set changed in " + MD.Module;
+      return false;
+    }
+    // MD.GlobalsChanged is not an instant fallback: escape-verdict
+    // drift that does not flip a merged fact is absorbed, and
+    // applyProcDelta's facts precheck rejects the rest.
+  }
+
+  // Node ids of summarized procedures are running offsets in module /
+  // procedure order; with both sequences unchanged they are stable.
+  std::map<std::string, int> ModuleOffset;
+  {
+    int Off = 0;
+    for (const ModuleSummary &S : PrevSummaries) {
+      ModuleOffset[S.Module] = Off;
+      Off += static_cast<int>(S.Procs.size());
+    }
+  }
+  std::vector<CallGraph::ProcPatch> Patches;
+  for (const ModuleSummaryDelta &MD : PD.ChangedModules) {
+    int Off = ModuleOffset.at(MD.Module);
+    const ModuleSummary *NewMod = nullptr;
+    for (const ModuleSummary &S : Summaries)
+      if (S.Module == MD.Module) {
+        NewMod = &S;
+        break;
+      }
+    for (int PI : MD.ChangedProcs)
+      Patches.push_back({Off + PI, &NewMod->Procs[PI]});
+  }
+
+  Clock::time_point T0 = Clock::now();
+
+  // --- Pre-patch snapshots: the damage terms compare against these.
+  std::vector<long long> OldInv = CG->invocations();
+  std::vector<int> OldSccIds = CG->sccIds();
+  struct NodeSnapshot {
+    int Node;
+    std::vector<int> Succs, Preds;
+  };
+  std::vector<NodeSnapshot> Snaps;
+  Snaps.reserve(Patches.size());
+  for (const CallGraph::ProcPatch &P : Patches)
+    Snaps.push_back(
+        {P.Node, CG->node(P.Node).Succs, CG->node(P.Node).Preds});
+
+  std::string FB;
+  if (!CG->applyProcDelta(Summaries, Profile, Patches, FB)) {
+    Reason = FB; // No mutation happened; a cold re-prime is safe.
+    return false;
+  }
+  // From here on the graph is patched: the path must run to completion
+  // (every remaining step is infallible).
+
+  int NumSccs = 0;
+  for (int N = 0; N < CG->size(); ++N)
+    NumSccs = std::max(NumSccs, CG->sccId(N) + 1);
+
+  // --- SCC member-set changes. A new SCC is unchanged iff its members
+  // all carried one old id and that old SCC had the same size (either
+  // check alone is insufficient: {1,2,3} -> {1,2}+{3} keeps 1's old id,
+  // and {1,2,3} -> {1,2,4} keeps the size). Changed membership flips
+  // the LAll/Cyclic dataflow terms and the §4.1.2 cycle-web seeds, so
+  // all involved members — old and new — join the damage set.
+  NodeSet DamageSeeds = NodeSet::withUniverse(CG->size());
+  {
+    std::vector<std::vector<int>> OldMembers(OldSccIds.size());
+    int NumOldSccs = 0;
+    for (size_t N = 0; N < OldSccIds.size(); ++N)
+      NumOldSccs = std::max(NumOldSccs, OldSccIds[N] + 1);
+    OldMembers.resize(NumOldSccs);
+    for (size_t N = 0; N < OldSccIds.size(); ++N)
+      OldMembers[OldSccIds[N]].push_back(static_cast<int>(N));
+
+    std::vector<std::vector<int>> NewMembers(NumSccs);
+    for (int N = 0; N < CG->size(); ++N)
+      NewMembers[CG->sccId(N)].push_back(N);
+
+    for (const std::vector<int> &Ms : NewMembers) {
+      if (Ms.empty())
+        continue;
+      int OldId = OldSccIds[Ms.front()];
+      bool Unchanged = OldMembers[OldId].size() == Ms.size();
+      for (size_t I = 1; Unchanged && I < Ms.size(); ++I)
+        Unchanged = OldSccIds[Ms[I]] == OldId;
+      if (Unchanged)
+        continue;
+      for (int M : Ms) {
+        DamageSeeds.insert(M);
+        for (int O : OldMembers[OldSccIds[M]])
+          DamageSeeds.insert(O);
+      }
+    }
+  }
+
+  // --- Adjacency damage: patched nodes plus both generations of their
+  // out-neighborhoods (an old successor lost a P_REF input term even
+  // when it is no longer adjacent).
+  std::vector<int> RefChanged;
+  for (const NodeSnapshot &S : Snaps) {
+    RefChanged.push_back(S.Node);
+    DamageSeeds.insert(S.Node);
+    for (int O : S.Succs)
+      DamageSeeds.insert(O);
+    for (int O : CG->node(S.Node).Succs)
+      DamageSeeds.insert(O);
+  }
+  std::vector<int> SeedVec(DamageSeeds.begin(), DamageSeeds.end());
+
+  DynBitset Touched(static_cast<size_t>(RS->numEligible()));
+  Delta.DamagedSccs = RS->applyDelta(RefChanged, SeedVec, Touched);
+  Stats.RefSetsMs = msSince(T0);
+  Stats.EligibleGlobals = RS->numEligible();
+  Stats.EscapesRefuted = static_cast<int>(CG->escapesRefuted());
+  Stats.IndirectCallersResolved =
+      static_cast<int>(CG->indirectCallersResolved());
+
+  // --- Node damage for web reuse (NDP): the refset seeds plus every
+  // node whose invocation estimate moved (web priorities weight
+  // reference frequencies by it) plus — when a patched node's leaf-ness
+  // flipped — its callers (the ×2 leaf bonus and the split-web wrap
+  // cost model read callee leaf-ness).
+  NodeSet NDP = DamageSeeds;
+  const std::vector<long long> &NewInv = CG->invocations();
+  for (int N = 0; N < CG->size(); ++N)
+    if (OldInv[N] != NewInv[N])
+      NDP.insert(N);
+  for (const NodeSnapshot &S : Snaps)
+    if (S.Succs.empty() != CG->node(S.Node).Succs.empty()) {
+      for (int P : S.Preds)
+        NDP.insert(P);
+      for (int P : CG->node(S.Node).Preds)
+        NDP.insert(P);
+    }
+
+  // --- Damaged globals: touched rows, or a retained web overlapping
+  // NDP (discarded webs included: their discard decision read the same
+  // damaged inputs).
+  std::vector<int> DamagedGids;
+  if (Opts.Promotion == PromotionMode::Webs ||
+      Opts.Promotion == PromotionMode::Greedy) {
+    for (int G = 0; G < RS->numEligible(); ++G) {
+      bool Damaged = Touched.test(static_cast<size_t>(G));
+      for (int I = WebStart[G]; !Damaged && I < WebStart[G + 1]; ++I)
+        if (Webs[I].Nodes.intersects(NDP))
+          Damaged = true;
+      if (Damaged)
+        DamagedGids.push_back(G);
+    }
+
+    T0 = Clock::now();
+    std::vector<std::vector<int>> SccMembers(NumSccs);
+    for (int N = 0; N < CG->size(); ++N)
+      SccMembers[CG->sccId(N)].push_back(N);
+    WebOptions WO = webOptionsFor(Opts);
+    std::vector<std::vector<Web>> NewWebs(DamagedGids.size());
+    parallelForEach(DamagedGids.size(), resolveThreadCount(WO.NumThreads),
+                    [&](size_t I) {
+                      NewWebs[I] = websForGlobal(*CG, *RS, DamagedGids[I],
+                                                 SccMembers, WO);
+                    });
+
+    // Splice: retained segments move over, damaged segments are
+    // replaced, and the whole list is renumbered in global-id order —
+    // the order buildWebs emits. Moves only; no web is copied.
+    size_t Total = Webs.size();
+    for (size_t I = 0; I < DamagedGids.size(); ++I) {
+      int G = DamagedGids[I];
+      Total += NewWebs[I].size() -
+               static_cast<size_t>(WebStart[G + 1] - WebStart[G]);
+    }
+    std::vector<Web> Spliced;
+    Spliced.reserve(Total);
+    std::vector<int> NewStart(WebStart.size(), 0);
+    size_t DI = 0;
+    for (int G = 0; G < RS->numEligible(); ++G) {
+      NewStart[G] = static_cast<int>(Spliced.size());
+      if (DI < DamagedGids.size() && DamagedGids[DI] == G) {
+        for (Web &W : NewWebs[DI])
+          Spliced.push_back(std::move(W));
+        ++DI;
+      } else {
+        for (int I = WebStart[G]; I < WebStart[G + 1]; ++I)
+          Spliced.push_back(std::move(Webs[I]));
+      }
+    }
+    NewStart[static_cast<size_t>(RS->numEligible())] =
+        static_cast<int>(Spliced.size());
+    Webs = std::move(Spliced);
+    WebStart = std::move(NewStart);
+    for (size_t I = 0; I < Webs.size(); ++I)
+      Webs[I].Id = static_cast<int>(I);
+    Stats.WebsMs = msSince(T0);
+  } else {
+    Stats.WebsMs = 0;
+  }
+
+  // Retained webs carry the previous run's coloring; finishFromWebs
+  // requires the uncolored state (fresh discovery leaves -1).
+  for (Web &W : Webs)
+    W.AssignedReg = -1;
+
+  Stats.TotalWebs = Stats.ConsideredWebs = Stats.ColoredWebs = 0;
+  Stats.SplitWebs = Stats.RemergedWebs = 0;
+  Stats.ColoringMs = Stats.ClustersMs = Stats.RegSetsMs = 0;
+  Stats.NumClusters = Stats.TotalClusterNodes = Stats.MaxClusterSize = 0;
+
+  Current = finishFromWebs(*CG, *RS, Webs, Opts, Stats);
+  PrevSummaries = Summaries;
+
+  Delta.Mode = DeltaMode::Incremental;
+  Delta.ChangedProcs = static_cast<int>(Patches.size());
+  Delta.DamagedGlobals = static_cast<int>(DamagedGids.size());
+  return true;
+}
+
+const ProgramDatabase &
+DeltaAnalyzer::analyze(const std::vector<ModuleSummary> &Summaries,
+                       const AnalyzerOptions &Options,
+                       const CallProfile &Profile) {
+  Delta = DeltaStats();
+  std::string Reason;
+  if (!Primed)
+    Reason = "first analysis";
+  else if (!sameOptions(Opts, Options))
+    Reason = "analyzer options changed";
+  else if (!sameProfile(Prof, Profile))
+    Reason = "profile changed";
+  else if (!retainable(Reason)) {
+    // Reason set by retainable().
+  } else if (tryIncremental(Summaries, Profile, Reason)) {
+    return Current;
+  }
+
+  Opts = Options;
+  Prof = Profile;
+  Delta.Mode = DeltaMode::Full;
+  Delta.FallbackReason = Reason;
+  Delta.ChangedProcs = 0;
+  primeFull(Summaries, Profile);
+  Delta.TotalGlobals = RS->numEligible();
+  Delta.DamagedGlobals = Delta.TotalGlobals;
+  Delta.TotalSccs = 0;
+  for (int N = 0; N < CG->size(); ++N)
+    Delta.TotalSccs = std::max(Delta.TotalSccs, CG->sccId(N) + 1);
+  Delta.DamagedSccs = Delta.TotalSccs;
+  return Current;
+}

@@ -1,0 +1,148 @@
+//===- DeltaAnalyzer.h - Sub-linear incremental re-analysis ----*- C++ -*-===//
+//
+// Part of the IPRA project: a reproduction of Santhanam & Odnert,
+// "Register Allocation Across Procedure and Module Boundaries", PLDI 1990.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The delta analyzer: when one module's summary changes between
+/// analyzer runs, re-deriving the whole program database from scratch
+/// costs O(program) even though the edit's influence is usually local.
+/// This class retains the previous run's call graph, reference sets and
+/// per-global web lists, diffs the new summaries against the old ones
+/// (SummaryDiff), maps the delta onto the Tarjan SCC condensation to
+/// obtain a minimal *damage region*, and recomputes only the refsets
+/// and webs whose inputs lie in that region — splicing the results into
+/// the retained state so the output stays byte-identical to a cold full
+/// analysis (the §7.1 "keeping summary data up to date" cost model,
+/// driven sub-linear).
+///
+/// Damage derivation (why byte-identity holds — see DESIGN.md §11):
+///
+///  * applyProcDelta patches the graph in place only when the edit is
+///    expressible without re-laying node ids or the eligible-global
+///    universe; anything else falls back to a cold full analysis,
+///    which is trivially identical.
+///  * RefSets::applyDelta recomputes P_REF/C_REF per SCC with worklist
+///    sweeps over the condensation, reading retained values at the
+///    region boundary (exact, because every node's row equals its SCC's
+///    shared value). Every global whose L/P/C_REF bit flips anywhere is
+///    collected in `Touched`.
+///  * A retained web list of global g is reusable iff g is untouched
+///    AND no web of g (kept or discarded) intersects the node-damage
+///    set NDP: web discovery for g reads only g's rows (unchanged) plus
+///    adjacency, SCC membership, invocation counts, edge counts and
+///    callee leaf-ness at the nodes the old discovery visited — all
+///    unchanged outside NDP, so discovery replays identically.
+///  * Coloring, clusters, register sets, §7.6.2 propagation and
+///    database assembly are recomputed in full by the shared
+///    finishFromWebs stage — they are a small fraction of analyzer
+///    time, and running the identical code on identical inputs is the
+///    strongest identity argument available.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef IPRA_CORE_DELTAANALYZER_H
+#define IPRA_CORE_DELTAANALYZER_H
+
+#include "core/Analyzer.h"
+
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace ipra {
+
+/// How the last DeltaAnalyzer::analyze call produced its database.
+enum class DeltaMode {
+  Full,        ///< Cold full analysis (first run, or a fallback).
+  Incremental, ///< Damage-region re-analysis over retained state.
+};
+
+/// Observability for one analyze() call.
+struct DeltaStats {
+  DeltaMode Mode = DeltaMode::Full;
+  /// Why a full analysis ran ("first analysis", or the structural
+  /// condition the delta path cannot express). Empty when incremental.
+  std::string FallbackReason;
+  int ChangedProcs = 0;    ///< Patched call-graph nodes.
+  int DamagedSccs = 0;     ///< SCCs whose P_REF/C_REF were recomputed.
+  int TotalSccs = 0;
+  int DamagedGlobals = 0;  ///< Globals whose webs were re-discovered.
+  int TotalGlobals = 0;
+  /// Fraction of per-global web lists spliced in unchanged.
+  double reuseRatio() const {
+    return TotalGlobals ? 1.0 - static_cast<double>(DamagedGlobals) /
+                                    TotalGlobals
+                        : 1.0;
+  }
+};
+
+/// Stateful wrapper around the program analyzer. The first analyze()
+/// primes retained state with a full run; subsequent calls diff the
+/// summaries and take the damage-region path when the edit is
+/// expressible, falling back to a full run (and re-priming) otherwise.
+/// Either way the returned database is byte-identical to
+/// runAnalyzer(Summaries, Options, Profile).
+class DeltaAnalyzer {
+public:
+  DeltaAnalyzer();
+  ~DeltaAnalyzer();
+  DeltaAnalyzer(DeltaAnalyzer &&) noexcept;
+  DeltaAnalyzer &operator=(DeltaAnalyzer &&) noexcept;
+
+  /// Analyzes \p Summaries, incrementally when possible. The reference
+  /// stays valid until the next analyze() call. Changing \p Options
+  /// (other than NumThreads) or \p Profile between calls forces a full
+  /// run.
+  const ProgramDatabase &analyze(const std::vector<ModuleSummary> &Summaries,
+                                 const AnalyzerOptions &Options,
+                                 const CallProfile &Profile = {});
+
+  /// Stats of the last analyze() call (sub-phase timings reflect the
+  /// work actually done: damage-region timings on the incremental
+  /// path).
+  const AnalyzerStats &stats() const { return Stats; }
+  const DeltaStats &deltaStats() const { return Delta; }
+  bool primed() const { return Primed; }
+
+private:
+  void primeFull(const std::vector<ModuleSummary> &Summaries,
+                 const CallProfile &Profile);
+  /// The incremental path. Returns false — with \p Reason set and *no
+  /// retained state mutated* — when the delta is inexpressible; the
+  /// caller then re-primes.
+  bool tryIncremental(const std::vector<ModuleSummary> &Summaries,
+                      const CallProfile &Profile, std::string &Reason);
+  /// True when retained-state splicing supports the configured options.
+  bool retainable(std::string &Reason) const;
+  /// Moves \p PerGlobal's webs into Webs/WebStart in global-id order
+  /// and numbers them — exactly the list buildWebs emits for the same
+  /// inputs.
+  void storeWebs(std::vector<std::vector<Web>> PerGlobal);
+
+  bool Primed = false;
+  AnalyzerOptions Opts;
+  CallProfile Prof;
+  std::vector<ModuleSummary> PrevSummaries;
+  /// RS holds a reference into *CG; their lifetimes move together.
+  std::unique_ptr<CallGraph> CG;
+  std::unique_ptr<RefSets> RS;
+  /// Retained discovery output, flattened in global-id order: global
+  /// g's webs are Webs[WebStart[g]..WebStart[g+1]). Includes discarded
+  /// webs (the splice must reproduce buildWebs' full list, and a
+  /// discarded web still marks where its global's reference region lies
+  /// for damage testing). The webs carry the last run's register
+  /// assignments (finishFromWebs colors in place); the incremental path
+  /// resets them to the uncolored state before re-finishing.
+  std::vector<Web> Webs;
+  std::vector<int> WebStart;
+  ProgramDatabase Current;
+  AnalyzerStats Stats;
+  DeltaStats Delta;
+};
+
+} // namespace ipra
+
+#endif // IPRA_CORE_DELTAANALYZER_H

@@ -8,6 +8,8 @@
 #include "core/RefSets.h"
 
 #include <algorithm>
+#include <functional>
+#include <queue>
 
 using namespace ipra;
 
@@ -30,30 +32,8 @@ RefSets::RefSets(const CallGraph &CG, bool ClosedWorld) : CG(CG) {
   CRef.assign(N, DynBitset(E));
   Local.assign(N, {});
 
-  for (const CGNode &Node : CG.nodes()) {
-    for (const GlobalRefSummary &R : Node.GlobalRefs) {
-      auto It = Ids.find(R.QualName);
-      if (It == Ids.end())
-        continue;
-      LRef[Node.Id].set(It->second);
-      // A procedure summary may carry several records for one global;
-      // fold them into one entry (the list stays short, linear scan).
-      auto &Refs = Local[Node.Id];
-      auto Existing = std::find_if(
-          Refs.begin(), Refs.end(),
-          [&It](const LocalRef &L) { return L.Id == It->second; });
-      if (Existing == Refs.end())
-        Refs.push_back(LocalRef{It->second, R.Freq, R.Stores});
-      else {
-        Existing->Freq += R.Freq;
-        Existing->Stores |= R.Stores;
-      }
-    }
-    std::sort(Local[Node.Id].begin(), Local[Node.Id].end(),
-              [](const LocalRef &A, const LocalRef &B) {
-                return A.Id < B.Id;
-              });
-  }
+  for (const CGNode &Node : CG.nodes())
+    rebuildLocalRow(Node.Id);
 
   if (E == 0)
     return;
@@ -115,6 +95,141 @@ RefSets::RefSets(const CallGraph &CG, bool ClosedWorld) : CG(CG) {
     for (int Node : Members[Scc])
       CRef[Node] = Out;
   }
+}
+
+void RefSets::rebuildLocalRow(int Node) {
+  LRef[Node] = DynBitset(Names.size());
+  Local[Node].clear();
+  for (const GlobalRefSummary &R : CG.node(Node).GlobalRefs) {
+    auto It = Ids.find(R.QualName);
+    if (It == Ids.end())
+      continue;
+    LRef[Node].set(It->second);
+    // A procedure summary may carry several records for one global;
+    // fold them into one entry (the list stays short, linear scan).
+    auto &Refs = Local[Node];
+    auto Existing =
+        std::find_if(Refs.begin(), Refs.end(),
+                     [&It](const LocalRef &L) { return L.Id == It->second; });
+    if (Existing == Refs.end())
+      Refs.push_back(LocalRef{It->second, R.Freq, R.Stores});
+    else {
+      Existing->Freq += R.Freq;
+      Existing->Stores |= R.Stores;
+    }
+  }
+  std::sort(Local[Node].begin(), Local[Node].end(),
+            [](const LocalRef &A, const LocalRef &B) { return A.Id < B.Id; });
+}
+
+int RefSets::applyDelta(const std::vector<int> &RefChangedNodes,
+                        const std::vector<int> &DamageSeedNodes,
+                        DynBitset &Touched) {
+  size_t E = Names.size();
+
+  // Rebuild the local rows of re-pointed nodes, folding the L_REF
+  // difference into the touched set.
+  for (int Node : RefChangedNodes) {
+    DynBitset Old = LRef[Node];
+    rebuildLocalRow(Node);
+    Old.xorWith(LRef[Node]);
+    Touched.unionWith(Old);
+  }
+  if (E == 0)
+    return 0;
+
+  // The new condensation (the CallGraph was already re-derived).
+  int NumSccs = 0;
+  for (int Node = 0; Node < CG.size(); ++Node)
+    NumSccs = std::max(NumSccs, CG.sccId(Node) + 1);
+  std::vector<std::vector<int>> Members(NumSccs);
+  std::vector<char> Cyclic(NumSccs, 0);
+  for (int Node = 0; Node < CG.size(); ++Node) {
+    Members[CG.sccId(Node)].push_back(Node);
+    if (CG.isRecursive(Node))
+      Cyclic[CG.sccId(Node)] = 1;
+  }
+
+  std::vector<char> Damaged(NumSccs, 0);
+
+  // One directional worklist sweep. The condensation numbers SCCs in
+  // reverse topological order, so a max-first pop order processes every
+  // ancestor before its descendants (P_REF), and min-first the reverse
+  // (C_REF); pushes always target SCCs on the far side of the current
+  // pop, so each SCC is finalized exactly once per sweep. Boundary
+  // inputs come from the retained per-node rows: an SCC never entering
+  // the worklist has unchanged inputs by induction, so its retained
+  // value equals the cold value and reading it is exact — this is what
+  // makes the damage region minimal *and* the splice byte-identical.
+  auto Sweep = [&](bool Forward, std::vector<DynBitset> &Rows) {
+    auto Better = [Forward](int A, int B) {
+      return Forward ? A < B : A > B;
+    };
+    std::priority_queue<int, std::vector<int>,
+                        std::function<bool(int, int)>>
+        Heap(Better);
+    std::vector<char> Queued(NumSccs, 0);
+    auto Push = [&](int Scc) {
+      if (!Queued[Scc]) {
+        Queued[Scc] = 1;
+        Heap.push(Scc);
+      }
+    };
+    for (int Node : DamageSeedNodes)
+      Push(CG.sccId(Node));
+    // A changed L_REF row feeds the *neighbor* side's input term
+    // (P_REF[v] unions LRef of v's preds) even when the owner's own
+    // value is unchanged, so the owner's downstream SCCs seed too.
+    for (int Node : RefChangedNodes) {
+      Push(CG.sccId(Node));
+      const CGNode &N = CG.node(Node);
+      for (int O : Forward ? N.Succs : N.Preds)
+        Push(CG.sccId(O));
+    }
+
+    while (!Heap.empty()) {
+      int Scc = Heap.top();
+      Heap.pop();
+      Damaged[Scc] = 1;
+      DynBitset In(E);
+      for (int Node : Members[Scc]) {
+        const CGNode &N = CG.node(Node);
+        for (int O : Forward ? N.Preds : N.Succs)
+          if (CG.sccId(O) != Scc) {
+            In.unionWith(Rows[O]);
+            In.unionWith(LRef[O]);
+          }
+      }
+      if (Cyclic[Scc])
+        for (int Node : Members[Scc])
+          In.unionWith(LRef[Node]);
+      bool Changed = false;
+      for (int Node : Members[Scc])
+        if (!(Rows[Node] == In)) {
+          DynBitset Diff = Rows[Node];
+          Diff.xorWith(In);
+          Touched.unionWith(Diff);
+          Rows[Node] = In;
+          Changed = true;
+        }
+      if (!Changed)
+        continue;
+      for (int Node : Members[Scc]) {
+        const CGNode &N = CG.node(Node);
+        for (int O : Forward ? N.Succs : N.Preds)
+          if (CG.sccId(O) != Scc)
+            Push(CG.sccId(O));
+      }
+    }
+  };
+
+  Sweep(/*Forward=*/true, PRef);
+  Sweep(/*Forward=*/false, CRef);
+
+  int Count = 0;
+  for (char D : Damaged)
+    Count += D;
+  return Count;
 }
 
 int RefSets::globalId(const std::string &QualName) const {

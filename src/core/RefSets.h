@@ -65,6 +65,28 @@ public:
   /// True if \p Node stores global \p Id.
   bool refStores(int Node, int Id) const;
 
+  /// Incremental maintenance for the delta analyzer, run after the
+  /// underlying CallGraph was patched in place (same node universe,
+  /// same eligible-global universe — the caller guarantees both).
+  ///
+  /// \p RefChangedNodes are the nodes whose GlobalRefs were re-pointed;
+  /// their L_REF rows are rebuilt from scratch. \p DamageSeedNodes is a
+  /// superset also naming every node whose adjacency, SCC membership,
+  /// or recursion flag changed. Their SCCs seed two worklist sweeps
+  /// over the new condensation that recompute P_REF/C_REF only where a
+  /// value actually changes, reading retained per-node values at the
+  /// region boundary (valid because every member of an SCC holds
+  /// exactly the shared SCC value, so an untouched node's row *is* the
+  /// cold value of its SCC).
+  ///
+  /// \p Touched accumulates (via XOR with the old rows) every eligible
+  /// global id whose L_REF/P_REF/C_REF bit changed at any node; it must
+  /// be sized to numEligible(). Returns the number of distinct SCCs
+  /// recomputed across both sweeps.
+  int applyDelta(const std::vector<int> &RefChangedNodes,
+                 const std::vector<int> &DamageSeedNodes,
+                 DynBitset &Touched);
+
 private:
   /// One local reference record: global \p Id is accessed in the node
   /// with loop-weighted frequency \p Freq; \p Stores when written.
@@ -73,6 +95,10 @@ private:
     long long Freq;
     bool Stores;
   };
+
+  /// (Re)derives LRef[Node] and Local[Node] from the node's current
+  /// GlobalRefs (shared by the constructor and applyDelta).
+  void rebuildLocalRow(int Node);
 
   const CallGraph &CG;
   std::vector<std::string> Names;

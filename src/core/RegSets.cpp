@@ -35,18 +35,22 @@ RegMask pickRegisters(unsigned Count, RegMask From, RegMask AvoidLast) {
 }
 
 /// Topological order of a cluster's nodes (root first); the cluster is a
-/// DAG by construction.
-std::vector<int> clusterTopoOrder(const CallGraph &CG, const Cluster &C) {
-  NodeSet InCluster = NodeSet::withUniverse(CG.size());
-  for (int M : C.Members)
-    InCluster.insert(M);
-  InCluster.insert(C.Root);
-  std::vector<int> PendingPreds(CG.size(), 0);
-  for (int N : InCluster) {
+/// DAG by construction. \p ClusterNodes is the sorted member set
+/// (including the root), \p InCluster the membership test, and
+/// \p PendingPreds caller-provided scratch valid at the cluster's nodes
+/// — universe-sized per-cluster allocations would dominate this pass.
+template <typename MemberFn>
+std::vector<int> clusterTopoOrder(const CallGraph &CG, const Cluster &C,
+                                  const std::vector<int> &ClusterNodes,
+                                  MemberFn InCluster,
+                                  std::vector<int> &PendingPreds) {
+  for (int N : ClusterNodes)
+    PendingPreds[N] = 0;
+  for (int N : ClusterNodes) {
     if (N == C.Root)
       continue;
     for (int P : CG.node(N).Preds)
-      if (InCluster.count(P))
+      if (InCluster(P))
         ++PendingPreds[N];
   }
   std::vector<int> Order, Ready = {C.Root};
@@ -55,13 +59,13 @@ std::vector<int> clusterTopoOrder(const CallGraph &CG, const Cluster &C) {
     Ready.pop_back();
     Order.push_back(N);
     for (int S : CG.node(N).Succs) {
-      if (S == C.Root || !InCluster.count(S))
+      if (S == C.Root || !InCluster(S))
         continue;
       if (--PendingPreds[S] == 0)
         Ready.push_back(S);
     }
   }
-  assert(Order.size() == InCluster.size() && "cluster is not a DAG");
+  assert(Order.size() == ClusterNodes.size() && "cluster is not a DAG");
   return Order;
 }
 
@@ -105,13 +109,21 @@ std::vector<ProcDirectives> ipra::computeRegisterSets(
   // extension): every register its subtree may touch without saving.
   std::vector<RegMask> Footprint(N, 0);
 
+  // Per-cluster scratch shared across iterations and stamped by cluster
+  // index; clusters are small, so universe-sized allocations per
+  // cluster would dominate the pass.
+  std::vector<int> Stamp(N, -1), PendingPreds(N, 0), ClusterNodes;
+  std::vector<RegMask> Downstream(N, 0);
+
   for (int CI : ClusterOrder) {
     const Cluster &C = Clusters[CI];
     int R = C.Root;
-    NodeSet InCluster = NodeSet::withUniverse(CG.size());
-    for (int M : C.Members)
-      InCluster.insert(M);
-    InCluster.insert(R);
+    ClusterNodes.assign(C.Members.begin(), C.Members.end());
+    ClusterNodes.push_back(R);
+    std::sort(ClusterNodes.begin(), ClusterNodes.end());
+    for (int Node : ClusterNodes)
+      Stamp[Node] = CI;
+    auto InCluster = [&](int Node) { return Stamp[Node] == CI; };
 
     // Child MSPILL sets steer the selection order (§4.2.4).
     RegMask ChildMSpill = 0;
@@ -122,7 +134,7 @@ std::vector<ProcDirectives> ipra::computeRegisterSets(
     // Root initialization.
     RegMask StdCallee = pr32::calleeSavedMask();
     RegMask ClusterWebRegs = 0;
-    for (int Node : InCluster)
+    for (int Node : ClusterNodes)
       ClusterWebRegs |= WebRegs[Node];
 
     Sets[R].Callee = pickRegisters(CG.node(R).CalleeRegsNeeded,
@@ -134,7 +146,8 @@ std::vector<ProcDirectives> ipra::computeRegisterSets(
       Avail[R] &= ~ClusterWebRegs;
 
     RegMask Used = 0;
-    std::vector<int> Order = clusterTopoOrder(CG, C);
+    std::vector<int> Order =
+        clusterTopoOrder(CG, C, ClusterNodes, InCluster, PendingPreds);
     for (int Node : Order) {
       if (Node == R)
         continue;
@@ -186,12 +199,13 @@ std::vector<ProcDirectives> ipra::computeRegisterSets(
     // Optional §7.6.2 extension: a root-spilled register unused on every
     // path below Q may join FREE[Q].
     if (Options.ImprovedFreeSets) {
-      std::vector<RegMask> Downstream(N, 0);
+      for (int Node : ClusterNodes)
+        Downstream[Node] = 0;
       for (auto It = Order.rbegin(); It != Order.rend(); ++It) {
         int Node = *It;
         RegMask D = 0;
         for (int S : CG.node(Node).Succs) {
-          if (!InCluster.count(S) || S == R)
+          if (!InCluster(S) || S == R)
             continue;
           RegMask SUse = RootsCluster[S] >= 0
                              ? Footprint[S]
@@ -217,7 +231,7 @@ std::vector<ProcDirectives> ipra::computeRegisterSets(
 
     // Record this cluster's footprint for enclosing clusters.
     RegMask FP = Sets[R].MSpill | Sets[R].Callee;
-    for (int Node : InCluster) {
+    for (int Node : ClusterNodes) {
       FP |= Sets[Node].Free | WebRegs[Node] |
             (Sets[Node].Caller & pr32::calleeSavedMask());
       if (Node != R && RootsCluster[Node] >= 0)

@@ -463,15 +463,17 @@ std::vector<Web> splitSparseWeb(const CallGraph &CG, const RefSets &RS,
   return Out;
 }
 
+} // namespace
+
 /// Discovers and materializes every web of global \p G. Web Ids are
 /// left unassigned; buildWebs numbers them after the (possibly
 /// parallel) per-global fan-out, in global-id order, so the result is
 /// independent of scheduling. \p SccMembers maps an SCC id to its
 /// member nodes (precomputed once; the cycle case below needs it).
-std::vector<Web> websForGlobal(const CallGraph &CG, const RefSets &RS,
-                               int G,
-                               const std::vector<std::vector<int>> &SccMembers,
-                               const WebOptions &Options) {
+std::vector<Web>
+ipra::websForGlobal(const CallGraph &CG, const RefSets &RS, int G,
+                    const std::vector<std::vector<int>> &SccMembers,
+                    const WebOptions &Options) {
   std::vector<NodeSet> GWebs;
   // Union of every discovered web's nodes: the "is P already in some
   // web of G" test is one bit probe instead of a scan over GWebs.
@@ -610,8 +612,6 @@ std::vector<Web> websForGlobal(const CallGraph &CG, const RefSets &RS,
   }
   return Webs;
 }
-
-} // namespace
 
 std::vector<Web> ipra::buildWebs(const CallGraph &CG, const RefSets &RS,
                                  const WebOptions &Options) {

@@ -104,6 +104,19 @@ struct WebOptions {
 std::vector<Web> buildWebs(const CallGraph &CG, const RefSets &RS,
                            const WebOptions &Options = {});
 
+/// Discovers and materializes every web of the single global \p G —
+/// the unit of work buildWebs fans out over, exposed so the delta
+/// analyzer can re-discover exactly the damaged globals and splice the
+/// results over the retained per-global lists. Web Ids are left
+/// unassigned (-1); the caller numbers them after concatenating in
+/// global-id order. \p SccMembers maps an SCC id to its member nodes
+/// (the §4.1.2 cycle case needs it). The §7.6.1 re-merge pass is NOT
+/// applied here: it is a cross-global, whole-graph transformation that
+/// buildWebs runs over the concatenated list.
+std::vector<Web> websForGlobal(const CallGraph &CG, const RefSets &RS, int G,
+                               const std::vector<std::vector<int>> &SccMembers,
+                               const WebOptions &Options);
+
 /// Verification helper used by tests and property suites: returns every
 /// violated web invariant (empty = valid). Checks node-disjointness per
 /// variable, entry-node predecessor rules, and P_REF/C_REF exclusion.

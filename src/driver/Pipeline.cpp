@@ -248,8 +248,11 @@ bool Pipeline::analyzeCached(const std::vector<ModuleSummary> &Summaries,
                              const std::vector<std::string> &SummaryTexts,
                              const CallProfile &CP, AnalyzerStats &Stats,
                              std::string &DbText, ProgramDatabase &DB,
-                             bool &FromCache, std::string &Error) {
+                             bool &FromCache, std::string &Mode,
+                             DeltaStats &DS, std::string &Error) {
   FromCache = false;
+  Mode = "full";
+  DS = DeltaStats();
   std::string ProfileText = serializeProfile(CP);
   std::vector<std::string_view> Parts{"database", AnalyzerFP, ProfileText};
   for (const std::string &T : SummaryTexts)
@@ -268,14 +271,26 @@ bool Pipeline::analyzeCached(const std::vector<ModuleSummary> &Summaries,
         DbText = std::move(CachedDb);
         Stats = CachedStats;
         FromCache = true;
+        Mode = "cached";
         return true;
       }
     }
     Cache.invalidate(Key); // Corrupt or stale entry: recompute.
   }
 
-  ProgramDatabase Produced =
-      runAnalyzer(Summaries, Config.analyzerOptions(), CP, &Stats);
+  ProgramDatabase Produced;
+  if (Config.DeltaAnalysis) {
+    // Damage-region re-analysis over the state retained from the
+    // previous miss; byte-identical to the cold run by construction
+    // (falls back internally when the edit is inexpressible).
+    Produced = Delta.analyze(Summaries, Config.analyzerOptions(), CP);
+    Stats = Delta.stats();
+    DS = Delta.deltaStats();
+    if (DS.Mode == DeltaMode::Incremental)
+      Mode = "delta";
+  } else {
+    Produced = runAnalyzer(Summaries, Config.analyzerOptions(), CP, &Stats);
+  }
   Produced.ConfigFingerprint = FullFP;
   // Round-trip through the database file format (§2).
   DbText = Produced.serialize();
@@ -316,7 +331,8 @@ DatabaseResult Pipeline::analyze(const std::vector<std::string> &SummaryTexts,
   ProgramDatabase DB;
   std::string Error;
   if (!analyzeCached(Summaries, SummaryTexts, CP, Result.Stats,
-                     Result.DatabaseText, DB, Result.FromCache, Error)) {
+                     Result.DatabaseText, DB, Result.FromCache,
+                     Result.Mode, Result.Delta, Error)) {
     Result.Diags.error("database round-trip failed: " + Error);
     return Result;
   }
@@ -628,9 +644,12 @@ BuildResult Pipeline::build(const std::vector<SourceFile> &Sources,
       CP.EdgeCounts = Profile->EdgeCounts;
     }
     bool FromCache = false;
+    std::string Mode;
+    DeltaStats DS;
     std::string Error;
     if (!analyzeCached(Summaries, SummaryTexts, CP, Result.Analyzer,
-                       Result.DatabaseFile, DB, FromCache, Error)) {
+                       Result.DatabaseFile, DB, FromCache, Mode, DS,
+                       Error)) {
       Result.Diags.error("database round-trip failed: " + Error);
       return Result;
     }
@@ -640,6 +659,16 @@ BuildResult Pipeline::build(const std::vector<SourceFile> &Sources,
     } else {
       ++PS.AnalyzerCacheMisses;
     }
+    PS.AnalyzerMode = Mode;
+    PS.AnalyzerChangedProcs = DS.ChangedProcs;
+    PS.AnalyzerDamagedSccs = DS.DamagedSccs;
+    PS.AnalyzerTotalSccs = DS.TotalSccs;
+    PS.AnalyzerDamagedGlobals = DS.DamagedGlobals;
+    PS.AnalyzerTotalGlobals = DS.TotalGlobals;
+    PS.AnalyzerReuseRatio =
+        Mode == "delta" ? DS.reuseRatio() : 0.0;
+    if (Config.DeltaAnalysis && DS.Mode == DeltaMode::Full)
+      PS.AnalyzerFallbackReason = DS.FallbackReason;
     PS.AnalyzerRefSetsMs = Result.Analyzer.RefSetsMs;
     PS.AnalyzerWebsMs = Result.Analyzer.WebsMs;
     PS.AnalyzerColoringMs = Result.Analyzer.ColoringMs;

@@ -38,6 +38,7 @@
 #define IPRA_DRIVER_PIPELINE_H
 
 #include "core/Analyzer.h"
+#include "core/DeltaAnalyzer.h"
 #include "driver/ArtifactCache.h"
 #include "driver/PipelineConfig.h"
 #include "driver/PipelineStats.h"
@@ -99,6 +100,10 @@ struct DatabaseResult {
   std::string DatabaseText;
   AnalyzerStats Stats;
   bool FromCache = false;
+  /// "full", "delta", or "cached" — how the database was produced.
+  std::string Mode;
+  /// Damage accounting when PipelineConfig::DeltaAnalysis is set.
+  DeltaStats Delta;
   bool ok() const { return Status == PhaseStatus::Ok; }
 };
 
@@ -173,16 +178,24 @@ public:
 
 private:
   /// Shared by analyze() and build(): runs the analyzer through the
-  /// cache. Returns false (filling \p Error) only when the produced
-  /// database fails its serialization round-trip.
+  /// cache (and, when Config.DeltaAnalysis is set, through the retained
+  /// delta analyzer on a miss). Fills \p Mode with "cached", "delta" or
+  /// "full" and \p DS with the delta damage accounting. Returns false
+  /// (filling \p Error) only when the produced database fails its
+  /// serialization round-trip.
   bool analyzeCached(const std::vector<ModuleSummary> &Summaries,
                      const std::vector<std::string> &SummaryTexts,
                      const CallProfile &CP, AnalyzerStats &Stats,
                      std::string &DbText, ProgramDatabase &DB,
-                     bool &FromCache, std::string &Error);
+                     bool &FromCache, std::string &Mode, DeltaStats &DS,
+                     std::string &Error);
 
   PipelineConfig Config;
   ArtifactCache Cache;
+  /// Retained-state incremental analyzer, used on analyzer cache misses
+  /// when Config.DeltaAnalysis is set. Holding it here gives delta
+  /// reuse the same lifetime as the in-memory artifact cache.
+  DeltaAnalyzer Delta;
   /// Fingerprints are fixed at construction; the three are the cache
   /// key ingredients for phase 1+2, the analyzer, and artifact
   /// stamping respectively.

@@ -106,6 +106,12 @@ struct PipelineConfig {
   /// object always keeps an in-memory layer. Created on first use.
   /// Neither NumThreads nor CacheDir enters any fingerprint.
   std::string CacheDir;
+  /// Route analyzer cache misses through the delta analyzer: the
+  /// Pipeline retains the previous run's call graph / refsets / webs
+  /// and re-analyzes only the SCC damage region of the summary edit
+  /// (mcc --delta-analyze). Like NumThreads and CacheDir this enters
+  /// no fingerprint — the database is byte-identical either way.
+  bool DeltaAnalysis = false;
 
   /// Level-2 optimization only (the Table 4/5 baseline).
   static PipelineConfig baseline();

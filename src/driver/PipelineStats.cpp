@@ -20,14 +20,28 @@ std::string PipelineStats::toString() const {
   OS << "  frontend=" << FrontEndMs << "ms phase1=" << Phase1Ms
      << "ms analyzer=" << AnalyzerMs << "ms phase2=" << Phase2Ms
      << "ms link=" << LinkMs << "ms\n";
-  if (AnalyzerRefSetsMs + AnalyzerWebsMs + AnalyzerColoringMs +
-          AnalyzerClustersMs + AnalyzerRegSetsMs >
-      0)
-    OS << "  analyzer phases: refsets=" << AnalyzerRefSetsMs
+  if (!AnalyzerMode.empty() ||
+      AnalyzerRefSetsMs + AnalyzerWebsMs + AnalyzerColoringMs +
+              AnalyzerClustersMs + AnalyzerRegSetsMs >
+          0) {
+    OS << "  analyzer phases";
+    if (!AnalyzerMode.empty())
+      OS << " (" << AnalyzerMode << ")";
+    OS << ": refsets=" << AnalyzerRefSetsMs
        << "ms webs=" << AnalyzerWebsMs
        << "ms coloring=" << AnalyzerColoringMs
        << "ms clusters=" << AnalyzerClustersMs
        << "ms regsets=" << AnalyzerRegSetsMs << "ms\n";
+  }
+  if (AnalyzerMode == "delta")
+    OS << "  delta: changed-procs=" << AnalyzerChangedProcs
+       << " damaged-sccs=" << AnalyzerDamagedSccs << "/"
+       << AnalyzerTotalSccs << " damaged-globals="
+       << AnalyzerDamagedGlobals << "/" << AnalyzerTotalGlobals
+       << " web-reuse=" << AnalyzerReuseRatio * 100.0 << "%\n";
+  else if (!AnalyzerFallbackReason.empty())
+    OS << "  delta: full re-analysis (" << AnalyzerFallbackReason
+       << ")\n";
   if (PointsToConstraints + PointsToIterations > 0 || PointsToMs > 0)
     OS << "  points-to: constraints=" << PointsToConstraints
        << " iterations=" << PointsToIterations

@@ -56,6 +56,23 @@ struct PipelineStats {
   double AnalyzerColoringMs = 0;
   double AnalyzerClustersMs = 0;
   double AnalyzerRegSetsMs = 0;
+  /// How the analyzer step produced its database: "full" (cold run),
+  /// "delta" (damage-region incremental re-analysis), or "cached"
+  /// (artifact-cache hit). Empty when the analyzer is off, so --stats
+  /// tags the sub-phase line on every path that ran the analyzer.
+  std::string AnalyzerMode;
+  /// Damage accounting from the delta analyzer (all zero unless
+  /// PipelineConfig::DeltaAnalysis took the incremental path).
+  int AnalyzerChangedProcs = 0;
+  int AnalyzerDamagedSccs = 0;
+  int AnalyzerTotalSccs = 0;
+  int AnalyzerDamagedGlobals = 0;
+  int AnalyzerTotalGlobals = 0;
+  double AnalyzerReuseRatio = 0; ///< Web lists spliced in unchanged.
+  /// Why a delta-enabled run fell back to a full analysis ("first
+  /// analysis", "analyzer options changed", ...). Empty when the delta
+  /// path ran, and when delta analysis is off.
+  std::string AnalyzerFallbackReason;
   /// Points-to/escape analysis: per-module wall clock (summed across
   /// modules; zero for phase-1 cache hits) and solver counters. The
   /// refuted/resolved counts come from the analyzer's merge and are

@@ -41,12 +41,16 @@ struct GlobalRefSummary {
   std::string QualName;
   long long Freq = 0;  ///< Loop-weighted access count.
   bool Stores = false; ///< The procedure writes the variable.
+
+  bool operator==(const GlobalRefSummary &O) const = default;
 };
 
 /// One direct call target within one procedure.
 struct CallSummary {
   std::string QualCallee;
   long long Freq = 0; ///< Loop-weighted local call count.
+
+  bool operator==(const CallSummary &O) const = default;
 };
 
 /// The module-local points-to/escape analysis verdict for an
@@ -90,6 +94,8 @@ struct ProcSummary {
   /// Caller-saves registers the trial code generation used (input to
   /// the §7.6.2 caller-saves pre-allocation extension).
   unsigned CallerRegsUsed = 0;
+
+  bool operator==(const ProcSummary &O) const = default;
 };
 
 /// Module-level facts about a global the analyzer needs for promotion
@@ -103,6 +109,8 @@ struct GlobalSummary {
   /// Points-to/escape verdict for the Aliased bit (Escapes when the
   /// analysis did not run).
   EscapeVerdict Escape = EscapeVerdict::Escapes;
+
+  bool operator==(const GlobalSummary &O) const = default;
 };
 
 /// Version of the textual summary-file format. Serialized files carry

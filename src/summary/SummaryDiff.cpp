@@ -1,0 +1,85 @@
+//===- SummaryDiff.cpp - Structural diff of module summaries ----*- C++ -*-===//
+//
+// Part of the IPRA project: a reproduction of Santhanam & Odnert,
+// "Register Allocation Across Procedure and Module Boundaries", PLDI 1990.
+//
+//===----------------------------------------------------------------------===//
+
+#include "summary/SummaryDiff.h"
+
+#include <set>
+
+namespace ipra {
+
+namespace {
+
+/// The module-wide address-taken name set (the indirect-call fan-out
+/// universe contribution of this module).
+std::set<std::string> addrTakenSet(const ModuleSummary &S) {
+  std::set<std::string> Names;
+  for (const ProcSummary &P : S.Procs)
+    for (const std::string &N : P.AddressTakenProcs)
+      Names.insert(N);
+  return Names;
+}
+
+} // namespace
+
+ModuleSummaryDelta diffModuleSummary(const ModuleSummary &Old,
+                                     const ModuleSummary &New) {
+  ModuleSummaryDelta D;
+  D.Module = New.Module;
+
+  if (Old.Procs.size() != New.Procs.size()) {
+    D.ProcSequenceChanged = true;
+  } else {
+    for (size_t I = 0; I < New.Procs.size(); ++I)
+      if (Old.Procs[I].QualName != New.Procs[I].QualName) {
+        D.ProcSequenceChanged = true;
+        break;
+      }
+  }
+
+  if (D.ProcSequenceChanged) {
+    D.Identical = false;
+  } else {
+    for (size_t I = 0; I < New.Procs.size(); ++I)
+      if (!(Old.Procs[I] == New.Procs[I]))
+        D.ChangedProcs.push_back(static_cast<int>(I));
+    if (!D.ChangedProcs.empty())
+      D.Identical = false;
+  }
+
+  if (Old.Globals != New.Globals) {
+    D.GlobalsChanged = true;
+    D.Identical = false;
+  }
+
+  if (!D.Identical && addrTakenSet(Old) != addrTakenSet(New))
+    D.AddrTakenSetChanged = true;
+
+  return D;
+}
+
+ProgramSummaryDelta
+diffProgramSummaries(const std::vector<ModuleSummary> &Old,
+                     const std::vector<ModuleSummary> &New) {
+  ProgramSummaryDelta P;
+  if (Old.size() != New.size()) {
+    P.ModuleSequenceChanged = true;
+    return P;
+  }
+  for (size_t I = 0; I < New.size(); ++I)
+    if (Old[I].Module != New[I].Module) {
+      P.ModuleSequenceChanged = true;
+      return P;
+    }
+  for (size_t I = 0; I < New.size(); ++I) {
+    ModuleSummaryDelta D = diffModuleSummary(Old[I], New[I]);
+    if (!D.Identical)
+      P.ChangedModules.push_back(std::move(D));
+  }
+  return P;
+}
+
+} // namespace ipra

@@ -1,0 +1,89 @@
+//===- SummaryDiff.h - Structural diff of module summaries -----*- C++ -*-===//
+//
+// Part of the IPRA project: a reproduction of Santhanam & Odnert,
+// "Register Allocation Across Procedure and Module Boundaries", PLDI 1990.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Structural diffing of phase-1 module summaries, the front door of the
+/// delta-driven analyzer. When a module is re-summarized, the analyzer
+/// diffs the new summary against the retained previous one to find out
+/// *what* changed — which procedure records, whether the procedure or
+/// global universes moved, whether address-taken facts shifted — and
+/// from that decides between a scoped re-analysis over the SCC damage
+/// region and a full fallback.
+///
+/// The classification is deliberately conservative: anything that could
+/// perturb call-graph node-id assignment (procedures added, removed or
+/// reordered; the address-taken set changing; a reference to a
+/// previously unseen name) is reported as a shape change, because node
+/// ids leak into the analyzer's iteration order and a scoped re-analysis
+/// could then no longer reproduce the cold output byte for byte.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef IPRA_SUMMARY_SUMMARYDIFF_H
+#define IPRA_SUMMARY_SUMMARYDIFF_H
+
+#include "summary/Summary.h"
+
+#include <string>
+#include <vector>
+
+namespace ipra {
+
+/// The structural difference between two summaries of the same module.
+struct ModuleSummaryDelta {
+  std::string Module;
+
+  /// Nothing changed at all (fast path: re-summarization produced an
+  /// identical record set).
+  bool Identical = true;
+
+  /// The procedure name sequence changed (added, removed, or
+  /// reordered). Node-id assignment shifts; scoped re-analysis is off
+  /// the table.
+  bool ProcSequenceChanged = false;
+
+  /// The union of AddressTakenProcs across the module changed. The
+  /// indirect-call edge fan-out of *unchanged* procedures in other
+  /// modules depends on this set, so it forces a full re-analysis.
+  bool AddrTakenSetChanged = false;
+
+  /// Any global record changed (including additions/removals). Whether
+  /// this forces a fallback depends on merged facts across all modules;
+  /// the delta analyzer re-merges and decides.
+  bool GlobalsChanged = false;
+
+  /// Indices into the *new* summary's Procs of records that differ from
+  /// their same-named predecessor. Only meaningful when
+  /// !ProcSequenceChanged (the sequences align index by index).
+  std::vector<int> ChangedProcs;
+};
+
+/// Diffs \p New against \p Old (summaries of the same module).
+ModuleSummaryDelta diffModuleSummary(const ModuleSummary &Old,
+                                     const ModuleSummary &New);
+
+/// The program-level roll-up over all modules.
+struct ProgramSummaryDelta {
+  /// The module name sequence itself changed; nothing to diff.
+  bool ModuleSequenceChanged = false;
+  /// Per-module deltas, aligned with the new summary list. Only
+  /// non-identical modules are listed.
+  std::vector<ModuleSummaryDelta> ChangedModules;
+
+  bool identical() const {
+    return !ModuleSequenceChanged && ChangedModules.empty();
+  }
+};
+
+/// Diffs two whole-program summary lists.
+ProgramSummaryDelta
+diffProgramSummaries(const std::vector<ModuleSummary> &Old,
+                     const std::vector<ModuleSummary> &New);
+
+} // namespace ipra
+
+#endif // IPRA_SUMMARY_SUMMARYDIFF_H

@@ -121,6 +121,22 @@ public:
     return Changed;
   }
 
+  /// Symmetric difference: flips every bit set in \p RHS. Returns true
+  /// if this set changed. (A XOR accumulator over old/new value pairs
+  /// yields the positions that differ anywhere — the delta analyzer's
+  /// touched-global tracking.)
+  bool xorWith(const DynBitset &RHS) {
+    assert(NumBits == RHS.NumBits);
+    bool Changed = false;
+    for (size_t W = 0; W < Words.size(); ++W) {
+      if (RHS.Words[W]) {
+        Words[W] ^= RHS.Words[W];
+        Changed = true;
+      }
+    }
+    return Changed;
+  }
+
   /// Removes every bit set in \p RHS; returns true if this set changed.
   bool subtract(const DynBitset &RHS) {
     assert(NumBits == RHS.NumBits);

@@ -64,17 +64,29 @@ if [ -n "$DIFF" ]; then
   exit 1
 fi
 
-# --stats reports the analyzer sub-phase breakdown, and with a cache
-# the second run pairs it with analyzer hit counts (the times shown are
-# the producing run's).
+# --stats reports the analyzer sub-phase breakdown tagged with how the
+# database was produced (full/delta/cached), and with a cache the
+# second run pairs it with analyzer hit counts (the times shown are the
+# producing run's).
 "$MCC" --stats --config C --cache-dir cache lib.mc main.mc 2> stats1.txt > /dev/null
-grep -q "analyzer phases: refsets=" stats1.txt \
+grep -q "analyzer phases (full): refsets=" stats1.txt \
   || { echo "no analyzer phase breakdown in --stats" >&2; cat stats1.txt >&2; exit 1; }
 "$MCC" --stats --config C --cache-dir cache lib.mc main.mc 2> stats2.txt > /dev/null
-grep -q "analyzer phases: refsets=" stats2.txt \
-  || { echo "no analyzer phase breakdown on cached run" >&2; exit 1; }
+grep -q "analyzer phases (cached): refsets=" stats2.txt \
+  || { echo "no tagged analyzer phase breakdown on cached run" >&2; cat stats2.txt >&2; exit 1; }
 grep -q "analyzer 1/1" stats2.txt \
   || { echo "no analyzer cache hit on second run" >&2; cat stats2.txt >&2; exit 1; }
+
+# --delta-analyze keeps the output identical and --stats names the
+# fallback (a fresh mcc process has no retained state to diff against).
+DELTA="$("$MCC" --delta-analyze --config C lib.mc main.mc 2> stats3.txt)"
+if [ "$FUSED" != "$DELTA" ]; then
+  echo "--delta-analyze changed program output: $DELTA" >&2
+  exit 1
+fi
+"$MCC" --delta-analyze --stats --config C lib.mc main.mc 2> stats3.txt > /dev/null
+grep -q "delta: full re-analysis (first analysis)" stats3.txt \
+  || { echo "no delta fallback line in --stats" >&2; cat stats3.txt >&2; exit 1; }
 
 # The per-module points-to pass reports its counters in --stats.
 grep -q "points-to: constraints=" stats1.txt \

@@ -610,6 +610,7 @@ TEST(IncrementalTest, FingerprintIgnoresThreadsAndCacheDir) {
   PipelineConfig B = PipelineConfig::configC();
   B.NumThreads = 8;
   B.CacheDir = "/nonexistent/cache";
+  B.DeltaAnalysis = true; // Byte-identical output: no fingerprint.
   EXPECT_EQ(A.fingerprint(), B.fingerprint());
   EXPECT_EQ(A.compileFingerprint(), B.compileFingerprint());
 
@@ -623,6 +624,108 @@ TEST(IncrementalTest, FingerprintIgnoresThreadsAndCacheDir) {
   D.BlanketCount = 9;
   EXPECT_EQ(D.compileFingerprint(), A.compileFingerprint());
   EXPECT_NE(D.analyzerFingerprint(), A.analyzerFingerprint());
+}
+
+//===--------------------------------------------------------------------===//
+// Delta analysis through the pipeline.
+//===--------------------------------------------------------------------===//
+
+TEST(IncrementalTest, DeltaAnalysisBuildMatchesColdBuild) {
+  PipelineConfig C = PipelineConfig::configC();
+  C.DeltaAnalysis = true;
+  Pipeline P(C);
+
+  BuildResult Cold = P.build(corpus());
+  ASSERT_TRUE(Cold.ok()) << Cold.Diags.text();
+  EXPECT_EQ(Cold.Stats.AnalyzerMode, "full");
+  EXPECT_EQ(Cold.Stats.AnalyzerFallbackReason, "first analysis");
+
+  // Byte-identical to a delta-free build of the same sources.
+  BuildResult Plain = Pipeline(PipelineConfig::configC()).build(corpus());
+  ASSERT_TRUE(Plain.ok()) << Plain.Diags.text();
+  expectSameArtifacts(Cold, Plain);
+
+  // A body edit in the middle of the chain keeps the procedure and
+  // global universe but moves g3's reference counts: the rebuild
+  // misses the analyzer cache and takes the damage-region path.
+  std::vector<SourceFile> Edited = withEdit(
+      corpus(), "mod3.mc",
+      "int g3;\n"
+      "int f4(int);\n"
+      "int f3(int x) {\n"
+      "  g3 = g3 + x;\n"
+      "  if (x > 3) g3 = g3 + f4(g3);\n"
+      "  return f4(x) + g3;\n"
+      "}\n");
+  BuildResult Warm = P.build(Edited);
+  ASSERT_TRUE(Warm.ok()) << Warm.Diags.text();
+  EXPECT_EQ(Warm.Stats.AnalyzerCacheMisses, 1u);
+  EXPECT_EQ(Warm.Stats.AnalyzerMode, "delta");
+  EXPECT_TRUE(Warm.Stats.AnalyzerFallbackReason.empty())
+      << Warm.Stats.AnalyzerFallbackReason;
+  EXPECT_EQ(Warm.Stats.AnalyzerChangedProcs, 1);
+  EXPECT_GT(Warm.Stats.AnalyzerTotalSccs, 0);
+  EXPECT_LT(Warm.Stats.AnalyzerDamagedSccs, Warm.Stats.AnalyzerTotalSccs);
+
+  BuildResult PlainEdited =
+      Pipeline(PipelineConfig::configC()).build(Edited);
+  ASSERT_TRUE(PlainEdited.ok()) << PlainEdited.Diags.text();
+  expectSameArtifacts(Warm, PlainEdited);
+
+  // A no-op rebuild reports the cached tag, not a fallback.
+  BuildResult Again = P.build(Edited);
+  ASSERT_TRUE(Again.ok()) << Again.Diags.text();
+  EXPECT_EQ(Again.Stats.AnalyzerMode, "cached");
+  EXPECT_TRUE(Again.Stats.AnalyzerFallbackReason.empty());
+  expectSameArtifacts(Warm, Again);
+
+  // The stats report renders the mode tag and the damage counters.
+  EXPECT_NE(Warm.Stats.toString().find("analyzer phases (delta)"),
+            std::string::npos);
+  EXPECT_NE(Warm.Stats.toString().find("delta: changed-procs=1"),
+            std::string::npos);
+}
+
+TEST(IncrementalTest, DeltaAnalysisPhaseGranularAnalyze) {
+  PipelineConfig C = PipelineConfig::configC();
+  C.DeltaAnalysis = true;
+  Pipeline P(C);
+
+  std::vector<std::string> Texts;
+  for (const SourceFile &S : corpus()) {
+    SummaryResult R = P.compileSummary(S);
+    ASSERT_TRUE(R.ok()) << R.Diags.text();
+    Texts.push_back(R.SummaryText);
+  }
+  DatabaseResult First = P.analyze(Texts);
+  ASSERT_TRUE(First.ok()) << First.Diags.text();
+  EXPECT_EQ(First.Mode, "full");
+  EXPECT_EQ(First.Delta.FallbackReason, "first analysis");
+
+  // Re-summarize one edited module and re-analyze: the delta path
+  // reports its damage region and the database text matches a cold
+  // analyzer run over the same summaries.
+  SummaryResult Edit = P.compileSummary(
+      {"mod5.mc",
+       "int g5;\n"
+       "int f6(int);\n"
+       "int f5(int x) {\n"
+       "  g5 = g5 + x;\n"
+       "  if (x > 3) g5 = g5 + f6(g5);\n"
+       "  return f6(x) + g5;\n"
+       "}\n"});
+  ASSERT_TRUE(Edit.ok()) << Edit.Diags.text();
+  Texts[5] = Edit.SummaryText;
+  DatabaseResult Second = P.analyze(Texts);
+  ASSERT_TRUE(Second.ok()) << Second.Diags.text();
+  EXPECT_EQ(Second.Mode, "delta");
+  EXPECT_EQ(Second.Delta.ChangedProcs, 1);
+  EXPECT_GT(Second.Delta.reuseRatio(), 0.0);
+
+  DatabaseResult Plain =
+      Pipeline(PipelineConfig::configC()).analyze(Texts);
+  ASSERT_TRUE(Plain.ok()) << Plain.Diags.text();
+  EXPECT_EQ(Second.DatabaseText, Plain.DatabaseText);
 }
 
 TEST(IncrementalTest, HashPartsIsUnambiguous) {
