@@ -1,0 +1,358 @@
+//===- bench_service.cpp - Build-service concurrent rebuild bench ---------===//
+//
+// Part of the IPRA project: a reproduction of Santhanam & Odnert,
+// "Register Allocation Across Procedure and Module Boundaries", PLDI 1990.
+//
+//===----------------------------------------------------------------------===//
+///
+/// Drives the long-lived build service the way a build farm would: tens
+/// of distinct programs are warmed into retained sessions, then a storm
+/// of concurrent rebuild requests (every request an edited variant of
+/// its program, all in flight at once) hits the worker pool. For every
+/// response the bench byte-compares the database and objects against a
+/// cold one-shot pipeline build of exactly the sources the request
+/// carried — the service's coalescing guarantee — and it fails non-zero
+/// on any mismatch, on any rejected request, or if the retained delta
+/// state never fired (delta-hits == 0).
+///
+/// Reported per request: end-to-end sojourn (enqueue -> future ready,
+/// which includes queueing) and the per-phase latencies the service
+/// measured (phase 1 / analyzer / phase 2 / link), as p50/p90/p99
+/// tables on stdout and in BENCH_service.json. --smoke shrinks the
+/// storm for the ctest entry; --json=<path> overrides the output file;
+/// --programs/--requests/--workers override the shape.
+///
+//===----------------------------------------------------------------------===//
+
+#include "service/BuildService.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <map>
+#include <string>
+#include <thread>
+#include <vector>
+
+using namespace ipra;
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double msSince(Clock::time_point Start) {
+  return std::chrono::duration<double, std::milli>(Clock::now() - Start)
+      .count();
+}
+
+/// Program \p Seed at edit \p Version: a call chain (length varies with
+/// the seed, so every program has its own database) accumulating into
+/// per-module globals; versions add rarely-taken extra calls in main,
+/// a summary-visible edit that exercises the retained delta state.
+std::vector<SourceFile> programSources(int Seed, int Version) {
+  std::vector<SourceFile> Sources;
+  const int Chain = 3 + Seed % 4;
+  for (int I = 0; I < Chain; ++I) {
+    std::string Name = "mod" + std::to_string(I) + ".mc";
+    std::string G = "g" + std::to_string(I);
+    std::string Text = "int " + G + ";\n";
+    if (I + 1 < Chain) {
+      std::string Next = "f" + std::to_string(I + 1);
+      Text += "int " + Next + "(int);\n";
+      Text += "int f" + std::to_string(I) + "(int x) { " + G + " = " + G +
+              " + x; return " + Next + "(x) + " + G + "; }\n";
+    } else {
+      Text += "int f" + std::to_string(I) + "(int x) { " + G + " = " + G +
+              " + " + std::to_string(1 + Seed % 7) + " * x; return " + G +
+              "; }\n";
+    }
+    Sources.push_back(SourceFile{Name, Text});
+  }
+  std::string Extra;
+  for (int V = 0; V < Version; ++V)
+    Extra +=
+        "    if (r > 1000000) r = r + f0(" + std::to_string(V) + ");\n";
+  Sources.push_back(SourceFile{
+      "main.mc", "int f0(int);\n"
+                 "int main() {\n"
+                 "  int r = 0;\n"
+                 "  for (int i = 1; i <= " +
+                     std::to_string(5 + Seed % 5) +
+                     "; i = i + 1) {\n"
+                     "    r = r + f0(i);\n" +
+                     Extra +
+                     "  }\n"
+                     "  print(r);\n"
+                     "  return 0;\n"
+                     "}\n"});
+  return Sources;
+}
+
+struct Percentiles {
+  double P50 = 0, P90 = 0, P99 = 0, Mean = 0, Max = 0;
+};
+
+Percentiles percentiles(std::vector<double> Values) {
+  Percentiles P;
+  if (Values.empty())
+    return P;
+  std::sort(Values.begin(), Values.end());
+  auto At = [&Values](double Pct) {
+    size_t Idx = static_cast<size_t>(Pct / 100.0 *
+                                     static_cast<double>(Values.size() - 1));
+    return Values[Idx];
+  };
+  P.P50 = At(50);
+  P.P90 = At(90);
+  P.P99 = At(99);
+  P.Max = Values.back();
+  for (double V : Values)
+    P.Mean += V;
+  P.Mean /= static_cast<double>(Values.size());
+  return P;
+}
+
+void printRow(const char *Name, const Percentiles &P) {
+  std::printf("  %-10s p50=%8.3f  p90=%8.3f  p99=%8.3f  mean=%8.3f  "
+              "max=%8.3f\n",
+              Name, P.P50, P.P90, P.P99, P.Mean, P.Max);
+}
+
+std::string jsonRow(const char *Name, const Percentiles &P) {
+  char Buf[256];
+  std::snprintf(Buf, sizeof(Buf),
+                "    \"%s\": {\"p50\": %.4f, \"p90\": %.4f, \"p99\": %.4f, "
+                "\"mean\": %.4f, \"max\": %.4f}",
+                Name, P.P50, P.P90, P.P99, P.Mean, P.Max);
+  return Buf;
+}
+
+int runBench(int NumPrograms, int NumRequests, unsigned Workers,
+             int Versions, const std::string &JsonPath) {
+  std::printf("== build service: %d programs, %d concurrent rebuild "
+              "requests, %d edit versions ==\n",
+              NumPrograms, NumRequests, Versions);
+
+  BuildServiceConfig SC;
+  SC.Workers = Workers;
+  SC.MaxQueueDepth = static_cast<size_t>(NumRequests) + 8;
+  BuildService Service(SC);
+  std::printf("  workers: %u, queue bound: %zu\n",
+              Service.config().Workers, Service.config().MaxQueueDepth);
+
+  auto ProgramName = [](int P) { return "prog" + std::to_string(P); };
+  auto RequestFor = [&](int P, int V) {
+    return BuildRequest::full(PipelineConfig::configC(),
+                              programSources(P, V), ProgramName(P));
+  };
+
+  // Warm every program's retained session (cold full analyses).
+  Clock::time_point WarmStart = Clock::now();
+  {
+    std::vector<std::future<Result<BuildResponse>>> Warm;
+    for (int P = 0; P < NumPrograms; ++P)
+      Warm.push_back(Service.enqueue(RequestFor(P, 0)));
+    for (int P = 0; P < NumPrograms; ++P) {
+      Result<BuildResponse> R = Warm[static_cast<size_t>(P)].get();
+      if (!R.ok()) {
+        std::fprintf(stderr, "warm build of %s failed: %s\n",
+                     ProgramName(P).c_str(), R.text().c_str());
+        return 1;
+      }
+    }
+  }
+  double WarmMs = msSince(WarmStart);
+  std::printf("  warm: %d cold builds in %.1f ms\n", NumPrograms, WarmMs);
+
+  // Reference artifacts: one cold one-shot pipeline build per
+  // (program, version) the storm will request.
+  std::map<std::pair<int, int>, BuildResult> References;
+  for (int R = 0; R < NumRequests; ++R) {
+    int P = R % NumPrograms;
+    int V = 1 + (R / NumPrograms) % Versions;
+    if (References.count({P, V}))
+      continue;
+    Pipeline Cold(PipelineConfig::configC());
+    BuildResult Ref = Cold.build(programSources(P, V));
+    if (!Ref.ok()) {
+      std::fprintf(stderr, "reference build (%d, v%d) failed: %s\n", P, V,
+                   Ref.text().c_str());
+      return 1;
+    }
+    References.emplace(std::make_pair(P, V), std::move(Ref));
+  }
+
+  // The storm: every request enqueued before any completes is awaited,
+  // so NumRequests rebuilds are in flight concurrently. A waiter thread
+  // per request records the end-to-end sojourn (queueing included).
+  std::vector<Result<BuildResponse>> Results(
+      static_cast<size_t>(NumRequests));
+  std::vector<double> Sojourns(static_cast<size_t>(NumRequests), 0);
+  Clock::time_point StormStart = Clock::now();
+  {
+    std::vector<std::future<Result<BuildResponse>>> Futures;
+    Futures.reserve(static_cast<size_t>(NumRequests));
+    for (int R = 0; R < NumRequests; ++R) {
+      int P = R % NumPrograms;
+      int V = 1 + (R / NumPrograms) % Versions;
+      Futures.push_back(Service.enqueue(RequestFor(P, V)));
+    }
+    std::vector<std::thread> Waiters;
+    for (int R = 0; R < NumRequests; ++R)
+      Waiters.emplace_back([&, R] {
+        Results[static_cast<size_t>(R)] =
+            Futures[static_cast<size_t>(R)].get();
+        Sojourns[static_cast<size_t>(R)] = msSince(StormStart);
+      });
+    for (std::thread &T : Waiters)
+      T.join();
+  }
+  double StormMs = msSince(StormStart);
+
+  // Verify: nothing rejected, everything byte-identical to its one-shot
+  // reference.
+  int Mismatches = 0;
+  for (int R = 0; R < NumRequests; ++R) {
+    const Result<BuildResponse> &Res = Results[static_cast<size_t>(R)];
+    if (!Res.ok()) {
+      std::fprintf(stderr, "request %d failed [%s]: %s\n", R,
+                   Res.Code.c_str(), Res.text().c_str());
+      ++Mismatches;
+      continue;
+    }
+    int P = R % NumPrograms;
+    int V = 1 + (R / NumPrograms) % Versions;
+    const BuildResult &Ref = References.at({P, V});
+    bool Same = Res.Value.Database == Ref.DatabaseFile &&
+                Res.Value.Objects.size() == Ref.ObjectFiles.size();
+    if (Same)
+      for (size_t I = 0; I < Ref.ObjectFiles.size(); ++I)
+        Same = Same && Res.Value.Objects[I] == Ref.ObjectFiles[I];
+    if (!Same) {
+      std::fprintf(stderr,
+                   "request %d (prog %d, v%d): artifacts differ from the "
+                   "one-shot build\n",
+                   R, P, V);
+      ++Mismatches;
+    }
+  }
+
+  BuildServiceStats Stats = Service.stats();
+  std::printf("  storm: %d requests in %.1f ms (%.1f req/s), "
+              "peak queue %zu, coalesced %llu\n",
+              NumRequests, StormMs, NumRequests / (StormMs / 1000.0),
+              Stats.PeakQueueDepth, Stats.Coalesced);
+  std::printf("  sessions: %zu programs, %llu analyzer runs "
+              "(%llu delta, %llu full)\n",
+              Stats.Programs, Stats.AnalyzerRuns, Stats.DeltaHits,
+              Stats.FullRuns);
+  std::printf("  byte-identity: %s\n",
+              Mismatches ? "FAILED" : "ok (every response == one-shot build)");
+
+  // Latency tables (ms). Sojourn includes queueing; the per-phase rows
+  // are the service's own measurements per request.
+  std::vector<double> Total, Phase1, Analyzer, Phase2, Link;
+  for (const Result<BuildResponse> &Res : Results) {
+    if (!Res.ok())
+      continue;
+    Total.push_back(Res.Value.Stats.TotalMs);
+    Phase1.push_back(Res.Value.Stats.Phase1Ms);
+    Analyzer.push_back(Res.Value.Stats.AnalyzerMs);
+    Phase2.push_back(Res.Value.Stats.Phase2Ms);
+    Link.push_back(Res.Value.Stats.LinkMs);
+  }
+  Percentiles PSojourn = percentiles(Sojourns);
+  Percentiles PTotal = percentiles(Total);
+  Percentiles PPhase1 = percentiles(Phase1);
+  Percentiles PAnalyzer = percentiles(Analyzer);
+  Percentiles PPhase2 = percentiles(Phase2);
+  Percentiles PLink = percentiles(Link);
+  std::printf("  request latency (ms):\n");
+  printRow("sojourn", PSojourn);
+  printRow("build", PTotal);
+  printRow("phase1", PPhase1);
+  printRow("analyzer", PAnalyzer);
+  printRow("phase2", PPhase2);
+  printRow("link", PLink);
+
+  bool DeltaFired = Stats.DeltaHits > 0;
+  if (!DeltaFired)
+    std::fprintf(stderr, "FAILED: the retained delta state never fired "
+                         "(delta-hits == 0)\n");
+
+  std::ofstream OS(JsonPath);
+  OS << "{\n"
+     << "  \"bench\": \"service\",\n"
+     << "  \"programs\": " << NumPrograms << ",\n"
+     << "  \"concurrent_requests\": " << NumRequests << ",\n"
+     << "  \"edit_versions\": " << Versions << ",\n"
+     << "  \"workers\": " << Service.config().Workers << ",\n"
+     << "  \"queue_bound\": " << Service.config().MaxQueueDepth << ",\n"
+     << "  \"warm_ms\": " << WarmMs << ",\n"
+     << "  \"storm_ms\": " << StormMs << ",\n"
+     << "  \"requests_per_sec\": " << NumRequests / (StormMs / 1000.0)
+     << ",\n"
+     << "  \"byte_identical\": " << (Mismatches ? "false" : "true")
+     << ",\n"
+     << "  \"stats\": {\n"
+     << "    \"accepted\": " << Stats.Accepted << ",\n"
+     << "    \"completed\": " << Stats.Completed << ",\n"
+     << "    \"failed\": " << Stats.Failed << ",\n"
+     << "    \"rejected_busy\": " << Stats.RejectedBusy << ",\n"
+     << "    \"coalesced\": " << Stats.Coalesced << ",\n"
+     << "    \"peak_queue_depth\": " << Stats.PeakQueueDepth << ",\n"
+     << "    \"programs\": " << Stats.Programs << ",\n"
+     << "    \"analyzer_runs\": " << Stats.AnalyzerRuns << ",\n"
+     << "    \"delta_hits\": " << Stats.DeltaHits << ",\n"
+     << "    \"full_runs\": " << Stats.FullRuns << ",\n"
+     << "    \"cache_mem_hits\": " << Stats.Cache.MemHits << ",\n"
+     << "    \"cache_misses\": " << Stats.Cache.Misses << ",\n"
+     << "    \"intern_hits\": " << Stats.Cache.InternHits << ",\n"
+     << "    \"intern_bytes_saved\": " << Stats.Cache.InternBytesSaved
+     << "\n"
+     << "  },\n"
+     << "  \"latency_ms\": {\n"
+     << jsonRow("sojourn", PSojourn) << ",\n"
+     << jsonRow("build", PTotal) << ",\n"
+     << jsonRow("phase1", PPhase1) << ",\n"
+     << jsonRow("analyzer", PAnalyzer) << ",\n"
+     << jsonRow("phase2", PPhase2) << ",\n"
+     << jsonRow("link", PLink) << "\n"
+     << "  }\n"
+     << "}\n";
+  std::printf("  wrote %s\n\n", JsonPath.c_str());
+
+  return (Mismatches || !DeltaFired || Stats.RejectedBusy) ? 1 : 0;
+}
+
+} // namespace
+
+int main(int argc, char **argv) {
+  bool Smoke = false;
+  std::string JsonPath = "BENCH_service.json";
+  int Programs = 0, Requests = 0, Versions = 3;
+  unsigned Workers = 0;
+  for (int I = 1; I < argc; ++I) {
+    if (std::strcmp(argv[I], "--smoke") == 0)
+      Smoke = true;
+    else if (std::strncmp(argv[I], "--json=", 7) == 0)
+      JsonPath = argv[I] + 7;
+    else if (std::strncmp(argv[I], "--programs=", 11) == 0)
+      Programs = std::atoi(argv[I] + 11);
+    else if (std::strncmp(argv[I], "--requests=", 11) == 0)
+      Requests = std::atoi(argv[I] + 11);
+    else if (std::strncmp(argv[I], "--workers=", 10) == 0)
+      Workers = static_cast<unsigned>(std::atoi(argv[I] + 10));
+    else if (std::strncmp(argv[I], "--versions=", 11) == 0)
+      Versions = std::atoi(argv[I] + 11);
+  }
+  if (!Programs)
+    Programs = Smoke ? 6 : 20;
+  if (!Requests)
+    Requests = Smoke ? 18 : 120;
+  if (Versions < 1)
+    Versions = 1;
+  return runBench(Programs, Requests, Workers, Versions, JsonPath);
+}

@@ -20,6 +20,24 @@
 ///   mcc --emit-runtime > runtime.mc              # the __prints module
 ///   mcc --db-diff old.db new.db                  # procs needing recompile
 ///
+/// Build service (the long-lived analyzer daemon; DESIGN.md §12):
+///
+///   mcc --serve /tmp/ipra.sock                   # daemon: retained
+///                                                # delta state + shared
+///                                                # artifact cache
+///   mcc --client /tmp/ipra.sock --program p a.mc b.mc   # remote build,
+///                                                # local link + run
+///   mcc --client /tmp/ipra.sock --remote-stats   # service stats JSON
+///   mcc --client /tmp/ipra.sock --remote-ping    # liveness probe
+///   mcc --client /tmp/ipra.sock --remote-shutdown  # drain and exit
+///
+///   --program <id>               program identity on the daemon: requests
+///                                with the same id share one retained
+///                                delta-analysis session (default: the
+///                                first source file's basename)
+///   --queue-depth <N>            --serve admission bound; beyond it
+///                                requests bounce with "busy" (default 256)
+///
 ///   --config <base|A|B|C|D|E|F>  analyzer configuration (default: C)
 ///   --stats                      print pipeline timing and simulator
 ///                                counters after the run
@@ -67,6 +85,8 @@
 #include "analysis/IPRAVerify.h"
 #include "driver/Driver.h"
 #include "link/ObjectIO.h"
+#include "service/Client.h"
+#include "service/Daemon.h"
 
 #include <cstdio>
 #include <cstring>
@@ -91,7 +111,11 @@ int usage() {
       "       mcc --phase2 --db prog.db file.mc  (object to stdout)\n"
       "       mcc --link file.o...            (link and run)\n"
       "       mcc --emit-runtime              (runtime module source)\n"
-      "       mcc --db-diff old.db new.db     (procedures to recompile)\n");
+      "       mcc --db-diff old.db new.db     (procedures to recompile)\n"
+      "       mcc --serve SOCKET [--queue-depth N]   (build daemon)\n"
+      "       mcc --client SOCKET [--program ID] file.mc...\n"
+      "       mcc --client SOCKET --remote-stats|--remote-ping|"
+      "--remote-shutdown\n");
   return 2;
 }
 
@@ -125,6 +149,8 @@ int main(int argc, char **argv) {
   long long Fuel = 500'000'000;
   int NumThreads = 0;
   std::string CacheDir;
+  std::string ServeSocket, ClientSocket, ProgramId, RemoteCmd;
+  long long QueueDepth = 256;
   std::vector<SourceFile> Sources;
   std::vector<std::string> InputPaths;
 
@@ -151,6 +177,21 @@ int main(int argc, char **argv) {
       NumThreads = std::atoi(argv[++I]);
     } else if (Arg == "--cache-dir" && I + 1 < argc) {
       CacheDir = argv[++I];
+    } else if (Arg == "--serve" && I + 1 < argc) {
+      Mode = "serve";
+      ServeSocket = argv[++I];
+    } else if (Arg == "--client" && I + 1 < argc) {
+      ClientSocket = argv[++I];
+    } else if (Arg == "--program" && I + 1 < argc) {
+      ProgramId = argv[++I];
+    } else if (Arg == "--queue-depth" && I + 1 < argc) {
+      QueueDepth = std::atoll(argv[++I]);
+    } else if (Arg == "--remote-stats") {
+      RemoteCmd = "stats";
+    } else if (Arg == "--remote-ping") {
+      RemoteCmd = "ping";
+    } else if (Arg == "--remote-shutdown") {
+      RemoteCmd = "shutdown";
     } else if (Arg == "--delta-analyze") {
       DeltaAnalyze = true;
     } else if (Arg == "--split-webs") {
@@ -182,6 +223,53 @@ int main(int argc, char **argv) {
     std::fputs(runtimeModuleSource(), stdout);
     return 0;
   }
+
+  // ---- Build service: daemon mode. ----------------------------------
+  if (Mode == "serve") {
+    BuildServiceConfig SC;
+    SC.Workers = NumThreads > 0 ? static_cast<unsigned>(NumThreads) : 0;
+    SC.MaxQueueDepth = QueueDepth > 0 ? static_cast<size_t>(QueueDepth)
+                                      : size_t(1);
+    SC.CacheDir = CacheDir;
+    Daemon D(ServeSocket, SC);
+    std::string Error;
+    if (!D.start(Error)) {
+      std::fprintf(stderr, "mcc: --serve: %s\n", Error.c_str());
+      return 1;
+    }
+    std::fprintf(stderr, "mcc: serving on %s\n", ServeSocket.c_str());
+    D.wait();
+    return 0;
+  }
+
+  // ---- Build service: client control requests. ----------------------
+  if (!ClientSocket.empty() && !RemoteCmd.empty()) {
+    ServiceClient C;
+    Status S = C.connect(ClientSocket);
+    if (!S.ok()) {
+      std::fprintf(stderr, "mcc: --client: %s\n", S.text().c_str());
+      return 1;
+    }
+    if (RemoteCmd == "stats") {
+      auto R = C.stats();
+      if (!R.ok()) {
+        std::fprintf(stderr, "mcc: --remote-stats: %s\n",
+                     R.text().c_str());
+        return 1;
+      }
+      std::printf("%s\n", R.Value.dump().c_str());
+      return 0;
+    }
+    Status R = RemoteCmd == "ping" ? C.ping() : C.shutdownServer();
+    if (!R.ok()) {
+      std::fprintf(stderr, "mcc: --remote-%s: %s\n", RemoteCmd.c_str(),
+                   R.text().c_str());
+      return 1;
+    }
+    std::fprintf(stderr, "mcc: --remote-%s: ok\n", RemoteCmd.c_str());
+    return 0;
+  }
+
   if (Sources.empty())
     return usage();
 
@@ -212,6 +300,71 @@ int main(int argc, char **argv) {
   Config.NumThreads = NumThreads;
   Config.CacheDir = CacheDir;
   Config.DeltaAnalysis = DeltaAnalyze;
+
+  // ---- Build service: remote build, local link + run. ---------------
+  // The daemon returns the objects (executables never cross the wire);
+  // the client links and runs them locally, so the result is
+  // byte-identical to a one-shot `mcc` build of the same sources.
+  if (!ClientSocket.empty()) {
+    ServiceClient C;
+    Status S = C.connect(ClientSocket);
+    if (!S.ok()) {
+      std::fprintf(stderr, "mcc: --client: %s\n", S.text().c_str());
+      return 1;
+    }
+    if (ProgramId.empty())
+      ProgramId = Sources[0].Name;
+
+    // Profile-guided configurations bootstrap locally, exactly like the
+    // in-process route below.
+    ProfileData ClientProfile;
+    BuildRequest Req = BuildRequest::full(Config, Sources, ProgramId);
+    if (Config.UseProfile) {
+      auto Bootstrap = compileAndRun(Sources, PipelineConfig::baseline(),
+                                     nullptr, Fuel);
+      if (!Bootstrap.Compile.Success) {
+        std::fprintf(stderr, "%s\n", Bootstrap.Compile.ErrorText.c_str());
+        return 1;
+      }
+      ClientProfile = Bootstrap.Run.Profile;
+      Req.Profile = ClientProfile;
+    }
+
+    Result<BuildResponse> R = C.request(Req);
+    if (!R.ok()) {
+      std::fprintf(stderr, "mcc: --client%s%s%s: %s\n",
+                   R.Code.empty() ? "" : " [", R.Code.c_str(),
+                   R.Code.empty() ? "" : "]", R.text().c_str());
+      return 1;
+    }
+    auto Linked = linkObjectTexts(R.Value.Objects);
+    if (!Linked.Success) {
+      std::fprintf(stderr, "%s\n", Linked.ErrorText.c_str());
+      return 1;
+    }
+    if (DumpSummary)
+      for (const std::string &Sum : R.Value.Summaries)
+        std::printf("%s\n", Sum.c_str());
+    if (DumpDB)
+      std::printf("%s\n", R.Value.Database.c_str());
+    RunResult Run = runExecutable(Linked.Exe, Fuel);
+    std::fputs(Run.Output.c_str(), stdout);
+    if (!Run.Halted) {
+      std::fprintf(stderr, "mcc: program did not halt: %s%s\n",
+                   Run.Trap.c_str(), Run.OutOfFuel ? "out of fuel" : "");
+      return 1;
+    }
+    if (Stats) {
+      std::fputs(R.Value.Stats.toString().c_str(), stderr);
+      std::fprintf(stderr,
+                   "served from cache: %s\n"
+                   "cycles:         %lld\n"
+                   "singleton refs: %lld\n",
+                   R.Value.FromCache ? "yes" : "no", Run.Stats.Cycles,
+                   Run.Stats.SingletonRefs);
+    }
+    return Run.ExitCode;
+  }
 
   // ---- Separate-compilation subcommands. ----------------------------
   if (Mode == "db-diff") {

@@ -1,0 +1,95 @@
+//===- AnalyzerSession.h - Retained delta-analysis ownership ---*- C++ -*-===//
+//
+// Part of the IPRA project: a reproduction of Santhanam & Odnert,
+// "Register Allocation Across Procedure and Module Boundaries", PLDI 1990.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Ownership home for retained incremental-analysis state. The
+/// DeltaAnalyzer keeps the previous run's call graph, refsets and webs
+/// so a one-module edit re-analyzes only its damage region — which
+/// makes it the hot per-program state a long-lived build service must
+/// keep resident and serialize access to. AnalyzerSession wraps one
+/// DeltaAnalyzer behind a mutex plus session counters:
+///
+///  - a Pipeline created without an explicit session owns a private
+///    one, preserving the old behaviour (delta reuse scoped to the
+///    Pipeline object's lifetime);
+///  - the build service creates one session per program and hands it to
+///    every Pipeline it (re)builds for that program, so the retained
+///    state survives Pipeline reconstruction and concurrent requests
+///    for the same program coalesce onto one analyzer state instead of
+///    racing or re-priming.
+///
+/// The mutex serializes analyze() calls; the returned Outcome is a
+/// value snapshot (database + stats), so callers never hold references
+/// into state another request may overwrite.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef IPRA_CORE_ANALYZERSESSION_H
+#define IPRA_CORE_ANALYZERSESSION_H
+
+#include "core/DeltaAnalyzer.h"
+
+#include <mutex>
+
+namespace ipra {
+
+/// Cumulative per-session accounting, for service observability.
+struct AnalyzerSessionCounters {
+  unsigned long long Analyses = 0;  ///< analyze() calls served.
+  unsigned long long DeltaRuns = 0; ///< Damage-region incremental runs.
+  unsigned long long FullRuns = 0;  ///< Cold runs (first or fallback).
+};
+
+/// A lockable, shareable home for one program's retained delta state.
+class AnalyzerSession {
+public:
+  /// Value snapshot of one analyze() call.
+  struct Outcome {
+    ProgramDatabase DB;
+    AnalyzerStats Stats;
+    DeltaStats Delta;
+  };
+
+  /// Runs the retained-state analyzer (incremental when the edit is
+  /// expressible, cold otherwise). Thread-safe; concurrent callers
+  /// serialize here, which is exactly the same-program coalescing the
+  /// build service needs.
+  Outcome analyze(const std::vector<ModuleSummary> &Summaries,
+                  const AnalyzerOptions &Options,
+                  const CallProfile &Profile) {
+    std::lock_guard<std::mutex> Lock(M);
+    Outcome Out;
+    Out.DB = Delta.analyze(Summaries, Options, Profile);
+    Out.Stats = Delta.stats();
+    Out.Delta = Delta.deltaStats();
+    ++Counters.Analyses;
+    if (Out.Delta.Mode == DeltaMode::Incremental)
+      ++Counters.DeltaRuns;
+    else
+      ++Counters.FullRuns;
+    return Out;
+  }
+
+  bool primed() const {
+    std::lock_guard<std::mutex> Lock(M);
+    return Delta.primed();
+  }
+
+  AnalyzerSessionCounters counters() const {
+    std::lock_guard<std::mutex> Lock(M);
+    return Counters;
+  }
+
+private:
+  mutable std::mutex M;
+  DeltaAnalyzer Delta;
+  AnalyzerSessionCounters Counters;
+};
+
+} // namespace ipra
+
+#endif // IPRA_CORE_ANALYZERSESSION_H

@@ -7,12 +7,14 @@
 
 #include "driver/ArtifactCache.h"
 
+#include "support/Hash.h"
+
 #include <cstdio>
 #include <filesystem>
 #include <fstream>
 #include <sstream>
 #include <system_error>
-#include <thread>
+#include <unistd.h>
 
 using namespace ipra;
 
@@ -20,57 +22,95 @@ namespace fs = std::filesystem;
 
 ArtifactCache::ArtifactCache(std::string DiskDir) : Dir(std::move(DiskDir)) {}
 
+ArtifactCache::Shard &ArtifactCache::shardFor(const std::string &Key) {
+  return Shards[fnv1a64(Key) % NumShards];
+}
+
 std::string ArtifactCache::pathFor(const std::string &Key) const {
   return (fs::path(Dir) / (Key + ".art")).string();
 }
 
-std::optional<std::string> ArtifactCache::get(const std::string &Key) {
-  std::lock_guard<std::mutex> Lock(Mutex);
-  auto It = Mem.find(Key);
-  if (It != Mem.end()) {
-    ++Stats.MemHits;
-    Stats.BytesRead += It->second.size();
-    return It->second;
+std::shared_ptr<const std::string> ArtifactCache::intern(std::string Value) {
+  std::uint64_t H = fnv1a64(Value);
+  std::lock_guard<std::mutex> Lock(InternMutex);
+  auto &Bucket = Interned[H];
+  for (const auto &Existing : Bucket)
+    if (*Existing == Value) {
+      ++InternHits;
+      InternBytesSaved += Value.size();
+      return Existing;
+    }
+  Bucket.push_back(std::make_shared<const std::string>(std::move(Value)));
+  return Bucket.back();
+}
+
+std::shared_ptr<const std::string>
+ArtifactCache::getShared(const std::string &Key) {
+  Shard &S = shardFor(Key);
+  {
+    std::lock_guard<std::mutex> Lock(S.Mutex);
+    auto It = S.Mem.find(Key);
+    if (It != S.Mem.end()) {
+      ++MemHits;
+      BytesRead += It->second->size();
+      return It->second;
+    }
   }
   if (!Dir.empty()) {
+    // Disk read outside the shard lock; a racing writer publishes via
+    // atomic rename, so the file is whole or absent, never torn.
     std::ifstream In(pathFor(Key), std::ios::binary);
     if (In) {
       std::ostringstream Buf;
       Buf << In.rdbuf();
       if (!In.bad()) {
-        std::string Value = Buf.str();
-        ++Stats.DiskHits;
-        Stats.BytesRead += Value.size();
-        Mem[Key] = Value; // Promote: later probes hit memory.
+        auto Value = intern(Buf.str());
+        ++DiskHits;
+        BytesRead += Value->size();
+        std::lock_guard<std::mutex> Lock(S.Mutex);
+        S.Mem[Key] = Value; // Promote: later probes hit memory.
         return Value;
       }
     }
   }
-  ++Stats.Misses;
+  ++Misses;
+  return nullptr;
+}
+
+std::optional<std::string> ArtifactCache::get(const std::string &Key) {
+  if (auto Value = getShared(Key))
+    return *Value;
   return std::nullopt;
 }
 
-void ArtifactCache::put(const std::string &Key, const std::string &Value) {
-  std::lock_guard<std::mutex> Lock(Mutex);
-  Mem[Key] = Value;
-  Stats.BytesWritten += Value.size();
-  if (Dir.empty())
+bool ArtifactCache::ensureDir() {
+  if (DirReady.load(std::memory_order_acquire))
+    return true;
+  std::lock_guard<std::mutex> Lock(DirMutex);
+  if (DirReady.load(std::memory_order_relaxed))
+    return true;
+  std::error_code EC;
+  fs::create_directories(Dir, EC);
+  if (EC)
+    return false; // Unwritable cache dir degrades to memory-only.
+  DirReady.store(true, std::memory_order_release);
+  return true;
+}
+
+void ArtifactCache::writeDiskEntry(const std::string &Key,
+                                   const std::string &Value) {
+  if (Dir.empty() || !ensureDir())
     return;
-  if (!DirReady) {
-    std::error_code EC;
-    fs::create_directories(Dir, EC);
-    if (EC)
-      return; // Unwritable cache dir degrades to memory-only.
-    DirReady = true;
-  }
   // Publish atomically: write a private temp file, then rename it over
-  // the final name. Two processes racing on the same key both write the
-  // same bytes (keys are content hashes), so either rename winning is
-  // fine; a crash mid-write leaves only a stray temp file, never a torn
-  // entry.
+  // the final name. The temp name is unique per writer — pid for
+  // cross-process uniqueness, a per-cache sequence number for
+  // same-process uniqueness — so concurrent writers racing on one key
+  // never interleave into the same temp file. Keys are content hashes,
+  // so either rename winning publishes the same bytes; a crash
+  // mid-write leaves only a stray temp file, never a torn entry.
   std::ostringstream TmpName;
-  TmpName << pathFor(Key) << ".tmp."
-          << std::hash<std::thread::id>{}(std::this_thread::get_id());
+  TmpName << pathFor(Key) << ".tmp." << ::getpid() << "."
+          << TmpSeq.fetch_add(1, std::memory_order_relaxed);
   {
     std::ofstream Out(TmpName.str(), std::ios::binary | std::ios::trunc);
     if (!Out)
@@ -88,19 +128,49 @@ void ArtifactCache::put(const std::string &Key, const std::string &Value) {
     std::remove(TmpName.str().c_str());
 }
 
+void ArtifactCache::put(const std::string &Key, const std::string &Value) {
+  auto Shared = intern(Value);
+  {
+    Shard &S = shardFor(Key);
+    std::lock_guard<std::mutex> Lock(S.Mutex);
+    S.Mem[Key] = Shared;
+  }
+  BytesWritten += Shared->size();
+  writeDiskEntry(Key, *Shared);
+}
+
 void ArtifactCache::invalidate(const std::string &Key) {
-  std::lock_guard<std::mutex> Lock(Mutex);
-  Mem.erase(Key);
+  Shard &S = shardFor(Key);
+  {
+    std::lock_guard<std::mutex> Lock(S.Mutex);
+    S.Mem.erase(Key);
+  }
   if (!Dir.empty())
     std::remove(pathFor(Key).c_str());
 }
 
 void ArtifactCache::clearMemory() {
-  std::lock_guard<std::mutex> Lock(Mutex);
-  Mem.clear();
+  for (Shard &S : Shards) {
+    std::lock_guard<std::mutex> Lock(S.Mutex);
+    S.Mem.clear();
+  }
+  std::lock_guard<std::mutex> Lock(InternMutex);
+  Interned.clear();
 }
 
 ArtifactCacheStats ArtifactCache::stats() const {
-  std::lock_guard<std::mutex> Lock(Mutex);
-  return Stats;
+  ArtifactCacheStats Out;
+  Out.MemHits = MemHits.load();
+  Out.DiskHits = DiskHits.load();
+  Out.Misses = Misses.load();
+  Out.BytesRead = BytesRead.load();
+  Out.BytesWritten = BytesWritten.load();
+  Out.InternHits = InternHits.load();
+  Out.InternBytesSaved = InternBytesSaved.load();
+  {
+    std::lock_guard<std::mutex> Lock(InternMutex);
+    for (const auto &[H, Bucket] : Interned)
+      Out.InternedValues += Bucket.size();
+  }
+  return Out;
 }

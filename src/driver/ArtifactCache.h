@@ -11,13 +11,24 @@
 /// content hashes (source text × configuration fingerprint × database
 /// slice), so entries never go stale — a changed input simply misses.
 ///
-///  - The in-memory layer lives for the lifetime of a Pipeline object
-///    and serves the phase-granular API.
+///  - The in-memory layer lives for the lifetime of the cache object.
+///    It is sharded (per-shard mutex, shard chosen by key hash) so the
+///    module-parallel phases and the build service's concurrent
+///    sessions do not serialize on one lock, and its values are
+///    interned by content: identical artifact bytes stored under
+///    different keys (the runtime module's summary across every
+///    program a daemon serves, say) share one allocation.
 ///  - The optional on-disk layer (one file per entry under a cache
 ///    directory) persists across processes; disk hits are promoted into
-///    memory. Writes go through a temp-file + rename so concurrent
-///    writers (the module-parallel phases) and crashed builds can never
-///    publish a torn entry.
+///    memory. Disk I/O happens outside the shard locks. Writes go
+///    through a temp-file + rename where the temp name is unique per
+///    writer (pid × per-cache sequence number), so two threads or two
+///    processes racing on the same key each write a private temp file
+///    and the atomic renames publish whole entries in either order —
+///    never a torn file. (The temp name used to hash the thread id,
+///    which can collide across processes: two single-threaded mcc
+///    processes sharing a cache dir could interleave writes into the
+///    same temp file and publish garbage.)
 ///
 /// The cache stores artifacts verbatim; callers validate entries by
 /// parsing them (a corrupted or truncated disk entry fails its parse
@@ -28,11 +39,15 @@
 #ifndef IPRA_DRIVER_ARTIFACTCACHE_H
 #define IPRA_DRIVER_ARTIFACTCACHE_H
 
+#include <atomic>
 #include <cstddef>
+#include <cstdint>
 #include <map>
+#include <memory>
 #include <mutex>
 #include <optional>
 #include <string>
+#include <vector>
 
 namespace ipra {
 
@@ -43,9 +58,16 @@ struct ArtifactCacheStats {
   unsigned Misses = 0;
   size_t BytesRead = 0;    ///< Artifact bytes served from the cache.
   size_t BytesWritten = 0; ///< Artifact bytes stored into the cache.
+  /// Value interning: distinct artifact contents resident, put() calls
+  /// that reused an already-interned value, and the bytes those reuses
+  /// did not duplicate.
+  size_t InternedValues = 0;
+  unsigned InternHits = 0;
+  size_t InternBytesSaved = 0;
 };
 
-/// Thread-safe two-layer (memory + optional disk) artifact store.
+/// Thread-safe two-layer (sharded memory + optional disk) artifact
+/// store with content-interned values.
 class ArtifactCache {
 public:
   /// \p DiskDir empty means memory-only. The directory is created on
@@ -54,6 +76,9 @@ public:
 
   /// Looks \p Key up in memory, then on disk. Counts a hit or miss.
   std::optional<std::string> get(const std::string &Key);
+
+  /// Like get(), but shares the interned value instead of copying it.
+  std::shared_ptr<const std::string> getShared(const std::string &Key);
 
   /// Stores \p Value under \p Key in both layers.
   void put(const std::string &Key, const std::string &Value);
@@ -69,13 +94,39 @@ public:
   const std::string &diskDir() const { return Dir; }
 
 private:
-  std::string pathFor(const std::string &Key) const;
+  static constexpr size_t NumShards = 16;
 
-  mutable std::mutex Mutex;
-  std::map<std::string, std::string> Mem;
+  struct Shard {
+    std::mutex Mutex;
+    std::map<std::string, std::shared_ptr<const std::string>> Mem;
+  };
+
+  Shard &shardFor(const std::string &Key);
+  std::string pathFor(const std::string &Key) const;
+  /// Interns \p Value: returns the resident copy with identical
+  /// contents, registering \p Value if it is the first.
+  std::shared_ptr<const std::string> intern(std::string Value);
+  bool ensureDir();
+  void writeDiskEntry(const std::string &Key, const std::string &Value);
+
   std::string Dir;
-  bool DirReady = false; ///< Created (or found) the disk directory.
-  ArtifactCacheStats Stats;
+  Shard Shards[NumShards];
+  /// Content-hash -> resident values (a bucket list per hash so a
+  /// 64-bit collision degrades to a linear compare, never to aliasing
+  /// different contents).
+  mutable std::mutex InternMutex;
+  std::map<std::uint64_t,
+           std::vector<std::shared_ptr<const std::string>>>
+      Interned;
+  std::mutex DirMutex;
+  std::atomic<bool> DirReady{false}; ///< Created (or found) the dir.
+  std::atomic<std::uint64_t> TmpSeq{0}; ///< Unique temp-name suffix.
+  /// Counters (atomic: get/put run concurrently under different shard
+  /// locks).
+  mutable std::atomic<unsigned> MemHits{0}, DiskHits{0}, Misses{0},
+      InternHits{0};
+  mutable std::atomic<size_t> BytesRead{0}, BytesWritten{0},
+      InternBytesSaved{0};
 };
 
 } // namespace ipra

@@ -22,10 +22,15 @@
 /// summary files and program database really are serialized to text and
 /// parsed back between phases, keeping the module boundary honest.
 ///
-/// The functions here are convenience wrappers over the Pipeline facade
-/// (Pipeline.h); each call runs against a fresh cache, so they behave
-/// like a cold build. Hold a Pipeline object (or set
-/// PipelineConfig::CacheDir) for incremental reuse.
+/// The functions here are DEPRECATED convenience wrappers over the
+/// Pipeline facade (Pipeline.h); each call runs against a fresh cache,
+/// so they behave like a cold build, and each reports errors through
+/// the legacy bool Success + ErrorText shape instead of Status. New
+/// code should construct a Pipeline (or a BuildRequest for
+/// Pipeline::execute) directly: it gets incremental reuse, structured
+/// diagnostics, and the same request type the build service speaks.
+/// Define IPRA_WARN_DEPRECATED to surface [[deprecated]] warnings at
+/// the remaining call sites.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -42,6 +47,16 @@
 
 #include <string>
 #include <vector>
+
+/// Soft deprecation: the wrappers below predate Pipeline/BuildRequest
+/// and survive for the existing tests and tools. The attribute is
+/// opt-in so the default -Werror build stays clean while migrations
+/// are in flight.
+#ifdef IPRA_WARN_DEPRECATED
+#define IPRA_DEPRECATED(Msg) [[deprecated(Msg)]]
+#else
+#define IPRA_DEPRECATED(Msg)
+#endif
 
 namespace ipra {
 
@@ -62,6 +77,7 @@ struct CompileResult {
 
 /// Compiles \p Sources under \p Config. \p Profile feeds the analyzer
 /// when Config.UseProfile is set (collect it from a previous run).
+IPRA_DEPRECATED("construct a Pipeline and call build() instead")
 CompileResult compileProgram(const std::vector<SourceFile> &Sources,
                              const PipelineConfig &Config,
                              const ProfileData *Profile = nullptr);
@@ -71,6 +87,7 @@ struct CompileAndRunResult {
   CompileResult Compile;
   RunResult Run;
 };
+IPRA_DEPRECATED("construct a Pipeline, build(), then run the Executable")
 CompileAndRunResult compileAndRun(const std::vector<SourceFile> &Sources,
                                   const PipelineConfig &Config,
                                   const ProfileData *Profile = nullptr,
@@ -93,6 +110,7 @@ struct Phase1Result {
   std::string ErrorText;
   std::string SummaryText;
 };
+IPRA_DEPRECATED("use Pipeline::compileSummary instead")
 Phase1Result runPhase1(const SourceFile &Source,
                        const PipelineConfig &Config);
 
@@ -103,6 +121,7 @@ struct AnalyzeResult {
   std::string DatabaseText;
   AnalyzerStats Stats;
 };
+IPRA_DEPRECATED("use Pipeline::analyze instead")
 AnalyzeResult runAnalyzerPhase(const std::vector<std::string> &SummaryTexts,
                                const PipelineConfig &Config,
                                const ProfileData *Profile = nullptr);
@@ -114,6 +133,7 @@ struct Phase2Result {
   std::string ErrorText;
   std::string ObjectText;
 };
+IPRA_DEPRECATED("use Pipeline::compileObject instead")
 Phase2Result runPhase2(const SourceFile &Source,
                        const std::string &DatabaseText,
                        const PipelineConfig &Config);
@@ -124,6 +144,7 @@ struct LinkTextsResult {
   std::string ErrorText;
   Executable Exe;
 };
+IPRA_DEPRECATED("use Pipeline::link instead")
 LinkTextsResult linkObjectTexts(const std::vector<std::string> &Objects);
 
 /// §7.1's alternative to the whole two-pass scheme: compile every module

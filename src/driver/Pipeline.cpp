@@ -26,20 +26,6 @@
 
 using namespace ipra;
 
-std::string Diagnostics::text() const {
-  std::string Out;
-  for (const Diagnostic &D : Items) {
-    if (D.Module.empty() && !D.Loc.isValid()) {
-      // Pipeline-level error: the message is the whole text.
-      Out += D.Message;
-    } else {
-      Out += D.render();
-      Out += '\n';
-    }
-  }
-  return Out;
-}
-
 namespace {
 
 /// Parses and checks one module; returns null on error.
@@ -180,30 +166,36 @@ std::string objectKey(const std::string &CompileFP,
 
 } // namespace
 
-Pipeline::Pipeline(PipelineConfig Config_)
-    : Config(std::move(Config_)), Cache(Config.CacheDir),
+Pipeline::Pipeline(PipelineConfig Config_,
+                   std::shared_ptr<ArtifactCache> SharedCache,
+                   std::shared_ptr<AnalyzerSession> SharedSession)
+    : Config(std::move(Config_)),
+      Cache(SharedCache ? std::move(SharedCache)
+                        : std::make_shared<ArtifactCache>(Config.CacheDir)),
+      Session(SharedSession ? std::move(SharedSession)
+                            : std::make_shared<AnalyzerSession>()),
       CompileFP(Config.compileFingerprint()),
       AnalyzerFP(Config.analyzerFingerprint()),
       FullFP(Config.fingerprint()) {}
 
 //===----------------------------------------------------------------------===//
-// Phase-granular methods.
+// Phase-granular bodies.
 //===----------------------------------------------------------------------===//
 
-SummaryResult Pipeline::compileSummary(const SourceFile &Source) {
+SummaryResult Pipeline::compileSummaryImpl(const SourceFile &Source) {
   SummaryResult Result;
   std::string Key = summaryKey(CompileFP, Source);
-  if (auto Entry = Cache.get(Key)) {
+  if (auto Entry = Cache->get(Key)) {
     ModuleSummary Parsed;
     std::string Error;
     if (readSummary(*Entry, Parsed, Error) &&
         Parsed.ConfigFingerprint == CompileFP) {
       Result.SummaryText = std::move(*Entry);
       Result.FromCache = true;
-      Result.Status = PhaseStatus::Ok;
+      Result.Ok = true;
       return Result;
     }
-    Cache.invalidate(Key); // Corrupt or stale entry: recompute.
+    Cache->invalidate(Key); // Corrupt or stale entry: recompute.
   }
 
   DiagnosticEngine Diags;
@@ -239,8 +231,8 @@ SummaryResult Pipeline::compileSummary(const SourceFile &Source) {
     PT->applyToSummary(Summary);
   Summary.ConfigFingerprint = CompileFP;
   Result.SummaryText = writeSummary(Summary);
-  Cache.put(Key, Result.SummaryText);
-  Result.Status = PhaseStatus::Ok;
+  Cache->put(Key, Result.SummaryText);
+  Result.Ok = true;
   return Result;
 }
 
@@ -259,7 +251,7 @@ bool Pipeline::analyzeCached(const std::vector<ModuleSummary> &Summaries,
     Parts.push_back(T);
   std::string Key = hashParts(Parts);
 
-  if (auto Entry = Cache.get(Key)) {
+  if (auto Entry = Cache->get(Key)) {
     AnalyzerStats CachedStats;
     std::string CachedDb;
     if (splitStatsEntry(*Entry, CachedStats, CachedDb)) {
@@ -275,17 +267,21 @@ bool Pipeline::analyzeCached(const std::vector<ModuleSummary> &Summaries,
         return true;
       }
     }
-    Cache.invalidate(Key); // Corrupt or stale entry: recompute.
+    Cache->invalidate(Key); // Corrupt or stale entry: recompute.
   }
 
   ProgramDatabase Produced;
   if (Config.DeltaAnalysis) {
-    // Damage-region re-analysis over the state retained from the
-    // previous miss; byte-identical to the cold run by construction
-    // (falls back internally when the edit is inexpressible).
-    Produced = Delta.analyze(Summaries, Config.analyzerOptions(), CP);
-    Stats = Delta.stats();
-    DS = Delta.deltaStats();
+    // Damage-region re-analysis over the state the session retained
+    // from the previous miss; byte-identical to the cold run by
+    // construction (falls back internally when the edit is
+    // inexpressible). The session serializes concurrent callers, so
+    // same-program requests coalesce instead of racing.
+    AnalyzerSession::Outcome O =
+        Session->analyze(Summaries, Config.analyzerOptions(), CP);
+    Produced = std::move(O.DB);
+    Stats = O.Stats;
+    DS = O.Delta;
     if (DS.Mode == DeltaMode::Incremental)
       Mode = "delta";
   } else {
@@ -296,52 +292,57 @@ bool Pipeline::analyzeCached(const std::vector<ModuleSummary> &Summaries,
   DbText = Produced.serialize();
   if (!ProgramDatabase::deserialize(DbText, DB, Error))
     return false;
-  Cache.put(Key, statsHeader(Stats) + DbText);
+  Cache->put(Key, statsHeader(Stats) + DbText);
   return true;
 }
 
-DatabaseResult Pipeline::analyze(const std::vector<std::string> &SummaryTexts,
-                                 const ProfileData *Profile) {
-  DatabaseResult Result;
+Status Pipeline::executeAnalyze(const BuildRequest &Req,
+                                BuildResponse &Resp) {
+  ScopedTimerMs Total(Resp.Stats.TotalMs);
+  ScopedTimerMs Timer(Resp.Stats.AnalyzerMs);
   std::vector<ModuleSummary> Summaries;
-  for (const std::string &Text : SummaryTexts) {
+  for (const std::string &Text : Req.Summaries) {
     ModuleSummary S;
     std::string Error;
-    if (!readSummary(Text, S, Error)) {
-      Result.Diags.error("bad summary file: " + Error);
-      return Result;
-    }
-    if (!S.ConfigFingerprint.empty() && S.ConfigFingerprint != CompileFP) {
-      Result.Diags.error(
+    if (!readSummary(Text, S, Error))
+      return Status::error("bad summary file: " + Error);
+    if (!S.ConfigFingerprint.empty() && S.ConfigFingerprint != CompileFP)
+      return Status::error(
           "bad summary file: summary for module '" + S.Module +
           "' was produced under a different compiler configuration "
           "(fingerprint " +
           S.ConfigFingerprint + ", expected " + CompileFP +
           "); re-run phase 1 with matching options");
-      return Result;
-    }
     Summaries.push_back(std::move(S));
   }
 
   CallProfile CP;
-  if (Config.UseProfile && Profile) {
-    CP.CallCounts = Profile->CallCounts;
-    CP.EdgeCounts = Profile->EdgeCounts;
+  if (Config.UseProfile && Req.Profile) {
+    CP.CallCounts = Req.Profile->CallCounts;
+    CP.EdgeCounts = Req.Profile->EdgeCounts;
   }
   ProgramDatabase DB;
+  bool FromCache = false;
+  std::string Mode;
   std::string Error;
-  if (!analyzeCached(Summaries, SummaryTexts, CP, Result.Stats,
-                     Result.DatabaseText, DB, Result.FromCache,
-                     Result.Mode, Result.Delta, Error)) {
-    Result.Diags.error("database round-trip failed: " + Error);
-    return Result;
+  if (!analyzeCached(Summaries, Req.Summaries, CP, Resp.Analyzer,
+                     Resp.Database, DB, FromCache, Mode, Resp.Delta,
+                     Error))
+    return Status::error("database round-trip failed: " + Error);
+  Resp.FromCache = FromCache;
+  Resp.Stats.AnalyzerMode = Mode;
+  if (FromCache) {
+    ++Resp.Stats.AnalyzerCacheHits;
+    Resp.Stats.CacheBytesSaved += Resp.Database.size();
+  } else {
+    ++Resp.Stats.AnalyzerCacheMisses;
   }
-  Result.Status = PhaseStatus::Ok;
-  return Result;
+  Resp.Stats.DatabaseBytes = Resp.Database.size();
+  return Status::success();
 }
 
-ObjectResult Pipeline::compileObject(const SourceFile &Source,
-                                     const std::string &DatabaseText) {
+ObjectResult Pipeline::compileObjectImpl(const SourceFile &Source,
+                                         const std::string &DatabaseText) {
   ObjectResult Result;
   ProgramDatabase DB;
   bool HaveDB = !DatabaseText.empty();
@@ -365,16 +366,16 @@ ObjectResult Pipeline::compileObject(const SourceFile &Source,
   // slice from; the whole database text stands in (build() keys on
   // ProgramDatabase::sliceFor instead).
   std::string Key = objectKey(CompileFP, Source, DatabaseText);
-  if (auto Entry = Cache.get(Key)) {
+  if (auto Entry = Cache->get(Key)) {
     ObjectFile Parsed;
     std::string Error;
     if (readObjectFile(*Entry, Parsed, Error)) {
       Result.ObjectText = std::move(*Entry);
       Result.FromCache = true;
-      Result.Status = PhaseStatus::Ok;
+      Result.Ok = true;
       return Result;
     }
-    Cache.invalidate(Key); // Corrupt entry: recompute.
+    Cache->invalidate(Key); // Corrupt entry: recompute.
   }
 
   DiagnosticEngine Diags;
@@ -419,12 +420,12 @@ ObjectResult Pipeline::compileObject(const SourceFile &Source,
     Funcs.push_back(std::move(CG.Obj));
   }
   Result.ObjectText = writeObjectFile(assembleObject(*IR, std::move(Funcs)));
-  Cache.put(Key, Result.ObjectText);
-  Result.Status = PhaseStatus::Ok;
+  Cache->put(Key, Result.ObjectText);
+  Result.Ok = true;
   return Result;
 }
 
-LinkedResult Pipeline::link(const std::vector<std::string> &ObjectTexts) {
+LinkedResult Pipeline::linkImpl(const std::vector<std::string> &ObjectTexts) {
   LinkedResult Result;
   std::vector<ObjectFile> Parsed;
   for (const std::string &Text : ObjectTexts) {
@@ -445,7 +446,7 @@ LinkedResult Pipeline::link(const std::vector<std::string> &ObjectTexts) {
     return Result;
   }
   Result.Exe = std::move(Linked.Exe);
-  Result.Status = PhaseStatus::Ok;
+  Result.Ok = true;
   return Result;
 }
 
@@ -453,8 +454,9 @@ LinkedResult Pipeline::link(const std::vector<std::string> &ObjectTexts) {
 // The fused incremental build.
 //===----------------------------------------------------------------------===//
 
-BuildResult Pipeline::build(const std::vector<SourceFile> &Sources,
-                            const ProfileData *Profile) {
+BuildResult Pipeline::buildImpl(const std::vector<SourceFile> &Sources,
+                                const ProfileData *Profile,
+                                DeltaStats *OutDS) {
   BuildResult Result;
   PipelineStats &PS = Result.Stats;
   ScopedTimerMs TotalTimer(PS.TotalMs);
@@ -513,7 +515,7 @@ BuildResult Pipeline::build(const std::vector<SourceFile> &Sources,
       std::vector<size_t> Miss;
       for (size_t I = 0; I < NumModules; ++I) {
         Keys[I] = summaryKey(CompileFP, AllSources[I]);
-        if (auto Entry = Cache.get(Keys[I])) {
+        if (auto Entry = Cache->get(Keys[I])) {
           ModuleSummary Parsed;
           std::string Error;
           if (readSummary(*Entry, Parsed, Error) &&
@@ -525,7 +527,7 @@ BuildResult Pipeline::build(const std::vector<SourceFile> &Sources,
             PS.CacheBytesSaved += SummaryTexts[I].size();
             continue;
           }
-          Cache.invalidate(Keys[I]); // Corrupt entry: recompute.
+          Cache->invalidate(Keys[I]); // Corrupt entry: recompute.
         }
         ++PS.Phase1CacheMisses;
         Miss.push_back(I);
@@ -618,7 +620,7 @@ BuildResult Pipeline::build(const std::vector<SourceFile> &Sources,
         // Publish only once every miss round-tripped cleanly; failures
         // are never cached.
         for (size_t I : Miss)
-          Cache.put(Keys[I], SummaryTexts[I]);
+          Cache->put(Keys[I], SummaryTexts[I]);
         for (size_t I : Miss)
           if (PTs[I]) {
             PS.PointsToConstraints += PTs[I]->stats().Constraints;
@@ -659,6 +661,8 @@ BuildResult Pipeline::build(const std::vector<SourceFile> &Sources,
     } else {
       ++PS.AnalyzerCacheMisses;
     }
+    if (OutDS)
+      *OutDS = DS;
     PS.AnalyzerMode = Mode;
     PS.AnalyzerChangedProcs = DS.ChangedProcs;
     PS.AnalyzerDamagedSccs = DS.DamagedSccs;
@@ -697,7 +701,7 @@ BuildResult Pipeline::build(const std::vector<SourceFile> &Sources,
           HaveDB ? DB.sliceFor(Summaries[I], Config.CallerSavePropagation)
                  : std::string();
       Keys[I] = objectKey(CompileFP, AllSources[I], Slice);
-      if (auto Entry = Cache.get(Keys[I])) {
+      if (auto Entry = Cache->get(Keys[I])) {
         ObjectFile Parsed;
         std::string Error;
         if (readObjectFile(*Entry, Parsed, Error)) {
@@ -708,7 +712,7 @@ BuildResult Pipeline::build(const std::vector<SourceFile> &Sources,
           PS.CacheBytesSaved += ObjTexts[I].size();
           continue;
         }
-        Cache.invalidate(Keys[I]); // Corrupt entry: recompute.
+        Cache->invalidate(Keys[I]); // Corrupt entry: recompute.
       }
       ++PS.Phase2CacheMisses;
       Miss.push_back(I);
@@ -812,7 +816,7 @@ BuildResult Pipeline::build(const std::vector<SourceFile> &Sources,
         return Result;
       }
       for (size_t I : Miss)
-        Cache.put(Keys[I], ObjTexts[I]);
+        Cache->put(Keys[I], ObjTexts[I]);
     }
     Result.ObjectFiles = ObjTexts;
     for (size_t I = 0; I < NumModules; ++I) {
@@ -835,6 +839,181 @@ BuildResult Pipeline::build(const std::vector<SourceFile> &Sources,
     return Result;
   }
   Result.Exe = std::move(Linked.Exe);
-  Result.Status = PhaseStatus::Ok;
+  Result.Ok = true;
   return Result;
+}
+
+//===----------------------------------------------------------------------===//
+// The canonical request entry point and the facade adapters.
+//===----------------------------------------------------------------------===//
+
+Status Pipeline::executeSummary(const BuildRequest &Req,
+                                BuildResponse &Resp) {
+  ScopedTimerMs Total(Resp.Stats.TotalMs);
+  ScopedTimerMs Timer(Resp.Stats.Phase1Ms);
+  bool AllCached = !Req.Modules.empty();
+  for (const SourceFile &Source : Req.Modules) {
+    SummaryResult R = compileSummaryImpl(Source);
+    if (!R.ok())
+      return std::move(static_cast<Status &>(R));
+    if (R.FromCache) {
+      ++Resp.Stats.Phase1CacheHits;
+      Resp.Stats.CacheBytesSaved += R.SummaryText.size();
+    } else {
+      ++Resp.Stats.Phase1CacheMisses;
+      AllCached = false;
+    }
+    Resp.Stats.SummaryBytes += R.SummaryText.size();
+    Resp.Summaries.push_back(std::move(R.SummaryText));
+  }
+  Resp.FromCache = AllCached;
+  return Status::success();
+}
+
+Status Pipeline::executeObject(const BuildRequest &Req,
+                               BuildResponse &Resp) {
+  ScopedTimerMs Total(Resp.Stats.TotalMs);
+  ScopedTimerMs Timer(Resp.Stats.Phase2Ms);
+  bool AllCached = !Req.Modules.empty();
+  for (const SourceFile &Source : Req.Modules) {
+    ObjectResult R = compileObjectImpl(Source, Req.Database);
+    if (!R.ok())
+      return std::move(static_cast<Status &>(R));
+    if (R.FromCache) {
+      ++Resp.Stats.Phase2CacheHits;
+      Resp.Stats.CacheBytesSaved += R.ObjectText.size();
+    } else {
+      ++Resp.Stats.Phase2CacheMisses;
+      AllCached = false;
+    }
+    Resp.Stats.ObjectBytes += R.ObjectText.size();
+    Resp.Objects.push_back(std::move(R.ObjectText));
+  }
+  Resp.FromCache = AllCached;
+  return Status::success();
+}
+
+Status Pipeline::executeLink(const BuildRequest &Req, BuildResponse &Resp) {
+  ScopedTimerMs Total(Resp.Stats.TotalMs);
+  ScopedTimerMs Timer(Resp.Stats.LinkMs);
+  LinkedResult R = linkImpl(Req.Objects);
+  Resp.Exe = std::move(R.Exe);
+  return std::move(static_cast<Status &>(R));
+}
+
+Status Pipeline::executeFull(const BuildRequest &Req, BuildResponse &Resp) {
+  DeltaStats DS;
+  BuildResult R = buildImpl(Req.Modules,
+                            Req.Profile ? &*Req.Profile : nullptr, &DS);
+  Resp.Summaries = std::move(R.SummaryFiles);
+  Resp.Database = std::move(R.DatabaseFile);
+  Resp.Objects = std::move(R.ObjectFiles);
+  Resp.Exe = std::move(R.Exe);
+  Resp.Analyzer = R.Analyzer;
+  Resp.Delta = DS;
+  Resp.Stats = std::move(R.Stats);
+  Resp.FromCache = R.Ok && Resp.Stats.Phase1CacheMisses == 0 &&
+                   Resp.Stats.AnalyzerCacheMisses == 0 &&
+                   Resp.Stats.Phase2CacheMisses == 0;
+  return std::move(static_cast<Status &>(R));
+}
+
+Result<BuildResponse> Pipeline::execute(const BuildRequest &Req) {
+  Result<BuildResponse> R;
+  R.Value.Program = Req.Program;
+  R.Value.Phase = Req.Phase;
+  // Linking is configuration-independent; every other phase's artifacts
+  // are keyed on this pipeline's fingerprints, so a request built for a
+  // different configuration must be rejected, not silently served.
+  if (Req.Phase != BuildPhase::Link &&
+      Req.Config.fingerprint() != FullFP) {
+    static_cast<Status &>(R) = Status::error(
+        "request configuration (fingerprint " + Req.Config.fingerprint() +
+            ") does not match this pipeline (fingerprint " + FullFP + ")",
+        "config-mismatch");
+    return R;
+  }
+  Status S;
+  switch (Req.Phase) {
+  case BuildPhase::Summary:
+    S = executeSummary(Req, R.Value);
+    break;
+  case BuildPhase::Analyze:
+    S = executeAnalyze(Req, R.Value);
+    break;
+  case BuildPhase::Object:
+    S = executeObject(Req, R.Value);
+    break;
+  case BuildPhase::Link:
+    S = executeLink(Req, R.Value);
+    break;
+  case BuildPhase::Full:
+    S = executeFull(Req, R.Value);
+    break;
+  }
+  static_cast<Status &>(R) = std::move(S);
+  return R;
+}
+
+SummaryResult Pipeline::compileSummary(const SourceFile &Source) {
+  Result<BuildResponse> R = execute(BuildRequest::summary(Config, {Source}));
+  SummaryResult Out;
+  static_cast<Status &>(Out) = std::move(static_cast<Status &>(R));
+  if (!R.Value.Summaries.empty())
+    Out.SummaryText = std::move(R.Value.Summaries.front());
+  Out.FromCache = R.Value.FromCache;
+  return Out;
+}
+
+DatabaseResult Pipeline::analyze(const std::vector<std::string> &SummaryTexts,
+                                 const ProfileData *Profile) {
+  BuildRequest Req = BuildRequest::analyze(Config, SummaryTexts);
+  if (Profile)
+    Req.Profile = *Profile;
+  Result<BuildResponse> R = execute(Req);
+  DatabaseResult Out;
+  static_cast<Status &>(Out) = std::move(static_cast<Status &>(R));
+  Out.DatabaseText = std::move(R.Value.Database);
+  Out.Stats = R.Value.Analyzer;
+  Out.FromCache = R.Value.FromCache;
+  Out.Mode = R.Value.Stats.AnalyzerMode;
+  Out.Delta = R.Value.Delta;
+  return Out;
+}
+
+ObjectResult Pipeline::compileObject(const SourceFile &Source,
+                                     const std::string &DatabaseText) {
+  Result<BuildResponse> R =
+      execute(BuildRequest::object(Config, Source, DatabaseText));
+  ObjectResult Out;
+  static_cast<Status &>(Out) = std::move(static_cast<Status &>(R));
+  if (!R.Value.Objects.empty())
+    Out.ObjectText = std::move(R.Value.Objects.front());
+  Out.FromCache = R.Value.FromCache;
+  return Out;
+}
+
+LinkedResult Pipeline::link(const std::vector<std::string> &ObjectTexts) {
+  Result<BuildResponse> R = execute(BuildRequest::link(ObjectTexts));
+  LinkedResult Out;
+  static_cast<Status &>(Out) = std::move(static_cast<Status &>(R));
+  Out.Exe = std::move(R.Value.Exe);
+  return Out;
+}
+
+BuildResult Pipeline::build(const std::vector<SourceFile> &Sources,
+                            const ProfileData *Profile) {
+  BuildRequest Req = BuildRequest::full(Config, Sources);
+  if (Profile)
+    Req.Profile = *Profile;
+  Result<BuildResponse> R = execute(Req);
+  BuildResult Out;
+  static_cast<Status &>(Out) = std::move(static_cast<Status &>(R));
+  Out.Exe = std::move(R.Value.Exe);
+  Out.Analyzer = R.Value.Analyzer;
+  Out.Stats = std::move(R.Value.Stats);
+  Out.SummaryFiles = std::move(R.Value.Summaries);
+  Out.DatabaseFile = std::move(R.Value.Database);
+  Out.ObjectFiles = std::move(R.Value.Objects);
+  return Out;
 }

@@ -6,10 +6,16 @@
 //===----------------------------------------------------------------------===//
 ///
 /// \file
-/// The pipeline facade: each paper phase (Figure 1) as a method
-/// returning a structured result — status, diagnostics, and the textual
-/// artifact — plus a fused incremental build() that runs all four
-/// stages with content-addressed caching:
+/// The pipeline facade: one canonical entry point, execute(), that maps
+/// a BuildRequest to a Result<BuildResponse>, plus per-phase
+/// convenience methods (compileSummary, analyze, compileObject, link,
+/// build) that are thin adapters constructing a request and unpacking
+/// the response. The CLI, the in-process library, and the build-service
+/// daemon all speak the same request type, so a build means the same
+/// thing no matter which door it comes in through.
+///
+/// The fused build() runs all four paper phases (Figure 1) with
+/// content-addressed caching:
 ///
 ///  - phase 1 is keyed on the module's source text and the compile-side
 ///    configuration fingerprint, so an edit reruns phase 1 for exactly
@@ -27,10 +33,16 @@
 /// cached. Cached and cold builds produce byte-identical artifacts at
 /// every thread count.
 ///
+/// The artifact cache and the retained delta-analysis state are held by
+/// shared_ptr: a Pipeline constructed bare owns private instances
+/// (matching the old behaviour), while the build service injects one
+/// shared cache across all programs and one AnalyzerSession per program
+/// so hot state survives Pipeline reconstruction.
+///
 /// The free functions in Driver.h (compileProgram, runPhase1, ...) are
-/// thin wrappers over this class; each call constructs a fresh Pipeline
-/// so their behavior is unchanged. Hold a Pipeline (and/or set
-/// PipelineConfig::CacheDir) to get reuse across builds.
+/// deprecated wrappers over this class; each call constructs a fresh
+/// Pipeline. Hold a Pipeline (and/or set PipelineConfig::CacheDir) to
+/// get reuse across builds.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -38,65 +50,30 @@
 #define IPRA_DRIVER_PIPELINE_H
 
 #include "core/Analyzer.h"
+#include "core/AnalyzerSession.h"
 #include "core/DeltaAnalyzer.h"
 #include "driver/ArtifactCache.h"
+#include "driver/BuildRequest.h"
 #include "driver/PipelineConfig.h"
 #include "driver/PipelineStats.h"
 #include "link/Object.h"
 #include "sim/Simulator.h"
-#include "support/Diagnostics.h"
+#include "support/Status.h"
 
+#include <memory>
 #include <string>
 #include <vector>
 
 namespace ipra {
 
-/// A value collection of diagnostics. DiagnosticEngine owns a mutex and
-/// cannot be copied into results; phases collect into engines and hand
-/// back one of these.
-struct Diagnostics {
-  std::vector<Diagnostic> Items;
-
-  /// Appends a pipeline-level error with no source location.
-  void error(std::string Message) {
-    Items.push_back(
-        Diagnostic{DiagKind::Error, "", SourceLoc(), std::move(Message)});
-  }
-  /// Appends every diagnostic \p Engine collected, in order.
-  void addAll(const DiagnosticEngine &Engine) {
-    for (const Diagnostic &D : Engine.diagnostics())
-      Items.push_back(D);
-  }
-  bool hasErrors() const {
-    for (const Diagnostic &D : Items)
-      if (D.Kind == DiagKind::Error)
-        return true;
-    return false;
-  }
-  bool empty() const { return Items.empty(); }
-
-  /// Renders the collected diagnostics as the legacy ErrorText string:
-  /// located diagnostics render as "module:line:col: error: ..." lines,
-  /// bare pipeline-level errors as their message alone.
-  std::string text() const;
-};
-
-/// Outcome of one phase.
-enum class PhaseStatus { Ok, Error };
-
 /// Phase 1 over one module.
-struct SummaryResult {
-  PhaseStatus Status = PhaseStatus::Error;
-  Diagnostics Diags;
+struct SummaryResult : Status {
   std::string SummaryText;
   bool FromCache = false;
-  bool ok() const { return Status == PhaseStatus::Ok; }
 };
 
 /// The program analyzer over all summaries.
-struct DatabaseResult {
-  PhaseStatus Status = PhaseStatus::Error;
-  Diagnostics Diags;
+struct DatabaseResult : Status {
   std::string DatabaseText;
   AnalyzerStats Stats;
   bool FromCache = false;
@@ -104,30 +81,21 @@ struct DatabaseResult {
   std::string Mode;
   /// Damage accounting when PipelineConfig::DeltaAnalysis is set.
   DeltaStats Delta;
-  bool ok() const { return Status == PhaseStatus::Ok; }
 };
 
 /// Phase 2 over one module.
-struct ObjectResult {
-  PhaseStatus Status = PhaseStatus::Error;
-  Diagnostics Diags;
+struct ObjectResult : Status {
   std::string ObjectText;
   bool FromCache = false;
-  bool ok() const { return Status == PhaseStatus::Ok; }
 };
 
 /// The link step.
-struct LinkedResult {
-  PhaseStatus Status = PhaseStatus::Error;
-  Diagnostics Diags;
+struct LinkedResult : Status {
   Executable Exe;
-  bool ok() const { return Status == PhaseStatus::Ok; }
 };
 
 /// The fused four-stage build.
-struct BuildResult {
-  PhaseStatus Status = PhaseStatus::Error;
-  Diagnostics Diags;
+struct BuildResult : Status {
   Executable Exe;
   AnalyzerStats Analyzer;
   PipelineStats Stats;
@@ -135,7 +103,6 @@ struct BuildResult {
   std::string DatabaseFile;
   /// One textual object file per module (including the runtime module).
   std::vector<std::string> ObjectFiles;
-  bool ok() const { return Status == PhaseStatus::Ok; }
 };
 
 /// The two-pass pipeline under one configuration, with an artifact
@@ -143,10 +110,24 @@ struct BuildResult {
 /// the configuration names a CacheDir).
 class Pipeline {
 public:
-  explicit Pipeline(PipelineConfig Config);
+  /// A bare Pipeline owns a private cache (at Config.CacheDir) and a
+  /// private analyzer session. Pass \p SharedCache / \p SharedSession
+  /// to share hot state across Pipelines — the build service shares one
+  /// cache service-wide and one session per program.
+  explicit Pipeline(PipelineConfig Config,
+                    std::shared_ptr<ArtifactCache> SharedCache = nullptr,
+                    std::shared_ptr<AnalyzerSession> SharedSession = nullptr);
 
   const PipelineConfig &config() const { return Config; }
-  ArtifactCache &cache() { return Cache; }
+  ArtifactCache &cache() { return *Cache; }
+  const std::shared_ptr<ArtifactCache> &cachePtr() const { return Cache; }
+  const std::shared_ptr<AnalyzerSession> &session() const { return Session; }
+
+  /// The canonical entry point: runs the phase \p Req selects over its
+  /// inputs. Fails with code "config-mismatch" when the request was
+  /// built for a different configuration fingerprint (Link requests
+  /// skip the check — linking is configuration-independent).
+  Result<BuildResponse> execute(const BuildRequest &Req);
 
   /// Compiler first phase on one module: parse, check, optimize, trial
   /// codegen, summary file (stamped with the compile fingerprint).
@@ -177,12 +158,27 @@ public:
                     const ProfileData *Profile = nullptr);
 
 private:
-  /// Shared by analyze() and build(): runs the analyzer through the
-  /// cache (and, when Config.DeltaAnalysis is set, through the retained
-  /// delta analyzer on a miss). Fills \p Mode with "cached", "delta" or
-  /// "full" and \p DS with the delta damage accounting. Returns false
-  /// (filling \p Error) only when the produced database fails its
-  /// serialization round-trip.
+  /// Per-phase bodies behind execute(); each fills the response fields
+  /// its phase produces.
+  Status executeSummary(const BuildRequest &Req, BuildResponse &Resp);
+  Status executeAnalyze(const BuildRequest &Req, BuildResponse &Resp);
+  Status executeObject(const BuildRequest &Req, BuildResponse &Resp);
+  Status executeLink(const BuildRequest &Req, BuildResponse &Resp);
+  Status executeFull(const BuildRequest &Req, BuildResponse &Resp);
+
+  SummaryResult compileSummaryImpl(const SourceFile &Source);
+  ObjectResult compileObjectImpl(const SourceFile &Source,
+                                 const std::string &DatabaseText);
+  LinkedResult linkImpl(const std::vector<std::string> &ObjectTexts);
+  BuildResult buildImpl(const std::vector<SourceFile> &Sources,
+                        const ProfileData *Profile, DeltaStats *OutDS);
+
+  /// Shared by the analyze and full phases: runs the analyzer through
+  /// the cache (and, when Config.DeltaAnalysis is set, through the
+  /// retained delta session on a miss). Fills \p Mode with "cached",
+  /// "delta" or "full" and \p DS with the delta damage accounting.
+  /// Returns false (filling \p Error) only when the produced database
+  /// fails its serialization round-trip.
   bool analyzeCached(const std::vector<ModuleSummary> &Summaries,
                      const std::vector<std::string> &SummaryTexts,
                      const CallProfile &CP, AnalyzerStats &Stats,
@@ -191,11 +187,11 @@ private:
                      std::string &Error);
 
   PipelineConfig Config;
-  ArtifactCache Cache;
+  std::shared_ptr<ArtifactCache> Cache;
   /// Retained-state incremental analyzer, used on analyzer cache misses
-  /// when Config.DeltaAnalysis is set. Holding it here gives delta
-  /// reuse the same lifetime as the in-memory artifact cache.
-  DeltaAnalyzer Delta;
+  /// when Config.DeltaAnalysis is set. Session-owned so delta reuse can
+  /// outlive this Pipeline when the session is shared.
+  std::shared_ptr<AnalyzerSession> Session;
   /// Fingerprints are fixed at construction; the three are the cache
   /// key ingredients for phase 1+2, the analyzer, and artifact
   /// stamping respectively.

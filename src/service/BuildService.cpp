@@ -1,0 +1,241 @@
+//===- BuildService.cpp - Long-lived IPRA build service -------------------===//
+//
+// Part of the IPRA project: a reproduction of Santhanam & Odnert,
+// "Register Allocation Across Procedure and Module Boundaries", PLDI 1990.
+//
+//===----------------------------------------------------------------------===//
+
+#include "service/BuildService.h"
+
+#include "support/ThreadPool.h"
+
+using namespace ipra;
+
+json::Value BuildServiceStats::toJson() const {
+  using json::Value;
+  Value V = Value::object();
+  V.set("accepted", Value::number(Accepted))
+      .set("completed", Value::number(Completed))
+      .set("failed", Value::number(Failed))
+      .set("rejected-busy", Value::number(RejectedBusy))
+      .set("rejected-shutdown", Value::number(RejectedShutdown))
+      .set("coalesced", Value::number(Coalesced))
+      .set("queue-depth", Value::number(QueueDepth))
+      .set("peak-queue-depth", Value::number(PeakQueueDepth))
+      .set("workers", Value::number(Workers))
+      .set("programs", Value::number(Programs))
+      .set("pipelines", Value::number(Pipelines))
+      .set("analyzer-runs", Value::number(AnalyzerRuns))
+      .set("delta-hits", Value::number(DeltaHits))
+      .set("full-runs", Value::number(FullRuns))
+      .set("requests", Value::number(Requests))
+      .set("total-ms-sum", Value::number(TotalMsSum))
+      .set("phase1-ms-sum", Value::number(Phase1MsSum))
+      .set("analyzer-ms-sum", Value::number(AnalyzerMsSum))
+      .set("phase2-ms-sum", Value::number(Phase2MsSum))
+      .set("link-ms-sum", Value::number(LinkMsSum));
+  Value C = Value::object();
+  C.set("mem-hits", Value::number(Cache.MemHits))
+      .set("disk-hits", Value::number(Cache.DiskHits))
+      .set("misses", Value::number(Cache.Misses))
+      .set("bytes-read", Value::number(Cache.BytesRead))
+      .set("bytes-written", Value::number(Cache.BytesWritten))
+      .set("interned-values", Value::number(Cache.InternedValues))
+      .set("intern-hits", Value::number(Cache.InternHits))
+      .set("intern-bytes-saved", Value::number(Cache.InternBytesSaved));
+  V.set("cache", std::move(C));
+  return V;
+}
+
+BuildService::BuildService(BuildServiceConfig Config_)
+    : Config(Config_),
+      Cache(std::make_shared<ArtifactCache>(Config_.CacheDir)) {
+  unsigned N = Config.Workers ? Config.Workers
+                              : resolveThreadCount(0);
+  Config.Workers = N;
+  WorkerThreads.reserve(N);
+  for (unsigned I = 0; I < N; ++I)
+    WorkerThreads.emplace_back([this] { workerLoop(); });
+}
+
+BuildService::~BuildService() { shutdown(); }
+
+std::shared_ptr<BuildService::ProgramState>
+BuildService::programFor(const std::string &Program) {
+  std::lock_guard<std::mutex> Lock(ProgramsMutex);
+  auto &Slot = Programs[Program];
+  if (!Slot)
+    Slot = std::make_shared<ProgramState>();
+  return Slot;
+}
+
+std::shared_ptr<Pipeline>
+BuildService::pipelineFor(ProgramState &PS, const PipelineConfig &Config_) {
+  std::string Key = Config_.fingerprint();
+  std::lock_guard<std::mutex> Lock(PS.MapMutex);
+  auto It = PS.Entries.find(Key);
+  if (It != PS.Entries.end())
+    return It->second.Pipe;
+  // The service owns cache placement and always retains delta state;
+  // everything else comes from the request so a config flip creates a
+  // correctly-fingerprinted sibling entry.
+  PipelineConfig Effective = Config_;
+  Effective.CacheDir.clear(); // The shared cache is injected below.
+  Effective.DeltaAnalysis = true;
+  ProgramState::Entry E;
+  E.Session = std::make_shared<AnalyzerSession>();
+  E.Pipe = std::make_shared<Pipeline>(Effective, Cache, E.Session);
+  PS.Entries.emplace(Key, E);
+  return E.Pipe;
+}
+
+Result<BuildResponse> BuildService::handle(const BuildRequest &Req) {
+  {
+    std::lock_guard<std::mutex> Lock(QueueMutex);
+    if (Draining) {
+      std::lock_guard<std::mutex> SLock(StatsMutex);
+      ++Counters.RejectedShutdown;
+      return Result<BuildResponse>::failure(
+          "build service is shutting down", "shutdown");
+    }
+  }
+  return run(Req);
+}
+
+Result<BuildResponse> BuildService::run(const BuildRequest &Req) {
+  {
+    std::lock_guard<std::mutex> SLock(StatsMutex);
+    ++Counters.Accepted;
+  }
+
+  std::shared_ptr<ProgramState> PS = programFor(Req.Program);
+  std::shared_ptr<Pipeline> Pipe = pipelineFor(*PS, Req.Config);
+
+  // Same-program requests coalesce here: they serialize onto the one
+  // retained delta state, so concurrent edits produce byte-identical
+  // databases to running them one after the other.
+  std::unique_lock<std::mutex> BuildLock(PS->BuildMutex, std::try_to_lock);
+  if (!BuildLock.owns_lock()) {
+    {
+      std::lock_guard<std::mutex> SLock(StatsMutex);
+      ++Counters.Coalesced;
+    }
+    BuildLock.lock();
+  }
+  Result<BuildResponse> R = Pipe->execute(Req);
+  BuildLock.unlock();
+
+  {
+    std::lock_guard<std::mutex> SLock(StatsMutex);
+    if (R.ok())
+      ++Counters.Completed;
+    else
+      ++Counters.Failed;
+    ++Counters.Requests;
+    Counters.TotalMsSum += R.Value.Stats.TotalMs;
+    Counters.Phase1MsSum += R.Value.Stats.Phase1Ms;
+    Counters.AnalyzerMsSum += R.Value.Stats.AnalyzerMs;
+    Counters.Phase2MsSum += R.Value.Stats.Phase2Ms;
+    Counters.LinkMsSum += R.Value.Stats.LinkMs;
+  }
+  return R;
+}
+
+std::future<Result<BuildResponse>> BuildService::enqueue(BuildRequest Req) {
+  std::promise<Result<BuildResponse>> Done;
+  std::future<Result<BuildResponse>> Fut = Done.get_future();
+  {
+    std::lock_guard<std::mutex> Lock(QueueMutex);
+    if (Draining) {
+      std::lock_guard<std::mutex> SLock(StatsMutex);
+      ++Counters.RejectedShutdown;
+      Done.set_value(Result<BuildResponse>::failure(
+          "build service is shutting down", "shutdown"));
+      return Fut;
+    }
+    if (Queue.size() >= Config.MaxQueueDepth) {
+      std::lock_guard<std::mutex> SLock(StatsMutex);
+      ++Counters.RejectedBusy;
+      Done.set_value(Result<BuildResponse>::failure(
+          "build service queue is full (" +
+              std::to_string(Config.MaxQueueDepth) + " requests); retry",
+          "busy"));
+      return Fut;
+    }
+    Queue.push_back(Job{std::move(Req), std::move(Done)});
+    std::lock_guard<std::mutex> SLock(StatsMutex);
+    Counters.QueueDepth = Queue.size();
+    if (Queue.size() > Counters.PeakQueueDepth)
+      Counters.PeakQueueDepth = Queue.size();
+  }
+  QueueCV.notify_one();
+  return Fut;
+}
+
+void BuildService::workerLoop() {
+  for (;;) {
+    Job J;
+    {
+      std::unique_lock<std::mutex> Lock(QueueMutex);
+      QueueCV.wait(Lock, [this] { return Draining || !Queue.empty(); });
+      if (Queue.empty())
+        return; // Draining and drained.
+      J = std::move(Queue.front());
+      Queue.pop_front();
+      std::lock_guard<std::mutex> SLock(StatsMutex);
+      Counters.QueueDepth = Queue.size();
+    }
+    // run(), not handle(): a job admitted before a drain began must
+    // still complete even if Draining flips while it waits.
+    J.Done.set_value(run(J.Req));
+  }
+}
+
+void BuildService::shutdown() {
+  // Graceful drain: stop admitting (handle/enqueue answer "shutdown"
+  // from here on), take over whatever is still queued, let in-flight
+  // workers finish and join them, then complete the admitted backlog on
+  // this thread so every accepted future resolves with a real result.
+  std::deque<Job> Admitted;
+  {
+    std::lock_guard<std::mutex> Lock(QueueMutex);
+    if (Draining && WorkerThreads.empty())
+      return;
+    Draining = true;
+    Admitted.swap(Queue);
+  }
+  QueueCV.notify_all();
+  std::vector<std::thread> Workers;
+  Workers.swap(WorkerThreads);
+  for (std::thread &T : Workers)
+    T.join();
+  for (Job &J : Admitted)
+    J.Done.set_value(run(J.Req));
+}
+
+BuildServiceStats BuildService::stats() const {
+  BuildServiceStats Out;
+  {
+    std::lock_guard<std::mutex> SLock(StatsMutex);
+    Out = Counters;
+  }
+  Out.Workers = Config.Workers;
+  {
+    std::lock_guard<std::mutex> Lock(ProgramsMutex);
+    Out.Programs = Programs.size();
+    Out.Pipelines = 0;
+    Out.AnalyzerRuns = Out.DeltaHits = Out.FullRuns = 0;
+    for (const auto &[Name, PS] : Programs) {
+      std::lock_guard<std::mutex> MapLock(PS->MapMutex);
+      Out.Pipelines += PS->Entries.size();
+      for (const auto &[FP, E] : PS->Entries) {
+        AnalyzerSessionCounters C = E.Session->counters();
+        Out.AnalyzerRuns += C.Analyses;
+        Out.DeltaHits += C.DeltaRuns;
+        Out.FullRuns += C.FullRuns;
+      }
+    }
+  }
+  Out.Cache = Cache->stats();
+  return Out;
+}

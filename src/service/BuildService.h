@@ -1,0 +1,188 @@
+//===- BuildService.h - Long-lived IPRA build service ----------*- C++ -*-===//
+//
+// Part of the IPRA project: a reproduction of Santhanam & Odnert,
+// "Register Allocation Across Procedure and Module Boundaries", PLDI 1990.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The long-lived build service behind `mcc --serve`: a BuildService
+/// keeps the expensive pipeline state hot across requests instead of
+/// rebuilding it per process —
+///
+///  - one shared, sharded, content-interning ArtifactCache across every
+///    program it serves (summaries/databases/objects; the interned
+///    store collapses identical artifacts, e.g. the runtime module's
+///    summary, to one resident copy);
+///  - one AnalyzerSession per (program, configuration): the retained
+///    delta-analysis state, so an edit to a served program re-analyzes
+///    only its SCC damage region on the next request;
+///  - one Pipeline per (program, configuration fingerprint), rebuilt
+///    lazily and cheaply because the heavy state lives in the two
+///    objects above.
+///
+/// Concurrency model: requests for different programs run in parallel
+/// on the worker pool; concurrent requests for the same program
+/// coalesce — they serialize on the program's build mutex onto the one
+/// retained delta state, so the artifacts are byte-identical to running
+/// them sequentially. Admission control bounds the queue: past
+/// MaxQueueDepth, enqueue() answers immediately with status code
+/// "busy" (backpressure, the client retries) instead of growing an
+/// unbounded backlog. Shutdown is graceful: draining rejects new work
+/// with code "shutdown" while every admitted request still completes.
+///
+/// The same object serves three transports: in-process calls (handle /
+/// enqueue), the mcc CLI, and the socket daemon (Daemon.h) — all speak
+/// BuildRequest/BuildResponse.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef IPRA_SERVICE_BUILDSERVICE_H
+#define IPRA_SERVICE_BUILDSERVICE_H
+
+#include "core/AnalyzerSession.h"
+#include "driver/ArtifactCache.h"
+#include "driver/BuildRequest.h"
+#include "driver/Pipeline.h"
+#include "support/Json.h"
+#include "support/Status.h"
+
+#include <condition_variable>
+#include <deque>
+#include <future>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace ipra {
+
+struct BuildServiceConfig {
+  /// Worker threads draining the request queue. 0 defers to
+  /// IPRA_THREADS / the hardware count (support/ThreadPool.h).
+  unsigned Workers = 0;
+  /// Admission control: requests queued beyond this bound are rejected
+  /// with status code "busy" instead of waiting.
+  size_t MaxQueueDepth = 256;
+  /// Disk directory for the shared artifact cache; empty keeps the
+  /// cache memory-only.
+  std::string CacheDir;
+};
+
+/// One snapshot of the service's observable state (the "stats" wire
+/// request renders this as JSON).
+struct BuildServiceStats {
+  // Admission / completion accounting.
+  unsigned long long Accepted = 0;  ///< Requests admitted for execution.
+  unsigned long long Completed = 0; ///< Finished with Ok status.
+  unsigned long long Failed = 0;    ///< Finished with a failure status.
+  unsigned long long RejectedBusy = 0;     ///< Bounced by backpressure.
+  unsigned long long RejectedShutdown = 0; ///< Bounced while draining.
+  /// Requests that found their program's build lock held and waited
+  /// (same-program coalescing onto the retained state).
+  unsigned long long Coalesced = 0;
+  size_t QueueDepth = 0;     ///< Queued, not yet executing.
+  size_t PeakQueueDepth = 0; ///< High-water mark since startup.
+  unsigned Workers = 0;
+  // Retained-state accounting.
+  size_t Programs = 0;  ///< Distinct program ids seen.
+  size_t Pipelines = 0; ///< Retained (program, config) pipelines.
+  unsigned long long AnalyzerRuns = 0; ///< Session analyze() calls.
+  unsigned long long DeltaHits = 0;    ///< ... that took the delta path.
+  unsigned long long FullRuns = 0;     ///< ... that ran cold.
+  // Request-level per-phase latency sums (milliseconds), over completed
+  // requests; divide by Completed+Failed for means. Per-request values
+  // ride in each BuildResponse::Stats.
+  unsigned long long Requests = 0;
+  double TotalMsSum = 0;
+  double Phase1MsSum = 0;
+  double AnalyzerMsSum = 0;
+  double Phase2MsSum = 0;
+  double LinkMsSum = 0;
+  ArtifactCacheStats Cache;
+
+  /// Renders the snapshot as a JSON object (stable kebab-case keys).
+  json::Value toJson() const;
+};
+
+/// The long-lived build service. Thread-safe; one instance serves
+/// arbitrarily many concurrent callers.
+class BuildService {
+public:
+  explicit BuildService(BuildServiceConfig Config = BuildServiceConfig());
+  ~BuildService(); ///< Graceful: drains admitted work, joins workers.
+
+  BuildService(const BuildService &) = delete;
+  BuildService &operator=(const BuildService &) = delete;
+
+  /// Executes \p Req synchronously on the calling thread (the workers
+  /// funnel through here too). Serializes with other requests for the
+  /// same program; runs in parallel with other programs. Fails with
+  /// code "shutdown" while draining.
+  Result<BuildResponse> handle(const BuildRequest &Req);
+
+  /// Queues \p Req for a worker. The future is immediately ready with
+  /// code "busy" when the queue is at MaxQueueDepth, and with code
+  /// "shutdown" while draining.
+  std::future<Result<BuildResponse>> enqueue(BuildRequest Req);
+
+  /// Stops admitting work (handle and enqueue fail with "shutdown"),
+  /// drains every admitted request, and joins the workers. Idempotent.
+  void shutdown();
+
+  BuildServiceStats stats() const;
+  ArtifactCache &cache() { return *Cache; }
+  const BuildServiceConfig &config() const { return Config; }
+
+private:
+  /// Per-program retained state: the build lock requests coalesce on,
+  /// plus the per-configuration pipelines and analyzer sessions.
+  struct ProgramState {
+    std::mutex BuildMutex;
+    std::mutex MapMutex; ///< Guards Entries only.
+    struct Entry {
+      std::shared_ptr<Pipeline> Pipe;
+      std::shared_ptr<AnalyzerSession> Session;
+    };
+    /// Keyed by PipelineConfig::fingerprint(); NumThreads / CacheDir /
+    /// DeltaAnalysis do not fingerprint, so requests differing only in
+    /// those share one retained state (their artifacts are identical).
+    std::map<std::string, Entry> Entries;
+  };
+
+  std::shared_ptr<ProgramState> programFor(const std::string &Program);
+  std::shared_ptr<Pipeline> pipelineFor(ProgramState &PS,
+                                        const PipelineConfig &Config);
+  /// handle() minus the admission check: executes unconditionally.
+  /// Workers and the shutdown drain use it so work admitted before a
+  /// drain began still completes.
+  Result<BuildResponse> run(const BuildRequest &Req);
+  void workerLoop();
+
+  BuildServiceConfig Config;
+  std::shared_ptr<ArtifactCache> Cache;
+
+  mutable std::mutex ProgramsMutex;
+  std::map<std::string, std::shared_ptr<ProgramState>> Programs;
+
+  struct Job {
+    BuildRequest Req;
+    std::promise<Result<BuildResponse>> Done;
+  };
+  mutable std::mutex QueueMutex;
+  std::condition_variable QueueCV;
+  std::deque<Job> Queue;
+  bool Draining = false;
+  std::vector<std::thread> WorkerThreads;
+
+  // Counters. Guarded by StatsMutex (latency sums are doubles, and a
+  // snapshot must be coherent).
+  mutable std::mutex StatsMutex;
+  BuildServiceStats Counters;
+};
+
+} // namespace ipra
+
+#endif // IPRA_SERVICE_BUILDSERVICE_H

@@ -1,0 +1,96 @@
+//===- Client.cpp - Thin client for the build daemon ----------------------===//
+//
+// Part of the IPRA project: a reproduction of Santhanam & Odnert,
+// "Register Allocation Across Procedure and Module Boundaries", PLDI 1990.
+//
+//===----------------------------------------------------------------------===//
+
+#include "service/Client.h"
+
+#include "service/Protocol.h"
+
+#include <cerrno>
+#include <cstring>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+using namespace ipra;
+
+Status ServiceClient::connect(const std::string &SocketPath) {
+  disconnect();
+  sockaddr_un Addr{};
+  Addr.sun_family = AF_UNIX;
+  if (SocketPath.size() >= sizeof(Addr.sun_path))
+    return Status::error("socket path too long: " + SocketPath,
+                         "transport");
+  std::memcpy(Addr.sun_path, SocketPath.c_str(), SocketPath.size() + 1);
+  Fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (Fd < 0)
+    return Status::error(std::string("socket: ") + std::strerror(errno),
+                         "transport");
+  if (::connect(Fd, reinterpret_cast<sockaddr *>(&Addr), sizeof(Addr)) !=
+      0) {
+    Status S = Status::error("connect " + SocketPath + ": " +
+                                 std::strerror(errno),
+                             "transport");
+    disconnect();
+    return S;
+  }
+  return Status::success();
+}
+
+void ServiceClient::disconnect() {
+  if (Fd >= 0) {
+    ::close(Fd);
+    Fd = -1;
+  }
+}
+
+Status ServiceClient::roundTrip(const std::string &Payload,
+                                std::string &Reply) {
+  if (Fd < 0)
+    return Status::error("not connected", "transport");
+  if (!writeFrame(Fd, Payload))
+    return Status::error("failed to send request frame", "transport");
+  if (!readFrame(Fd, Reply))
+    return Status::error("connection closed before a reply arrived",
+                         "transport");
+  return Status::success();
+}
+
+Result<BuildResponse> ServiceClient::request(const BuildRequest &Req) {
+  std::string Reply;
+  Status S = roundTrip(encodeBuildRequest(Req), Reply);
+  if (!S.ok())
+    return Result<BuildResponse>::failure(std::move(S));
+  return decodeBuildReply(Reply);
+}
+
+Result<json::Value> ServiceClient::stats() {
+  std::string Reply;
+  Status S = roundTrip(encodeControlRequest(WireKind::Stats), Reply);
+  if (!S.ok())
+    return Result<json::Value>::failure(std::move(S));
+  json::Value Stats;
+  Status Decoded = decodeStatusReply(Reply, &Stats);
+  if (!Decoded.ok())
+    return Result<json::Value>::failure(std::move(Decoded));
+  return Result<json::Value>::success(std::move(Stats));
+}
+
+Status ServiceClient::ping() {
+  std::string Reply;
+  Status S = roundTrip(encodeControlRequest(WireKind::Ping), Reply);
+  if (!S.ok())
+    return S;
+  return decodeStatusReply(Reply);
+}
+
+Status ServiceClient::shutdownServer() {
+  std::string Reply;
+  Status S = roundTrip(encodeControlRequest(WireKind::Shutdown), Reply);
+  if (!S.ok())
+    return S;
+  return decodeStatusReply(Reply);
+}

@@ -1,0 +1,62 @@
+//===- Client.h - Thin client for the build daemon -------------*- C++ -*-===//
+//
+// Part of the IPRA project: a reproduction of Santhanam & Odnert,
+// "Register Allocation Across Procedure and Module Boundaries", PLDI 1990.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The client side of the daemon protocol (`mcc --client <socket>`).
+/// One ServiceClient wraps one connection; request() is synchronous
+/// (frame out, frame in). Transport failures come back as a Status with
+/// code "transport", so callers distinguish "the daemon said no"
+/// ("busy", "shutdown", "config-mismatch") from "the daemon is gone".
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef IPRA_SERVICE_CLIENT_H
+#define IPRA_SERVICE_CLIENT_H
+
+#include "driver/BuildRequest.h"
+#include "support/Json.h"
+#include "support/Status.h"
+
+#include <string>
+
+namespace ipra {
+
+class ServiceClient {
+public:
+  ServiceClient() = default;
+  ~ServiceClient() { disconnect(); }
+
+  ServiceClient(const ServiceClient &) = delete;
+  ServiceClient &operator=(const ServiceClient &) = delete;
+
+  /// Connects to the daemon's unix socket.
+  Status connect(const std::string &SocketPath);
+  void disconnect();
+  bool connected() const { return Fd >= 0; }
+
+  /// Sends one build request and waits for its reply.
+  Result<BuildResponse> request(const BuildRequest &Req);
+
+  /// Fetches the service stats snapshot as a JSON object.
+  Result<json::Value> stats();
+
+  /// Liveness probe.
+  Status ping();
+
+  /// Asks the daemon to drain and exit (acknowledged before the drain
+  /// finishes).
+  Status shutdownServer();
+
+private:
+  Status roundTrip(const std::string &Payload, std::string &Reply);
+
+  int Fd = -1;
+};
+
+} // namespace ipra
+
+#endif // IPRA_SERVICE_CLIENT_H

@@ -1,0 +1,155 @@
+//===- Daemon.cpp - Socket front end for the build service ----------------===//
+//
+// Part of the IPRA project: a reproduction of Santhanam & Odnert,
+// "Register Allocation Across Procedure and Module Boundaries", PLDI 1990.
+//
+//===----------------------------------------------------------------------===//
+
+#include "service/Daemon.h"
+
+#include "service/Protocol.h"
+
+#include <cerrno>
+#include <cstring>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+using namespace ipra;
+
+Daemon::Daemon(std::string SocketPath_, BuildServiceConfig Config)
+    : SocketPath(std::move(SocketPath_)), Service(Config) {}
+
+Daemon::~Daemon() {
+  requestStop();
+  wait();
+  if (AcceptThread.joinable())
+    AcceptThread.join();
+  {
+    std::lock_guard<std::mutex> Lock(ConnMutex);
+    for (std::thread &T : ConnThreads)
+      if (T.joinable())
+        T.join();
+    ConnThreads.clear();
+  }
+  if (ListenFd >= 0)
+    ::close(ListenFd);
+  if (!SocketPath.empty())
+    ::unlink(SocketPath.c_str());
+}
+
+bool Daemon::start(std::string &Error) {
+  sockaddr_un Addr{};
+  Addr.sun_family = AF_UNIX;
+  if (SocketPath.size() >= sizeof(Addr.sun_path)) {
+    Error = "socket path too long: " + SocketPath;
+    return false;
+  }
+  std::memcpy(Addr.sun_path, SocketPath.c_str(), SocketPath.size() + 1);
+
+  ListenFd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (ListenFd < 0) {
+    Error = std::string("socket: ") + std::strerror(errno);
+    return false;
+  }
+  // A stale socket file from a dead daemon would fail the bind; remove
+  // it (a live daemon would still hold the file, but two daemons on
+  // one path is operator error either way).
+  ::unlink(SocketPath.c_str());
+  if (::bind(ListenFd, reinterpret_cast<sockaddr *>(&Addr),
+             sizeof(Addr)) != 0) {
+    Error = "bind " + SocketPath + ": " + std::strerror(errno);
+    ::close(ListenFd);
+    ListenFd = -1;
+    return false;
+  }
+  if (::listen(ListenFd, 64) != 0) {
+    Error = "listen " + SocketPath + ": " + std::strerror(errno);
+    ::close(ListenFd);
+    ListenFd = -1;
+    return false;
+  }
+  AcceptThread = std::thread([this] { acceptLoop(); });
+  return true;
+}
+
+void Daemon::acceptLoop() {
+  for (;;) {
+    int Fd = ::accept(ListenFd, nullptr, nullptr);
+    if (Fd < 0) {
+      if (errno == EINTR)
+        continue;
+      // shutdown() on the listen fd (requestStop) lands here.
+      return;
+    }
+    if (Stopping.load()) {
+      ::close(Fd);
+      return;
+    }
+    std::lock_guard<std::mutex> Lock(ConnMutex);
+    ConnThreads.emplace_back([this, Fd] { serveConnection(Fd); });
+  }
+}
+
+void Daemon::serveConnection(int Fd) {
+  std::string Payload;
+  while (readFrame(Fd, Payload)) {
+    WireKind Kind;
+    BuildRequest Req;
+    std::string Error;
+    if (!decodeRequestEnvelope(Payload, Kind, Req, Error)) {
+      writeFrame(Fd, encodeStatusReply(
+                         Status::error(Error, "bad-request")));
+      continue;
+    }
+    switch (Kind) {
+    case WireKind::Build: {
+      // enqueue, not handle: socket clients share the worker pool and
+      // its bounded-queue backpressure with in-process callers.
+      Result<BuildResponse> R = Service.enqueue(std::move(Req)).get();
+      if (!writeFrame(Fd, encodeBuildReply(R)))
+        goto done;
+      break;
+    }
+    case WireKind::Stats:
+      if (!writeFrame(Fd, encodeStatsReply(Service.stats().toJson())))
+        goto done;
+      break;
+    case WireKind::Ping:
+      if (!writeFrame(Fd, encodeStatusReply(Status::success())))
+        goto done;
+      break;
+    case WireKind::Shutdown:
+      // Acknowledge before draining so the client is not left waiting
+      // on a daemon that is busy finishing other clients' work.
+      writeFrame(Fd, encodeStatusReply(Status::success()));
+      requestStop();
+      goto done;
+    }
+  }
+done:
+  ::close(Fd);
+}
+
+void Daemon::requestStop() {
+  if (Stopping.exchange(true))
+    return;
+  // Unblock accept(); no new connections from here on.
+  if (ListenFd >= 0)
+    ::shutdown(ListenFd, SHUT_RDWR);
+  // Drain on a detached-from-caller thread? No: requestStop can be
+  // called from a connection thread (the shutdown envelope), and
+  // Service.shutdown() never joins connection threads, so draining
+  // inline is deadlock-free. It blocks until admitted work finished.
+  Service.shutdown();
+  {
+    std::lock_guard<std::mutex> Lock(StopMutex);
+    Stopped = true;
+  }
+  StopCV.notify_all();
+}
+
+void Daemon::wait() {
+  std::unique_lock<std::mutex> Lock(StopMutex);
+  StopCV.wait(Lock, [this] { return Stopped; });
+}

@@ -1,0 +1,75 @@
+//===- Daemon.h - Socket front end for the build service -------*- C++ -*-===//
+//
+// Part of the IPRA project: a reproduction of Santhanam & Odnert,
+// "Register Allocation Across Procedure and Module Boundaries", PLDI 1990.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The AF_UNIX transport around BuildService (`mcc --serve <socket>`):
+/// an accept loop hands each connection to its own thread, which reads
+/// length-prefixed JSON frames (service/Protocol.h), funnels build
+/// requests through BuildService::enqueue (so socket clients share the
+/// worker pool, the bounded queue, and the "busy" backpressure with
+/// in-process callers), and answers stats/ping/shutdown envelopes
+/// inline. A "shutdown" request acknowledges, stops the accept loop,
+/// drains the service, and unblocks wait().
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef IPRA_SERVICE_DAEMON_H
+#define IPRA_SERVICE_DAEMON_H
+
+#include "service/BuildService.h"
+
+#include <atomic>
+#include <condition_variable>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace ipra {
+
+/// A build daemon listening on one unix-domain socket.
+class Daemon {
+public:
+  Daemon(std::string SocketPath, BuildServiceConfig Config);
+  ~Daemon(); ///< Stops, drains, unlinks the socket.
+
+  Daemon(const Daemon &) = delete;
+  Daemon &operator=(const Daemon &) = delete;
+
+  /// Binds, listens, and spawns the accept thread. Returns false with
+  /// \p Error set (stale socket path, overlong path, ...).
+  bool start(std::string &Error);
+
+  /// Blocks until a shutdown request arrives (over the wire or via
+  /// requestStop) and the service has drained.
+  void wait();
+
+  /// Initiates the same graceful shutdown a wire request does.
+  void requestStop();
+
+  const std::string &socketPath() const { return SocketPath; }
+  BuildService &service() { return Service; }
+
+private:
+  void acceptLoop();
+  void serveConnection(int Fd);
+
+  std::string SocketPath;
+  BuildService Service;
+  int ListenFd = -1;
+  std::atomic<bool> Stopping{false};
+  std::thread AcceptThread;
+  std::mutex ConnMutex;
+  std::vector<std::thread> ConnThreads;
+  std::mutex StopMutex;
+  std::condition_variable StopCV;
+  bool Stopped = false;
+};
+
+} // namespace ipra
+
+#endif // IPRA_SERVICE_DAEMON_H

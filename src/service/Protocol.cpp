@@ -1,0 +1,607 @@
+//===- Protocol.cpp - Build-service wire protocol -------------------------===//
+//
+// Part of the IPRA project: a reproduction of Santhanam & Odnert,
+// "Register Allocation Across Procedure and Module Boundaries", PLDI 1990.
+//
+//===----------------------------------------------------------------------===//
+
+#include "service/Protocol.h"
+
+#include <cerrno>
+#include <cstdint>
+#include <unistd.h>
+
+using namespace ipra;
+using json::Value;
+
+//===----------------------------------------------------------------------===//
+// Framing.
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+bool writeAll(int Fd, const char *Data, size_t Len) {
+  while (Len > 0) {
+    ssize_t N = ::write(Fd, Data, Len);
+    if (N < 0) {
+      if (errno == EINTR)
+        continue;
+      return false;
+    }
+    Data += N;
+    Len -= static_cast<size_t>(N);
+  }
+  return true;
+}
+
+bool readAll(int Fd, char *Data, size_t Len) {
+  while (Len > 0) {
+    ssize_t N = ::read(Fd, Data, Len);
+    if (N < 0) {
+      if (errno == EINTR)
+        continue;
+      return false;
+    }
+    if (N == 0)
+      return false; // EOF mid-frame (or before one): no frame.
+    Data += N;
+    Len -= static_cast<size_t>(N);
+  }
+  return true;
+}
+
+} // namespace
+
+bool ipra::writeFrame(int Fd, const std::string &Payload) {
+  if (Payload.size() > MaxFrameBytes)
+    return false;
+  uint32_t Len = static_cast<uint32_t>(Payload.size());
+  char Header[4] = {static_cast<char>((Len >> 24) & 0xff),
+                    static_cast<char>((Len >> 16) & 0xff),
+                    static_cast<char>((Len >> 8) & 0xff),
+                    static_cast<char>(Len & 0xff)};
+  return writeAll(Fd, Header, 4) &&
+         writeAll(Fd, Payload.data(), Payload.size());
+}
+
+bool ipra::readFrame(int Fd, std::string &Payload) {
+  char Header[4];
+  if (!readAll(Fd, Header, 4))
+    return false;
+  uint32_t Len = (static_cast<uint32_t>(static_cast<unsigned char>(Header[0]))
+                  << 24) |
+                 (static_cast<uint32_t>(static_cast<unsigned char>(Header[1]))
+                  << 16) |
+                 (static_cast<uint32_t>(static_cast<unsigned char>(Header[2]))
+                  << 8) |
+                 static_cast<uint32_t>(static_cast<unsigned char>(Header[3]));
+  if (Len > MaxFrameBytes)
+    return false;
+  Payload.resize(Len);
+  return Len == 0 || readAll(Fd, Payload.data(), Len);
+}
+
+//===----------------------------------------------------------------------===//
+// Config codec.
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+const char *promotionName(PromotionMode M) {
+  switch (M) {
+  case PromotionMode::None:
+    return "none";
+  case PromotionMode::Webs:
+    return "webs";
+  case PromotionMode::Greedy:
+    return "greedy";
+  case PromotionMode::Blanket:
+    return "blanket";
+  }
+  return "none";
+}
+
+PromotionMode promotionFromName(const std::string &Name) {
+  if (Name == "webs")
+    return PromotionMode::Webs;
+  if (Name == "greedy")
+    return PromotionMode::Greedy;
+  if (Name == "blanket")
+    return PromotionMode::Blanket;
+  return PromotionMode::None;
+}
+
+bool fieldBool(const Value &V, const char *Key, bool Default) {
+  const Value *F = V.find(Key);
+  return F ? F->asBool(Default) : Default;
+}
+
+long long fieldInt(const Value &V, const char *Key, long long Default) {
+  const Value *F = V.find(Key);
+  return F ? F->asInt(Default) : Default;
+}
+
+double fieldNum(const Value &V, const char *Key, double Default) {
+  const Value *F = V.find(Key);
+  return F ? F->asNumber(Default) : Default;
+}
+
+std::string fieldStr(const Value &V, const char *Key) {
+  const Value *F = V.find(Key);
+  return F ? F->asString() : std::string();
+}
+
+} // namespace
+
+Value ipra::configToJson(const PipelineConfig &Config) {
+  Value Webs = Value::object();
+  Webs.set("min-lref-ratio", Value::number(Config.Webs.MinLRefRatio))
+      .set("min-single-node-freq",
+           Value::number(Config.Webs.MinSingleNodeFreq))
+      .set("discard-cross-module-static-webs",
+           Value::boolean(Config.Webs.DiscardCrossModuleStaticWebs))
+      .set("split-sparse-webs", Value::boolean(Config.Webs.SplitSparseWebs))
+      .set("assume-closed-world",
+           Value::boolean(Config.Webs.AssumeClosedWorld))
+      .set("remerge-webs", Value::boolean(Config.Webs.RemergeWebs))
+      .set("num-threads", Value::number(Config.Webs.NumThreads));
+  Value Clusters = Value::object();
+  Clusters
+      .set("root-benefit-threshold",
+           Value::number(Config.Clusters.RootBenefitThreshold))
+      .set("assume-closed-world",
+           Value::boolean(Config.Clusters.AssumeClosedWorld));
+  Value V = Value::object();
+  V.set("ipra", Value::boolean(Config.Ipra))
+      .set("spill-motion", Value::boolean(Config.SpillMotion))
+      .set("promotion", Value::str(promotionName(Config.Promotion)))
+      .set("web-pool",
+           Value::number(static_cast<unsigned long long>(Config.WebPool)))
+      .set("blanket-count", Value::number(Config.BlanketCount))
+      .set("use-profile", Value::boolean(Config.UseProfile))
+      .set("local-global-promotion",
+           Value::boolean(Config.LocalGlobalPromotion))
+      .set("points-to", Value::boolean(Config.PointsTo))
+      .set("relax-web-avail", Value::boolean(Config.RelaxWebAvail))
+      .set("improved-free-sets", Value::boolean(Config.ImprovedFreeSets))
+      .set("caller-save-propagation",
+           Value::boolean(Config.CallerSavePropagation))
+      .set("assume-closed-world", Value::boolean(Config.AssumeClosedWorld))
+      .set("webs", std::move(Webs))
+      .set("clusters", std::move(Clusters))
+      .set("linker-reserved-regs",
+           Value::number(
+               static_cast<unsigned long long>(Config.LinkerReservedRegs)))
+      .set("num-threads", Value::number(Config.NumThreads))
+      .set("delta-analysis", Value::boolean(Config.DeltaAnalysis));
+  return V;
+}
+
+PipelineConfig ipra::configFromJson(const Value &V) {
+  PipelineConfig C;
+  C.Ipra = fieldBool(V, "ipra", C.Ipra);
+  C.SpillMotion = fieldBool(V, "spill-motion", C.SpillMotion);
+  C.Promotion = promotionFromName(fieldStr(V, "promotion"));
+  C.WebPool = static_cast<RegMask>(
+      fieldInt(V, "web-pool", static_cast<long long>(C.WebPool)));
+  C.BlanketCount =
+      static_cast<int>(fieldInt(V, "blanket-count", C.BlanketCount));
+  C.UseProfile = fieldBool(V, "use-profile", C.UseProfile);
+  C.LocalGlobalPromotion =
+      fieldBool(V, "local-global-promotion", C.LocalGlobalPromotion);
+  C.PointsTo = fieldBool(V, "points-to", C.PointsTo);
+  C.RelaxWebAvail = fieldBool(V, "relax-web-avail", C.RelaxWebAvail);
+  C.ImprovedFreeSets =
+      fieldBool(V, "improved-free-sets", C.ImprovedFreeSets);
+  C.CallerSavePropagation =
+      fieldBool(V, "caller-save-propagation", C.CallerSavePropagation);
+  C.AssumeClosedWorld =
+      fieldBool(V, "assume-closed-world", C.AssumeClosedWorld);
+  if (const Value *W = V.find("webs")) {
+    C.Webs.MinLRefRatio =
+        fieldNum(*W, "min-lref-ratio", C.Webs.MinLRefRatio);
+    C.Webs.MinSingleNodeFreq =
+        fieldInt(*W, "min-single-node-freq", C.Webs.MinSingleNodeFreq);
+    C.Webs.DiscardCrossModuleStaticWebs =
+        fieldBool(*W, "discard-cross-module-static-webs",
+                  C.Webs.DiscardCrossModuleStaticWebs);
+    C.Webs.SplitSparseWebs =
+        fieldBool(*W, "split-sparse-webs", C.Webs.SplitSparseWebs);
+    C.Webs.AssumeClosedWorld =
+        fieldBool(*W, "assume-closed-world", C.Webs.AssumeClosedWorld);
+    C.Webs.RemergeWebs = fieldBool(*W, "remerge-webs", C.Webs.RemergeWebs);
+    C.Webs.NumThreads = static_cast<int>(
+        fieldInt(*W, "num-threads", C.Webs.NumThreads));
+  }
+  if (const Value *Cl = V.find("clusters")) {
+    C.Clusters.RootBenefitThreshold = fieldNum(
+        *Cl, "root-benefit-threshold", C.Clusters.RootBenefitThreshold);
+    C.Clusters.AssumeClosedWorld = fieldBool(
+        *Cl, "assume-closed-world", C.Clusters.AssumeClosedWorld);
+  }
+  C.LinkerReservedRegs = static_cast<RegMask>(fieldInt(
+      V, "linker-reserved-regs",
+      static_cast<long long>(C.LinkerReservedRegs)));
+  C.NumThreads = static_cast<int>(fieldInt(V, "num-threads", C.NumThreads));
+  C.DeltaAnalysis = fieldBool(V, "delta-analysis", C.DeltaAnalysis);
+  // CacheDir never crosses the wire: cache placement is server policy.
+  return C;
+}
+
+//===----------------------------------------------------------------------===//
+// Request codec.
+//===----------------------------------------------------------------------===//
+
+Value ipra::requestToJson(const BuildRequest &Req) {
+  Value V = Value::object();
+  V.set("program", Value::str(Req.Program))
+      .set("phase", Value::str(buildPhaseName(Req.Phase)))
+      .set("config", configToJson(Req.Config));
+  Value Modules = Value::array();
+  for (const SourceFile &S : Req.Modules) {
+    Value M = Value::object();
+    M.set("name", Value::str(S.Name)).set("text", Value::str(S.Text));
+    Modules.push(std::move(M));
+  }
+  V.set("modules", std::move(Modules));
+  Value Summaries = Value::array();
+  for (const std::string &S : Req.Summaries)
+    Summaries.push(Value::str(S));
+  V.set("summaries", std::move(Summaries));
+  V.set("database", Value::str(Req.Database));
+  Value Objects = Value::array();
+  for (const std::string &O : Req.Objects)
+    Objects.push(Value::str(O));
+  V.set("objects", std::move(Objects));
+  if (Req.Profile) {
+    Value Profile = Value::object();
+    Value Calls = Value::object();
+    for (const auto &[Name, N] : Req.Profile->CallCounts)
+      Calls.set(Name, Value::number(N));
+    Profile.set("calls", std::move(Calls));
+    Value Edges = Value::array();
+    for (const auto &[Edge, N] : Req.Profile->EdgeCounts) {
+      Value E = Value::array();
+      E.push(Value::str(Edge.first))
+          .push(Value::str(Edge.second))
+          .push(Value::number(N));
+      Edges.push(std::move(E));
+    }
+    Profile.set("edges", std::move(Edges));
+    V.set("profile", std::move(Profile));
+  }
+  return V;
+}
+
+bool ipra::requestFromJson(const Value &V, BuildRequest &Req,
+                           std::string &Error) {
+  if (!V.isObject()) {
+    Error = "request is not an object";
+    return false;
+  }
+  Req = BuildRequest();
+  Req.Program = fieldStr(V, "program");
+  std::string Phase = fieldStr(V, "phase");
+  if (!parseBuildPhase(Phase.empty() ? "full" : Phase, Req.Phase)) {
+    Error = "unknown phase '" + Phase + "'";
+    return false;
+  }
+  if (const Value *C = V.find("config"))
+    Req.Config = configFromJson(*C);
+  if (const Value *Modules = V.find("modules"))
+    for (const Value &M : Modules->items()) {
+      SourceFile S;
+      S.Name = fieldStr(M, "name");
+      S.Text = fieldStr(M, "text");
+      Req.Modules.push_back(std::move(S));
+    }
+  if (const Value *Summaries = V.find("summaries"))
+    for (const Value &S : Summaries->items())
+      Req.Summaries.push_back(S.asString());
+  Req.Database = fieldStr(V, "database");
+  if (const Value *Objects = V.find("objects"))
+    for (const Value &O : Objects->items())
+      Req.Objects.push_back(O.asString());
+  if (const Value *Profile = V.find("profile")) {
+    ProfileData P;
+    if (const Value *Calls = Profile->find("calls"))
+      for (const auto &[Name, N] : Calls->members())
+        P.CallCounts[Name] = N.asInt();
+    if (const Value *Edges = Profile->find("edges"))
+      for (const Value &E : Edges->items())
+        if (E.items().size() == 3)
+          P.EdgeCounts[{E.items()[0].asString(),
+                        E.items()[1].asString()}] = E.items()[2].asInt();
+    Req.Profile = std::move(P);
+  }
+  return true;
+}
+
+//===----------------------------------------------------------------------===//
+// Response codec.
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+Value analyzerToJson(const AnalyzerStats &S) {
+  Value V = Value::object();
+  V.set("eligible-globals", Value::number(S.EligibleGlobals))
+      .set("total-webs", Value::number(S.TotalWebs))
+      .set("considered-webs", Value::number(S.ConsideredWebs))
+      .set("colored-webs", Value::number(S.ColoredWebs))
+      .set("split-webs", Value::number(S.SplitWebs))
+      .set("remerged-webs", Value::number(S.RemergedWebs))
+      .set("num-clusters", Value::number(S.NumClusters))
+      .set("total-cluster-nodes", Value::number(S.TotalClusterNodes))
+      .set("max-cluster-size", Value::number(S.MaxClusterSize))
+      .set("escapes-refuted", Value::number(S.EscapesRefuted))
+      .set("indirect-callers-resolved",
+           Value::number(S.IndirectCallersResolved))
+      .set("refsets-ms", Value::number(S.RefSetsMs))
+      .set("webs-ms", Value::number(S.WebsMs))
+      .set("coloring-ms", Value::number(S.ColoringMs))
+      .set("clusters-ms", Value::number(S.ClustersMs))
+      .set("regsets-ms", Value::number(S.RegSetsMs));
+  return V;
+}
+
+AnalyzerStats analyzerFromJson(const Value &V) {
+  AnalyzerStats S;
+  S.EligibleGlobals =
+      static_cast<int>(fieldInt(V, "eligible-globals", 0));
+  S.TotalWebs = static_cast<int>(fieldInt(V, "total-webs", 0));
+  S.ConsideredWebs = static_cast<int>(fieldInt(V, "considered-webs", 0));
+  S.ColoredWebs = static_cast<int>(fieldInt(V, "colored-webs", 0));
+  S.SplitWebs = static_cast<int>(fieldInt(V, "split-webs", 0));
+  S.RemergedWebs = static_cast<int>(fieldInt(V, "remerged-webs", 0));
+  S.NumClusters = static_cast<int>(fieldInt(V, "num-clusters", 0));
+  S.TotalClusterNodes =
+      static_cast<int>(fieldInt(V, "total-cluster-nodes", 0));
+  S.MaxClusterSize = static_cast<int>(fieldInt(V, "max-cluster-size", 0));
+  S.EscapesRefuted = static_cast<int>(fieldInt(V, "escapes-refuted", 0));
+  S.IndirectCallersResolved =
+      static_cast<int>(fieldInt(V, "indirect-callers-resolved", 0));
+  S.RefSetsMs = fieldNum(V, "refsets-ms", 0);
+  S.WebsMs = fieldNum(V, "webs-ms", 0);
+  S.ColoringMs = fieldNum(V, "coloring-ms", 0);
+  S.ClustersMs = fieldNum(V, "clusters-ms", 0);
+  S.RegSetsMs = fieldNum(V, "regsets-ms", 0);
+  return S;
+}
+
+Value statsToJson(const PipelineStats &S) {
+  Value V = Value::object();
+  V.set("threads-used", Value::number(S.ThreadsUsed))
+      .set("front-end-ms", Value::number(S.FrontEndMs))
+      .set("phase1-ms", Value::number(S.Phase1Ms))
+      .set("analyzer-ms", Value::number(S.AnalyzerMs))
+      .set("phase2-ms", Value::number(S.Phase2Ms))
+      .set("link-ms", Value::number(S.LinkMs))
+      .set("total-ms", Value::number(S.TotalMs))
+      .set("analyzer-mode", Value::str(S.AnalyzerMode))
+      .set("analyzer-fallback-reason",
+           Value::str(S.AnalyzerFallbackReason))
+      .set("phase1-cache-hits", Value::number(S.Phase1CacheHits))
+      .set("phase1-cache-misses", Value::number(S.Phase1CacheMisses))
+      .set("analyzer-cache-hits", Value::number(S.AnalyzerCacheHits))
+      .set("analyzer-cache-misses", Value::number(S.AnalyzerCacheMisses))
+      .set("phase2-cache-hits", Value::number(S.Phase2CacheHits))
+      .set("phase2-cache-misses", Value::number(S.Phase2CacheMisses))
+      .set("cache-bytes-saved", Value::number(S.CacheBytesSaved))
+      .set("summary-bytes", Value::number(S.SummaryBytes))
+      .set("database-bytes", Value::number(S.DatabaseBytes))
+      .set("object-bytes", Value::number(S.ObjectBytes));
+  return V;
+}
+
+PipelineStats statsFromJson(const Value &V) {
+  PipelineStats S;
+  S.ThreadsUsed = static_cast<unsigned>(fieldInt(V, "threads-used", 1));
+  S.FrontEndMs = fieldNum(V, "front-end-ms", 0);
+  S.Phase1Ms = fieldNum(V, "phase1-ms", 0);
+  S.AnalyzerMs = fieldNum(V, "analyzer-ms", 0);
+  S.Phase2Ms = fieldNum(V, "phase2-ms", 0);
+  S.LinkMs = fieldNum(V, "link-ms", 0);
+  S.TotalMs = fieldNum(V, "total-ms", 0);
+  S.AnalyzerMode = fieldStr(V, "analyzer-mode");
+  S.AnalyzerFallbackReason = fieldStr(V, "analyzer-fallback-reason");
+  S.Phase1CacheHits =
+      static_cast<unsigned>(fieldInt(V, "phase1-cache-hits", 0));
+  S.Phase1CacheMisses =
+      static_cast<unsigned>(fieldInt(V, "phase1-cache-misses", 0));
+  S.AnalyzerCacheHits =
+      static_cast<unsigned>(fieldInt(V, "analyzer-cache-hits", 0));
+  S.AnalyzerCacheMisses =
+      static_cast<unsigned>(fieldInt(V, "analyzer-cache-misses", 0));
+  S.Phase2CacheHits =
+      static_cast<unsigned>(fieldInt(V, "phase2-cache-hits", 0));
+  S.Phase2CacheMisses =
+      static_cast<unsigned>(fieldInt(V, "phase2-cache-misses", 0));
+  S.CacheBytesSaved =
+      static_cast<size_t>(fieldInt(V, "cache-bytes-saved", 0));
+  S.SummaryBytes = static_cast<size_t>(fieldInt(V, "summary-bytes", 0));
+  S.DatabaseBytes = static_cast<size_t>(fieldInt(V, "database-bytes", 0));
+  S.ObjectBytes = static_cast<size_t>(fieldInt(V, "object-bytes", 0));
+  return S;
+}
+
+Value deltaToJson(const DeltaStats &D) {
+  Value V = Value::object();
+  V.set("mode", Value::str(D.Mode == DeltaMode::Incremental ? "incremental"
+                                                            : "full"))
+      .set("fallback-reason", Value::str(D.FallbackReason))
+      .set("changed-procs", Value::number(D.ChangedProcs))
+      .set("damaged-sccs", Value::number(D.DamagedSccs))
+      .set("total-sccs", Value::number(D.TotalSccs))
+      .set("damaged-globals", Value::number(D.DamagedGlobals))
+      .set("total-globals", Value::number(D.TotalGlobals));
+  return V;
+}
+
+DeltaStats deltaFromJson(const Value &V) {
+  DeltaStats D;
+  D.Mode = fieldStr(V, "mode") == "incremental" ? DeltaMode::Incremental
+                                                : DeltaMode::Full;
+  D.FallbackReason = fieldStr(V, "fallback-reason");
+  D.ChangedProcs = static_cast<int>(fieldInt(V, "changed-procs", 0));
+  D.DamagedSccs = static_cast<int>(fieldInt(V, "damaged-sccs", 0));
+  D.TotalSccs = static_cast<int>(fieldInt(V, "total-sccs", 0));
+  D.DamagedGlobals = static_cast<int>(fieldInt(V, "damaged-globals", 0));
+  D.TotalGlobals = static_cast<int>(fieldInt(V, "total-globals", 0));
+  return D;
+}
+
+} // namespace
+
+Value ipra::responseToJson(const BuildResponse &Resp) {
+  Value V = Value::object();
+  V.set("program", Value::str(Resp.Program))
+      .set("phase", Value::str(buildPhaseName(Resp.Phase)));
+  Value Summaries = Value::array();
+  for (const std::string &S : Resp.Summaries)
+    Summaries.push(Value::str(S));
+  V.set("summaries", std::move(Summaries));
+  V.set("database", Value::str(Resp.Database));
+  Value Objects = Value::array();
+  for (const std::string &O : Resp.Objects)
+    Objects.push(Value::str(O));
+  V.set("objects", std::move(Objects));
+  V.set("from-cache", Value::boolean(Resp.FromCache));
+  V.set("analyzer", analyzerToJson(Resp.Analyzer));
+  V.set("delta", deltaToJson(Resp.Delta));
+  V.set("stats", statsToJson(Resp.Stats));
+  return V;
+}
+
+BuildResponse ipra::responseFromJson(const Value &V) {
+  BuildResponse Resp;
+  Resp.Program = fieldStr(V, "program");
+  std::string Phase = fieldStr(V, "phase");
+  parseBuildPhase(Phase.empty() ? "full" : Phase, Resp.Phase);
+  if (const Value *Summaries = V.find("summaries"))
+    for (const Value &S : Summaries->items())
+      Resp.Summaries.push_back(S.asString());
+  Resp.Database = fieldStr(V, "database");
+  if (const Value *Objects = V.find("objects"))
+    for (const Value &O : Objects->items())
+      Resp.Objects.push_back(O.asString());
+  Resp.FromCache = fieldBool(V, "from-cache", false);
+  if (const Value *A = V.find("analyzer"))
+    Resp.Analyzer = analyzerFromJson(*A);
+  if (const Value *D = V.find("delta"))
+    Resp.Delta = deltaFromJson(*D);
+  if (const Value *S = V.find("stats"))
+    Resp.Stats = statsFromJson(*S);
+  return Resp;
+}
+
+//===----------------------------------------------------------------------===//
+// Envelopes.
+//===----------------------------------------------------------------------===//
+
+std::string ipra::encodeBuildRequest(const BuildRequest &Req) {
+  Value V = Value::object();
+  V.set("kind", Value::str("build")).set("request", requestToJson(Req));
+  return V.dump();
+}
+
+std::string ipra::encodeControlRequest(WireKind Kind) {
+  Value V = Value::object();
+  const char *Name = Kind == WireKind::Stats      ? "stats"
+                     : Kind == WireKind::Shutdown ? "shutdown"
+                                                  : "ping";
+  V.set("kind", Value::str(Name));
+  return V.dump();
+}
+
+bool ipra::decodeRequestEnvelope(const std::string &Payload, WireKind &Kind,
+                                 BuildRequest &Req, std::string &Error) {
+  Value V;
+  if (!Value::parse(Payload, V, Error))
+    return false;
+  std::string Name = fieldStr(V, "kind");
+  if (Name == "build") {
+    Kind = WireKind::Build;
+    const Value *R = V.find("request");
+    if (!R) {
+      Error = "build envelope has no request";
+      return false;
+    }
+    return requestFromJson(*R, Req, Error);
+  }
+  if (Name == "stats") {
+    Kind = WireKind::Stats;
+    return true;
+  }
+  if (Name == "ping") {
+    Kind = WireKind::Ping;
+    return true;
+  }
+  if (Name == "shutdown") {
+    Kind = WireKind::Shutdown;
+    return true;
+  }
+  Error = "unknown request kind '" + Name + "'";
+  return false;
+}
+
+namespace {
+
+Value statusToJson(const Status &S) {
+  Value V = Value::object();
+  V.set("ok", Value::boolean(S.Ok))
+      .set("code", Value::str(S.Code))
+      .set("error", Value::str(S.Ok ? std::string() : S.text()));
+  return V;
+}
+
+Status statusFromJson(const Value &V) {
+  if (fieldBool(V, "ok", false))
+    return Status::success();
+  std::string Text = fieldStr(V, "error");
+  return Status::error(Text.empty() ? "request failed" : Text,
+                       fieldStr(V, "code"));
+}
+
+} // namespace
+
+std::string ipra::encodeBuildReply(const Result<BuildResponse> &R) {
+  Value V = statusToJson(R);
+  V.set("response", responseToJson(R.Value));
+  return V.dump();
+}
+
+std::string ipra::encodeStatusReply(const Status &S) {
+  return statusToJson(S).dump();
+}
+
+std::string ipra::encodeStatsReply(const json::Value &Stats) {
+  Value V = statusToJson(Status::success());
+  V.set("stats", Stats);
+  return V.dump();
+}
+
+Result<BuildResponse> ipra::decodeBuildReply(const std::string &Payload) {
+  Value V;
+  std::string Error;
+  if (!Value::parse(Payload, V, Error))
+    return Result<BuildResponse>::failure("bad reply frame: " + Error,
+                                          "transport");
+  Result<BuildResponse> R;
+  static_cast<Status &>(R) = statusFromJson(V);
+  if (const Value *Resp = V.find("response"))
+    R.Value = responseFromJson(*Resp);
+  return R;
+}
+
+Status ipra::decodeStatusReply(const std::string &Payload,
+                               json::Value *Stats) {
+  Value V;
+  std::string Error;
+  if (!Value::parse(Payload, V, Error))
+    return Status::error("bad reply frame: " + Error, "transport");
+  if (Stats)
+    if (const Value *S = V.find("stats"))
+      *Stats = *S;
+  return statusFromJson(V);
+}

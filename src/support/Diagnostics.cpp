@@ -52,6 +52,20 @@ void DiagnosticEngine::append(const DiagnosticEngine &Other) {
   }
 }
 
+std::string Diagnostics::text() const {
+  std::string Out;
+  for (const Diagnostic &D : Items) {
+    if (D.Module.empty() && !D.Loc.isValid()) {
+      // Pipeline-level error: the message is the whole text.
+      Out += D.Message;
+    } else {
+      Out += D.render();
+      Out += '\n';
+    }
+  }
+  return Out;
+}
+
 std::string DiagnosticEngine::renderAll() const {
   std::lock_guard<std::mutex> Lock(Mutex);
   std::string Out;

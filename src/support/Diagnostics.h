@@ -37,6 +37,34 @@ struct Diagnostic {
   std::string render() const;
 };
 
+/// A value collection of diagnostics. DiagnosticEngine owns a mutex and
+/// cannot be copied into results; phases collect into engines and hand
+/// back one of these (it is the payload of Status, the unified error
+/// path of every pipeline and service entry point).
+struct Diagnostics {
+  std::vector<Diagnostic> Items;
+
+  /// Appends a pipeline-level error with no source location.
+  void error(std::string Message) {
+    Items.push_back(
+        Diagnostic{DiagKind::Error, "", SourceLoc(), std::move(Message)});
+  }
+  /// Appends every diagnostic \p Engine collected, in order.
+  void addAll(const class DiagnosticEngine &Engine);
+  bool hasErrors() const {
+    for (const Diagnostic &D : Items)
+      if (D.Kind == DiagKind::Error)
+        return true;
+    return false;
+  }
+  bool empty() const { return Items.empty(); }
+
+  /// Renders the collected diagnostics as the legacy ErrorText string:
+  /// located diagnostics render as "module:line:col: error: ..." lines,
+  /// bare pipeline-level errors as their message alone.
+  std::string text() const;
+};
+
 /// Collects diagnostics produced while processing one or more modules.
 class DiagnosticEngine {
 public:
@@ -90,6 +118,11 @@ private:
   std::vector<Diagnostic> Diags;
   unsigned NumErrors = 0;
 };
+
+inline void Diagnostics::addAll(const DiagnosticEngine &Engine) {
+  for (const Diagnostic &D : Engine.diagnostics())
+    Items.push_back(D);
+}
 
 } // namespace ipra
 

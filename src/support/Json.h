@@ -1,0 +1,140 @@
+//===- Json.h - Minimal JSON values for the service protocol ---*- C++ -*-===//
+//
+// Part of the IPRA project: a reproduction of Santhanam & Odnert,
+// "Register Allocation Across Procedure and Module Boundaries", PLDI 1990.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A small, dependency-free JSON value type for the build-service wire
+/// protocol (length-prefixed JSON frames) and the stats reports. It is
+/// deliberately minimal: objects preserve insertion order (so encoded
+/// requests are deterministic and diffable), numbers are doubles
+/// (integers up to 2^53 round-trip exactly, far beyond any counter this
+/// project emits), and strings are byte strings — bytes >= 0x80 pass
+/// through verbatim, control characters are escaped as \uOOXX. That is
+/// exactly enough to carry MiniC source text, artifacts, diagnostics,
+/// and counters between the mcc client and the build daemon.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef IPRA_SUPPORT_JSON_H
+#define IPRA_SUPPORT_JSON_H
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace ipra::json {
+
+/// One JSON value (null / bool / number / string / array / object).
+class Value {
+public:
+  enum class Kind { Null, Bool, Number, String, Array, Object };
+
+  Value() = default;
+
+  static Value null() { return Value(); }
+  static Value boolean(bool B) {
+    Value V;
+    V.K = Kind::Bool;
+    V.B = B;
+    return V;
+  }
+  static Value number(double N) {
+    Value V;
+    V.K = Kind::Number;
+    V.Num = N;
+    return V;
+  }
+  static Value number(long long N) {
+    return number(static_cast<double>(N));
+  }
+  static Value number(unsigned long long N) {
+    return number(static_cast<double>(N));
+  }
+  static Value number(int N) { return number(static_cast<double>(N)); }
+  static Value number(unsigned N) { return number(static_cast<double>(N)); }
+  static Value number(size_t N) { return number(static_cast<double>(N)); }
+  static Value str(std::string S) {
+    Value V;
+    V.K = Kind::String;
+    V.Str = std::move(S);
+    return V;
+  }
+  static Value array() {
+    Value V;
+    V.K = Kind::Array;
+    return V;
+  }
+  static Value object() {
+    Value V;
+    V.K = Kind::Object;
+    return V;
+  }
+
+  Kind kind() const { return K; }
+  bool isNull() const { return K == Kind::Null; }
+  bool isObject() const { return K == Kind::Object; }
+  bool isArray() const { return K == Kind::Array; }
+  bool isString() const { return K == Kind::String; }
+  bool isNumber() const { return K == Kind::Number; }
+  bool isBool() const { return K == Kind::Bool; }
+
+  /// Appends \p V to an array value.
+  Value &push(Value V) {
+    Arr.push_back(std::move(V));
+    return *this;
+  }
+  /// Appends key/value to an object value (no de-duplication; encoders
+  /// emit each key once).
+  Value &set(std::string Key, Value V) {
+    Obj.emplace_back(std::move(Key), std::move(V));
+    return *this;
+  }
+
+  /// Object lookup; null when absent or not an object.
+  const Value *find(std::string_view Key) const;
+
+  // Typed accessors with defaults (lenient: wrong kind yields the
+  // default, so decoders can treat absent and mistyped alike).
+  bool asBool(bool Default = false) const {
+    return K == Kind::Bool ? B : Default;
+  }
+  double asNumber(double Default = 0) const {
+    return K == Kind::Number ? Num : Default;
+  }
+  long long asInt(long long Default = 0) const {
+    return K == Kind::Number ? static_cast<long long>(Num) : Default;
+  }
+  const std::string &asString() const { return Str; }
+
+  const std::vector<Value> &items() const { return Arr; }
+  const std::vector<std::pair<std::string, Value>> &members() const {
+    return Obj;
+  }
+
+  /// Compact (single-line) serialization.
+  std::string dump() const;
+
+  /// Parses \p Text into \p Out. Returns false with \p Error set on
+  /// malformed input (including trailing garbage).
+  static bool parse(std::string_view Text, Value &Out, std::string &Error);
+
+private:
+  Kind K = Kind::Null;
+  bool B = false;
+  double Num = 0;
+  std::string Str;
+  std::vector<Value> Arr;
+  std::vector<std::pair<std::string, Value>> Obj;
+};
+
+/// Escapes \p S as a JSON string literal (with quotes).
+std::string quote(std::string_view S);
+
+} // namespace ipra::json
+
+#endif // IPRA_SUPPORT_JSON_H

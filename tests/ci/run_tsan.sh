@@ -1,0 +1,17 @@
+#!/bin/sh
+# Builds the whole tree under ThreadSanitizer (the "tsan" CMake preset)
+# and runs the concurrency-heavy build-service suite under it: the
+# daemon/protocol/session tests, the artifact-cache disk-write race
+# regression, and the smoke-sized concurrent rebuild-storm bench
+# (everything carrying the "service" ctest label).
+#
+# Usage: tests/ci/run_tsan.sh [jobs]
+set -eu
+
+JOBS=${1:-2}
+ROOT=$(CDPATH= cd -- "$(dirname -- "$0")/../.." && pwd)
+
+cmake --preset tsan -S "$ROOT"
+cmake --build --preset tsan -j "$JOBS"
+ctest --test-dir "$ROOT/build-tsan" --output-on-failure -j "$JOBS" \
+      -L service

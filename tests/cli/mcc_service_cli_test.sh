@@ -1,0 +1,91 @@
+#!/usr/bin/env bash
+# End-to-end CLI test of mcc's build-service modes: a real daemon on a
+# unix socket, real client invocations, output parity with one-shot
+# builds, and stats/ping/shutdown control requests.
+set -euo pipefail
+MCC="$1"
+DIR="$(mktemp -d)"
+SOCK="$DIR/ipra.sock"
+trap 'rm -rf "$DIR"; [ -n "${SERVE_PID:-}" ] && kill "$SERVE_PID" 2>/dev/null || true' EXIT
+cd "$DIR"
+
+cat > lib.mc <<'SRC'
+int counter;
+int bump(int x) { counter = counter + x; return counter; }
+SRC
+cat > main.mc <<'SRC'
+int counter;
+int bump(int x);
+int main() {
+  int r = 0;
+  for (int i = 0; i < 20; i = i + 1) r = r + bump(i);
+  prints("r=");
+  print(r);
+  print(counter);
+  return 0;
+}
+SRC
+
+"$MCC" --serve "$SOCK" -j 2 2> serve.log &
+SERVE_PID=$!
+for _ in $(seq 50); do
+  [ -S "$SOCK" ] && break
+  sleep 0.1
+done
+[ -S "$SOCK" ] || { echo "daemon never bound $SOCK" >&2; cat serve.log >&2; exit 1; }
+
+"$MCC" --client "$SOCK" --remote-ping 2>/dev/null \
+  || { echo "ping failed" >&2; exit 1; }
+
+# A remote build runs the program with the same output as a one-shot
+# local build.
+LOCAL="$("$MCC" --config C lib.mc main.mc)"
+REMOTE="$("$MCC" --client "$SOCK" --program cli-demo lib.mc main.mc)"
+if [ "$LOCAL" != "$REMOTE" ]; then
+  echo "remote build output differs:" >&2
+  echo "local:  $LOCAL" >&2
+  echo "remote: $REMOTE" >&2
+  exit 1
+fi
+
+# A second identical build is served from the daemon's cache.
+"$MCC" --client "$SOCK" --program cli-demo --stats lib.mc main.mc \
+  2> stats2.txt > /dev/null
+grep -q "served from cache: yes" stats2.txt \
+  || { echo "second build not served from cache" >&2; cat stats2.txt >&2; exit 1; }
+
+# A summary-visible edit takes the retained delta path (visible in the
+# service stats), and the output still matches a one-shot build.
+cat > main.mc <<'SRC'
+int counter;
+int bump(int x);
+int main() {
+  int r = 0;
+  for (int i = 0; i < 20; i = i + 1) {
+    r = r + bump(i);
+    if (r > 100000) r = r + bump(1);
+  }
+  prints("r=");
+  print(r);
+  print(counter);
+  return 0;
+}
+SRC
+LOCAL2="$("$MCC" --config C lib.mc main.mc)"
+REMOTE2="$("$MCC" --client "$SOCK" --program cli-demo lib.mc main.mc)"
+[ "$LOCAL2" = "$REMOTE2" ] \
+  || { echo "edited remote build output differs" >&2; exit 1; }
+
+STATS="$("$MCC" --client "$SOCK" --remote-stats)"
+echo "$STATS" | grep -q '"completed":3' \
+  || { echo "expected 3 completed builds in stats: $STATS" >&2; exit 1; }
+DELTA=$(echo "$STATS" | sed 's/.*"delta-hits":\([0-9]*\).*/\1/')
+[ "$DELTA" -ge 1 ] \
+  || { echo "retained delta state never fired: $STATS" >&2; exit 1; }
+
+# Graceful shutdown over the wire; the daemon process exits cleanly.
+"$MCC" --client "$SOCK" --remote-shutdown 2>/dev/null
+wait "$SERVE_PID"
+SERVE_PID=""
+
+echo "mcc service CLI workflow ok"

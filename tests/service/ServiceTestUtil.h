@@ -1,0 +1,122 @@
+//===- ServiceTestUtil.h - Shared helpers for the service tests -*- C++ -*-===//
+//
+// Part of the IPRA project: a reproduction of Santhanam & Odnert,
+// "Register Allocation Across Procedure and Module Boundaries", PLDI 1990.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Program corpora and reference-build helpers shared by the build
+/// service, daemon, and protocol tests. Every program is a call chain
+/// whose constants are parameterized by a seed, so distinct seeds give
+/// programs with distinct artifacts; editedCorpus() applies a
+/// call-frequency edit that changes the edited module's summary (and so
+/// forces a real re-analysis rather than an artifact-cache hit).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef IPRA_TESTS_SERVICE_SERVICETESTUTIL_H
+#define IPRA_TESTS_SERVICE_SERVICETESTUTIL_H
+
+#include "driver/Pipeline.h"
+
+#include <filesystem>
+#include <string>
+#include <unistd.h>
+#include <vector>
+
+namespace ipra::servicetest {
+
+/// A self-cleaning per-test scratch directory.
+class TempDir {
+public:
+  explicit TempDir(const std::string &Tag) {
+    Path = std::filesystem::temp_directory_path() /
+           ("ipra_service_" + Tag + "_" + std::to_string(::getpid()));
+    std::error_code EC;
+    std::filesystem::remove_all(Path, EC);
+    std::filesystem::create_directories(Path);
+  }
+  ~TempDir() {
+    std::error_code EC;
+    std::filesystem::remove_all(Path, EC);
+  }
+  std::string str() const { return Path.string(); }
+
+private:
+  std::filesystem::path Path;
+};
+
+/// A program parameterized by \p Seed: a call chain (length 3-5, so
+/// different seeds differ structurally and produce different databases)
+/// where every module accumulates into its own global, driven by main
+/// from a loop whose bound also depends on the seed.
+inline std::vector<SourceFile> corpus(int Seed) {
+  std::vector<SourceFile> Sources;
+  const int Chain = 3 + Seed % 3;
+  for (int I = 0; I < Chain; ++I) {
+    std::string Name = "mod" + std::to_string(I) + ".mc";
+    std::string G = "g" + std::to_string(I);
+    std::string Text = "int " + G + ";\n";
+    if (I + 1 < Chain) {
+      std::string Next = "f" + std::to_string(I + 1);
+      Text += "int " + Next + "(int);\n";
+      Text += "int f" + std::to_string(I) + "(int x) { " + G + " = " + G +
+              " + x; return " + Next + "(x) + " + G + "; }\n";
+    } else {
+      Text += "int f" + std::to_string(I) + "(int x) { " + G + " = " + G +
+              " + " + std::to_string(1 + Seed % 7) + " * x; return " + G +
+              "; }\n";
+    }
+    Sources.push_back(SourceFile{Name, Text});
+  }
+  Sources.push_back(SourceFile{
+      "main.mc", "int f0(int);\n"
+                 "int main() {\n"
+                 "  int r = 0;\n"
+                 "  for (int i = 1; i <= " +
+                     std::to_string(5 + Seed % 5) +
+                     "; i = i + 1) r = r + f0(i);\n"
+                     "  print(r);\n"
+                     "  return 0;\n"
+                     "}\n"});
+  return Sources;
+}
+
+/// corpus(Seed) with edit \p Version applied to main.mc: each version
+/// adds a rarely-taken extra call to f0, which changes main's call
+/// frequencies (a summary-visible edit) without changing the program's
+/// output. Version 0 is the unedited corpus.
+inline std::vector<SourceFile> editedCorpus(int Seed, int Version) {
+  std::vector<SourceFile> Sources = corpus(Seed);
+  if (Version == 0)
+    return Sources;
+  std::string Extra;
+  for (int V = 0; V < Version; ++V)
+    Extra += "    if (r > 1000000) r = r + f0(" + std::to_string(V) +
+             ");\n";
+  Sources.back().Text = "int f0(int);\n"
+                        "int main() {\n"
+                        "  int r = 0;\n"
+                        "  for (int i = 1; i <= " +
+                        std::to_string(5 + Seed % 5) +
+                        "; i = i + 1) {\n"
+                        "    r = r + f0(i);\n" +
+                        Extra +
+                        "  }\n"
+                        "  print(r);\n"
+                        "  return 0;\n"
+                        "}\n";
+  return Sources;
+}
+
+/// One-shot cold build of \p Sources at configuration C — the
+/// byte-identity reference every service response is compared against.
+inline BuildResult referenceBuild(const std::vector<SourceFile> &Sources) {
+  Pipeline P(PipelineConfig::configC());
+  return P.build(Sources);
+}
+
+} // namespace ipra::servicetest
+
+#endif // IPRA_TESTS_SERVICE_SERVICETESTUTIL_H

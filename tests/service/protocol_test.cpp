@@ -1,0 +1,279 @@
+//===- protocol_test.cpp - Wire-protocol codec and framing tests ----------===//
+//
+// Part of the IPRA project: a reproduction of Santhanam & Odnert,
+// "Register Allocation Across Procedure and Module Boundaries", PLDI 1990.
+//
+//===----------------------------------------------------------------------===//
+//
+// The protocol codecs are the single source of truth for mapping the
+// BuildRequest/BuildResponse value types onto the daemon's JSON wire
+// format. These tests pin the round-trip: every field that is allowed
+// to cross the wire survives encode -> decode unchanged (checked down
+// to the configuration fingerprint, which is what keys the service's
+// retained sessions), CacheDir never crosses, and the framing layer
+// rejects garbage rather than allocating it.
+//
+//===----------------------------------------------------------------------===//
+
+#include "service/Protocol.h"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <unistd.h>
+
+using namespace ipra;
+
+namespace {
+
+TEST(ProtocolTest, BuildPhaseNamesRoundTrip) {
+  for (BuildPhase P :
+       {BuildPhase::Summary, BuildPhase::Analyze, BuildPhase::Object,
+        BuildPhase::Link, BuildPhase::Full}) {
+    BuildPhase Back;
+    ASSERT_TRUE(parseBuildPhase(buildPhaseName(P), Back))
+        << buildPhaseName(P);
+    EXPECT_EQ(P, Back);
+  }
+  BuildPhase Out;
+  EXPECT_FALSE(parseBuildPhase("compile", Out));
+  EXPECT_FALSE(parseBuildPhase("", Out));
+}
+
+TEST(ProtocolTest, ConfigRoundTripPreservesFingerprint) {
+  // Every preset, plus a hand-tweaked config exercising the non-default
+  // branches of each codec field.
+  std::vector<PipelineConfig> Configs = {
+      PipelineConfig::baseline(), PipelineConfig::configA(),
+      PipelineConfig::configB(), PipelineConfig::configC(),
+      PipelineConfig::configD(), PipelineConfig::configE(),
+      PipelineConfig::configF()};
+  PipelineConfig Tweaked = PipelineConfig::configC();
+  Tweaked.Webs.SplitSparseWebs = true;
+  Tweaked.Webs.RemergeWebs = true;
+  Tweaked.CallerSavePropagation = true;
+  Tweaked.RelaxWebAvail = true;
+  Tweaked.ImprovedFreeSets = true;
+  Tweaked.AssumeClosedWorld = false;
+  Tweaked.PointsTo = false;
+  Tweaked.BlanketCount = 3;
+  Tweaked.NumThreads = 5;
+  Configs.push_back(Tweaked);
+
+  for (const PipelineConfig &C : Configs) {
+    PipelineConfig Back = configFromJson(configToJson(C));
+    // The fingerprint covers every allocation-relevant knob; equality
+    // here is equality of retained-session keys on the service.
+    EXPECT_EQ(C.fingerprint(), Back.fingerprint());
+    EXPECT_EQ(C.NumThreads, Back.NumThreads);
+    EXPECT_EQ(C.UseProfile, Back.UseProfile);
+  }
+}
+
+TEST(ProtocolTest, ConfigCacheDirNeverCrossesTheWire) {
+  PipelineConfig C = PipelineConfig::configC();
+  C.CacheDir = "/tmp/client-local-cache";
+  PipelineConfig Back = configFromJson(configToJson(C));
+  // Cache placement is server policy, not client input.
+  EXPECT_EQ(Back.CacheDir, "");
+  EXPECT_EQ(C.fingerprint(), Back.fingerprint())
+      << "CacheDir must not fingerprint";
+}
+
+TEST(ProtocolTest, RequestRoundTrip) {
+  BuildRequest Req = BuildRequest::full(
+      PipelineConfig::configB(),
+      {SourceFile{"a.mc", "int main() { return 0; }\n"},
+       SourceFile{"b.mc", "int g;\n"}},
+      "prog-42");
+  ProfileData Profile;
+  Profile.CallCounts["main"] = 7;
+  Profile.EdgeCounts[{"main", "f"}] = 3;
+  Req.Profile = Profile;
+
+  BuildRequest Back;
+  std::string Error;
+  ASSERT_TRUE(requestFromJson(requestToJson(Req), Back, Error)) << Error;
+  EXPECT_EQ(Back.Program, "prog-42");
+  EXPECT_EQ(Back.Phase, BuildPhase::Full);
+  EXPECT_EQ(Back.Config.fingerprint(), Req.Config.fingerprint());
+  ASSERT_EQ(Back.Modules.size(), 2u);
+  EXPECT_EQ(Back.Modules[0].Name, "a.mc");
+  EXPECT_EQ(Back.Modules[1].Text, "int g;\n");
+  ASSERT_TRUE(Back.Profile.has_value());
+  EXPECT_EQ(Back.Profile->CallCounts.at("main"), 7);
+  EXPECT_EQ(Back.Profile->EdgeCounts.at({"main", "f"}), 3);
+}
+
+TEST(ProtocolTest, PhaseRequestsRoundTrip) {
+  BuildRequest An = BuildRequest::analyze(PipelineConfig::configC(),
+                                          {"sum a", "sum b"}, "p");
+  BuildRequest Back;
+  std::string Error;
+  ASSERT_TRUE(requestFromJson(requestToJson(An), Back, Error)) << Error;
+  EXPECT_EQ(Back.Phase, BuildPhase::Analyze);
+  ASSERT_EQ(Back.Summaries.size(), 2u);
+  EXPECT_EQ(Back.Summaries[1], "sum b");
+
+  BuildRequest Obj = BuildRequest::object(
+      PipelineConfig::configC(), SourceFile{"m.mc", "int g;\n"}, "db text",
+      "p");
+  ASSERT_TRUE(requestFromJson(requestToJson(Obj), Back, Error)) << Error;
+  EXPECT_EQ(Back.Phase, BuildPhase::Object);
+  EXPECT_EQ(Back.Database, "db text");
+  ASSERT_EQ(Back.Modules.size(), 1u);
+
+  BuildRequest Ln = BuildRequest::link({"obj a", "obj b"}, "p");
+  ASSERT_TRUE(requestFromJson(requestToJson(Ln), Back, Error)) << Error;
+  EXPECT_EQ(Back.Phase, BuildPhase::Link);
+  ASSERT_EQ(Back.Objects.size(), 2u);
+}
+
+TEST(ProtocolTest, ResponseRoundTrip) {
+  BuildResponse Resp;
+  Resp.Program = "p";
+  Resp.Phase = BuildPhase::Full;
+  Resp.Summaries = {"s1", "s2"};
+  Resp.Database = "db";
+  Resp.Objects = {"o1", "o2", "o3"};
+  Resp.FromCache = true;
+  Resp.Stats.TotalMs = 12.5;
+  Resp.Stats.AnalyzerMode = "delta";
+  Resp.Stats.Phase1CacheHits = 4;
+  Resp.Analyzer.TotalWebs = 9;
+  Resp.Delta.Mode = DeltaMode::Incremental;
+  Resp.Delta.ChangedProcs = 1;
+  Resp.Delta.TotalSccs = 17;
+
+  BuildResponse Back = responseFromJson(responseToJson(Resp));
+  EXPECT_EQ(Back.Program, "p");
+  EXPECT_EQ(Back.Summaries, Resp.Summaries);
+  EXPECT_EQ(Back.Database, "db");
+  EXPECT_EQ(Back.Objects, Resp.Objects);
+  EXPECT_TRUE(Back.FromCache);
+  EXPECT_DOUBLE_EQ(Back.Stats.TotalMs, 12.5);
+  EXPECT_EQ(Back.Stats.AnalyzerMode, "delta");
+  EXPECT_EQ(Back.Stats.Phase1CacheHits, 4u);
+  EXPECT_EQ(Back.Analyzer.TotalWebs, 9);
+  EXPECT_EQ(Back.Delta.Mode, DeltaMode::Incremental);
+  EXPECT_EQ(Back.Delta.ChangedProcs, 1);
+  EXPECT_EQ(Back.Delta.TotalSccs, 17);
+  // The executable never crosses the wire.
+  EXPECT_TRUE(Back.Exe.Code.empty());
+}
+
+TEST(ProtocolTest, EnvelopeDispatch) {
+  WireKind Kind;
+  BuildRequest Req;
+  std::string Error;
+
+  BuildRequest Original =
+      BuildRequest::full(PipelineConfig::configC(),
+                         {SourceFile{"m.mc", "int g;\n"}}, "p");
+  ASSERT_TRUE(decodeRequestEnvelope(encodeBuildRequest(Original), Kind,
+                                    Req, Error))
+      << Error;
+  EXPECT_EQ(Kind, WireKind::Build);
+  EXPECT_EQ(Req.Program, "p");
+
+  for (WireKind Control :
+       {WireKind::Stats, WireKind::Ping, WireKind::Shutdown}) {
+    ASSERT_TRUE(decodeRequestEnvelope(encodeControlRequest(Control), Kind,
+                                      Req, Error))
+        << Error;
+    EXPECT_EQ(Kind, Control);
+  }
+}
+
+TEST(ProtocolTest, MalformedEnvelopesAreRejected) {
+  WireKind Kind;
+  BuildRequest Req;
+  std::string Error;
+  EXPECT_FALSE(decodeRequestEnvelope("not json", Kind, Req, Error));
+  EXPECT_FALSE(Error.empty());
+  EXPECT_FALSE(decodeRequestEnvelope("{\"kind\":\"explode\"}", Kind, Req,
+                                     Error));
+  EXPECT_FALSE(decodeRequestEnvelope("{\"kind\":\"build\"}", Kind, Req,
+                                     Error))
+      << "build envelope without a request body must not decode";
+  EXPECT_FALSE(decodeRequestEnvelope("[1,2,3]", Kind, Req, Error));
+}
+
+TEST(ProtocolTest, ReplyRoundTrip) {
+  // Success build reply.
+  BuildResponse Resp;
+  Resp.Program = "p";
+  Resp.Database = "db";
+  Result<BuildResponse> Ok = Result<BuildResponse>::success(Resp);
+  Result<BuildResponse> OkBack = decodeBuildReply(encodeBuildReply(Ok));
+  ASSERT_TRUE(OkBack.ok()) << OkBack.text();
+  EXPECT_EQ(OkBack.Value.Database, "db");
+
+  // Failure build reply keeps the machine-readable code and the text.
+  Result<BuildResponse> Busy = Result<BuildResponse>::failure(
+      "build service queue is full (4 requests); retry", "busy");
+  Result<BuildResponse> BusyBack =
+      decodeBuildReply(encodeBuildReply(Busy));
+  EXPECT_FALSE(BusyBack.ok());
+  EXPECT_EQ(BusyBack.Code, "busy");
+  EXPECT_NE(BusyBack.text().find("queue is full"), std::string::npos);
+
+  // Status replies.
+  Status SBack = decodeStatusReply(encodeStatusReply(Status::success()));
+  EXPECT_TRUE(SBack.ok());
+  SBack = decodeStatusReply(
+      encodeStatusReply(Status::error("draining", "shutdown")));
+  EXPECT_FALSE(SBack.ok());
+  EXPECT_EQ(SBack.Code, "shutdown");
+
+  // Stats reply carries the JSON object through.
+  json::Value Stats = json::Value::object();
+  Stats.set("delta-hits", json::Value::number(3));
+  json::Value StatsBack;
+  ASSERT_TRUE(decodeStatusReply(encodeStatsReply(Stats), &StatsBack).ok());
+  EXPECT_EQ(StatsBack.dump(), Stats.dump());
+
+  // Garbage replies decode as transport failures, not crashes.
+  Result<BuildResponse> Garbage = decodeBuildReply("][");
+  EXPECT_FALSE(Garbage.ok());
+  EXPECT_EQ(Garbage.Code, "transport");
+}
+
+TEST(ProtocolTest, FramingRoundTripsOverAPipe) {
+  int Fds[2];
+  ASSERT_EQ(::pipe(Fds), 0);
+
+  // Several frames, including an empty payload and an 8 KiB one,
+  // written back-to-back and read back in order.
+  std::string Big(8192, 'x');
+  Big[4096] = '\0'; // Frames are byte-transparent.
+  std::vector<std::string> Payloads = {"hello", "", Big, "{\"k\":1}"};
+  for (const std::string &P : Payloads)
+    ASSERT_TRUE(writeFrame(Fds[1], P));
+  for (const std::string &P : Payloads) {
+    std::string Back;
+    ASSERT_TRUE(readFrame(Fds[0], Back));
+    EXPECT_EQ(Back, P);
+  }
+
+  // EOF is a clean false, not a hang or a crash.
+  ::close(Fds[1]);
+  std::string Tail;
+  EXPECT_FALSE(readFrame(Fds[0], Tail));
+  ::close(Fds[0]);
+}
+
+TEST(ProtocolTest, FramingRejectsOversizedLengthPrefix) {
+  int Fds[2];
+  ASSERT_EQ(::pipe(Fds), 0);
+  // A garbage length prefix far beyond MaxFrameBytes must be rejected
+  // before any allocation of that size happens.
+  unsigned char Prefix[4] = {0xff, 0xff, 0xff, 0xff};
+  ASSERT_EQ(::write(Fds[1], Prefix, 4), 4);
+  std::string Payload;
+  EXPECT_FALSE(readFrame(Fds[0], Payload));
+  ::close(Fds[0]);
+  ::close(Fds[1]);
+}
+
+} // namespace
